@@ -1,0 +1,76 @@
+// Figure 7.1 — data distribution.
+//   (a)/(b): mean number of entities forming AjPIs with a query entity, per
+//            sp-index level (log-scale in the paper; we print raw counts and
+//            the level-to-level decay factor).
+//   (c)/(d): AjPI duration distribution per level (counts of partner
+//            entities bucketed by total co-occurrence duration).
+#include "bench/bench_util.h"
+
+namespace dtrace::bench {
+namespace {
+
+void Run(const NamedDataset& nd) {
+  const auto& store = *nd.dataset.store;
+  const int m = nd.dataset.hierarchy->num_levels();
+  const auto queries = SampleQueries(store, 25, 101);
+
+  // (a)/(b): partners per level.
+  std::vector<double> partners(m, 0.0);
+  // (c)/(d): duration buckets per level (duration = co-occurring cells).
+  const std::vector<std::pair<uint32_t, uint32_t>> buckets = {
+      {1, 5}, {6, 15}, {16, 40}, {41, 1u << 30}};
+  std::vector<std::vector<double>> by_bucket(
+      m, std::vector<double>(buckets.size(), 0.0));
+
+  for (EntityId q : queries) {
+    for (EntityId e = 0; e < store.num_entities(); ++e) {
+      if (e == q) continue;
+      for (Level l = 1; l <= m; ++l) {
+        const uint32_t inter = store.IntersectionSize(q, e, l);
+        if (inter == 0) break;  // no AjPI at finer levels either
+        partners[l - 1] += 1.0;
+        for (size_t b = 0; b < buckets.size(); ++b) {
+          if (inter >= buckets[b].first && inter <= buckets[b].second) {
+            by_bucket[l - 1][b] += 1.0;
+          }
+        }
+      }
+    }
+  }
+
+  PrintHeader("Figure 7.1(a/b)", "entities forming AjPIs per level");
+  PrintDatasetInfo(nd);
+  TablePrinter t(
+      {"level", "mean partners", "fraction of |E|", "decay vs prev"});
+  double prev = 0.0;
+  for (Level l = 1; l <= m; ++l) {
+    const double mean = partners[l - 1] / queries.size();
+    t.AddRow({std::to_string(l), TablePrinter::Fmt(mean, 1),
+              TablePrinter::Fmt(mean / store.num_entities(), 4),
+              l == 1 ? "-" : TablePrinter::Fmt(prev / std::max(1.0, mean), 2)});
+    prev = mean;
+  }
+  t.Print();
+
+  PrintHeader("Figure 7.1(c/d)", "AjPI duration distribution per level");
+  TablePrinter d({"level", "dur 1-5", "dur 6-15", "dur 16-40", "dur >40"});
+  for (Level l = 1; l <= m; ++l) {
+    std::vector<std::string> row = {std::to_string(l)};
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      row.push_back(
+          TablePrinter::Fmt(by_bucket[l - 1][b] / queries.size(), 1));
+    }
+    d.AddRow(std::move(row));
+  }
+  d.Print();
+}
+
+}  // namespace
+}  // namespace dtrace::bench
+
+int main() {
+  for (const auto& nd : dtrace::bench::BothDatasets(3000)) {
+    dtrace::bench::Run(nd);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 7.2 — association degree distribution under different ADM
+// parameters (u, v) in {2,5} x {2,5}: for each combination, the mean number
+// of candidates per query whose degree lands in each bucket. The paper's
+// takeaway — most entities bear low association with any query entity —
+// should reproduce.
+#include "bench/bench_util.h"
+
+namespace dtrace::bench {
+namespace {
+
+void Run(const NamedDataset& nd) {
+  const auto& store = *nd.dataset.store;
+  const int m = nd.dataset.hierarchy->num_levels();
+  const auto queries = SampleQueries(store, 20, 77);
+
+  PrintHeader("Figure 7.2", "association degree distribution");
+  PrintDatasetInfo(nd);
+  TablePrinter t({"u,v", "deg=0", "(0,0.1]", "(0.1,0.2]", "(0.2,0.3]",
+                  "(0.3,0.4]", "(0.4,0.5]", ">0.5"});
+  for (double u : {2.0, 5.0}) {
+    for (double v : {2.0, 5.0}) {
+      PolynomialLevelMeasure measure(m, u, v);
+      std::vector<uint64_t> counts(7, 0);
+      for (EntityId q : queries) {
+        for (EntityId e = 0; e < store.num_entities(); ++e) {
+          if (e == q) continue;
+          const double deg = ComputeDegree(measure, store, q, e);
+          size_t b;
+          if (deg == 0.0) {
+            b = 0;
+          } else if (deg > 0.5) {
+            b = 6;
+          } else {
+            b = std::min<size_t>(1 + static_cast<size_t>(deg * 10.0), 5);
+          }
+          ++counts[b];
+        }
+      }
+      std::vector<std::string> row = {
+          TablePrinter::Fmt(u, 0) + "," + TablePrinter::Fmt(v, 0)};
+      for (uint64_t c : counts) {
+        row.push_back(
+            TablePrinter::Fmt(c / static_cast<double>(queries.size()), 1));
+      }
+      t.AddRow(std::move(row));
+    }
+  }
+  t.Print();
+  std::printf(
+      "(mean candidates per query entity falling in each degree bucket)\n");
+}
+
+}  // namespace
+}  // namespace dtrace::bench
+
+int main() {
+  for (const auto& nd : dtrace::bench::BothDatasets(3000)) {
+    dtrace::bench::Run(nd);
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 7.4 — PE vs. data characteristics: one sweep per hierarchical-IM
+// parameter (alpha, beta, rho, gamma, zeta, a, b, m), regenerating SYN per
+// point and reporting Top-1/Top-10/Top-50 PE. Expected shapes (Sec. 7.4):
+//   alpha: descending (locality improves pruning)     beta: flat
+//   rho: ascending            gamma: descending (steeper than rho)
+//   zeta: descending          a, b: flat               m: ascending-ish
+#include <functional>
+
+#include "bench/bench_util.h"
+
+namespace dtrace::bench {
+namespace {
+
+constexpr uint32_t kEntities = 1500;
+constexpr int kNh = 400;
+
+void Sweep(const char* param, const std::vector<double>& values,
+           const std::function<SynConfig(double)>& configure) {
+  PrintHeader("Figure 7.4", (std::string("PE vs ") + param).c_str());
+  TablePrinter t({param, "PE top-1", "PE top-10", "PE top-50"});
+  for (double v : values) {
+    // Average over independently generated datasets to smooth generator
+    // noise (the paper averages over query entities at 100M scale).
+    double pe[3] = {0, 0, 0};
+    constexpr int kSeeds = 3;
+    for (int s = 0; s < kSeeds; ++s) {
+      SynConfig config = configure(v);
+      config.seed += 1000 * s;
+      const Dataset d = GenerateSyn(config);
+      const auto index = DigitalTraceIndex::Build(
+          d.store, {.num_functions = kNh, .seed = 3});
+      PolynomialLevelMeasure measure(d.hierarchy->num_levels());
+      const auto queries = SampleQueries(*d.store, 10, 909 + s);
+      const int ks[3] = {1, 10, 50};
+      for (int i = 0; i < 3; ++i) {
+        pe[i] += MeasurePe(index, measure, queries, ks[i]).mean_pe / kSeeds;
+      }
+    }
+    t.AddRow({TablePrinter::Fmt(v, 2), TablePrinter::Fmt(pe[0], 4),
+              TablePrinter::Fmt(pe[1], 4), TablePrinter::Fmt(pe[2], 4)});
+  }
+  t.Print();
+}
+
+SynConfig Base() {
+  SynConfig config = PresetSyn(kEntities, /*seed=*/11);
+  return config;
+}
+
+}  // namespace
+}  // namespace dtrace::bench
+
+int main() {
+  using dtrace::SynConfig;
+  using dtrace::bench::Base;
+  using dtrace::bench::Sweep;
+
+  Sweep("alpha", {0.2, 0.6, 1.0, 1.5, 2.0}, [](double v) {
+    SynConfig c = Base();
+    c.mobility.alpha = v;
+    return c;
+  });
+  Sweep("beta", {0.1, 0.3, 0.5, 0.8, 1.0}, [](double v) {
+    SynConfig c = Base();
+    c.mobility.beta = v;
+    return c;
+  });
+  Sweep("rho", {0.1, 0.3, 0.6, 0.8, 1.0}, [](double v) {
+    SynConfig c = Base();
+    c.mobility.rho = v;
+    return c;
+  });
+  Sweep("gamma", {0.1, 0.2, 0.4, 0.7, 1.0}, [](double v) {
+    SynConfig c = Base();
+    c.mobility.gamma = v;
+    return c;
+  });
+  Sweep("zeta", {0.2, 0.6, 1.2, 1.6, 2.0}, [](double v) {
+    SynConfig c = Base();
+    c.mobility.zeta = v;
+    return c;
+  });
+  Sweep("a", {1.0, 1.25, 1.5, 1.75, 2.0}, [](double v) {
+    SynConfig c = Base();
+    c.hierarchy.a = v;
+    return c;
+  });
+  Sweep("b", {1.0, 1.25, 1.5, 1.75, 2.0}, [](double v) {
+    SynConfig c = Base();
+    c.hierarchy.b = v;
+    return c;
+  });
+  Sweep("m", {3, 4, 5, 6}, [](double v) {
+    SynConfig c = Base();
+    c.hierarchy.m = static_cast<int>(v);
+    return c;
+  });
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 7.5 — PE vs. ADM parameters u (level weight) and v (duration
+// weight) over both datasets. Expected shape (Sec. 7.5): smaller u and
+// larger v yield better pruning, because signatures encode duration
+// (ST-cells) but not AjPI level.
+#include "bench/bench_util.h"
+
+namespace dtrace::bench {
+namespace {
+
+void Run(const NamedDataset& nd) {
+  const int m = nd.dataset.hierarchy->num_levels();
+  const auto index = DigitalTraceIndex::Build(nd.dataset.store,
+                                              {.num_functions = 800, .seed = 5});
+  const auto queries = SampleQueries(*nd.dataset.store, 15, 505);
+
+  PrintHeader("Figure 7.5", "PE vs ADM parameters (k=10)");
+  PrintDatasetInfo(nd);
+  TablePrinter t({"v \\ u", "u=2", "u=3", "u=4", "u=5"});
+  for (double v : {2.0, 3.0, 4.0, 5.0}) {
+    std::vector<std::string> row = {"v=" + TablePrinter::Fmt(v, 0)};
+    for (double u : {2.0, 3.0, 4.0, 5.0}) {
+      PolynomialLevelMeasure measure(m, u, v);
+      row.push_back(
+          TablePrinter::Fmt(MeasurePe(index, measure, queries, 10).mean_pe, 4));
+    }
+    t.AddRow(std::move(row));
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace dtrace::bench
+
+int main() {
+  for (const auto& nd : dtrace::bench::BothDatasets(2000)) {
+    dtrace::bench::Run(nd);
+  }
+  return 0;
+}

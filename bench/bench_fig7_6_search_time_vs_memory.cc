@@ -1,0 +1,64 @@
+// Figure 7.6 — search time vs. memory size. Raw traces live on the
+// simulated disk (PagedTraceStore); every exact candidate evaluation fetches
+// the candidate's record through an LRU buffer pool whose capacity is a
+// fraction of the data size. Reported modeled time = wall time + modeled
+// HDD I/O latency (DESIGN.md Sec. 3.4). Expected shape: super-linear drop
+// with memory, flattening around 40-50% of the data size.
+#include "bench/bench_util.h"
+#include "storage/paged_trace_store.h"
+
+namespace dtrace::bench {
+namespace {
+
+void Run(const NamedDataset& nd) {
+  const int m = nd.dataset.hierarchy->num_levels();
+  PolynomialLevelMeasure measure(m);
+  const auto index = DigitalTraceIndex::Build(nd.dataset.store,
+                                              {.num_functions = 800, .seed = 9});
+  const auto queries = SampleQueries(*nd.dataset.store, 20, 606);
+
+  // HDD-class 4K random read: ~5ms seek-dominated.
+  SimDisk disk(/*read_latency_seconds=*/5e-3, /*write_latency_seconds=*/5e-3);
+  PagedTraceStore paged(*nd.dataset.store, &disk);
+
+  PrintHeader("Figure 7.6", "search time vs memory size");
+  PrintDatasetInfo(nd);
+  std::printf("trace data: %zu pages (%.1f MB modeled)\n", paged.num_pages(),
+              paged.data_bytes() / 1048576.0);
+  TablePrinter t({"mem fraction", "top-1 (ms)", "top-10 (ms)", "top-50 (ms)",
+                  "miss rate"});
+  for (double frac : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    const size_t capacity = std::max<size_t>(
+        1, static_cast<size_t>(frac * static_cast<double>(paged.num_pages())));
+    std::vector<std::string> row = {TablePrinter::Fmt(frac, 1)};
+    uint64_t hits = 0, misses = 0;
+    for (int k : {1, 10, 50}) {
+      BufferPool pool(&disk, capacity);
+      disk.ResetStats();
+      QueryOptions qopts;
+      qopts.access_hook = [&](EntityId e) { paged.TouchEntity(&pool, e); };
+      Timer timer;
+      for (EntityId q : queries) index.Query(q, k, measure, qopts);
+      const double wall = timer.ElapsedSeconds();
+      const double modeled =
+          (wall + disk.modeled_io_seconds()) / queries.size();
+      row.push_back(TablePrinter::Fmt(modeled * 1e3, 2));
+      hits += pool.hits();
+      misses += pool.misses();
+    }
+    row.push_back(TablePrinter::Fmt(
+        misses / std::max(1.0, static_cast<double>(hits + misses)), 3));
+    t.AddRow(std::move(row));
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace dtrace::bench
+
+int main() {
+  for (const auto& nd : dtrace::bench::BothDatasets(2000)) {
+    dtrace::bench::Run(nd);
+  }
+  return 0;
+}

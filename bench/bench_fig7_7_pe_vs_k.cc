@@ -1,0 +1,55 @@
+// Figure 7.7 — PE vs. result size k: the MinSigTree with 1000 and 2000
+// hash functions against the frequent-pattern bitmap baseline (Sec. 7.2).
+// Expected shape: MinSigTree PE degrades mildly as k grows; the baseline's
+// PE is far worse (near 1.0) at every k — the headline result.
+#include "baseline/cluster_index.h"
+#include "bench/bench_util.h"
+
+namespace dtrace::bench {
+namespace {
+
+void Run(const NamedDataset& nd) {
+  const int m = nd.dataset.hierarchy->num_levels();
+  PolynomialLevelMeasure measure(m);
+  const auto queries = SampleQueries(*nd.dataset.store, 12, 707);
+
+  const auto idx1000 = DigitalTraceIndex::Build(
+      nd.dataset.store, {.num_functions = 1000, .seed = 13});
+  const auto idx2000 = DigitalTraceIndex::Build(
+      nd.dataset.store, {.num_functions = 2000, .seed = 13});
+  Timer baseline_timer;
+  const auto baseline = ClusterBitmapIndex::Build(*nd.dataset.store, {});
+  const double baseline_build = baseline_timer.ElapsedSeconds();
+
+  PrintHeader("Figure 7.7", "PE vs result size k");
+  PrintDatasetInfo(nd);
+  std::printf("baseline: %zu groups, built in %.2fs\n",
+              baseline.num_groups(), baseline_build);
+  TablePrinter t({"k", "PE nh=1000", "PE nh=2000", "PE baseline",
+                  "baseline/minsig factor"});
+  const auto n = nd.dataset.num_entities();
+  for (int k : {1, 10, 20, 30, 40, 50, 60, 70, 80, 90}) {
+    const double pe1 = MeasurePe(idx1000, measure, queries, k).mean_pe;
+    const double pe2 = MeasurePe(idx2000, measure, queries, k).mean_pe;
+    double pe_base = 0.0;
+    for (EntityId q : queries) {
+      pe_base += baseline.Query(q, k, measure)
+                     .stats.pruning_effectiveness(n, k);
+    }
+    pe_base /= queries.size();
+    t.AddRow({std::to_string(k), TablePrinter::Fmt(pe1, 4),
+              TablePrinter::Fmt(pe2, 4), TablePrinter::Fmt(pe_base, 4),
+              TablePrinter::Fmt(pe_base / std::max(1e-4, pe2), 1)});
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace dtrace::bench
+
+int main() {
+  for (const auto& nd : dtrace::bench::BothDatasets(2000)) {
+    dtrace::bench::Run(nd);
+  }
+  return 0;
+}

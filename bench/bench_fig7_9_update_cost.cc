@@ -1,0 +1,77 @@
+// Figure 7.9 — update cost: time to apply a batch of entity updates to an
+// already-built MinSigTree, as a function of nh, with 100% / 70% / 40% of
+// the updated entities already existing in the index (the rest are new
+// insertions). Expected shape (Sec. 7.8): linear in nh; new entities are
+// cheaper than modifications (no locate+remove step).
+#include "bench/bench_util.h"
+#include "util/rng.h"
+
+namespace dtrace::bench {
+namespace {
+
+constexpr uint32_t kEntities = 2000;
+constexpr uint32_t kUpdates = 200;
+
+std::vector<PresenceRecord> FreshTrace(const Dataset& d, EntityId e,
+                                       Rng& rng) {
+  std::vector<PresenceRecord> records;
+  const int n = 5 + static_cast<int>(rng.NextBelow(40));
+  for (int i = 0; i < n; ++i) {
+    const auto unit =
+        static_cast<UnitId>(rng.NextBelow(d.hierarchy->num_base_units()));
+    const auto t = static_cast<TimeStep>(rng.NextBelow(d.horizon - 1));
+    records.push_back({e, unit, t, t + 1});
+  }
+  return records;
+}
+
+void Run() {
+  PrintHeader("Figure 7.9", "update cost (batch of 200 entities)");
+  TablePrinter t({"nh", "100% existing (ms)", "70% existing (ms)",
+                  "40% existing (ms)"});
+  for (int nh : {200, 400, 600, 800, 1200, 1600, 2000}) {
+    std::vector<std::string> row = {std::to_string(nh)};
+    for (double existing_frac : {1.0, 0.7, 0.4}) {
+      // Fresh dataset per cell so state never leaks between measurements.
+      Dataset d = MakeSynDataset(kEntities, /*seed=*/17);
+      // Index everyone except the "new" tail of the update batch.
+      const auto num_existing =
+          static_cast<uint32_t>(existing_frac * kUpdates);
+      std::vector<EntityId> initial;
+      for (EntityId e = 0; e < kEntities; ++e) {
+        if (e >= num_existing && e < kUpdates) continue;  // new entities
+        initial.push_back(e);
+      }
+      auto index = DigitalTraceIndex::Build(
+          d.store, {.num_functions = nh, .seed = 23}, initial);
+      Rng rng(31);
+      // Pre-generate traces so only index maintenance is timed.
+      std::vector<std::vector<PresenceRecord>> traces;
+      for (EntityId e = 0; e < kUpdates; ++e) {
+        traces.push_back(FreshTrace(d, e, rng));
+      }
+      for (EntityId e = 0; e < kUpdates; ++e) {
+        index.mutable_store().ReplaceEntity(e, traces[e]);
+      }
+      Timer timer;
+      for (EntityId e = 0; e < kUpdates; ++e) {
+        if (e < num_existing) {
+          index.UpdateEntity(e);  // steps 1-4 of Sec. 7.8
+        } else {
+          index.InsertEntity(e);  // steps 3-4 only
+        }
+      }
+      row.push_back(TablePrinter::Fmt(timer.ElapsedMillis(), 1));
+    }
+    t.AddRow(std::move(row));
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace dtrace::bench
+
+int main() {
+  dtrace::bench::Run();
+  return 0;
+}

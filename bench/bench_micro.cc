@@ -1,0 +1,109 @@
+// Microbenchmarks (google-benchmark): index build, signature computation,
+// query latency per k, brute-force comparison, intersection primitive.
+#include <benchmark/benchmark.h>
+
+#include "core/index.h"
+#include "core/signature.h"
+#include "exp/harness.h"
+#include "exp/presets.h"
+#include "hash/hierarchical_hasher.h"
+
+namespace dtrace {
+namespace {
+
+const Dataset& SharedDataset() {
+  static const Dataset* d = new Dataset(MakeSynDataset(1000, /*seed=*/61));
+  return *d;
+}
+
+const DigitalTraceIndex& SharedIndex() {
+  static const DigitalTraceIndex* index = new DigitalTraceIndex(
+      DigitalTraceIndex::Build(SharedDataset().store, {.num_functions = 400}));
+  return *index;
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const auto& d = SharedDataset();
+  const int nh = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto index = DigitalTraceIndex::Build(d.store, {.num_functions = nh});
+    benchmark::DoNotOptimize(index.tree().num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * d.num_entities());
+}
+BENCHMARK(BM_IndexBuild)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_SignatureCompute(benchmark::State& state) {
+  const auto& d = SharedDataset();
+  HierarchicalMinHasher hasher(*d.hierarchy, d.horizon,
+                               static_cast<int>(state.range(0)), 1);
+  SignatureComputer sigs(*d.store, hasher);
+  EntityId e = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sigs.Compute(e % d.num_entities()));
+    ++e;
+  }
+}
+BENCHMARK(BM_SignatureCompute)->Arg(100)->Arg(1000);
+
+void BM_TopKQuery(benchmark::State& state) {
+  const auto& index = SharedIndex();
+  PolynomialLevelMeasure measure(
+      SharedDataset().hierarchy->num_levels());
+  const auto queries = SampleQueries(*SharedDataset().store, 32, 3);
+  const int k = static_cast<int>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Query(queries[i % queries.size()], k,
+                                         measure));
+    ++i;
+  }
+}
+BENCHMARK(BM_TopKQuery)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_BruteForceQuery(benchmark::State& state) {
+  const auto& index = SharedIndex();
+  PolynomialLevelMeasure measure(SharedDataset().hierarchy->num_levels());
+  const auto queries = SampleQueries(*SharedDataset().store, 8, 3);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.BruteForce(queries[i % queries.size()], 10, measure));
+    ++i;
+  }
+}
+BENCHMARK(BM_BruteForceQuery);
+
+void BM_IntersectionSize(benchmark::State& state) {
+  const auto& d = SharedDataset();
+  const int m = d.hierarchy->num_levels();
+  EntityId a = 1, b = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.store->IntersectionSize(a, b, m));
+    a = (a + 1) % d.num_entities();
+    b = (b + 3) % d.num_entities();
+  }
+}
+BENCHMARK(BM_IntersectionSize);
+
+void BM_IncrementalInsert(benchmark::State& state) {
+  const auto& d = SharedDataset();
+  std::vector<EntityId> most;
+  for (EntityId e = 100; e < d.num_entities(); ++e) most.push_back(e);
+  auto index =
+      DigitalTraceIndex::Build(d.store, {.num_functions = 400}, most);
+  EntityId e = 0;
+  for (auto _ : state) {
+    index.InsertEntity(e % 100);
+    state.PauseTiming();
+    index.RemoveEntity(e % 100);
+    state.ResumeTiming();
+    ++e;
+  }
+}
+BENCHMARK(BM_IncrementalInsert);
+
+}  // namespace
+}  // namespace dtrace
+
+BENCHMARK_MAIN();

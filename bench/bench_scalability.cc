@@ -1,0 +1,34 @@
+// Scalability (Sec. 6.4): PE should be independent of data volume (|E| and
+// C), indexing time linear in |E|, and query time linear in |E| at fixed PE.
+#include "bench/bench_util.h"
+
+namespace dtrace::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Scalability (Sec. 6.4)", "PE and cost vs |E|");
+  TablePrinter t({"|E|", "PE (k=10)", "mean query (ms)", "mean checked",
+                  "index time (s)", "tree nodes"});
+  for (uint32_t entities : {1000u, 2000u, 4000u, 8000u}) {
+    Dataset d = MakeSynDataset(entities, /*seed=*/41);
+    const auto index =
+        DigitalTraceIndex::Build(d.store, {.num_functions = 800, .seed = 41});
+    PolynomialLevelMeasure measure(d.hierarchy->num_levels());
+    const auto queries = SampleQueries(*d.store, 12, 808);
+    const auto pe = MeasurePe(index, measure, queries, 10);
+    t.AddRow({std::to_string(entities), TablePrinter::Fmt(pe.mean_pe, 4),
+              TablePrinter::Fmt(pe.mean_query_seconds * 1e3, 2),
+              TablePrinter::Fmt(pe.mean_entities_checked, 1),
+              TablePrinter::Fmt(index.build_seconds(), 2),
+              TablePrinter::Fmt(static_cast<uint64_t>(index.tree().num_nodes()))});
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace dtrace::bench
+
+int main() {
+  dtrace::bench::Run();
+  return 0;
+}

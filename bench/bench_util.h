@@ -1,0 +1,50 @@
+#ifndef DTRACE_BENCH_BENCH_UTIL_H_
+#define DTRACE_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the figure-reproduction benches. Each bench binary
+// regenerates one figure of the paper's Chapter 7 as an aligned text table;
+// EXPERIMENTS.md records paper-vs-measured shapes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/association.h"
+#include "core/index.h"
+#include "exp/harness.h"
+#include "exp/presets.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace dtrace::bench {
+
+struct NamedDataset {
+  std::string name;
+  Dataset dataset;
+};
+
+/// The two evaluation datasets at the given scale (SYN Sec. 7.1 + the
+/// REAL-data substitute).
+inline std::vector<NamedDataset> BothDatasets(uint32_t entities) {
+  std::vector<NamedDataset> out;
+  out.push_back({"REAL", MakeRealDataset(entities)});
+  out.push_back({"SYN", MakeSynDataset(entities)});
+  return out;
+}
+
+inline void PrintHeader(const char* figure, const char* what) {
+  std::printf("\n=== %s: %s ===\n", figure, what);
+}
+
+inline void PrintDatasetInfo(const NamedDataset& nd) {
+  std::printf(
+      "[%s] |E|=%u base_units=%u horizon=%u m=%d mean_C=%.1f records=%zu\n",
+      nd.name.c_str(), nd.dataset.num_entities(),
+      nd.dataset.hierarchy->num_base_units(), nd.dataset.horizon,
+      nd.dataset.hierarchy->num_levels(), nd.dataset.store->mean_base_cells(),
+      nd.dataset.records.size());
+}
+
+}  // namespace dtrace::bench
+
+#endif  // DTRACE_BENCH_BENCH_UTIL_H_

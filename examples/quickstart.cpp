@@ -1,0 +1,54 @@
+// Quickstart: generate a small city of digital traces, index it, and ask
+// "who is most associated with entity 0?" — the library's core use case in
+// ~40 lines.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "core/index.h"
+#include "exp/presets.h"
+#include "mobility/synthetic.h"
+
+int main() {
+  using namespace dtrace;
+
+  // 1. Data: synthetic digital traces from the hierarchical individual
+  //    mobility model — 500 entities detected over a grid of base spatial
+  //    units organized into a 4-level sp-index, for 30 days of hourly
+  //    timestamps; most entities move in small companion groups. Real
+  //    deployments would fill Dataset::records from WiFi logs / check-ins
+  //    instead.
+  SynConfig config = PresetSyn(/*num_entities=*/500);
+  config.group_size = 10;  // small companion cliques
+  config.num_groups = 40;
+  Dataset city = GenerateSyn(config);
+  std::printf("dataset: %u entities, %zu presence records, %u locations\n",
+              city.num_entities(), city.records.size(),
+              city.hierarchy->num_base_units());
+
+  // 2. Index: MinHash-style signatures (200 hash functions) + MinSigTree.
+  const auto index =
+      DigitalTraceIndex::Build(city.store, {.num_functions = 200});
+  std::printf("index: %zu nodes, %.1f KB, built in %.2fs\n",
+              index.tree().num_nodes(), index.IndexMemoryBytes() / 1024.0,
+              index.build_seconds());
+
+  // 3. Query: top-5 most associated entities under the paper's association
+  //    degree measure (Eq. 7.1). Results are exact; the index only prunes.
+  PolynomialLevelMeasure deg(city.hierarchy->num_levels());
+  const EntityId who = 0;
+  const TopKResult top = index.Query(who, /*k=*/5, deg);
+
+  std::printf("\ntop-5 associates of entity %u:\n", who);
+  for (const auto& [entity, score] : top.items) {
+    std::printf("  entity %-4u  deg = %.4f\n", entity, score);
+  }
+  std::printf(
+      "\nchecked %llu of %u entities (pruning effectiveness %.3f, "
+      "%.2f ms)\n",
+      static_cast<unsigned long long>(top.stats.entities_checked),
+      city.num_entities(),
+      top.stats.pruning_effectiveness(city.num_entities(), 5),
+      top.stats.elapsed_seconds * 1e3);
+  return 0;
+}

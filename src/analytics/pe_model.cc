@@ -1,0 +1,155 @@
+#include "analytics/pe_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dtrace {
+
+namespace {
+
+// log C(n, k) via lgamma.
+double LogChoose(double n, double k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+// P(X >= nc) for X ~ Binomial(c, p), computed in log space for stability.
+double BinomialSurvival(double c, uint32_t nc, double p) {
+  if (p <= 0.0) return nc == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return 1.0;
+  if (nc == 0) return 1.0;
+  if (static_cast<double>(nc) > c) return 0.0;
+  double total = 0.0;
+  const double lp = std::log(p);
+  const double lq = std::log1p(-p);
+  const auto ci = static_cast<uint32_t>(c);
+  for (uint32_t x = nc; x <= ci; ++x) {
+    total += std::exp(LogChoose(c, x) + x * lp + (c - x) * lq);
+  }
+  return std::min(1.0, total);
+}
+
+}  // namespace
+
+double PredictPruningEffectiveness(const PeModelParams& params) {
+  DT_CHECK(params.hash_range > 1.0);
+  DT_CHECK(params.mean_cells >= 1.0);
+  DT_CHECK(params.num_functions >= 1);
+  DT_CHECK(params.num_buckets >= 2);
+  const double r_range = params.hash_range;
+  const double c = params.mean_cells;
+  const double cq =
+      params.query_cells > 0.0 ? params.query_cells : params.mean_cells;
+  const int nr = params.num_buckets;
+
+  // CDF of a single signature position (Eq. 6.12, aggregated):
+  // F(x) = P(sig[u] <= x) = 1 - ((R - x - 1)/R)^C for x in [0, R).
+  auto sig_cdf = [&](double x) {
+    if (x < 0.0) return 0.0;
+    if (x >= r_range - 1.0) return 1.0;
+    return 1.0 - std::pow((r_range - x - 1.0) / r_range, c);
+  };
+
+  double pe = 0.0;
+  double prev_max_cdf = 0.0;
+  for (int j = 1; j <= nr; ++j) {
+    const double hi = r_range * static_cast<double>(j) / nr - 1.0;
+    // Routing-value (max over nh positions) CDF at the bucket edge
+    // (Eq. 6.13).
+    const double max_cdf =
+        std::pow(sig_cdf(hi), static_cast<double>(params.num_functions));
+    const double v_j = max_cdf - prev_max_cdf;  // leaf-value mass in bucket
+    prev_max_cdf = max_cdf;
+    if (v_j <= 0.0) continue;
+    // Survival probability of a node with value ~ bucket midpoint
+    // (Eq. 6.14): at least nc of the query's cells hash above the value.
+    const double mid = r_range * (static_cast<double>(j) - 0.5) / nr;
+    const double p_above = (r_range - 1.0 - mid) / (r_range - 1.0);
+    pe += v_j * BinomialSurvival(cq, params.nc, std::max(0.0, p_above));
+  }
+  return std::clamp(pe, 0.0, 1.0);
+}
+
+uint32_t EstimateNc(const AssociationMeasure& measure,
+                    std::span<const uint32_t> q_sizes, double target_deg) {
+  const int m = static_cast<int>(q_sizes.size());
+  const uint32_t q_base = q_sizes[m - 1];
+  if (q_base == 0) return 1;
+  auto best_case_deg = [&](uint32_t shared) {
+    // Shared base cells propagate upward: at level l the intersection is at
+    // most min(shared, q_l). The candidate is modeled as a typical peer
+    // with the query's own per-level volumes — in the near-duplicate
+    // regime the index targets, strong associates have comparable traces
+    // (a minimal candidate of exactly the shared cells would make nc
+    // unrealistically small and the prediction collapse to "check
+    // everything").
+    std::vector<uint32_t> c_sizes(m), inter(m);
+    for (int l = 0; l < m; ++l) {
+      inter[l] = std::min(shared, q_sizes[l]);
+      c_sizes[l] = q_sizes[l];
+    }
+    return measure.Score(q_sizes, c_sizes, inter);
+  };
+  // deg grows with `shared`; binary search the smallest count reaching the
+  // target.
+  uint32_t lo = 1, hi = q_base;
+  if (best_case_deg(hi) < target_deg) return hi;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (best_case_deg(mid) >= target_deg) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+PePrediction PredictPeForDataset(const TraceStore& store,
+                                 const AssociationMeasure& measure, int nh,
+                                 int k,
+                                 std::span<const EntityId> sample_queries) {
+  DT_CHECK(!sample_queries.empty());
+  const int m = store.hierarchy().num_levels();
+  PePrediction out;
+
+  // Per query: estimate d_e (the k-th best degree), invert the measure to
+  // get nc, and evaluate the closed form with the query's own cell count;
+  // then average the per-query predictions — the paper averages PE over
+  // multiple query entities the same way.
+  double de_sum = 0.0, pe_sum = 0.0;
+  uint64_t nc_sum = 0;
+  PeModelParams params;
+  params.hash_range = static_cast<double>(store.horizon()) *
+                      store.hierarchy().num_base_units();
+  params.mean_cells = std::max(1.0, store.mean_base_cells());
+  params.num_functions = nh;
+  for (EntityId q : sample_queries) {
+    std::vector<double> degs;
+    degs.reserve(store.num_entities());
+    for (EntityId e = 0; e < store.num_entities(); ++e) {
+      if (e == q) continue;
+      degs.push_back(ComputeDegree(measure, store, q, e));
+    }
+    std::nth_element(degs.begin(),
+                     degs.begin() + std::min<size_t>(k - 1, degs.size() - 1),
+                     degs.end(), std::greater<>());
+    const double de = degs[std::min<size_t>(k - 1, degs.size() - 1)];
+    de_sum += de;
+    std::vector<uint32_t> q_sizes(m);
+    for (Level l = 1; l <= m; ++l) q_sizes[l - 1] = store.cell_count(q, l);
+    params.nc = EstimateNc(measure, q_sizes, de);
+    params.query_cells = std::max<uint32_t>(1, q_sizes[m - 1]);
+    nc_sum += params.nc;
+    pe_sum += PredictPruningEffectiveness(params);
+  }
+  const auto n = static_cast<double>(sample_queries.size());
+  out.de = de_sum / n;
+  out.nc = std::max<uint32_t>(1, static_cast<uint32_t>(nc_sum / n));
+  out.pe = pe_sum / n;
+  return out;
+}
+
+}  // namespace dtrace

@@ -1,0 +1,67 @@
+#ifndef DTRACE_ANALYTICS_PE_MODEL_H_
+#define DTRACE_ANALYTICS_PE_MODEL_H_
+
+#include <cstdint>
+#include <span>
+
+#include "core/association.h"
+#include "trace/trace_store.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// Inputs to the closed-form pruning-effectiveness model of Sec. 6.3
+/// (Eq. 6.12-6.15).
+struct PeModelParams {
+  /// Hash range R = n * t (base units x time steps).
+  double hash_range = 0.0;
+  /// Average |seq^m| per entity (the paper's C); governs the leaf-value
+  /// distribution (Eq. 6.12-6.13).
+  double mean_cells = 0.0;
+  /// |seq^m| of the query entity, used in the survival binomial (Eq. 6.14).
+  /// 0 means "use mean_cells" (the paper's simplification).
+  double query_cells = 0.0;
+  /// Number of hash functions nh.
+  int num_functions = 0;
+  /// Minimal number of shared base ST-cells for deg >= d_e (the paper's nc).
+  uint32_t nc = 1;
+  /// Number of value buckets nr for the leaf-value distribution.
+  int num_buckets = 512;
+};
+
+/// Closed-form predicted PE:
+///   - Eq. 6.12: distribution of a signature value; with hashes uniform on
+///     [0, R), P(sig[u] <= x) = 1 - ((R - x - 1) / R)^C.
+///   - Eq. 6.13: the routing value is the maximum over nh positions, so
+///     P(SIG_N[r] <= x) = P(sig[u] <= x)^nh; V[j] buckets this density.
+///   - Eq. 6.14: a node with routing value bounded by x survives pruning iff
+///     at least nc of the query's C cells hash above x — a binomial tail
+///     with success probability (R - 1 - x) / (R - 1).
+///   - Eq. 6.15: PE = sum_j V[j] * q(x_j).
+double PredictPruningEffectiveness(const PeModelParams& params);
+
+/// Smallest number of shared base ST-cells nc whose *best case* association
+/// degree reaches `target_deg` for a query with per-level set sizes
+/// `q_sizes` — best case meaning the shared cells propagate to every level
+/// and the candidate has no other cells (binary search over the measure).
+uint32_t EstimateNc(const AssociationMeasure& measure,
+                    std::span<const uint32_t> q_sizes, double target_deg);
+
+/// End-to-end prediction for a dataset: estimates d_e (the expected k-th
+/// best degree) by brute force over `sample_queries`, derives nc, and
+/// evaluates the closed form. Mirrors how Fig. 7.3's "Predicted" series is
+/// produced.
+struct PePrediction {
+  double pe = 0.0;   ///< predicted pruning effectiveness
+  double de = 0.0;   ///< estimated k-th best association degree
+  uint32_t nc = 1;   ///< derived minimal shared-cell count
+};
+
+PePrediction PredictPeForDataset(const TraceStore& store,
+                                 const AssociationMeasure& measure, int nh,
+                                 int k,
+                                 std::span<const EntityId> sample_queries);
+
+}  // namespace dtrace
+
+#endif  // DTRACE_ANALYTICS_PE_MODEL_H_

@@ -1,0 +1,223 @@
+#include "baseline/cluster_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "fpm/fp_growth.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace dtrace {
+
+namespace {
+
+// Union-find over dense ids.
+class UnionFind {
+ public:
+  explicit UnionFind(uint32_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  void Union(uint32_t a, uint32_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace
+
+uint32_t ClusterBitmapIndex::ClusterOf(Level level, CellId cell) const {
+  const auto& mined = mined_cluster_[level - 1];
+  auto it = mined.find(cell);
+  if (it != mined.end()) return it->second;
+  // Cells without frequent-pattern evidence fall back to spatial locality:
+  // contiguous unit ranges share a cluster, irrespective of time. This is
+  // the "nearby ST-cells cluster together" assumption of Sec. 7.2 — and the
+  // source of the baseline's weakness: the clusters couple strongly and the
+  // bit vectors cannot capture per-entity presence patterns.
+  const uint32_t units = store_->hierarchy().units_at(level);
+  const auto unit = static_cast<uint64_t>(cell % units);
+  return static_cast<uint32_t>(unit * options_.clusters_per_level / units);
+}
+
+std::vector<uint64_t> ClusterBitmapIndex::VectorFor(EntityId e) const {
+  std::vector<uint64_t> key(static_cast<size_t>(m_) * words_per_level_, 0);
+  for (Level l = 1; l <= m_; ++l) {
+    uint64_t* words = key.data() + static_cast<size_t>(l - 1) * words_per_level_;
+    for (CellId c : store_->cells(e, l)) {
+      const uint32_t bit = ClusterOf(l, c);
+      words[bit >> 6] |= uint64_t{1} << (bit & 63);
+    }
+  }
+  return key;
+}
+
+ClusterBitmapIndex ClusterBitmapIndex::Build(const TraceStore& store,
+                                             const BaselineOptions& options) {
+  ClusterBitmapIndex index;
+  index.store_ = &store;
+  index.options_ = options;
+  index.m_ = store.hierarchy().num_levels();
+  index.words_per_level_ = (options.clusters_per_level + 63) / 64;
+  index.mined_cluster_.resize(index.m_);
+
+  for (Level l = 1; l <= index.m_; ++l) {
+    // Keep the most frequent cells for mining.
+    std::unordered_map<CellId, uint32_t> cell_support;
+    for (EntityId e = 0; e < store.num_entities(); ++e) {
+      for (CellId c : store.cells(e, l)) ++cell_support[c];
+    }
+    std::vector<std::pair<CellId, uint32_t>> by_support(cell_support.begin(),
+                                                        cell_support.end());
+    std::sort(by_support.begin(), by_support.end(),
+              [](const auto& a, const auto& b) {
+                return a.second != b.second ? a.second > b.second
+                                            : a.first < b.first;
+              });
+    if (by_support.size() > options.max_mined_cells) {
+      by_support.resize(options.max_mined_cells);
+    }
+    std::unordered_map<CellId, uint32_t> dense;
+    std::vector<CellId> dense_to_cell(by_support.size());
+    for (uint32_t d = 0; d < by_support.size(); ++d) {
+      dense[by_support[d].first] = d;
+      dense_to_cell[d] = by_support[d].first;
+    }
+
+    // Transactions restricted to mined cells.
+    std::vector<std::vector<uint32_t>> txns;
+    txns.reserve(store.num_entities());
+    for (EntityId e = 0; e < store.num_entities(); ++e) {
+      std::vector<uint32_t> t;
+      for (CellId c : store.cells(e, l)) {
+        auto it = dense.find(c);
+        if (it != dense.end()) t.push_back(it->second);
+      }
+      if (!t.empty()) txns.push_back(std::move(t));
+    }
+
+    // Frequent pairs -> connected components -> clusters.
+    FpGrowth miner(options.min_support, /*max_itemset_size=*/2);
+    UnionFind uf(static_cast<uint32_t>(dense_to_cell.size()));
+    for (const auto& fs : miner.Mine(txns)) {
+      if (fs.items.size() == 2) uf.Union(fs.items[0], fs.items[1]);
+    }
+    std::unordered_map<uint32_t, uint32_t> root_to_cluster;
+    for (uint32_t d = 0; d < dense_to_cell.size(); ++d) {
+      const uint32_t root = uf.Find(d);
+      auto [it, inserted] = root_to_cluster.try_emplace(
+          root,
+          static_cast<uint32_t>(root_to_cluster.size()) %
+              options.clusters_per_level);
+      index.mined_cluster_[l - 1][dense_to_cell[d]] = it->second;
+    }
+  }
+
+  // Group entities by identical concatenated bit vectors.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_hash;
+  std::vector<Group>& groups = index.groups_;
+  for (EntityId e = 0; e < store.num_entities(); ++e) {
+    auto key = index.VectorFor(e);
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t w : key) h = Mix64(h, w);
+    auto& bucket = by_hash[h];
+    bool placed = false;
+    for (uint32_t gi : bucket) {
+      if (groups[gi].key == key) {
+        groups[gi].entities.push_back(e);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      bucket.push_back(static_cast<uint32_t>(groups.size()));
+      groups.push_back({std::move(key), {e}});
+    }
+  }
+  return index;
+}
+
+TopKResult ClusterBitmapIndex::Query(EntityId q, int k,
+                                     const AssociationMeasure& measure) const {
+  DT_CHECK(k >= 1);
+  Timer timer;
+  std::vector<uint32_t> q_sizes(m_), c_sizes(m_), inter(m_);
+  for (Level l = 1; l <= m_; ++l) q_sizes[l - 1] = store_->cell_count(q, l);
+
+  // Per-level cluster ids of the query's cells (with multiplicity: each
+  // query cell contributes 1 to the remaining count if its cluster bit is
+  // set in the candidate group).
+  std::vector<std::vector<uint32_t>> q_bits(m_);
+  for (Level l = 1; l <= m_; ++l) {
+    q_bits[l - 1].reserve(q_sizes[l - 1]);
+    for (CellId c : store_->cells(q, l)) {
+      q_bits[l - 1].push_back(ClusterOf(l, c));
+    }
+  }
+
+  // Upper bound per group: r_l = #query cells whose cluster bit the group
+  // has set (a candidate can only intersect the query at such cells).
+  std::vector<std::pair<double, uint32_t>> ordered;
+  ordered.reserve(groups_.size());
+  std::vector<uint32_t> remaining(m_);
+  for (uint32_t gi = 0; gi < groups_.size(); ++gi) {
+    const auto& g = groups_[gi];
+    for (Level l = 1; l <= m_; ++l) {
+      const uint64_t* words =
+          g.key.data() + static_cast<size_t>(l - 1) * words_per_level_;
+      uint32_t r = 0;
+      for (uint32_t bit : q_bits[l - 1]) {
+        if (words[bit >> 6] & (uint64_t{1} << (bit & 63))) ++r;
+      }
+      remaining[l - 1] = r;
+    }
+    ordered.emplace_back(measure.UpperBound(q_sizes, remaining), gi);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+
+  TopKResult result;
+  std::vector<ScoredEntity> top;
+  auto better = [](const ScoredEntity& x, const ScoredEntity& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.entity < y.entity;
+  };
+  for (const auto& [ub, gi] : ordered) {
+    if (static_cast<int>(top.size()) >= k && top.back().score >= ub) break;
+    for (EntityId e : groups_[gi].entities) {
+      if (e == q) continue;
+      for (Level l = 1; l <= m_; ++l) {
+        c_sizes[l - 1] = store_->cell_count(e, l);
+        inter[l - 1] = store_->IntersectionSize(q, e, l);
+      }
+      const double s = measure.Score(q_sizes, c_sizes, inter);
+      ++result.stats.entities_checked;
+      top.push_back({e, s});
+      std::sort(top.begin(), top.end(), better);
+      if (static_cast<int>(top.size()) > k) top.pop_back();
+    }
+    ++result.stats.nodes_visited;
+  }
+  result.items = std::move(top);
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+uint64_t ClusterBitmapIndex::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& g : groups_) {
+    bytes += g.key.size() * sizeof(uint64_t) +
+             g.entities.size() * sizeof(EntityId);
+  }
+  for (const auto& mc : mined_cluster_) {
+    bytes += mc.size() * (sizeof(CellId) + sizeof(uint32_t));
+  }
+  return bytes;
+}
+
+}  // namespace dtrace

@@ -1,0 +1,145 @@
+#include "core/association.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dtrace {
+
+double ComputeDegree(const AssociationMeasure& measure,
+                     const TraceStore& store, EntityId a, EntityId b) {
+  const int m = store.hierarchy().num_levels();
+  std::vector<uint32_t> qs(m), cs(m), is(m);
+  for (Level l = 1; l <= m; ++l) {
+    qs[l - 1] = store.cell_count(a, l);
+    cs[l - 1] = store.cell_count(b, l);
+    is[l - 1] = store.IntersectionSize(a, b, l);
+  }
+  return measure.Score(qs, cs, is);
+}
+
+PolynomialLevelMeasure::PolynomialLevelMeasure(int num_levels, double u,
+                                               double v)
+    : m_(num_levels), u_(u), v_(v) {
+  DT_CHECK(num_levels >= 1);
+  DT_CHECK(v >= 1.0);
+  level_weight_.resize(m_);
+  double z = 0.0;
+  for (int l = 1; l <= m_; ++l) z += std::pow(l, u_) * std::pow(0.5, v_);
+  for (int l = 1; l <= m_; ++l) level_weight_[l - 1] = std::pow(l, u_) / z;
+}
+
+double PolynomialLevelMeasure::Score(
+    std::span<const uint32_t> q_sizes, std::span<const uint32_t> c_sizes,
+    std::span<const uint32_t> inter_sizes) const {
+  DT_DCHECK(static_cast<int>(q_sizes.size()) == m_);
+  double s = 0.0;
+  for (int l = 0; l < m_; ++l) {
+    const double denom =
+        static_cast<double>(q_sizes[l]) + static_cast<double>(c_sizes[l]);
+    if (denom == 0.0 || inter_sizes[l] == 0) continue;
+    s += level_weight_[l] * std::pow(inter_sizes[l] / denom, v_);
+  }
+  return s;
+}
+
+double PolynomialLevelMeasure::UpperBound(
+    std::span<const uint32_t> q_sizes,
+    std::span<const uint32_t> remaining) const {
+  // Per level: I_l <= r_l and |seq^l_c| >= I_l, so
+  //   I_l / (q_l + c_l) <= I_l / (q_l + I_l) <= r_l / (q_l + r_l)
+  // (x / (q + x) is increasing in x). Raising to v (monotone) and summing
+  // the per-level weights preserves the bound.
+  double s = 0.0;
+  for (int l = 0; l < m_; ++l) {
+    const double q = q_sizes[l];
+    const double r = remaining[l];
+    if (q + r == 0.0 || r == 0.0) continue;
+    s += level_weight_[l] * std::pow(r / (q + r), v_);
+  }
+  return s;
+}
+
+std::string PolynomialLevelMeasure::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "poly(u=%.1f,v=%.1f)", u_, v_);
+  return buf;
+}
+
+WeightedDiceMeasure::WeightedDiceMeasure(std::vector<double> level_weights)
+    : w_(std::move(level_weights)) {
+  DT_CHECK(!w_.empty());
+}
+
+double WeightedDiceMeasure::Score(std::span<const uint32_t> q_sizes,
+                                  std::span<const uint32_t> c_sizes,
+                                  std::span<const uint32_t> inter_sizes) const {
+  double s = 0.0;
+  for (size_t l = 0; l < w_.size(); ++l) {
+    const double denom =
+        static_cast<double>(q_sizes[l]) + static_cast<double>(c_sizes[l]);
+    if (denom == 0.0) continue;
+    s += w_[l] * inter_sizes[l] / denom;
+  }
+  return s;
+}
+
+double WeightedDiceMeasure::UpperBound(
+    std::span<const uint32_t> q_sizes,
+    std::span<const uint32_t> remaining) const {
+  // I_l / (q_l + c_l) <= r_l / (q_l + r_l), as in PolynomialLevelMeasure.
+  double s = 0.0;
+  for (size_t l = 0; l < w_.size(); ++l) {
+    const double q = q_sizes[l];
+    const double r = remaining[l];
+    if (q + r == 0.0) continue;
+    s += w_[l] * r / (q + r);
+  }
+  return s;
+}
+
+std::string WeightedDiceMeasure::name() const { return "weighted-dice"; }
+
+WeightedJaccardMeasure::WeightedJaccardMeasure(
+    std::vector<double> level_weights)
+    : w_(std::move(level_weights)) {
+  DT_CHECK(!w_.empty());
+}
+
+double WeightedJaccardMeasure::Score(
+    std::span<const uint32_t> q_sizes, std::span<const uint32_t> c_sizes,
+    std::span<const uint32_t> inter_sizes) const {
+  double s = 0.0;
+  for (size_t l = 0; l < w_.size(); ++l) {
+    const double denom = static_cast<double>(q_sizes[l]) +
+                         static_cast<double>(c_sizes[l]) -
+                         static_cast<double>(inter_sizes[l]);
+    if (denom == 0.0) continue;
+    s += w_[l] * inter_sizes[l] / denom;
+  }
+  return s;
+}
+
+double WeightedJaccardMeasure::UpperBound(
+    std::span<const uint32_t> q_sizes,
+    std::span<const uint32_t> remaining) const {
+  // I / (q + c - I) with c >= I gives I / q, increasing in I <= r_l, hence
+  // <= r_l / q_l (and <= 1 since r_l <= q_l).
+  double s = 0.0;
+  for (size_t l = 0; l < w_.size(); ++l) {
+    const double q = q_sizes[l];
+    if (q == 0.0) continue;
+    s += w_[l] * std::min(1.0, remaining[l] / q);
+  }
+  return s;
+}
+
+std::string WeightedJaccardMeasure::name() const { return "weighted-jaccard"; }
+
+std::vector<double> UniformLevelWeights(int num_levels) {
+  DT_CHECK(num_levels >= 1);
+  return std::vector<double>(num_levels, 1.0 / num_levels);
+}
+
+}  // namespace dtrace

@@ -1,0 +1,118 @@
+#ifndef DTRACE_CORE_ASSOCIATION_H_
+#define DTRACE_CORE_ASSOCIATION_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/trace_store.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// An association degree measure (ADM, Sec. 3.2): maps per-level ST-cell set
+/// sizes and per-level intersection sizes of two entities to a score in
+/// [0, 1]. Implementations must satisfy the paper's axioms — normalization,
+/// monotonicity (more overlap at finer levels / smaller candidate sets never
+/// lowers the score), total order — and must supply an admissible upper
+/// bound:
+///
+///   UpperBound(q_sizes, remaining) >= Score(q_sizes, c_sizes, inter)
+///
+/// for every candidate whose per-level intersection with the query is
+/// bounded by `remaining` (the unpruned query cells of Theorem 4's artificial
+/// entity). `adm_test.cc` property-checks both score axioms and bound
+/// admissibility for every registered measure.
+class AssociationMeasure {
+ public:
+  virtual ~AssociationMeasure() = default;
+
+  /// Exact deg for a (query, candidate) pair. All spans are indexed by
+  /// level-1 (entry 0 = level 1) and have length m.
+  virtual double Score(std::span<const uint32_t> q_sizes,
+                       std::span<const uint32_t> c_sizes,
+                       std::span<const uint32_t> inter_sizes) const = 0;
+
+  /// Admissible upper bound given per-level caps on the intersection size.
+  /// `remaining[l-1] <= q_sizes[l-1]` always holds.
+  virtual double UpperBound(std::span<const uint32_t> q_sizes,
+                            std::span<const uint32_t> remaining) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Computes deg(a, b) for a concrete pair by materializing per-level sizes
+/// and intersections from the store. Convenience for baselines/tests.
+double ComputeDegree(const AssociationMeasure& measure, const TraceStore& store,
+                     EntityId a, EntityId b);
+
+/// The paper's experimental ADM (Eq. 7.1):
+///
+///   deg(a,b) = (1/Z) * sum_l l^u * ( I_l / (|seq^l_a| + |seq^l_b|) )^v
+///
+/// with Z = sum_l l^u * (1/2)^v so that deg in [0, 1] (the per-level ratio is
+/// at most 1/2). u weights finer levels, v weights longer co-occurrence.
+/// Defaults u = v = 2 as in Sec. 7.1.
+class PolynomialLevelMeasure final : public AssociationMeasure {
+ public:
+  PolynomialLevelMeasure(int num_levels, double u = 2.0, double v = 2.0);
+
+  double Score(std::span<const uint32_t> q_sizes,
+               std::span<const uint32_t> c_sizes,
+               std::span<const uint32_t> inter_sizes) const override;
+  double UpperBound(std::span<const uint32_t> q_sizes,
+                    std::span<const uint32_t> remaining) const override;
+  std::string name() const override;
+
+  double u() const { return u_; }
+  double v() const { return v_; }
+
+ private:
+  int m_;
+  double u_;
+  double v_;
+  std::vector<double> level_weight_;  // l^u / Z
+};
+
+/// Dice-style measure with explicit per-level weights (Example 5.2.1 uses
+/// weights {0.1, 0.9} over two levels):
+///   deg = sum_l w_l * I_l / (|seq^l_a| + |seq^l_b|).
+class WeightedDiceMeasure final : public AssociationMeasure {
+ public:
+  explicit WeightedDiceMeasure(std::vector<double> level_weights);
+
+  double Score(std::span<const uint32_t> q_sizes,
+               std::span<const uint32_t> c_sizes,
+               std::span<const uint32_t> inter_sizes) const override;
+  double UpperBound(std::span<const uint32_t> q_sizes,
+                    std::span<const uint32_t> remaining) const override;
+  std::string name() const override;
+
+ private:
+  std::vector<double> w_;
+};
+
+/// Jaccard-style measure with per-level weights:
+///   deg = sum_l w_l * I_l / (|seq^l_a| + |seq^l_b| - I_l).
+class WeightedJaccardMeasure final : public AssociationMeasure {
+ public:
+  explicit WeightedJaccardMeasure(std::vector<double> level_weights);
+
+  double Score(std::span<const uint32_t> q_sizes,
+               std::span<const uint32_t> c_sizes,
+               std::span<const uint32_t> inter_sizes) const override;
+  double UpperBound(std::span<const uint32_t> q_sizes,
+                    std::span<const uint32_t> remaining) const override;
+  std::string name() const override;
+
+ private:
+  std::vector<double> w_;
+};
+
+/// Uniform per-level weights summing to 1 (helper for the weighted measures).
+std::vector<double> UniformLevelWeights(int num_levels);
+
+}  // namespace dtrace
+
+#endif  // DTRACE_CORE_ASSOCIATION_H_

@@ -1,0 +1,78 @@
+#include "core/index.h"
+
+#include <numeric>
+
+#include "hash/exact_hasher.h"
+#include "hash/hierarchical_hasher.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace dtrace {
+
+DigitalTraceIndex::DigitalTraceIndex(std::shared_ptr<TraceStore> store,
+                                     IndexOptions options,
+                                     std::unique_ptr<CellHasher> hasher,
+                                     MinSigTree tree, double build_seconds)
+    : store_(std::move(store)),
+      options_(options),
+      hasher_(std::move(hasher)),
+      sigs_(*store_, *hasher_),
+      tree_(std::move(tree)),
+      build_seconds_(build_seconds) {}
+
+DigitalTraceIndex DigitalTraceIndex::Build(
+    std::shared_ptr<TraceStore> store, IndexOptions options,
+    std::optional<std::vector<EntityId>> entities) {
+  DT_CHECK(store != nullptr);
+  DT_CHECK(options.num_functions > 0);
+  Timer timer;
+  std::unique_ptr<CellHasher> hasher;
+  switch (options.hasher) {
+    case IndexOptions::Hasher::kHierarchical:
+      hasher = std::make_unique<HierarchicalMinHasher>(
+          store->hierarchy(), store->horizon(), options.num_functions,
+          options.seed);
+      break;
+    case IndexOptions::Hasher::kExact:
+      hasher = std::make_unique<ExactMinHasher>(
+          store->hierarchy(), options.num_functions, options.seed);
+      break;
+  }
+  std::vector<EntityId> ids;
+  if (entities.has_value()) {
+    ids = std::move(*entities);
+  } else {
+    ids.resize(store->num_entities());
+    std::iota(ids.begin(), ids.end(), 0);
+  }
+  SignatureComputer sigs(*store, *hasher);
+  MinSigTree tree = MinSigTree::Build(
+      sigs, ids, {.store_full_signatures = options.store_full_signatures});
+  const double secs = timer.ElapsedSeconds();
+  return DigitalTraceIndex(std::move(store), options, std::move(hasher),
+                           std::move(tree), secs);
+}
+
+TopKResult DigitalTraceIndex::Query(EntityId q, int k,
+                                    const AssociationMeasure& measure,
+                                    const QueryOptions& options) const {
+  TopKQueryProcessor proc(tree_, *store_, *hasher_, measure);
+  return proc.Query(q, k, options);
+}
+
+TopKResult DigitalTraceIndex::BruteForce(EntityId q, int k,
+                                         const AssociationMeasure& measure,
+                                         const QueryOptions& options) const {
+  TopKQueryProcessor proc(tree_, *store_, *hasher_, measure);
+  return proc.BruteForce(q, k, options);
+}
+
+void DigitalTraceIndex::InsertEntity(EntityId e) { tree_.Insert(e, sigs_); }
+
+void DigitalTraceIndex::UpdateEntity(EntityId e) { tree_.Update(e, sigs_); }
+
+void DigitalTraceIndex::RemoveEntity(EntityId e) { tree_.Remove(e); }
+
+void DigitalTraceIndex::Refresh() { tree_.RefreshValues(sigs_); }
+
+}  // namespace dtrace

@@ -1,0 +1,99 @@
+#ifndef DTRACE_CORE_INDEX_H_
+#define DTRACE_CORE_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/association.h"
+#include "core/min_sig_tree.h"
+#include "core/query.h"
+#include "core/signature.h"
+#include "hash/cell_hasher.h"
+#include "trace/trace_store.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// Index construction knobs.
+struct IndexOptions {
+  /// Number of hash functions nh (signature width). The paper sweeps
+  /// 200..2000; pruning improves with nh until entities are unique (Sec 7.3).
+  int num_functions = 200;
+  /// Master seed for the hash family.
+  uint64_t seed = 42;
+  /// Store full nh-value group signatures per node (ablation; Sec. 4.2.2
+  /// discusses the storage/pruning trade-off of keeping only the routing
+  /// value, which is the default).
+  bool store_full_signatures = false;
+  /// Hash family: the O(1) structured family (default) or the reference
+  /// independent family (slow on deep hierarchies; for tests/ablation).
+  enum class Hasher { kHierarchical, kExact } hasher = Hasher::kHierarchical;
+};
+
+/// Facade over the whole pipeline — hash family, signatures, MinSigTree and
+/// query processing — and the primary public API of the library:
+///
+///   auto index = DigitalTraceIndex::Build(dataset.store, options);
+///   PolynomialLevelMeasure deg(m);
+///   auto top = index.Query(query_entity, /*k=*/10, deg);
+///
+/// Queries are exact for any AssociationMeasure satisfying the Sec. 3.2
+/// axioms. Incremental maintenance mirrors Sec. 4.2.3.
+class DigitalTraceIndex {
+ public:
+  /// Builds the index over every entity in the store, or over `entities`
+  /// when given (the remainder can be added later via InsertEntity).
+  static DigitalTraceIndex Build(
+      std::shared_ptr<TraceStore> store, IndexOptions options = {},
+      std::optional<std::vector<EntityId>> entities = std::nullopt);
+
+  /// Exact top-k query; `measure` must satisfy the ADM axioms.
+  TopKResult Query(EntityId q, int k, const AssociationMeasure& measure,
+                   const QueryOptions& options = {}) const;
+
+  /// Linear-scan oracle over indexed entities.
+  TopKResult BruteForce(EntityId q, int k, const AssociationMeasure& measure,
+                        const QueryOptions& options = {}) const;
+
+  /// Indexes an entity whose trace is already present in the store.
+  void InsertEntity(EntityId e);
+
+  /// Re-indexes an entity after TraceStore::ReplaceEntity changed its trace.
+  void UpdateEntity(EntityId e);
+
+  /// Removes an entity from the index (its trace stays in the store).
+  void RemoveEntity(EntityId e);
+
+  /// Restores tight node values after a batch of updates/removals.
+  void Refresh();
+
+  const MinSigTree& tree() const { return tree_; }
+  const CellHasher& hasher() const { return *hasher_; }
+  const TraceStore& store() const { return *store_; }
+  TraceStore& mutable_store() { return *store_; }
+  const IndexOptions& options() const { return options_; }
+
+  /// Seconds spent in Build (signature computation + tree construction).
+  double build_seconds() const { return build_seconds_; }
+  /// Index structure size (tree only, as reported in Fig. 7.8(b)).
+  uint64_t IndexMemoryBytes() const { return tree_.MemoryBytes(); }
+  /// Hash-family auxiliary tables.
+  uint64_t HasherMemoryBytes() const { return hasher_->MemoryBytes(); }
+
+ private:
+  DigitalTraceIndex(std::shared_ptr<TraceStore> store, IndexOptions options,
+                    std::unique_ptr<CellHasher> hasher, MinSigTree tree,
+                    double build_seconds);
+
+  std::shared_ptr<TraceStore> store_;
+  IndexOptions options_;
+  std::unique_ptr<CellHasher> hasher_;
+  SignatureComputer sigs_;
+  MinSigTree tree_;
+  double build_seconds_;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_CORE_INDEX_H_

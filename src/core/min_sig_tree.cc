@@ -1,0 +1,234 @@
+#include "core/min_sig_tree.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace dtrace {
+
+namespace {
+
+// Per-routing-index accumulator used during grouping.
+struct Group {
+  std::vector<EntityId> members;
+  uint64_t value = ~uint64_t{0};
+  std::vector<uint64_t> full_sig;
+};
+
+}  // namespace
+
+uint32_t MinSigTree::AddNode(Level level, int routing, uint64_t value,
+                             int32_t parent) {
+  Node n;
+  n.level = level;
+  n.routing = routing;
+  n.value = value;
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  const auto idx = static_cast<uint32_t>(nodes_.size() - 1);
+  nodes_[parent].children.push_back(idx);
+  return idx;
+}
+
+void MinSigTree::NoteLeafMembership(EntityId e, uint32_t leaf) {
+  if (e >= leaf_of_.size()) leaf_of_.resize(e + 1, -1);
+  DT_CHECK_MSG(leaf_of_[e] < 0, "entity already indexed");
+  leaf_of_[e] = static_cast<int32_t>(leaf);
+  ++num_entities_;
+}
+
+MinSigTree MinSigTree::Build(const SignatureComputer& sigs,
+                             std::span<const EntityId> entities,
+                             Options options) {
+  const int m = sigs.store().hierarchy().num_levels();
+  const int nh = sigs.hasher().num_functions();
+  MinSigTree tree(m, nh, options);
+
+  // Frontier of (node index, member entities) pairs, advanced one sp-index
+  // level at a time (Algorithm 1's queue, level-synchronous).
+  std::vector<std::pair<uint32_t, std::vector<EntityId>>> frontier;
+  frontier.emplace_back(tree.root(),
+                        std::vector<EntityId>(entities.begin(), entities.end()));
+
+  std::vector<uint64_t> sig(nh);
+  for (Level level = 1; level <= m; ++level) {
+    std::vector<std::pair<uint32_t, std::vector<EntityId>>> next;
+    for (auto& [node_idx, members] : frontier) {
+      // Group members by routing index; std::map keeps child order
+      // deterministic (ascending routing index).
+      std::map<int, Group> groups;
+      for (EntityId e : members) {
+        sigs.ComputeLevel(e, level, sig);
+        const int r = SignatureComputer::RoutingIndex(sig);
+        Group& g = groups[r];
+        g.members.push_back(e);
+        g.value = std::min(g.value, sig[r]);
+        if (options.store_full_signatures) {
+          if (g.full_sig.empty()) {
+            g.full_sig.assign(sig.begin(), sig.end());
+          } else {
+            for (int u = 0; u < nh; ++u) {
+              g.full_sig[u] = std::min(g.full_sig[u], sig[u]);
+            }
+          }
+        }
+      }
+      for (auto& [r, g] : groups) {
+        const uint32_t child = tree.AddNode(level, r, g.value,
+                                            static_cast<int32_t>(node_idx));
+        if (options.store_full_signatures) {
+          tree.nodes_[child].full_sig = std::move(g.full_sig);
+        }
+        if (level == m) {
+          for (EntityId e : g.members) tree.NoteLeafMembership(e, child);
+          tree.nodes_[child].entities = std::move(g.members);
+        } else {
+          next.emplace_back(child, std::move(g.members));
+        }
+      }
+      members.clear();
+      members.shrink_to_fit();
+    }
+    frontier = std::move(next);
+  }
+  return tree;
+}
+
+void MinSigTree::Insert(EntityId e, const SignatureComputer& sigs) {
+  DT_CHECK_MSG(!Contains(e), "entity already in tree");
+  std::vector<uint64_t> sig(nh_);
+  uint32_t cur = root();
+  for (Level level = 1; level <= m_; ++level) {
+    sigs.ComputeLevel(e, level, sig);
+    const int r = SignatureComputer::RoutingIndex(sig);
+    // Find the child with this routing index, if any.
+    uint32_t child = 0;
+    bool found = false;
+    for (uint32_t c : nodes_[cur].children) {
+      if (nodes_[c].routing == r) {
+        child = c;
+        found = true;
+        break;
+      }
+    }
+    if (found) {
+      Node& cn = nodes_[child];
+      cn.value = std::min(cn.value, sig[r]);
+      if (opts_.store_full_signatures) {
+        for (int u = 0; u < nh_; ++u) {
+          cn.full_sig[u] = std::min(cn.full_sig[u], sig[u]);
+        }
+      }
+    } else {
+      child = AddNode(level, r, sig[r], static_cast<int32_t>(cur));
+      if (opts_.store_full_signatures) {
+        nodes_[child].full_sig.assign(sig.begin(), sig.end());
+      }
+    }
+    cur = child;
+  }
+  nodes_[cur].entities.push_back(e);
+  NoteLeafMembership(e, cur);
+}
+
+void MinSigTree::Remove(EntityId e) {
+  DT_CHECK_MSG(Contains(e), "entity not in tree");
+  Node& leaf = nodes_[static_cast<uint32_t>(leaf_of_[e])];
+  auto it = std::find(leaf.entities.begin(), leaf.entities.end(), e);
+  DT_CHECK(it != leaf.entities.end());
+  leaf.entities.erase(it);
+  leaf_of_[e] = -1;
+  --num_entities_;
+}
+
+void MinSigTree::Update(EntityId e, const SignatureComputer& sigs) {
+  Remove(e);
+  Insert(e, sigs);
+}
+
+void MinSigTree::RefreshValues(const SignatureComputer& sigs) {
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    nodes_[i].value = ~uint64_t{0};
+    if (opts_.store_full_signatures) {
+      nodes_[i].full_sig.assign(nh_, ~uint64_t{0});
+    }
+  }
+  for (size_t i = 0; i < leaf_of_.size(); ++i) {
+    if (leaf_of_[i] < 0) continue;
+    const auto e = static_cast<EntityId>(i);
+    const SignatureList sig = sigs.Compute(e);
+    uint32_t cur = static_cast<uint32_t>(leaf_of_[e]);
+    while (cur != root()) {
+      Node& n = nodes_[cur];
+      const auto level_sig = sig.level(n.level);
+      n.value = std::min(n.value, level_sig[n.routing]);
+      if (opts_.store_full_signatures) {
+        for (int u = 0; u < nh_; ++u) {
+          n.full_sig[u] = std::min(n.full_sig[u], level_sig[u]);
+        }
+      }
+      cur = static_cast<uint32_t>(n.parent);
+    }
+  }
+}
+
+uint64_t MinSigTree::MemoryBytes() const {
+  // Per the paper (Sec. 7.8): each node stores a routing index and the hash
+  // value at that index; leaves additionally point at their entity lists.
+  uint64_t bytes = 0;
+  for (const auto& n : nodes_) {
+    bytes += sizeof(uint32_t) + sizeof(uint64_t) + sizeof(uint32_t);
+    bytes += n.entities.size() * sizeof(EntityId);
+    bytes += n.full_sig.size() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+void MinSigTree::CheckInvariants(const SignatureComputer& sigs) const {
+  // Structure: child/parent links and level increments.
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    DT_CHECK(n.parent >= 0);
+    const Node& p = nodes_[static_cast<size_t>(n.parent)];
+    DT_CHECK(p.level + 1 == n.level);
+    DT_CHECK(std::find(p.children.begin(), p.children.end(), i) !=
+             p.children.end());
+    DT_CHECK(n.routing >= 0 && n.routing < nh_);
+    if (n.level < m_) DT_CHECK(n.entities.empty());
+  }
+  // Sibling routing indexes are unique.
+  for (const auto& n : nodes_) {
+    std::vector<int> rs;
+    for (uint32_t c : n.children) rs.push_back(nodes_[c].routing);
+    std::sort(rs.begin(), rs.end());
+    DT_CHECK(std::adjacent_find(rs.begin(), rs.end()) == rs.end());
+  }
+  // Dominance: every node value is <= each member's signature at the node's
+  // (level, routing) — the exactness invariant.
+  size_t seen = 0;
+  for (size_t i = 0; i < leaf_of_.size(); ++i) {
+    if (leaf_of_[i] < 0) continue;
+    ++seen;
+    const auto e = static_cast<EntityId>(i);
+    const SignatureList sig = sigs.Compute(e);
+    uint32_t cur = static_cast<uint32_t>(leaf_of_[e]);
+    DT_CHECK(nodes_[cur].level == m_);
+    DT_CHECK(std::find(nodes_[cur].entities.begin(),
+                       nodes_[cur].entities.end(),
+                       e) != nodes_[cur].entities.end());
+    while (cur != root()) {
+      const Node& n = nodes_[cur];
+      DT_CHECK(n.value <= sig.level(n.level)[n.routing]);
+      if (!n.full_sig.empty()) {
+        for (int u = 0; u < nh_; ++u) {
+          DT_CHECK(n.full_sig[u] <= sig.level(n.level)[u]);
+        }
+      }
+      cur = static_cast<uint32_t>(n.parent);
+    }
+  }
+  DT_CHECK(seen == num_entities_);
+}
+
+}  // namespace dtrace

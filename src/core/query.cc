@@ -1,0 +1,263 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace dtrace {
+
+namespace {
+
+// Bounded top-k accumulator with deterministic tie-breaking (higher score
+// first, then lower entity id).
+class TopKHeap {
+ public:
+  explicit TopKHeap(int k) : k_(k) {}
+
+  void Offer(EntityId e, double score) {
+    if (static_cast<int>(items_.size()) < k_) {
+      items_.push_back({e, score});
+      std::push_heap(items_.begin(), items_.end(), Worse);
+      return;
+    }
+    if (Better({e, score}, items_.front())) {
+      std::pop_heap(items_.begin(), items_.end(), Worse);
+      items_.back() = {e, score};
+      std::push_heap(items_.begin(), items_.end(), Worse);
+    }
+  }
+
+  bool Full() const { return static_cast<int>(items_.size()) >= k_; }
+  double MinScore() const { return items_.front().score; }
+
+  std::vector<ScoredEntity> Sorted() && {
+    std::sort(items_.begin(), items_.end(), Better);
+    return std::move(items_);
+  }
+
+ private:
+  // Strict "is x better than y" order.
+  static bool Better(const ScoredEntity& x, const ScoredEntity& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.entity < y.entity;
+  }
+  // Min-heap on Better: the root is the worst kept item.
+  static bool Worse(const ScoredEntity& x, const ScoredEntity& y) {
+    return Better(x, y);
+  }
+
+  int k_;
+  std::vector<ScoredEntity> items_;
+};
+
+// The query's unpruned cells per sp-index level, shared (immutably) between
+// a materialized frontier entry and its children until they materialize
+// their own copies.
+struct Remaining {
+  Level base;  // sp-index level of lists[0]
+  std::vector<std::vector<CellId>> lists;
+  std::vector<uint32_t> counts;  // all levels [1..m] (frozen above `base`)
+};
+
+// Frontier entries are *lazily materialized*: a child is pushed carrying its
+// parent's Remaining and the parent's (admissible) bound; only when popped
+// does it filter the query cells through its own (routing, value) and
+// tighten its bound — re-entering the queue if something else now ranks
+// higher. This keeps bounds admissible at all times (a parent's bound
+// dominates the child's true bound by Theorem 3) while skipping filtering
+// work for subtrees the early-termination rule never reaches.
+struct FrontierEntry {
+  double ub;
+  uint32_t node;
+  uint64_t order;  // deterministic tie-break (FIFO among equal bounds)
+  bool materialized;
+  std::shared_ptr<const Remaining> remaining;  // own if materialized
+};
+
+struct EntryLess {
+  bool operator()(const FrontierEntry& a, const FrontierEntry& b) const {
+    if (a.ub != b.ub) return a.ub < b.ub;
+    return a.order > b.order;
+  }
+};
+
+}  // namespace
+
+double QueryStats::pruning_effectiveness(size_t num_entities, int k) const {
+  if (num_entities == 0) return 0.0;
+  const double extra =
+      static_cast<double>(entities_checked) - static_cast<double>(k);
+  return std::max(0.0, extra) / static_cast<double>(num_entities);
+}
+
+TopKQueryProcessor::TopKQueryProcessor(const MinSigTree& tree,
+                                       const TraceStore& store,
+                                       const CellHasher& hasher,
+                                       const AssociationMeasure& measure)
+    : tree_(&tree), store_(&store), hasher_(&hasher), measure_(&measure) {}
+
+TopKResult TopKQueryProcessor::Query(EntityId q, int k,
+                                     const QueryOptions& options) const {
+  DT_CHECK(k >= 1);
+  Timer timer;
+  const int m = store_->hierarchy().num_levels();
+
+  const TimeStep w0 = options.time_window ? options.time_window->begin : 0;
+  const TimeStep w1 =
+      options.time_window ? options.time_window->end : store_->horizon();
+
+  std::vector<uint32_t> q_sizes(m);
+  auto root_remaining = std::make_shared<Remaining>();
+  root_remaining->base = 1;
+  root_remaining->lists.resize(m);
+  root_remaining->counts.resize(m);
+  for (Level l = 1; l <= m; ++l) {
+    const auto cells = store_->CellsInWindow(q, l, w0, w1);
+    root_remaining->lists[l - 1].assign(cells.begin(), cells.end());
+    q_sizes[l - 1] = static_cast<uint32_t>(cells.size());
+    root_remaining->counts[l - 1] = q_sizes[l - 1];
+  }
+
+  TopKResult result;
+  QueryStats& stats = result.stats;
+  TopKHeap heap(k);
+
+  std::priority_queue<FrontierEntry, std::vector<FrontierEntry>, EntryLess>
+      frontier;
+  uint64_t order = 0;
+  frontier.push({measure_->UpperBound(q_sizes, root_remaining->counts),
+                 tree_->root(), order++, /*materialized=*/true,
+                 root_remaining});
+  ++stats.heap_pushes;
+
+  // Filters `parent` through `node`'s (routing, value) — or its full group
+  // signature when stored — producing the node's own Remaining (Theorem 2:
+  // a node at level i prunes a level-l cell c, l >= i, iff some stored
+  // signature position exceeds the cell's hash).
+  std::vector<uint64_t> all_hashes(tree_->num_functions());
+  auto materialize = [&](const MinSigTree::Node& node,
+                         const Remaining& parent) {
+    auto own = std::make_shared<Remaining>();
+    own->base = node.level;
+    own->counts = parent.counts;
+    own->lists.resize(m - node.level + 1);
+    for (Level l = node.level; l <= m; ++l) {
+      const auto& src = parent.lists[l - parent.base];
+      auto& dst = own->lists[l - node.level];
+      dst.reserve(src.size());
+      for (CellId c : src) {
+        bool pruned;
+        if (node.full_sig.empty()) {
+          pruned = hasher_->Hash(node.routing, l, c) < node.value;
+          ++stats.hash_evals;
+        } else {
+          hasher_->HashAll(l, c, all_hashes.data());
+          stats.hash_evals += all_hashes.size();
+          pruned = false;
+          for (int u = 0; u < tree_->num_functions(); ++u) {
+            if (all_hashes[u] < node.full_sig[u]) {
+              pruned = true;
+              break;
+            }
+          }
+        }
+        if (!pruned) dst.push_back(c);
+      }
+      own->counts[l - 1] = static_cast<uint32_t>(dst.size());
+    }
+    return own;
+  };
+
+  std::vector<uint32_t> c_sizes(m), inter(m);
+  const double slack = 1.0 + options.approximation_epsilon;
+  while (!frontier.empty()) {
+    FrontierEntry entry =
+        std::move(const_cast<FrontierEntry&>(frontier.top()));
+    frontier.pop();
+    // Early termination (Sec. 5.1): the k-th best exact score dominates
+    // every remaining upper bound (scaled by the approximation slack).
+    if (heap.Full() && heap.MinScore() * slack >= entry.ub) break;
+
+    const MinSigTree::Node& node = tree_->node(entry.node);
+    if (!entry.materialized) {
+      entry.remaining = materialize(node, *entry.remaining);
+      entry.materialized = true;
+      const double ub = std::min(
+          entry.ub, measure_->UpperBound(q_sizes, entry.remaining->counts));
+      entry.ub = ub;
+      // If the tightened bound no longer leads, yield the pop.
+      if (!frontier.empty() && frontier.top().ub > ub) {
+        entry.order = order++;
+        frontier.push(std::move(entry));
+        ++stats.heap_pushes;
+        continue;
+      }
+      if (heap.Full() && heap.MinScore() * slack >= ub) break;
+    }
+    ++stats.nodes_visited;
+
+    if (node.level == tree_->num_levels()) {
+      // Leaf: exact evaluation of every member (Lines 10-14).
+      for (EntityId e : node.entities) {
+        if (e == q) continue;
+        if (options.access_hook) options.access_hook(e);
+        for (Level l = 1; l <= m; ++l) {
+          c_sizes[l - 1] =
+              static_cast<uint32_t>(store_->CellsInWindow(e, l, w0, w1).size());
+          inter[l - 1] = store_->WindowedIntersectionSize(q, e, l, w0, w1);
+        }
+        heap.Offer(e, measure_->Score(q_sizes, c_sizes, inter));
+        ++stats.entities_checked;
+      }
+      continue;
+    }
+
+    // Inner node: push children lazily with the parent's bound (Lines 7-8).
+    for (uint32_t child_idx : node.children) {
+      frontier.push({entry.ub, child_idx, order++, /*materialized=*/false,
+                     entry.remaining});
+      ++stats.heap_pushes;
+    }
+  }
+
+  result.items = std::move(heap).Sorted();
+  stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+TopKResult TopKQueryProcessor::BruteForce(EntityId q, int k,
+                                          const QueryOptions& options) const {
+  DT_CHECK(k >= 1);
+  Timer timer;
+  const int m = store_->hierarchy().num_levels();
+  const TimeStep w0 = options.time_window ? options.time_window->begin : 0;
+  const TimeStep w1 =
+      options.time_window ? options.time_window->end : store_->horizon();
+  std::vector<uint32_t> q_sizes(m), c_sizes(m), inter(m);
+  for (Level l = 1; l <= m; ++l) {
+    q_sizes[l - 1] =
+        static_cast<uint32_t>(store_->CellsInWindow(q, l, w0, w1).size());
+  }
+
+  TopKResult result;
+  TopKHeap heap(k);
+  for (EntityId e = 0; e < store_->num_entities(); ++e) {
+    if (e == q || !tree_->Contains(e)) continue;
+    if (options.access_hook) options.access_hook(e);
+    for (Level l = 1; l <= m; ++l) {
+      c_sizes[l - 1] =
+          static_cast<uint32_t>(store_->CellsInWindow(e, l, w0, w1).size());
+      inter[l - 1] = store_->WindowedIntersectionSize(q, e, l, w0, w1);
+    }
+    heap.Offer(e, measure_->Score(q_sizes, c_sizes, inter));
+    ++result.stats.entities_checked;
+  }
+  result.items = std::move(heap).Sorted();
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace dtrace

@@ -1,0 +1,92 @@
+#ifndef DTRACE_CORE_QUERY_H_
+#define DTRACE_CORE_QUERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/association.h"
+#include "core/min_sig_tree.h"
+#include "hash/cell_hasher.h"
+#include "trace/trace_store.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// Per-query instrumentation. `pruning_effectiveness` follows Definition 5:
+/// PE = (|E'| - k) / |E| where |E'| is the number of entities whose exact
+/// association degree was computed — lower is better.
+struct QueryStats {
+  uint64_t nodes_visited = 0;     // frontier pops
+  uint64_t entities_checked = 0;  // exact deg evaluations
+  uint64_t heap_pushes = 0;
+  uint64_t hash_evals = 0;  // cell-hash evaluations during filtering
+  double elapsed_seconds = 0.0;
+
+  double pruning_effectiveness(size_t num_entities, int k) const;
+};
+
+struct ScoredEntity {
+  EntityId entity;
+  double score;
+};
+
+struct TopKResult {
+  /// Sorted by descending score; ties by ascending entity id.
+  std::vector<ScoredEntity> items;
+  QueryStats stats;
+};
+
+/// Restricts a query to presence within [begin, end) time steps — the
+/// paper's investigation use case (association before/after an event).
+struct TimeWindow {
+  TimeStep begin;
+  TimeStep end;  // exclusive
+};
+
+/// Hooks for instrumenting a query (e.g. routing candidate-trace reads
+/// through the paged storage substrate in the memory-size experiment).
+struct QueryOptions {
+  /// Invoked once per candidate entity right before its exact evaluation.
+  std::function<void(EntityId)> access_hook;
+  /// When set, association degrees are computed over ST-cells inside the
+  /// window only, for both the query and every candidate. Pruning stays
+  /// exact: a node's pruned cells are absent from the candidates'
+  /// *unrestricted* traces, hence also from the windowed ones.
+  std::optional<TimeWindow> time_window;
+  /// Approximation slack (the paper's future-work item 1): the search stops
+  /// once the k-th best score is within a (1 + epsilon) factor of every
+  /// remaining upper bound, trading a bounded score error for earlier
+  /// termination. 0 (default) keeps queries exact. Every returned score is
+  /// still the candidate's exact degree; only ranks can be off, and any
+  /// missed entity's degree is < (1 + epsilon) * returned k-th score.
+  double approximation_epsilon = 0.0;
+};
+
+/// Algorithm 2: exact top-k search over a MinSigTree with best-first
+/// expansion, per-node upper bounds from partial pruned sets, and early
+/// termination. See DESIGN.md Sec. 3.2 for the bound derivation.
+class TopKQueryProcessor {
+ public:
+  TopKQueryProcessor(const MinSigTree& tree, const TraceStore& store,
+                     const CellHasher& hasher,
+                     const AssociationMeasure& measure);
+
+  /// Exact top-k associated entities to `q` among indexed entities.
+  TopKResult Query(EntityId q, int k, const QueryOptions& options = {}) const;
+
+  /// Oracle: evaluates every indexed entity (the brute-force comparator).
+  TopKResult BruteForce(EntityId q, int k,
+                        const QueryOptions& options = {}) const;
+
+ private:
+  const MinSigTree* tree_;
+  const TraceStore* store_;
+  const CellHasher* hasher_;
+  const AssociationMeasure* measure_;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_CORE_QUERY_H_

@@ -1,0 +1,34 @@
+#include "core/signature.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dtrace {
+
+void SignatureComputer::ComputeLevel(EntityId e, Level level,
+                                     std::span<uint64_t> out) const {
+  const int nh = hasher_->num_functions();
+  DT_CHECK(static_cast<int>(out.size()) == nh);
+  std::fill(out.begin(), out.end(), ~uint64_t{0});
+  std::vector<uint64_t> scratch(nh);
+  for (CellId c : store_->cells(e, level)) {
+    hasher_->HashAll(level, c, scratch.data());
+    for (int u = 0; u < nh; ++u) out[u] = std::min(out[u], scratch[u]);
+  }
+}
+
+SignatureList SignatureComputer::Compute(EntityId e) const {
+  const int m = store_->hierarchy().num_levels();
+  SignatureList sig(m, hasher_->num_functions());
+  for (Level l = 1; l <= m; ++l) ComputeLevel(e, l, sig.level(l));
+  return sig;
+}
+
+int SignatureComputer::RoutingIndex(std::span<const uint64_t> sig) {
+  DT_CHECK(!sig.empty());
+  return static_cast<int>(std::max_element(sig.begin(), sig.end()) -
+                          sig.begin());
+}
+
+}  // namespace dtrace

@@ -1,0 +1,68 @@
+#ifndef DTRACE_CORE_SIGNATURE_H_
+#define DTRACE_CORE_SIGNATURE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hash/cell_hasher.h"
+#include "trace/trace_store.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// The per-entity list of per-level signatures (Sec. 4.2.1): m levels of nh
+/// hash values each; sig^l[u] = min over cells s in seq^l of h_u(s). Entities
+/// with an empty seq^l get all-max values at that level (they cannot be
+/// associated with anyone there).
+class SignatureList {
+ public:
+  SignatureList(int num_levels, int num_functions)
+      : nh_(num_functions),
+        values_(static_cast<size_t>(num_levels) * num_functions,
+                ~uint64_t{0}) {}
+
+  int num_levels() const { return static_cast<int>(values_.size()) / nh_; }
+  int num_functions() const { return nh_; }
+
+  std::span<uint64_t> level(Level l) {
+    return {values_.data() + static_cast<size_t>(l - 1) * nh_,
+            static_cast<size_t>(nh_)};
+  }
+  std::span<const uint64_t> level(Level l) const {
+    return {values_.data() + static_cast<size_t>(l - 1) * nh_,
+            static_cast<size_t>(nh_)};
+  }
+
+ private:
+  int nh_;
+  std::vector<uint64_t> values_;
+};
+
+/// Computes signatures from a TraceStore through a CellHasher.
+class SignatureComputer {
+ public:
+  SignatureComputer(const TraceStore& store, const CellHasher& hasher)
+      : store_(&store), hasher_(&hasher) {}
+
+  /// Fills `out` (nh values) with sig^level_e.
+  void ComputeLevel(EntityId e, Level level, std::span<uint64_t> out) const;
+
+  /// Full per-level signature list for one entity.
+  SignatureList Compute(EntityId e) const;
+
+  /// Position of the maximal value (the routing index, Sec. 4.2.2); ties
+  /// resolve to the first maximum.
+  static int RoutingIndex(std::span<const uint64_t> sig);
+
+  const TraceStore& store() const { return *store_; }
+  const CellHasher& hasher() const { return *hasher_; }
+
+ private:
+  const TraceStore* store_;
+  const CellHasher* hasher_;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_CORE_SIGNATURE_H_

@@ -1,0 +1,66 @@
+#include "exp/harness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dtrace {
+
+std::vector<EntityId> SampleQueries(const TraceStore& store, size_t count,
+                                    uint64_t seed, uint32_t min_cells) {
+  const int m = store.hierarchy().num_levels();
+  std::vector<EntityId> eligible;
+  for (EntityId e = 0; e < store.num_entities(); ++e) {
+    if (store.cell_count(e, m) >= min_cells) eligible.push_back(e);
+  }
+  DT_CHECK_MSG(!eligible.empty(), "no eligible query entities");
+  Rng rng(seed);
+  std::vector<EntityId> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(eligible[rng.NextBelow(eligible.size())]);
+  }
+  return out;
+}
+
+PeMeasurement MeasurePe(const DigitalTraceIndex& index,
+                        const AssociationMeasure& measure,
+                        std::span<const EntityId> queries, int k) {
+  PeMeasurement agg;
+  for (EntityId q : queries) {
+    const TopKResult r = index.Query(q, k, measure);
+    agg.mean_pe += r.stats.pruning_effectiveness(index.tree().num_entities(), k);
+    agg.mean_entities_checked += static_cast<double>(r.stats.entities_checked);
+    agg.mean_nodes_visited += static_cast<double>(r.stats.nodes_visited);
+    agg.mean_query_seconds += r.stats.elapsed_seconds;
+    ++agg.num_queries;
+  }
+  if (agg.num_queries > 0) {
+    const auto n = static_cast<double>(agg.num_queries);
+    agg.mean_pe /= n;
+    agg.mean_entities_checked /= n;
+    agg.mean_nodes_visited /= n;
+    agg.mean_query_seconds /= n;
+  }
+  return agg;
+}
+
+bool VerifyExactness(const DigitalTraceIndex& index,
+                     const AssociationMeasure& measure,
+                     std::span<const EntityId> queries, int k) {
+  for (EntityId q : queries) {
+    const TopKResult fast = index.Query(q, k, measure);
+    const TopKResult slow = index.BruteForce(q, k, measure);
+    if (fast.items.size() != slow.items.size()) return false;
+    for (size_t i = 0; i < fast.items.size(); ++i) {
+      if (std::abs(fast.items[i].score - slow.items[i].score) > 1e-12) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dtrace

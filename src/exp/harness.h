@@ -1,0 +1,44 @@
+#ifndef DTRACE_EXP_HARNESS_H_
+#define DTRACE_EXP_HARNESS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/association.h"
+#include "core/index.h"
+#include "trace/dataset.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// Aggregated measurements over a batch of queries.
+struct PeMeasurement {
+  double mean_pe = 0.0;            ///< Definition 5, averaged
+  double mean_entities_checked = 0.0;
+  double mean_nodes_visited = 0.0;
+  double mean_query_seconds = 0.0;
+  size_t num_queries = 0;
+};
+
+/// Samples `count` query entities with at least `min_cells` base-level
+/// cells (deterministic given `seed`), mirroring the paper's averaging of
+/// PE over multiple query entities.
+std::vector<EntityId> SampleQueries(const TraceStore& store, size_t count,
+                                    uint64_t seed, uint32_t min_cells = 5);
+
+/// Runs top-k queries through the index and aggregates PE/time.
+PeMeasurement MeasurePe(const DigitalTraceIndex& index,
+                        const AssociationMeasure& measure,
+                        std::span<const EntityId> queries, int k);
+
+/// Returns true iff the index's answers match brute force on every query —
+/// same score multiset (ties may permute entity ids). Used by integration
+/// tests and by benches' self-checks.
+bool VerifyExactness(const DigitalTraceIndex& index,
+                     const AssociationMeasure& measure,
+                     std::span<const EntityId> queries, int k);
+
+}  // namespace dtrace
+
+#endif  // DTRACE_EXP_HARNESS_H_

@@ -1,0 +1,29 @@
+#ifndef DTRACE_EXP_PRESETS_H_
+#define DTRACE_EXP_PRESETS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mobility/synthetic.h"
+#include "trace/dataset.h"
+
+namespace dtrace {
+
+/// Laptop-scale stand-ins for the paper's two datasets (Sec. 7.1). The
+/// paper runs 100M entities / 250K locations (SYN) and 30M devices / 76,739
+/// hotspots (REAL); we keep every structural parameter (m = 4, a = b = 2,
+/// normal-mobility IM parameters, 30-day hourly horizon) and scale counts so
+/// each bench finishes in seconds. PE is analytically independent of |E| and
+/// C (Sec. 6.4), which bench_scalability verifies empirically.
+SynConfig PresetSyn(uint32_t num_entities = 4000, uint64_t seed = 1);
+
+/// The REAL-data substitute (WiFi hotspot handshakes; DESIGN.md Sec. 4).
+WifiConfig PresetReal(uint32_t num_entities = 4000, uint64_t seed = 2);
+
+/// Generates the preset datasets.
+Dataset MakeSynDataset(uint32_t num_entities = 4000, uint64_t seed = 1);
+Dataset MakeRealDataset(uint32_t num_entities = 4000, uint64_t seed = 2);
+
+}  // namespace dtrace
+
+#endif  // DTRACE_EXP_PRESETS_H_

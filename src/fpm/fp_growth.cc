@@ -1,0 +1,181 @@
+#include "fpm/fp_growth.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace dtrace {
+
+namespace {
+
+// FP-tree over dense item ids. Children are kept in a per-node map from item
+// to node index; header lists link all nodes of one item.
+class FpTree {
+ public:
+  explicit FpTree(uint32_t num_items)
+      : header_(num_items, kNil), item_count_(num_items, 0) {
+    nodes_.push_back(Node{});  // root
+  }
+
+  // `txn` must be sorted in the global frequency order.
+  void Insert(const std::vector<uint32_t>& txn, uint32_t count) {
+    uint32_t cur = 0;
+    for (uint32_t item : txn) {
+      auto it = nodes_[cur].children.find(item);
+      uint32_t child;
+      if (it == nodes_[cur].children.end()) {
+        child = static_cast<uint32_t>(nodes_.size());
+        Node n;
+        n.item = item;
+        n.parent = cur;
+        n.next = header_[item];
+        nodes_.push_back(std::move(n));
+        header_[item] = child;
+        nodes_[cur].children.emplace(item, child);
+      } else {
+        child = it->second;
+      }
+      nodes_[child].count += count;
+      item_count_[item] += count;
+      cur = child;
+    }
+  }
+
+  uint32_t item_support(uint32_t item) const { return item_count_[item]; }
+  uint32_t num_items() const { return static_cast<uint32_t>(header_.size()); }
+
+  // Conditional pattern base of `item`: (prefix path, count) pairs.
+  std::vector<std::pair<std::vector<uint32_t>, uint32_t>> PatternBase(
+      uint32_t item) const {
+    std::vector<std::pair<std::vector<uint32_t>, uint32_t>> base;
+    for (uint32_t n = header_[item]; n != kNil; n = nodes_[n].next) {
+      std::vector<uint32_t> path;
+      for (uint32_t p = nodes_[n].parent; p != 0; p = nodes_[p].parent) {
+        path.push_back(nodes_[p].item);
+      }
+      std::reverse(path.begin(), path.end());
+      if (!path.empty() || true) base.emplace_back(std::move(path),
+                                                   nodes_[n].count);
+    }
+    return base;
+  }
+
+ private:
+  static constexpr uint32_t kNil = static_cast<uint32_t>(-1);
+  struct Node {
+    uint32_t item = 0;
+    uint32_t count = 0;
+    uint32_t parent = 0;
+    uint32_t next = kNil;
+    std::map<uint32_t, uint32_t> children;
+  };
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> header_;      // item -> first node
+  std::vector<uint32_t> item_count_;  // total support per item in this tree
+};
+
+struct Miner {
+  uint32_t min_support;
+  uint32_t max_size;
+  const std::vector<uint32_t>* dense_to_item;
+  std::vector<FrequentItemset>* out;
+
+  // `suffix` holds dense ids (in reverse mining order).
+  void MineTree(const FpTree& tree, std::vector<uint32_t>* suffix) {
+    if (max_size != 0 && suffix->size() >= max_size) return;
+    // Iterate items in ascending dense id (dense ids are assigned in
+    // descending global frequency, so this walks least-frequent first, the
+    // standard FP-growth order — any order is correct).
+    for (uint32_t item = tree.num_items(); item-- > 0;) {
+      const uint32_t support = tree.item_support(item);
+      if (support < min_support) continue;
+      suffix->push_back(item);
+      // Emit {suffix} as a frequent itemset (translated to original ids).
+      FrequentItemset fs;
+      fs.support = support;
+      fs.items.reserve(suffix->size());
+      for (uint32_t d : *suffix) fs.items.push_back((*dense_to_item)[d]);
+      std::sort(fs.items.begin(), fs.items.end());
+      out->push_back(std::move(fs));
+
+      if (max_size == 0 || suffix->size() < max_size) {
+        // Build the conditional tree for this item.
+        FpTree cond(item);  // only items with dense id < `item` can appear
+        bool any = false;
+        for (auto& [path, count] : tree.PatternBase(item)) {
+          // Paths contain only smaller dense ids already (frequency order).
+          if (!path.empty()) any = true;
+          cond.Insert(path, count);
+        }
+        if (any) MineTree(cond, suffix);
+      }
+      suffix->pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+FpGrowth::FpGrowth(uint32_t min_support, uint32_t max_itemset_size)
+    : min_support_(min_support), max_size_(max_itemset_size) {
+  DT_CHECK(min_support >= 1);
+}
+
+std::vector<FrequentItemset> FpGrowth::Mine(
+    const std::vector<std::vector<uint32_t>>& transactions) const {
+  // Scan 1: item supports.
+  std::unordered_map<uint32_t, uint32_t> support;
+  for (const auto& txn : transactions) {
+    // Transactions are sets; tolerate duplicates by deduping a copy.
+    std::vector<uint32_t> t(txn);
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+    for (uint32_t item : t) ++support[item];
+  }
+  // Dense ids in descending support (ties by ascending item id) over
+  // frequent items only.
+  std::vector<std::pair<uint32_t, uint32_t>> freq;  // (item, support)
+  for (const auto& [item, s] : support) {
+    if (s >= min_support_) freq.emplace_back(item, s);
+  }
+  std::sort(freq.begin(), freq.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  std::unordered_map<uint32_t, uint32_t> item_to_dense;
+  std::vector<uint32_t> dense_to_item(freq.size());
+  for (uint32_t d = 0; d < freq.size(); ++d) {
+    item_to_dense[freq[d].first] = d;
+    dense_to_item[d] = freq[d].first;
+  }
+
+  // Scan 2: build the global tree from filtered, frequency-ordered txns.
+  FpTree tree(static_cast<uint32_t>(freq.size()));
+  for (const auto& txn : transactions) {
+    std::vector<uint32_t> t;
+    t.reserve(txn.size());
+    for (uint32_t item : txn) {
+      auto it = item_to_dense.find(item);
+      if (it != item_to_dense.end()) t.push_back(it->second);
+    }
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+    if (!t.empty()) tree.Insert(t, 1);
+  }
+
+  std::vector<FrequentItemset> out;
+  std::vector<uint32_t> suffix;
+  Miner miner{min_support_, max_size_, &dense_to_item, &out};
+  miner.MineTree(tree, &suffix);
+  std::sort(out.begin(), out.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return out;
+}
+
+}  // namespace dtrace

@@ -1,0 +1,42 @@
+#ifndef DTRACE_FPM_FP_GROWTH_H_
+#define DTRACE_FPM_FP_GROWTH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dtrace {
+
+/// A frequent itemset: sorted item ids plus their joint support.
+struct FrequentItemset {
+  std::vector<uint32_t> items;
+  uint32_t support = 0;
+
+  friend bool operator==(const FrequentItemset&,
+                         const FrequentItemset&) = default;
+};
+
+/// FP-growth frequent itemset miner (Han et al.), the frequent-pattern
+/// substrate the paper's baseline (Sec. 7.2) builds on: ST-cell sets are
+/// transactions, ST-cells are items, and frequently co-occurring cells seed
+/// the locality clusters. Classic two-scan construction: first scan counts
+/// item supports, second scan inserts frequency-ordered filtered
+/// transactions into the FP-tree; mining recurses over conditional trees.
+class FpGrowth {
+ public:
+  /// `min_support`: absolute minimum transaction count. `max_itemset_size`:
+  /// 0 = unbounded; the baseline mines pairs (2).
+  explicit FpGrowth(uint32_t min_support, uint32_t max_itemset_size = 0);
+
+  /// Mines all frequent itemsets (size >= 1) from `transactions`. Item ids
+  /// are arbitrary uint32 values. Result order is deterministic.
+  std::vector<FrequentItemset> Mine(
+      const std::vector<std::vector<uint32_t>>& transactions) const;
+
+ private:
+  uint32_t min_support_;
+  uint32_t max_size_;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_FPM_FP_GROWTH_H_

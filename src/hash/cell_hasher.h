@@ -1,0 +1,39 @@
+#ifndef DTRACE_HASH_CELL_HASHER_H_
+#define DTRACE_HASH_CELL_HASHER_H_
+
+#include <cstdint>
+
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// A family of nh hash functions over ST-cells satisfying the paper's parent
+/// constraint (Sec. 4.2.1): for cells s = t·l_x and s' = t·l_y with
+/// l_x = parent(l_y), h_u(s) <= h_u(s') — concretely, h_u(t, l_x) equals the
+/// minimum of h_u over the cells of l_x's children at the same time step.
+/// This constraint is what makes signatures at different levels comparable
+/// (Theorem 1) and pruning exact (Theorem 2); every implementation here
+/// guarantees it, and `hash_test.cc` property-checks it.
+///
+/// `HashAll` is the hot path (one virtual call per cell, the nh-loop runs
+/// inside the implementation).
+class CellHasher {
+ public:
+  virtual ~CellHasher() = default;
+
+  /// Number of hash functions nh.
+  virtual int num_functions() const = 0;
+
+  /// h_u of the level-`level` cell `cell` (encoding per TraceStore).
+  virtual uint64_t Hash(int u, Level level, CellId cell) const = 0;
+
+  /// out[u] = h_u(cell) for u in [0, nh).
+  virtual void HashAll(Level level, CellId cell, uint64_t* out) const = 0;
+
+  /// Approximate in-memory footprint (reported by the indexing-cost bench).
+  virtual uint64_t MemoryBytes() const = 0;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_HASH_CELL_HASHER_H_

@@ -1,0 +1,100 @@
+#include "hash/exact_hasher.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dtrace {
+
+DescendantBases DescendantBases::Compute(const SpatialHierarchy& hierarchy) {
+  const int m = hierarchy.num_levels();
+  DescendantBases d;
+  d.levels.resize(m);
+  // Base level: identity.
+  {
+    const uint32_t n = hierarchy.num_base_units();
+    auto& ll = d.levels[m - 1];
+    ll.offsets.resize(n + 1);
+    ll.bases.resize(n);
+    for (uint32_t u = 0; u < n; ++u) {
+      ll.offsets[u] = u;
+      ll.bases[u] = u;
+    }
+    ll.offsets[n] = n;
+  }
+  // Upper levels: concatenate children's descendant lists.
+  for (Level level = m - 1; level >= 1; --level) {
+    const uint32_t n = hierarchy.units_at(level);
+    const auto& below = d.levels[level];
+    auto& ll = d.levels[level - 1];
+    ll.offsets.assign(n + 1, 0);
+    for (uint32_t unit = 0; unit < n; ++unit) {
+      uint32_t count = 0;
+      for (UnitId c : hierarchy.children(level, unit)) {
+        count += below.offsets[c + 1] - below.offsets[c];
+      }
+      ll.offsets[unit + 1] = ll.offsets[unit] + count;
+    }
+    ll.bases.resize(ll.offsets[n]);
+    for (uint32_t unit = 0; unit < n; ++unit) {
+      uint32_t pos = ll.offsets[unit];
+      for (UnitId c : hierarchy.children(level, unit)) {
+        for (uint32_t i = below.offsets[c]; i < below.offsets[c + 1]; ++i) {
+          ll.bases[pos++] = below.bases[i];
+        }
+      }
+    }
+  }
+  return d;
+}
+
+ExactMinHasher::ExactMinHasher(const SpatialHierarchy& hierarchy,
+                               int num_functions, uint64_t seed)
+    : hierarchy_(&hierarchy),
+      nh_(num_functions),
+      desc_(DescendantBases::Compute(hierarchy)) {
+  DT_CHECK(nh_ > 0);
+  fn_seed_.resize(nh_);
+  for (int u = 0; u < nh_; ++u) fn_seed_[u] = Mix64(seed, 0xe8ac7ull + u);
+}
+
+uint64_t ExactMinHasher::BaseHash(int u, TimeStep t, UnitId base) const {
+  const uint64_t cell =
+      static_cast<uint64_t>(t) * hierarchy_->num_base_units() + base;
+  return Mix64(fn_seed_[u], cell);
+}
+
+uint64_t ExactMinHasher::Hash(int u, Level level, CellId cell) const {
+  const uint32_t units = hierarchy_->units_at(level);
+  const TimeStep t = cell / units;
+  const UnitId unit = cell % units;
+  auto [it, end] = desc_.Of(level, unit);
+  uint64_t best = ~uint64_t{0};
+  for (; it != end; ++it) best = std::min(best, BaseHash(u, t, *it));
+  return best;
+}
+
+void ExactMinHasher::HashAll(Level level, CellId cell, uint64_t* out) const {
+  const uint32_t units = hierarchy_->units_at(level);
+  const TimeStep t = cell / units;
+  const UnitId unit = cell % units;
+  auto [begin, end] = desc_.Of(level, unit);
+  std::fill(out, out + nh_, ~uint64_t{0});
+  for (auto it = begin; it != end; ++it) {
+    for (int u = 0; u < nh_; ++u) {
+      out[u] = std::min(out[u], BaseHash(u, t, *it));
+    }
+  }
+}
+
+uint64_t ExactMinHasher::MemoryBytes() const {
+  uint64_t bytes = fn_seed_.size() * sizeof(uint64_t);
+  for (const auto& ll : desc_.levels) {
+    bytes += ll.offsets.size() * sizeof(uint32_t) +
+             ll.bases.size() * sizeof(UnitId);
+  }
+  return bytes;
+}
+
+}  // namespace dtrace

@@ -1,0 +1,60 @@
+#ifndef DTRACE_HASH_EXACT_HASHER_H_
+#define DTRACE_HASH_EXACT_HASHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/cell_hasher.h"
+#include "trace/spatial_hierarchy.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// Precomputed CSR lists of descendant base units per (level, unit); shared
+/// by the hashers that define upper-level values as true minima over
+/// descendant base cells. descendant_bases[level-1] holds offsets/ids for
+/// that level; at the base level each unit maps to itself.
+struct DescendantBases {
+  struct LevelLists {
+    std::vector<uint32_t> offsets;  // [units_at(level)+1]
+    std::vector<UnitId> bases;      // flat
+  };
+  std::vector<LevelLists> levels;
+
+  static DescendantBases Compute(const SpatialHierarchy& hierarchy);
+
+  std::pair<const UnitId*, const UnitId*> Of(Level level, UnitId unit) const {
+    const auto& ll = levels[level - 1];
+    return {ll.bases.data() + ll.offsets[unit],
+            ll.bases.data() + ll.offsets[unit + 1]};
+  }
+};
+
+/// Reference hash family with fully independent base-cell hashes:
+/// h_u(base cell) = Mix64(seed_u, cell); upper-level values are materialized
+/// minima over the unit's descendant base cells at the same time step. This
+/// is the "ideal MinHash" the paper's analysis assumes. Evaluation of an
+/// upper-level cell costs O(#descendant bases), so this implementation is
+/// intended for tests and the hash-family ablation bench, not large runs.
+class ExactMinHasher final : public CellHasher {
+ public:
+  ExactMinHasher(const SpatialHierarchy& hierarchy, int num_functions,
+                 uint64_t seed);
+
+  int num_functions() const override { return nh_; }
+  uint64_t Hash(int u, Level level, CellId cell) const override;
+  void HashAll(Level level, CellId cell, uint64_t* out) const override;
+  uint64_t MemoryBytes() const override;
+
+ private:
+  uint64_t BaseHash(int u, TimeStep t, UnitId base) const;
+
+  const SpatialHierarchy* hierarchy_;
+  int nh_;
+  std::vector<uint64_t> fn_seed_;
+  DescendantBases desc_;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_HASH_EXACT_HASHER_H_

@@ -1,0 +1,90 @@
+#include "hash/hierarchical_hasher.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dtrace {
+
+HierarchicalMinHasher::HierarchicalMinHasher(const SpatialHierarchy& hierarchy,
+                                             TimeStep horizon,
+                                             int num_functions, uint64_t seed)
+    : hierarchy_(&hierarchy), horizon_(horizon), nh_(num_functions) {
+  DT_CHECK(nh_ > 0);
+  DT_CHECK(horizon_ > 0);
+  const int m = hierarchy.num_levels();
+
+  // Per-function seeds derived from the master seed.
+  std::vector<uint64_t> fn_seed(nh_);
+  for (int u = 0; u < nh_; ++u) fn_seed[u] = Mix64(seed, 0x7177u + u);
+
+  time_mix_.resize(static_cast<size_t>(horizon_) * nh_);
+  for (TimeStep t = 0; t < horizon_; ++t) {
+    for (int u = 0; u < nh_; ++u) {
+      time_mix_[static_cast<size_t>(t) * nh_ + u] =
+          static_cast<uint32_t>(Mix64(fn_seed[u] ^ 0x71e3a11ull, t) >> 32);
+    }
+  }
+
+  min_g_.resize(m);
+  // Base level: independent 32-bit values per (unit, function).
+  {
+    const uint32_t n = hierarchy.num_base_units();
+    auto& g = min_g_[m - 1];
+    g.resize(static_cast<size_t>(n) * nh_);
+    for (uint32_t unit = 0; unit < n; ++unit) {
+      for (int u = 0; u < nh_; ++u) {
+        g[static_cast<size_t>(unit) * nh_ + u] =
+            static_cast<uint32_t>(Mix64(fn_seed[u], unit));
+      }
+    }
+  }
+  // Upper levels: elementwise min over children (bottom-up).
+  for (Level level = m - 1; level >= 1; --level) {
+    const uint32_t n = hierarchy.units_at(level);
+    auto& g = min_g_[level - 1];
+    const auto& below = min_g_[level];
+    g.assign(static_cast<size_t>(n) * nh_, 0xffffffffu);
+    for (uint32_t unit = 0; unit < n; ++unit) {
+      for (UnitId c : hierarchy.children(level, unit)) {
+        const uint32_t* src = below.data() + static_cast<size_t>(c) * nh_;
+        uint32_t* dst = g.data() + static_cast<size_t>(unit) * nh_;
+        for (int u = 0; u < nh_; ++u) dst[u] = std::min(dst[u], src[u]);
+      }
+    }
+  }
+}
+
+uint64_t HierarchicalMinHasher::Hash(int u, Level level, CellId cell) const {
+  DT_DCHECK(u >= 0 && u < nh_);
+  const uint32_t units = hierarchy_->units_at(level);
+  const TimeStep t = cell / units;
+  const UnitId unit = cell % units;
+  DT_DCHECK(t < horizon_);
+  const uint64_t tm = time_mix_[static_cast<size_t>(t) * nh_ + u];
+  const uint64_t g = min_g_[level - 1][static_cast<size_t>(unit) * nh_ + u];
+  return tm + g;
+}
+
+void HierarchicalMinHasher::HashAll(Level level, CellId cell,
+                                    uint64_t* out) const {
+  const uint32_t units = hierarchy_->units_at(level);
+  const TimeStep t = cell / units;
+  const UnitId unit = cell % units;
+  DT_DCHECK(t < horizon_);
+  const uint32_t* tm = time_mix_.data() + static_cast<size_t>(t) * nh_;
+  const uint32_t* g =
+      min_g_[level - 1].data() + static_cast<size_t>(unit) * nh_;
+  for (int u = 0; u < nh_; ++u) {
+    out[u] = static_cast<uint64_t>(tm[u]) + g[u];
+  }
+}
+
+uint64_t HierarchicalMinHasher::MemoryBytes() const {
+  uint64_t bytes = time_mix_.size() * sizeof(uint32_t);
+  for (const auto& g : min_g_) bytes += g.size() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace dtrace

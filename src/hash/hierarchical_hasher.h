@@ -1,0 +1,57 @@
+#ifndef DTRACE_HASH_HIERARCHICAL_HASHER_H_
+#define DTRACE_HASH_HIERARCHICAL_HASHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/cell_hasher.h"
+#include "trace/spatial_hierarchy.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// Default production hash family (DESIGN.md Sec. 3.1):
+///
+///   h_u(t, unit) = TimeMix_u(t) + MinG_u(unit)
+///
+/// where `g_u(base)` is a 32-bit mix of the base unit, `MinG_u(unit)` is the
+/// precomputed minimum of g_u over the unit's descendant base units, and
+/// TimeMix_u(t) is a 32-bit mix of the time step (both memoized; the sum is
+/// 64-bit, so it never wraps). For a fixed time step the sum is strictly
+/// increasing in g, so the parent constraint
+/// h_u(t, parent) = min over children of h_u(t, child) holds *exactly*, at
+/// O(1) per evaluation and O(total_units * nh) precomputation.
+///
+/// Why a sum and not a concatenation: with time in dominant bits, entities
+/// whose traces span most time steps would all take their minimum at the
+/// globally smallest TimeMix value and receive near-identical signatures
+/// (the tree degenerates). The additive form makes the minimizing cell
+/// depend jointly on *when* and *where*, so two entities share a signature
+/// value essentially only when they were co-located at the hash's preferred
+/// time — the MinHash semantics the index wants. The residual
+/// non-uniformity (triangular sum distribution) can only affect pruning
+/// effectiveness, never correctness; bench_ablation quantifies it against
+/// the fully independent ExactMinHasher.
+class HierarchicalMinHasher final : public CellHasher {
+ public:
+  HierarchicalMinHasher(const SpatialHierarchy& hierarchy, TimeStep horizon,
+                        int num_functions, uint64_t seed);
+
+  int num_functions() const override { return nh_; }
+  uint64_t Hash(int u, Level level, CellId cell) const override;
+  void HashAll(Level level, CellId cell, uint64_t* out) const override;
+  uint64_t MemoryBytes() const override;
+
+ private:
+  const SpatialHierarchy* hierarchy_;
+  TimeStep horizon_;
+  int nh_;
+  // time_mix_[t * nh + u]
+  std::vector<uint32_t> time_mix_;
+  // min_g_[level-1][unit * nh + u]
+  std::vector<std::vector<uint32_t>> min_g_;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_HASH_HIERARCHICAL_HASHER_H_

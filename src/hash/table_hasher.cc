@@ -1,0 +1,46 @@
+#include "hash/table_hasher.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dtrace {
+
+TableHasher::TableHasher(const SpatialHierarchy& hierarchy, TimeStep horizon,
+                         std::vector<std::vector<uint64_t>> base_values)
+    : hierarchy_(&hierarchy),
+      base_values_(std::move(base_values)),
+      desc_(DescendantBases::Compute(hierarchy)) {
+  DT_CHECK(!base_values_.empty());
+  const size_t cells =
+      static_cast<size_t>(horizon) * hierarchy.num_base_units();
+  for (const auto& v : base_values_) {
+    DT_CHECK_MSG(v.size() == cells, "base value table size mismatch");
+  }
+}
+
+uint64_t TableHasher::Hash(int u, Level level, CellId cell) const {
+  const uint32_t units = hierarchy_->units_at(level);
+  const TimeStep t = cell / units;
+  const UnitId unit = cell % units;
+  const uint32_t base_units = hierarchy_->num_base_units();
+  auto [it, end] = desc_.Of(level, unit);
+  uint64_t best = ~uint64_t{0};
+  for (; it != end; ++it) {
+    best = std::min(
+        best, base_values_[u][static_cast<size_t>(t) * base_units + *it]);
+  }
+  return best;
+}
+
+void TableHasher::HashAll(Level level, CellId cell, uint64_t* out) const {
+  for (int u = 0; u < num_functions(); ++u) out[u] = Hash(u, level, cell);
+}
+
+uint64_t TableHasher::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& v : base_values_) bytes += v.size() * sizeof(uint64_t);
+  return bytes;
+}
+
+}  // namespace dtrace

@@ -1,0 +1,41 @@
+#ifndef DTRACE_HASH_TABLE_HASHER_H_
+#define DTRACE_HASH_TABLE_HASHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/cell_hasher.h"
+#include "hash/exact_hasher.h"
+#include "trace/spatial_hierarchy.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// A hash family defined by an explicit table of base-cell values, with
+/// upper-level values derived as minima over descendant base cells (the
+/// paper's stated construction). Exists to reproduce the worked examples
+/// (Tables 4.1-4.3, Example 5.2.1) bit-for-bit in unit tests, and for
+/// deterministic micro-tests.
+class TableHasher final : public CellHasher {
+ public:
+  /// `base_values[u]` has one value per base-level cell id
+  /// (t * num_base_units + unit), i.e. horizon * |L| entries.
+  TableHasher(const SpatialHierarchy& hierarchy, TimeStep horizon,
+              std::vector<std::vector<uint64_t>> base_values);
+
+  int num_functions() const override {
+    return static_cast<int>(base_values_.size());
+  }
+  uint64_t Hash(int u, Level level, CellId cell) const override;
+  void HashAll(Level level, CellId cell, uint64_t* out) const override;
+  uint64_t MemoryBytes() const override;
+
+ private:
+  const SpatialHierarchy* hierarchy_;
+  std::vector<std::vector<uint64_t>> base_values_;
+  DescendantBases desc_;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_HASH_TABLE_HASHER_H_

@@ -1,0 +1,103 @@
+#include "lsh/banding_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace dtrace {
+
+MinHashBandingIndex::MinHashBandingIndex(const TraceStore& store,
+                                         const CellHasher& hasher,
+                                         Options options)
+    : store_(&store),
+      hasher_(&hasher),
+      options_(options),
+      m_(store.hierarchy().num_levels()) {
+  DT_CHECK(options_.bands >= 1 && options_.rows >= 1);
+  DT_CHECK_MSG(hasher.num_functions() >= options_.bands * options_.rows,
+               "hasher provides too few functions for bands*rows");
+  buckets_.resize(options_.bands);
+  band_keys_.resize(static_cast<size_t>(store.num_entities()) *
+                    options_.bands);
+
+  SignatureComputer sigs(store, hasher);
+  std::vector<uint64_t> sig(hasher.num_functions());
+  for (EntityId e = 0; e < store.num_entities(); ++e) {
+    // Base-level signature only — classic MinHash over the entity's set of
+    // ST-cells, hierarchy-oblivious by design.
+    sigs.ComputeLevel(e, m_, sig);
+    for (int b = 0; b < options_.bands; ++b) {
+      uint64_t key = 0xba4d5ull + b;
+      for (int r = 0; r < options_.rows; ++r) {
+        key = Mix64(key, sig[b * options_.rows + r]);
+      }
+      band_keys_[static_cast<size_t>(e) * options_.bands + b] = key;
+      buckets_[b][key].push_back(e);
+    }
+  }
+}
+
+uint64_t MinHashBandingIndex::BandKey(EntityId e, int band) const {
+  return band_keys_[static_cast<size_t>(e) * options_.bands + band];
+}
+
+std::vector<EntityId> MinHashBandingIndex::Candidates(EntityId q) const {
+  std::vector<EntityId> out;
+  for (int b = 0; b < options_.bands; ++b) {
+    auto it = buckets_[b].find(BandKey(q, b));
+    if (it == buckets_[b].end()) continue;
+    for (EntityId e : it->second) {
+      if (e != q) out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+TopKResult MinHashBandingIndex::Query(EntityId q, int k,
+                                      const AssociationMeasure& measure) const {
+  DT_CHECK(k >= 1);
+  Timer timer;
+  TopKResult result;
+  std::vector<uint32_t> q_sizes(m_), c_sizes(m_), inter(m_);
+  for (Level l = 1; l <= m_; ++l) q_sizes[l - 1] = store_->cell_count(q, l);
+
+  std::vector<ScoredEntity> top;
+  auto better = [](const ScoredEntity& x, const ScoredEntity& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.entity < y.entity;
+  };
+  for (EntityId e : Candidates(q)) {
+    for (Level l = 1; l <= m_; ++l) {
+      c_sizes[l - 1] = store_->cell_count(e, l);
+      inter[l - 1] = store_->IntersectionSize(q, e, l);
+    }
+    top.push_back({e, measure.Score(q_sizes, c_sizes, inter)});
+    ++result.stats.entities_checked;
+  }
+  std::sort(top.begin(), top.end(), better);
+  if (static_cast<int>(top.size()) > k) top.resize(k);
+  result.items = std::move(top);
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+double MinHashBandingIndex::RetrievalProbability(double s) const {
+  return 1.0 - std::pow(1.0 - std::pow(s, options_.rows), options_.bands);
+}
+
+uint64_t MinHashBandingIndex::MemoryBytes() const {
+  uint64_t bytes = band_keys_.size() * sizeof(uint64_t);
+  for (const auto& b : buckets_) {
+    for (const auto& [key, v] : b) {
+      bytes += sizeof(uint64_t) + v.size() * sizeof(EntityId);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace dtrace

@@ -1,0 +1,70 @@
+#ifndef DTRACE_LSH_BANDING_INDEX_H_
+#define DTRACE_LSH_BANDING_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/association.h"
+#include "core/query.h"
+#include "core/signature.h"
+#include "hash/cell_hasher.h"
+#include "trace/trace_store.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// Classic MinHash + LSH banding (Sec. 2.3): each entity's base-level
+/// signature (nh = bands x rows values) is cut into bands; entities whose
+/// hash of some band matches the query's become candidates, which are then
+/// scored exactly and the best k returned. A set with Jaccard similarity s
+/// to the query is retrieved with probability 1 - (1 - s^rows)^bands.
+///
+/// This is the approximate, Jaccard-bound technique the paper generalizes
+/// away from: it can miss true top-k entities (no exactness guarantee) and
+/// its signatures ignore the spatial hierarchy. It exists as a comparator —
+/// `bench_lsh_comparison` measures its recall/candidate trade-off against
+/// the exact MinSigTree, and `lsh_test.cc` checks the sensitivity curve.
+class MinHashBandingIndex {
+ public:
+  struct Options {
+    int bands = 32;
+    int rows = 4;  ///< hash functions per band (nh = bands * rows)
+  };
+
+  /// Builds over every entity in the store using `hasher` (must provide at
+  /// least bands*rows functions).
+  MinHashBandingIndex(const TraceStore& store, const CellHasher& hasher,
+                      Options options);
+
+  /// Approximate top-k: exact scores over the candidate set only.
+  /// `stats.entities_checked` counts scored candidates, so PE is comparable
+  /// with the exact indexes.
+  TopKResult Query(EntityId q, int k, const AssociationMeasure& measure) const;
+
+  /// Candidate entities sharing at least one band with `q` (dedup'd).
+  std::vector<EntityId> Candidates(EntityId q) const;
+
+  /// Retrieval probability 1 - (1 - s^rows)^bands for Jaccard similarity s.
+  double RetrievalProbability(double s) const;
+
+  uint64_t MemoryBytes() const;
+  const Options& options() const { return options_; }
+
+ private:
+  uint64_t BandKey(EntityId e, int band) const;
+
+  const TraceStore* store_;
+  const CellHasher* hasher_;
+  Options options_;
+  int m_;
+  // band -> (band hash -> entities)
+  std::vector<std::unordered_map<uint64_t, std::vector<EntityId>>> buckets_;
+  // Per entity, per band: the band key (kept to answer Candidates for any
+  // entity without recomputing signatures).
+  std::vector<uint64_t> band_keys_;  // [entity * bands + band]
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_LSH_BANDING_INDEX_H_

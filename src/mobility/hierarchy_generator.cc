@@ -1,0 +1,115 @@
+#include "mobility/hierarchy_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/sampling.h"
+
+namespace dtrace {
+
+uint32_t MortonCode(uint16_t x, uint16_t y) {
+  auto spread = [](uint32_t v) {
+    v &= 0xffff;
+    v = (v | (v << 8)) & 0x00ff00ff;
+    v = (v | (v << 4)) & 0x0f0f0f0f;
+    v = (v | (v << 2)) & 0x33333333;
+    v = (v | (v << 1)) & 0x55555555;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+std::vector<uint32_t> LevelWidths(uint32_t num_base,
+                                  const HierarchyParams& params) {
+  DT_CHECK(params.m >= 1);
+  DT_CHECK(num_base >= 1);
+  // W_l = Q * l^a with Q = num_base / m^a, so W_m = num_base exactly.
+  const double q =
+      static_cast<double>(num_base) / std::pow(params.m, params.a);
+  std::vector<uint32_t> widths(params.m);
+  for (int l = 1; l <= params.m; ++l) {
+    const double w = q * std::pow(l, params.a);
+    widths[l - 1] = std::max<uint32_t>(
+        1, std::min<uint32_t>(num_base, static_cast<uint32_t>(std::lround(w))));
+  }
+  widths[params.m - 1] = num_base;
+  // Monotone non-decreasing widths so each parent has >= 1 child.
+  for (int l = params.m - 2; l >= 0; --l) {
+    widths[l] = std::min(widths[l], widths[l + 1]);
+  }
+  return widths;
+}
+
+std::shared_ptr<const SpatialHierarchy> GenerateHierarchy(
+    uint32_t num_base, const std::vector<UnitId>& order,
+    const HierarchyParams& params) {
+  DT_CHECK(order.size() == num_base);
+  const auto widths = LevelWidths(num_base, params);
+  const int m = params.m;
+
+  // position_parent[l][p]: parent (level-l unit) of the unit at ordered
+  // position p of level l+1. Built top-down over ordered positions; since
+  // every partition is into contiguous runs, positions stay contiguous at
+  // every level and unit ids are assigned in run order.
+  SpatialHierarchy::Builder builder(widths[0]);
+  // parent id of each ordered position at the previous level; level 1
+  // positions are their own ids.
+  std::vector<UnitId> prev_unit_of_pos(widths[0]);
+  std::iota(prev_unit_of_pos.begin(), prev_unit_of_pos.end(), 0);
+
+  for (int l = 2; l <= m; ++l) {
+    const uint32_t width = widths[l - 1];
+    const uint32_t parent_width = widths[l - 2];
+    // Split `width` child units into `parent_width` contiguous runs with
+    // power-law sizes (Eq. 6.8).
+    const auto run_sizes = PowerLawPartition(width, parent_width, params.b);
+    std::vector<UnitId> unit_of_pos(width);
+    std::vector<UnitId> parent_of_unit(width);
+    uint32_t pos = 0;
+    for (uint32_t run = 0; run < parent_width; ++run) {
+      for (uint32_t j = 0; j < run_sizes[run]; ++j, ++pos) {
+        unit_of_pos[pos] = pos;  // ids in run order
+        parent_of_unit[pos] = prev_unit_of_pos[run];
+      }
+    }
+    DT_CHECK(pos == width);
+    if (l < m) {
+      builder.AddLevel(std::move(parent_of_unit));
+      prev_unit_of_pos = std::move(unit_of_pos);
+    } else {
+      // Base level: ordered position p corresponds to real base unit
+      // order[p]; scatter parents accordingly.
+      std::vector<UnitId> parent_of_base(num_base);
+      for (uint32_t p = 0; p < num_base; ++p) {
+        parent_of_base[order[p]] = parent_of_unit[p];
+      }
+      builder.AddLevel(std::move(parent_of_base));
+    }
+  }
+  if (m == 1) {
+    // Degenerate single-level hierarchy: base units are the only level.
+    SpatialHierarchy::Builder flat(num_base);
+    return std::make_shared<const SpatialHierarchy>(std::move(flat).Build());
+  }
+  return std::make_shared<const SpatialHierarchy>(std::move(builder).Build());
+}
+
+std::shared_ptr<const SpatialHierarchy> GenerateGridHierarchy(
+    uint32_t grid_side, const HierarchyParams& params) {
+  DT_CHECK(grid_side >= 1 && grid_side <= 0xffff);
+  const uint32_t n = grid_side * grid_side;
+  std::vector<UnitId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](UnitId u, UnitId v) {
+    const uint32_t mu = MortonCode(static_cast<uint16_t>(u % grid_side),
+                                   static_cast<uint16_t>(u / grid_side));
+    const uint32_t mv = MortonCode(static_cast<uint16_t>(v % grid_side),
+                                   static_cast<uint16_t>(v / grid_side));
+    return mu != mv ? mu < mv : u < v;
+  });
+  return GenerateHierarchy(n, order, params);
+}
+
+}  // namespace dtrace

@@ -1,0 +1,49 @@
+#ifndef DTRACE_MOBILITY_HIERARCHY_GENERATOR_H_
+#define DTRACE_MOBILITY_HIERARCHY_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/spatial_hierarchy.h"
+
+namespace dtrace {
+
+/// Parameters of the synthetic sp-index (Sec. 6.2): level widths follow
+/// W_l = Q * l^a (Eq. 6.7, Q normalizing so W_m = #base units) and the sizes
+/// of same-level units follow a power law D_il ~ i^b (Eq. 6.8). The paper
+/// validates a, b in [1, 2] against real Point-of-Interest data.
+struct HierarchyParams {
+  int m = 4;       ///< number of levels
+  double a = 2.0;  ///< width exponent (Eq. 6.7)
+  double b = 2.0;  ///< relative-density exponent (Eq. 6.8)
+};
+
+/// Builds an sp-index over `num_base` ordered base units. Base units are
+/// partitioned into contiguous runs (run sizes ~ i^b) to form level m-1
+/// units, which are partitioned again for level m-2, and so on up to level 1.
+/// Contiguity in the given order is what makes the hierarchy spatially
+/// coherent; callers supply a spatial ordering (e.g. Z-order for grids).
+/// `order[i]` is the base unit occupying position i; pass an identity order
+/// for already-coherent unit ids.
+std::shared_ptr<const SpatialHierarchy> GenerateHierarchy(
+    uint32_t num_base, const std::vector<UnitId>& order,
+    const HierarchyParams& params);
+
+/// GenerateHierarchy over a grid_side x grid_side grid of base units
+/// (unit id = y * grid_side + x) ordered by Morton (Z-order) code, the
+/// layout assumed by the hierarchical IM model's analysis.
+std::shared_ptr<const SpatialHierarchy> GenerateGridHierarchy(
+    uint32_t grid_side, const HierarchyParams& params);
+
+/// Interleaves the low 16 bits of x and y into a Morton code.
+uint32_t MortonCode(uint16_t x, uint16_t y);
+
+/// The level widths W_1..W_m used by GenerateHierarchy for `num_base` base
+/// units (exposed for tests and the analytical model).
+std::vector<uint32_t> LevelWidths(uint32_t num_base,
+                                  const HierarchyParams& params);
+
+}  // namespace dtrace
+
+#endif  // DTRACE_MOBILITY_HIERARCHY_GENERATOR_H_

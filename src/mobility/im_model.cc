@@ -1,0 +1,113 @@
+#include "mobility/im_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace dtrace {
+
+ImModel::ImModel(ImModelParams params, uint32_t grid_side)
+    : params_(params),
+      grid_side_(grid_side),
+      stay_law_(params.beta, 1.0, params.max_stay),
+      jump_law_(params.alpha, 1.0, params.max_jump),
+      unit_popularity_(params.unit_popularity_zipf,
+                       grid_side * grid_side) {
+  DT_CHECK(grid_side >= 2);
+  DT_CHECK(params.rho > 0.0 && params.rho <= 1.0);
+  DT_CHECK(params.gamma >= 0.0);
+  DT_CHECK(params.zeta >= 0.0);
+  DT_CHECK(params.observe_prob > 0.0 && params.observe_prob <= 1.0);
+}
+
+UnitId ImModel::RandomUnit(Rng& rng) const {
+  return static_cast<UnitId>(
+      rng.NextBelow(static_cast<uint64_t>(grid_side_) * grid_side_));
+}
+
+UnitId ImModel::PopularUnit(Rng& rng) const {
+  // Popularity rank -> unit through a fixed pseudo-random permutation
+  // shared by every entity (popular places scattered over the grid).
+  const uint32_t n = grid_side_ * grid_side_;
+  const uint32_t rank = unit_popularity_.Sample(rng) - 1;
+  return static_cast<UnitId>(Mix64(0x9090ull, rank) % n);
+}
+
+UnitId ImModel::Jump(UnitId from, Rng& rng) const {
+  const double r = jump_law_.Sample(rng);
+  const double theta = rng.NextDouble(0.0, 2.0 * 3.14159265358979323846);
+  const auto x0 = static_cast<long>(from % grid_side_);
+  const auto y0 = static_cast<long>(from / grid_side_);
+  // Round the displacement and wrap around the torus so the jump-length
+  // distribution is not distorted at the boundary.
+  const long side = static_cast<long>(grid_side_);
+  long x = x0 + std::lround(r * std::cos(theta));
+  long y = y0 + std::lround(r * std::sin(theta));
+  x = ((x % side) + side) % side;
+  y = ((y % side) + side) % side;
+  return static_cast<UnitId>(y * side + x);
+}
+
+std::vector<PresenceRecord> ImModel::Simulate(EntityId entity,
+                                              TimeStep horizon,
+                                              Rng& rng) const {
+  DT_CHECK(horizon > 0);
+  std::vector<PresenceRecord> out;
+
+  // Visit bookkeeping: counts per visited unit plus a lazily re-sorted
+  // frequency ranking for Zipf returns.
+  std::unordered_map<UnitId, uint32_t> visits;
+  std::vector<UnitId> ranked;  // units sorted by descending visit count
+  bool ranked_dirty = false;
+  ZipfSampler rank_law(params_.zeta, 1);
+
+  UnitId cur = RandomUnit(rng);
+  visits[cur] = 1;
+  ranked.push_back(cur);
+
+  double now = 0.0;
+  while (now < static_cast<double>(horizon)) {
+    const double stay = stay_law_.Sample(rng);
+    const auto begin = static_cast<TimeStep>(now);
+    const auto end = static_cast<TimeStep>(
+        std::min(std::ceil(now + stay), static_cast<double>(horizon)));
+    if (end > begin && rng.NextBool(params_.observe_prob)) {
+      out.push_back({entity, cur, begin,
+                     params_.point_records ? begin + 1 : end});
+    }
+    now += stay;
+    if (now >= static_cast<double>(horizon)) break;
+
+    // Explore vs. return (Eq. 6.2).
+    const double p_new =
+        params_.rho *
+        std::pow(static_cast<double>(visits.size()), -params_.gamma);
+    UnitId next;
+    if (rng.NextBool(p_new)) {
+      next = rng.NextBool(params_.popular_explore_prob) ? PopularUnit(rng)
+                                                        : Jump(cur, rng);
+    } else if (visits.size() == 1) {
+      next = cur;
+    } else {
+      if (ranked_dirty) {
+        std::sort(ranked.begin(), ranked.end(), [&](UnitId a, UnitId b) {
+          const uint32_t va = visits.at(a), vb = visits.at(b);
+          return va != vb ? va > vb : a < b;
+        });
+        ranked_dirty = false;
+      }
+      rank_law.Resize(static_cast<uint32_t>(ranked.size()));
+      next = ranked[rank_law.Sample(rng) - 1];
+    }
+    auto [it, inserted] = visits.try_emplace(next, 0);
+    if (inserted) ranked.push_back(next);
+    ++it->second;
+    ranked_dirty = true;
+    cur = next;
+  }
+  return out;
+}
+
+}  // namespace dtrace

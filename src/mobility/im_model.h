@@ -1,0 +1,77 @@
+#ifndef DTRACE_MOBILITY_IM_MODEL_H_
+#define DTRACE_MOBILITY_IM_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/types.h"
+#include "util/rng.h"
+#include "util/sampling.h"
+
+namespace dtrace {
+
+/// Parameters of the individual mobility (IM) model of Song et al.
+/// (Sec. 6.1). Defaults are the paper's "normal mobility pattern"
+/// (Sec. 7.1): alpha=0.6, beta=0.8, gamma=0.2, zeta=1.2, rho=0.6.
+struct ImModelParams {
+  double alpha = 0.6;  ///< jump-displacement exponent, P(dr) ~ dr^{-1-alpha}
+  double beta = 0.8;   ///< stay-duration exponent, P(dt) ~ dt^{-1-beta}
+  double gamma = 0.2;  ///< exploration decay, P_new = rho * S^{-gamma}
+  double rho = 0.6;    ///< exploration scale
+  double zeta = 1.2;   ///< return-visit Zipf exponent, f_y ~ y^{-zeta}
+  double max_stay = 48.0;     ///< truncation of the stay-duration power law
+  double max_jump = 64.0;     ///< truncation of the jump-displacement law
+  double observe_prob = 1.0;  ///< probability a stay is captured as a trace
+  /// When true, an observed stay is recorded as a single point detection
+  /// (one base temporal unit at the stay's start) instead of the full
+  /// interval — the check-in / WiFi-probe observation model, which keeps
+  /// per-entity ST-cell counts at realistic detection-driven sizes.
+  bool point_records = false;
+  /// Collective preference (d-EPR-style extension of the Song et al.
+  /// model): with this probability an exploratory jump targets a globally
+  /// popular base unit (Zipf over a fixed popularity ranking shared by all
+  /// entities) instead of a distance-based one. Real populations converge
+  /// on the same malls/stations; this is what makes spatial footprints
+  /// overlap across entities at city scale. 0 recovers the pure IM model.
+  double popular_explore_prob = 0.0;
+  /// Zipf exponent of the shared unit-popularity ranking.
+  double unit_popularity_zipf = 1.0;
+};
+
+/// Simulates one entity's movement over a square grid of base spatial units
+/// (side length `grid_side`), emitting presence records over [0, horizon).
+///
+/// Model mechanics (Sec. 6.1): the entity stays at its current base unit for
+/// a power-law duration (Eq. 6.1); on leaving, with probability
+/// rho * S^{-gamma} (Eq. 6.2, S = #distinct units visited) it takes an
+/// exploratory jump — random direction, power-law displacement (Eq. 6.3) —
+/// otherwise it returns to a previously visited unit with rank-based Zipf
+/// preference (Eq. 6.4). If an exploratory jump lands on an already-visited
+/// unit it is treated as a return visit (a simplification that preserves the
+/// visitation statistics S(t) ~ t^mu, Eq. 6.5, which mobility_test checks).
+class ImModel {
+ public:
+  ImModel(ImModelParams params, uint32_t grid_side);
+
+  /// Generates the digital trace of `entity` over [0, horizon).
+  std::vector<PresenceRecord> Simulate(EntityId entity, TimeStep horizon,
+                                       Rng& rng) const;
+
+  const ImModelParams& params() const { return params_; }
+  uint32_t grid_side() const { return grid_side_; }
+
+ private:
+  UnitId RandomUnit(Rng& rng) const;
+  UnitId Jump(UnitId from, Rng& rng) const;
+  UnitId PopularUnit(Rng& rng) const;
+
+  ImModelParams params_;
+  uint32_t grid_side_;
+  TruncatedPowerLaw stay_law_;
+  TruncatedPowerLaw jump_law_;
+  ZipfSampler unit_popularity_;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_MOBILITY_IM_MODEL_H_

@@ -1,0 +1,166 @@
+#include "mobility/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/sampling.h"
+
+namespace dtrace {
+
+Dataset GenerateSyn(const SynConfig& config) {
+  DT_CHECK(config.num_entities > 0);
+  auto hierarchy =
+      GenerateGridHierarchy(config.grid_side, config.hierarchy);
+  Rng rng(config.seed);
+
+  const uint32_t grouped = std::min<uint64_t>(
+      static_cast<uint64_t>(config.num_groups) * config.group_size,
+      config.num_entities);
+  std::vector<PresenceRecord> records;
+
+  // Grouped entities: shared pool events + light independent movement.
+  if (grouped > 0) {
+    DT_CHECK(config.group_size >= 2);
+    ImModelParams pool_params = config.mobility;
+    pool_params.observe_prob = config.pool_observe_prob;
+    ImModel pool_model(pool_params, config.grid_side);
+    ImModelParams member_params = config.mobility;
+    member_params.observe_prob = config.member_observe_prob;
+    ImModel member_model(member_params, config.grid_side);
+
+    for (uint32_t g = 0; g * config.group_size < grouped; ++g) {
+      const auto pool =
+          pool_model.Simulate(/*entity=*/0, config.horizon, rng);
+      for (uint32_t i = 0; i < config.group_size; ++i) {
+        const EntityId member = g * config.group_size + i;
+        if (member >= grouped) break;
+        for (const auto& r : pool) {
+          if (rng.NextBool(config.group_share)) {
+            records.push_back({member, r.base_unit, r.begin, r.end});
+          }
+        }
+        for (const auto& r :
+             member_model.Simulate(member, config.horizon, rng)) {
+          records.push_back(r);
+        }
+      }
+    }
+  }
+
+  // Independent movers.
+  ImModel model(config.mobility, config.grid_side);
+  for (EntityId e = grouped; e < config.num_entities; ++e) {
+    auto trace = model.Simulate(e, config.horizon, rng);
+    records.insert(records.end(), trace.begin(), trace.end());
+  }
+
+  return Dataset::Make(std::move(hierarchy), config.num_entities,
+                       config.horizon, std::move(records));
+}
+
+Dataset GenerateWifi(const WifiConfig& config) {
+  DT_CHECK(config.num_entities > 0);
+  DT_CHECK(config.num_hotspots > 0);
+  // Hotspots are already "ordered" by id; popular hotspots cluster at low
+  // ids, and the hierarchy partitions contiguous runs, so popularity and
+  // region correlate — as in real deployments where dense districts host
+  // the busy hotspots.
+  std::vector<UnitId> order(config.num_hotspots);
+  for (uint32_t i = 0; i < config.num_hotspots; ++i) order[i] = i;
+  auto hierarchy =
+      GenerateHierarchy(config.num_hotspots, order, config.hierarchy);
+
+  Rng rng(config.seed);
+  ZipfSampler popularity(config.popularity_zipf, config.num_hotspots);
+  TruncatedPowerLaw session_law(config.session_exponent, 1.0,
+                                config.max_session);
+
+  // Home regions are level-2 units (districts); precompute each district's
+  // hotspot list (descendant base units).
+  const Level district_level = std::min(2, hierarchy->num_levels());
+  const uint32_t num_districts = hierarchy->units_at(district_level);
+  std::vector<std::vector<UnitId>> district_hotspots(num_districts);
+  for (UnitId h = 0; h < config.num_hotspots; ++h) {
+    district_hotspots[hierarchy->AncestorOfBase(h, district_level)]
+        .push_back(h);
+  }
+  ZipfSampler district_pop(1.0, num_districts);
+
+  std::vector<PresenceRecord> records;
+  // Popularity ranking of the 24 hours of a day (a fixed random order,
+  // Zipf-weighted visits).
+  std::vector<TimeStep> busy_hours(24);
+  for (TimeStep h = 0; h < 24; ++h) busy_hours[h] = h;
+  for (TimeStep h = 23; h > 0; --h) {
+    std::swap(busy_hours[h], busy_hours[rng.NextBelow(h + 1)]);
+  }
+  ZipfSampler hour_rank(1.0, 24);
+  // Emits `count` sessions for entity `e` anchored at home district `home`
+  // and appends them to `records` (entity field fixed up by the caller when
+  // generating a shared pool).
+  auto emit_sessions = [&](EntityId e, UnitId home, uint32_t count,
+                           std::vector<PresenceRecord>* out) {
+    const auto& home_spots = district_hotspots[home];
+    ZipfSampler local(config.popularity_zipf,
+                      std::max<uint32_t>(
+                          1, static_cast<uint32_t>(home_spots.size())));
+    for (uint32_t s = 0; s < count; ++s) {
+      UnitId hotspot;
+      if (!home_spots.empty() && rng.NextBool(config.home_bias)) {
+        hotspot = home_spots[local.Sample(rng) - 1];
+      } else {
+        hotspot = popularity.Sample(rng) - 1;
+      }
+      const auto len = static_cast<TimeStep>(
+          std::max(1.0, std::round(session_law.Sample(rng))));
+      // Sessions cluster in busy hours of the day (rank-skewed), which is
+      // what produces the paper's large coarse-level AjPI populations.
+      const auto day = static_cast<TimeStep>(
+          rng.NextBelow(std::max<uint64_t>(1, config.horizon / 24)));
+      const auto hour = busy_hours[hour_rank.Sample(rng) - 1];
+      const TimeStep begin =
+          std::min<TimeStep>(day * 24 + hour, config.horizon - 1);
+      out->push_back({e, hotspot, begin,
+                      std::min<TimeStep>(begin + len, config.horizon)});
+    }
+  };
+  // Geometric-ish session count with the configured mean.
+  auto session_count = [&](double mean) {
+    const double p_stop = 1.0 / std::max(1.0, mean);
+    uint32_t sessions = 1;
+    while (!rng.NextBool(p_stop) && sessions < 4 * mean) ++sessions;
+    return sessions;
+  };
+
+  const auto num_companions = static_cast<uint32_t>(
+      config.companion_fraction * config.num_entities);
+  const uint32_t group_size = std::max<uint32_t>(2, config.companion_group_size);
+  EntityId e = 0;
+  // Companion groups: shared session pool + a few own sessions each.
+  while (e + group_size <= num_companions) {
+    const UnitId home = district_pop.Sample(rng) - 1;
+    std::vector<PresenceRecord> pool;
+    emit_sessions(/*e=*/0, home, session_count(config.mean_sessions), &pool);
+    for (uint32_t i = 0; i < group_size; ++i, ++e) {
+      for (const auto& r : pool) {
+        if (rng.NextBool(config.companion_share)) {
+          records.push_back({e, r.base_unit, r.begin, r.end});
+        }
+      }
+      emit_sessions(e, home,
+                    session_count(config.companion_own_fraction *
+                                  config.mean_sessions),
+                    &records);
+    }
+  }
+  // Independent devices.
+  for (; e < config.num_entities; ++e) {
+    const UnitId home = district_pop.Sample(rng) - 1;
+    emit_sessions(e, home, session_count(config.mean_sessions), &records);
+  }
+  return Dataset::Make(std::move(hierarchy), config.num_entities,
+                       config.horizon, std::move(records));
+}
+
+}  // namespace dtrace

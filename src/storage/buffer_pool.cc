@@ -1,0 +1,96 @@
+#include "storage/buffer_pool.h"
+
+#include "util/check.h"
+
+namespace dtrace {
+
+BufferPool::BufferPool(SimDisk* disk, size_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages), frames_(capacity_pages) {
+  DT_CHECK(disk != nullptr);
+  DT_CHECK(capacity_pages >= 1);
+  free_frames_.reserve(capacity_pages);
+  for (size_t i = 0; i < capacity_pages; ++i) free_frames_.push_back(i);
+}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+BufferPool::Frame* BufferPool::GetFrame(PageId id, bool mutate) {
+  auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    ++hits_;
+    Frame& f = frames_[it->second];
+    if (f.pins == 0 && f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pins;
+    f.dirty = f.dirty || mutate;
+    return &f;
+  }
+  ++misses_;
+  size_t frame_idx;
+  if (!free_frames_.empty()) {
+    frame_idx = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    frame_idx = PickVictim();
+    Frame& victim = frames_[frame_idx];
+    if (victim.dirty) disk_->Write(victim.id, victim.page);
+    resident_.erase(victim.id);
+    ++evictions_;
+  }
+  Frame& f = frames_[frame_idx];
+  disk_->Read(id, &f.page);
+  f.id = id;
+  f.pins = 1;
+  f.dirty = mutate;
+  f.in_lru = false;
+  resident_[id] = frame_idx;
+  return &f;
+}
+
+size_t BufferPool::PickVictim() {
+  DT_CHECK_MSG(!lru_.empty(), "buffer pool exhausted: all pages pinned");
+  const size_t idx = lru_.front();
+  lru_.pop_front();
+  frames_[idx].in_lru = false;
+  return idx;
+}
+
+const uint8_t* BufferPool::Pin(PageId id) {
+  return GetFrame(id, /*mutate=*/false)->page.data.data();
+}
+
+uint8_t* BufferPool::PinMutable(PageId id) {
+  return GetFrame(id, /*mutate=*/true)->page.data.data();
+}
+
+void BufferPool::Unpin(PageId id) {
+  auto it = resident_.find(id);
+  DT_CHECK_MSG(it != resident_.end(), "unpin of non-resident page");
+  Frame& f = frames_[it->second];
+  DT_CHECK_MSG(f.pins > 0, "unpin of unpinned page");
+  if (--f.pins == 0) {
+    lru_.push_back(it->second);
+    f.lru_pos = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+}
+
+void BufferPool::FlushAll() {
+  for (auto& [id, idx] : resident_) {
+    Frame& f = frames_[idx];
+    if (f.dirty) {
+      disk_->Write(f.id, f.page);
+      f.dirty = false;
+    }
+  }
+}
+
+void BufferPool::ResetStats() {
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
+}
+
+}  // namespace dtrace

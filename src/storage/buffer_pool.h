@@ -1,0 +1,69 @@
+#ifndef DTRACE_STORAGE_BUFFER_POOL_H_
+#define DTRACE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/sim_disk.h"
+
+namespace dtrace {
+
+/// LRU buffer pool over a SimDisk. Frames hold whole pages; pinned pages are
+/// never evicted; dirty pages are written back on eviction or FlushAll. The
+/// memory-size experiment (Sec. 7.6) varies `capacity_pages` relative to the
+/// data size.
+class BufferPool {
+ public:
+  BufferPool(SimDisk* disk, size_t capacity_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins a page for reading; the pointer stays valid until Unpin.
+  const uint8_t* Pin(PageId id);
+
+  /// Pins a page for writing (marks it dirty).
+  uint8_t* PinMutable(PageId id);
+
+  /// Releases one pin on `id`.
+  void Unpin(PageId id);
+
+  /// Writes all dirty resident pages back.
+  void FlushAll();
+
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  void ResetStats();
+
+ private:
+  struct Frame {
+    Page page;
+    PageId id = 0;
+    uint32_t pins = 0;
+    bool dirty = false;
+    std::list<size_t>::iterator lru_pos;  // valid iff pins == 0
+    bool in_lru = false;
+  };
+
+  Frame* GetFrame(PageId id, bool mutate);
+  size_t PickVictim();
+
+  SimDisk* disk_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> resident_;  // page -> frame index
+  std::list<size_t> lru_;                        // front = oldest, unpinned
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_STORAGE_BUFFER_POOL_H_

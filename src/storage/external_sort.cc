@@ -1,0 +1,26 @@
+#include "storage/external_sort.h"
+
+#include <cmath>
+
+namespace dtrace {
+
+uint64_t ExternalSortPasses(uint64_t n_pages, uint64_t buffer_pages) {
+  if (n_pages == 0) return 0;
+  DT_CHECK(buffer_pages >= 3);
+  // 1 run-formation pass + ceil(log_{B-1} ceil(N/B)) merge passes. The
+  // paper's formula (Sec. 4.3) writes log_B; we merge B-1 ways (one page is
+  // the output buffer), the convention of the cited textbook algorithm.
+  uint64_t runs = (n_pages + buffer_pages - 1) / buffer_pages;
+  uint64_t passes = 1;
+  while (runs > 1) {
+    runs = (runs + buffer_pages - 2) / (buffer_pages - 1);
+    ++passes;
+  }
+  return passes;
+}
+
+uint64_t ExternalSortIoCost(uint64_t n_pages, uint64_t buffer_pages) {
+  return 2 * n_pages * ExternalSortPasses(n_pages, buffer_pages);
+}
+
+}  // namespace dtrace

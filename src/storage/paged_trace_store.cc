@@ -1,0 +1,110 @@
+#include "storage/paged_trace_store.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace dtrace {
+
+PagedTraceStore::PagedTraceStore(const TraceStore& store, SimDisk* disk)
+    : m_(store.hierarchy().num_levels()) {
+  DT_CHECK(disk != nullptr);
+  dir_.resize(store.num_entities());
+
+  // Serialize into a flat byte stream, flushing page by page.
+  Page page;
+  size_t in_page = 0;
+  auto flush = [&] {
+    const PageId id = disk->Allocate();
+    disk->Write(id, page);
+    pages_.push_back(id);
+    in_page = 0;
+  };
+  auto put_u32 = [&](uint32_t v) {
+    if (in_page + sizeof(uint32_t) > kPageSize) {
+      // Pad the tail; values never straddle pages.
+      std::memset(page.data.data() + in_page, 0, kPageSize - in_page);
+      data_bytes_ += kPageSize - in_page;
+      flush();
+    }
+    std::memcpy(page.data.data() + in_page, &v, sizeof(uint32_t));
+    in_page += sizeof(uint32_t);
+    data_bytes_ += sizeof(uint32_t);
+  };
+
+  for (EntityId e = 0; e < store.num_entities(); ++e) {
+    // Align the next entity to a fresh offset; record the directory entry.
+    const uint64_t start =
+        static_cast<uint64_t>(pages_.size()) * kPageSize + in_page;
+    for (Level l = 1; l <= m_; ++l) {
+      const auto cells = store.cells(e, l);
+      put_u32(static_cast<uint32_t>(cells.size()));
+      for (CellId c : cells) put_u32(c);
+    }
+    const uint64_t end =
+        static_cast<uint64_t>(pages_.size()) * kPageSize + in_page;
+    dir_[e] = {start, end - start};
+  }
+  if (in_page > 0) flush();
+}
+
+std::vector<std::vector<CellId>> PagedTraceStore::ReadEntity(
+    BufferPool* pool, EntityId e) const {
+  DT_CHECK(e < dir_.size());
+  const DirEntry& d = dir_[e];
+  // Gather the raw bytes across pages (values never straddle pages, but an
+  // entity may span several).
+  std::vector<uint8_t> raw;
+  raw.reserve(d.bytes);
+  uint64_t off = d.offset;
+  uint64_t remaining = d.bytes;
+  while (remaining > 0) {
+    const size_t page_idx = off / kPageSize;
+    const size_t in_page = off % kPageSize;
+    const size_t take =
+        std::min<uint64_t>(remaining, kPageSize - in_page);
+    const uint8_t* data = pool->Pin(pages_[page_idx]);
+    raw.insert(raw.end(), data + in_page, data + in_page + take);
+    pool->Unpin(pages_[page_idx]);
+    off += take;
+    remaining -= take;
+  }
+  // Decode, skipping the zero padding put_u32 may have inserted at page
+  // tails (counts and cells are written back-to-back, so padding only occurs
+  // where a value would straddle; it is transparent because values are
+  // always re-aligned to the next page start).
+  std::vector<std::vector<CellId>> out(m_);
+  size_t pos = 0;
+  auto get_u32 = [&]() {
+    // Skip tail padding: if fewer than 4 bytes remain in this page slot of
+    // the original stream, the writer moved to the next page boundary.
+    const uint64_t abs = d.offset + pos;
+    const size_t in_page = abs % kPageSize;
+    if (in_page + sizeof(uint32_t) > kPageSize) {
+      pos += kPageSize - in_page;
+    }
+    uint32_t v;
+    std::memcpy(&v, raw.data() + pos, sizeof(uint32_t));
+    pos += sizeof(uint32_t);
+    return v;
+  };
+  for (int l = 0; l < m_; ++l) {
+    const uint32_t n = get_u32();
+    out[l].resize(n);
+    for (uint32_t i = 0; i < n; ++i) out[l][i] = get_u32();
+  }
+  return out;
+}
+
+void PagedTraceStore::TouchEntity(BufferPool* pool, EntityId e) const {
+  DT_CHECK(e < dir_.size());
+  const DirEntry& d = dir_[e];
+  const size_t first = d.offset / kPageSize;
+  const size_t last = d.bytes == 0 ? first : (d.offset + d.bytes - 1) / kPageSize;
+  for (size_t p = first; p <= last; ++p) {
+    pool->Pin(pages_[p]);
+    pool->Unpin(pages_[p]);
+  }
+}
+
+}  // namespace dtrace

@@ -1,0 +1,57 @@
+#ifndef DTRACE_STORAGE_PAGED_TRACE_STORE_H_
+#define DTRACE_STORAGE_PAGED_TRACE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/sim_disk.h"
+#include "trace/trace_store.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// Disk-resident copy of a TraceStore: every entity's per-level ST-cell sets
+/// are serialized contiguously onto SimDisk pages, with an in-memory
+/// directory of (byte offset, byte length) per entity. Reads go through a
+/// BufferPool so the memory-size experiment (Sec. 7.6) can vary the fraction
+/// of the data that fits in memory and charge modeled I/O for the rest.
+///
+/// On-disk entity layout: for each level l in 1..m, a uint32 count followed
+/// by count uint32 cell ids.
+class PagedTraceStore {
+ public:
+  /// Serializes `store` onto `disk`.
+  PagedTraceStore(const TraceStore& store, SimDisk* disk);
+
+  /// Number of data pages used.
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Total serialized bytes.
+  uint64_t data_bytes() const { return data_bytes_; }
+
+  /// Reads entity `e`'s full record through `pool` and returns its per-level
+  /// cell sets (index 0 = level 1). This is the I/O the query's exact
+  /// evaluation of a candidate performs.
+  std::vector<std::vector<CellId>> ReadEntity(BufferPool* pool,
+                                              EntityId e) const;
+
+  /// Touches (pins+unpins) every page of entity `e` without materializing —
+  /// the access-hook fast path used by the Fig. 7.6 bench.
+  void TouchEntity(BufferPool* pool, EntityId e) const;
+
+ private:
+  struct DirEntry {
+    uint64_t offset;  // byte offset into the logical data area
+    uint64_t bytes;
+  };
+
+  int m_;
+  std::vector<PageId> pages_;
+  std::vector<DirEntry> dir_;
+  uint64_t data_bytes_ = 0;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_STORAGE_PAGED_TRACE_STORE_H_

@@ -1,0 +1,39 @@
+#include "storage/sim_disk.h"
+
+#include "util/check.h"
+
+namespace dtrace {
+
+SimDisk::SimDisk(double read_latency_seconds, double write_latency_seconds)
+    : read_latency_(read_latency_seconds),
+      write_latency_(write_latency_seconds) {
+  DT_CHECK(read_latency_ >= 0.0 && write_latency_ >= 0.0);
+}
+
+PageId SimDisk::Allocate() {
+  pages_.push_back(std::make_unique<Page>());
+  pages_.back()->data.fill(0);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void SimDisk::Read(PageId id, Page* out) {
+  DT_CHECK(id < pages_.size());
+  *out = *pages_[id];
+  ++reads_;
+  modeled_io_seconds_ += read_latency_;
+}
+
+void SimDisk::Write(PageId id, const Page& page) {
+  DT_CHECK(id < pages_.size());
+  *pages_[id] = page;
+  ++writes_;
+  modeled_io_seconds_ += write_latency_;
+}
+
+void SimDisk::ResetStats() {
+  reads_ = 0;
+  writes_ = 0;
+  modeled_io_seconds_ = 0.0;
+}
+
+}  // namespace dtrace

@@ -1,0 +1,58 @@
+#ifndef DTRACE_STORAGE_SIM_DISK_H_
+#define DTRACE_STORAGE_SIM_DISK_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dtrace {
+
+/// Fixed page size of the storage substrate (bytes).
+constexpr size_t kPageSize = 4096;
+
+using PageId = uint32_t;
+
+/// One disk page.
+struct Page {
+  std::array<uint8_t, kPageSize> data;
+};
+
+/// In-memory disk simulator with I/O accounting. Every Read/Write counts one
+/// I/O and charges a configurable modeled latency; the memory-size experiment
+/// (Sec. 7.6) reports modeled time = wall time + modeled I/O time, which
+/// preserves the paper's HDD-bound shape without real device access
+/// (DESIGN.md Sec. 3.4). Reads/writes copy whole pages, as a real device
+/// driver would.
+class SimDisk {
+ public:
+  /// Default latencies are HDD-class per 4K access.
+  explicit SimDisk(double read_latency_seconds = 100e-6,
+                   double write_latency_seconds = 100e-6);
+
+  /// Allocates a zeroed page and returns its id.
+  PageId Allocate();
+
+  void Read(PageId id, Page* out);
+  void Write(PageId id, const Page& page);
+
+  size_t num_pages() const { return pages_.size(); }
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  /// Accumulated modeled I/O latency in seconds.
+  double modeled_io_seconds() const { return modeled_io_seconds_; }
+
+  void ResetStats();
+
+ private:
+  double read_latency_;
+  double write_latency_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  double modeled_io_seconds_ = 0.0;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_STORAGE_SIM_DISK_H_

@@ -1,0 +1,41 @@
+#ifndef DTRACE_TRACE_DATASET_H_
+#define DTRACE_TRACE_DATASET_H_
+
+#include <memory>
+#include <vector>
+
+#include "trace/spatial_hierarchy.h"
+#include "trace/trace_store.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// A self-contained dataset: the sp-index, the raw presence records, and the
+/// derived per-level ST-cell store. Generators (src/mobility) produce these;
+/// indexes and benches consume them.
+struct Dataset {
+  std::shared_ptr<const SpatialHierarchy> hierarchy;
+  std::vector<PresenceRecord> records;
+  std::shared_ptr<TraceStore> store;
+  TimeStep horizon = 0;
+
+  uint32_t num_entities() const { return store->num_entities(); }
+
+  /// Builds `store` from `hierarchy` + `records`. Call after filling the
+  /// first three fields.
+  static Dataset Make(std::shared_ptr<const SpatialHierarchy> hierarchy,
+                      uint32_t num_entities, TimeStep horizon,
+                      std::vector<PresenceRecord> records) {
+    Dataset d;
+    d.hierarchy = std::move(hierarchy);
+    d.horizon = horizon;
+    d.store = std::make_shared<TraceStore>(*d.hierarchy, num_entities,
+                                           horizon, records);
+    d.records = std::move(records);
+    return d;
+  }
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_TRACE_DATASET_H_

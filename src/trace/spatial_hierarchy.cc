@@ -1,0 +1,110 @@
+#include "trace/spatial_hierarchy.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace dtrace {
+
+SpatialHierarchy::Builder::Builder(uint32_t top_units) {
+  DT_CHECK(top_units > 0);
+  level_sizes_.push_back(top_units);
+}
+
+SpatialHierarchy::Builder& SpatialHierarchy::Builder::AddLevel(
+    std::vector<UnitId> parent) {
+  DT_CHECK(!parent.empty());
+  const uint32_t above = level_sizes_.back();
+  for (UnitId p : parent) DT_CHECK_MSG(p < above, "parent id out of range");
+  level_sizes_.push_back(static_cast<uint32_t>(parent.size()));
+  parents_.push_back(std::move(parent));
+  return *this;
+}
+
+SpatialHierarchy SpatialHierarchy::Builder::Build() && {
+  SpatialHierarchy h;
+  h.level_sizes_ = std::move(level_sizes_);
+  h.parents_ = std::move(parents_);
+  h.BuildChildIndex();
+  // Every non-base unit must have at least one child, otherwise the
+  // hierarchical hash min over descendants is undefined for it.
+  for (int li = 0; li + 1 < h.num_levels(); ++li) {
+    for (uint32_t u = 0; u < h.level_sizes_[li]; ++u) {
+      DT_CHECK_MSG(!h.children(li + 1, u).empty(), "childless inner unit");
+    }
+  }
+  return h;
+}
+
+SpatialHierarchy SpatialHierarchy::UniformFanout(uint32_t top_units, int m,
+                                                 uint32_t fanout) {
+  DT_CHECK(m >= 1);
+  DT_CHECK(fanout >= 1);
+  Builder b(top_units);
+  uint32_t width = top_units;
+  for (int level = 2; level <= m; ++level) {
+    std::vector<UnitId> parent(static_cast<size_t>(width) * fanout);
+    for (size_t u = 0; u < parent.size(); ++u) {
+      parent[u] = static_cast<UnitId>(u / fanout);
+    }
+    width *= fanout;
+    b.AddLevel(std::move(parent));
+  }
+  return std::move(b).Build();
+}
+
+Level SpatialHierarchy::CheckLevel(Level level) const {
+  DT_CHECK_MSG(level >= 1 && level <= num_levels(), "level out of range");
+  return level - 1;
+}
+
+UnitId SpatialHierarchy::parent(Level level, UnitId unit) const {
+  const Level li = CheckLevel(level);
+  DT_CHECK(li >= 1);
+  DT_DCHECK(unit < level_sizes_[li]);
+  return parents_[li - 1][unit];
+}
+
+std::span<const UnitId> SpatialHierarchy::children(Level level,
+                                                   UnitId unit) const {
+  const Level li = CheckLevel(level);
+  DT_CHECK(li + 1 < num_levels());
+  const auto& off = child_offsets_[li];
+  DT_DCHECK(unit + 1 < off.size());
+  const auto& ids = child_ids_[li];
+  return {ids.data() + off[unit], ids.data() + off[unit + 1]};
+}
+
+UnitId SpatialHierarchy::AncestorOfBase(UnitId base, Level target_level) const {
+  DT_CHECK(target_level >= 1 && target_level <= num_levels());
+  UnitId u = base;
+  for (Level l = num_levels(); l > target_level; --l) u = parent(l, u);
+  return u;
+}
+
+uint64_t SpatialHierarchy::total_units() const {
+  return std::accumulate(level_sizes_.begin(), level_sizes_.end(),
+                         uint64_t{0});
+}
+
+void SpatialHierarchy::BuildChildIndex() {
+  const int m = num_levels();
+  child_offsets_.assign(static_cast<size_t>(m) - 1, {});
+  child_ids_.assign(static_cast<size_t>(m) - 1, {});
+  for (int li = 0; li + 1 < m; ++li) {
+    const uint32_t n_parents = level_sizes_[li];
+    const auto& par = parents_[li];
+    auto& off = child_offsets_[li];
+    auto& ids = child_ids_[li];
+    off.assign(n_parents + 1, 0);
+    for (UnitId p : par) ++off[p + 1];
+    for (uint32_t u = 0; u < n_parents; ++u) off[u + 1] += off[u];
+    ids.resize(par.size());
+    std::vector<uint32_t> cursor(off.begin(), off.end() - 1);
+    for (uint32_t c = 0; c < par.size(); ++c) {
+      ids[cursor[par[c]]++] = c;
+    }
+  }
+}
+
+}  // namespace dtrace

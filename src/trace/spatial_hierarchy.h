@@ -1,0 +1,83 @@
+#ifndef DTRACE_TRACE_SPATIAL_HIERARCHY_H_
+#define DTRACE_TRACE_SPATIAL_HIERARCHY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// The sp-index (Sec. 3.1): an m-level tree of non-overlapping spatial units,
+/// level 1 = coarsest, level m = base spatial units (the atomic locations of
+/// digital traces). Stores parent links per level plus CSR child lists.
+///
+/// Construction goes through `Builder`, which validates that parent ids are
+/// in range and that every non-base unit has at least one child.
+class SpatialHierarchy {
+ public:
+  class Builder {
+   public:
+    /// Starts a hierarchy whose coarsest level (level 1) has `top_units`
+    /// units.
+    explicit Builder(uint32_t top_units);
+
+    /// Appends a new finest level below the current one. `parent[u]` is the
+    /// unit at the previous level containing unit `u` of the new level.
+    /// Returns *this for chaining.
+    Builder& AddLevel(std::vector<UnitId> parent);
+
+    /// Finalizes; aborts on structural violations.
+    SpatialHierarchy Build() &&;
+
+   private:
+    std::vector<uint32_t> level_sizes_;
+    std::vector<std::vector<UnitId>> parents_;
+  };
+
+  /// Convenience: a single-tree hierarchy where every level-l unit splits
+  /// evenly into `fanout` children; m levels, level 1 has `top_units` units.
+  static SpatialHierarchy UniformFanout(uint32_t top_units, int m,
+                                        uint32_t fanout);
+
+  /// Number of levels m (levels are numbered 1..m).
+  int num_levels() const { return static_cast<int>(level_sizes_.size()); }
+
+  /// Number of units at `level` (1-based).
+  uint32_t units_at(Level level) const {
+    return level_sizes_[CheckLevel(level)];
+  }
+
+  /// Number of base spatial units, |L| = units_at(m).
+  uint32_t num_base_units() const { return level_sizes_.back(); }
+
+  /// Parent (at `level - 1`) of `unit` at `level`; level must be >= 2.
+  UnitId parent(Level level, UnitId unit) const;
+
+  /// Children (at `level + 1`) of `unit` at `level`; level must be < m.
+  std::span<const UnitId> children(Level level, UnitId unit) const;
+
+  /// Ancestor at `target_level` (<= m) of base unit `base`; the paper's
+  /// root-to-node `path` entry at that level (Definition 1).
+  UnitId AncestorOfBase(UnitId base, Level target_level) const;
+
+  /// Total number of units across all levels.
+  uint64_t total_units() const;
+
+ private:
+  SpatialHierarchy() = default;
+
+  Level CheckLevel(Level level) const;
+  void BuildChildIndex();
+
+  std::vector<uint32_t> level_sizes_;             // [m]
+  std::vector<std::vector<UnitId>> parents_;      // [m-1]: level l+2 -> l+1
+  // CSR child lists, one per non-base level.
+  std::vector<std::vector<uint32_t>> child_offsets_;  // [m-1]
+  std::vector<std::vector<UnitId>> child_ids_;        // [m-1]
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_TRACE_SPATIAL_HIERARCHY_H_

@@ -1,0 +1,75 @@
+#include "trace/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dtrace {
+
+namespace {
+constexpr char kHeader[] = "entity,base_unit,begin,end";
+}  // namespace
+
+bool WriteRecordsCsv(const std::string& path,
+                     const std::vector<PresenceRecord>& records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << kHeader << '\n';
+  for (const auto& r : records) {
+    out << r.entity << ',' << r.base_unit << ',' << r.begin << ',' << r.end
+        << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<PresenceRecord> ParseRecordLine(const std::string& line) {
+  PresenceRecord r;
+  unsigned long long f[4];
+  char extra;
+  if (std::sscanf(line.c_str(), "%llu,%llu,%llu,%llu%c", &f[0], &f[1], &f[2],
+                  &f[3], &extra) != 4) {
+    return std::nullopt;
+  }
+  if (f[0] > 0xffffffffull || f[1] > 0xffffffffull || f[2] > 0xffffffffull ||
+      f[3] > 0xffffffffull || f[2] >= f[3]) {
+    return std::nullopt;
+  }
+  r.entity = static_cast<EntityId>(f[0]);
+  r.base_unit = static_cast<UnitId>(f[1]);
+  r.begin = static_cast<TimeStep>(f[2]);
+  r.end = static_cast<TimeStep>(f[3]);
+  return r;
+}
+
+std::optional<std::vector<PresenceRecord>> ReadRecordsCsv(
+    const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    if (error) *error = "missing/unknown header in " + path;
+    return std::nullopt;
+  }
+  std::vector<PresenceRecord> records;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto r = ParseRecordLine(line);
+    if (!r.has_value()) {
+      if (error) {
+        std::ostringstream os;
+        os << "malformed record at " << path << ":" << line_no;
+        *error = os.str();
+      }
+      return std::nullopt;
+    }
+    records.push_back(*r);
+  }
+  return records;
+}
+
+}  // namespace dtrace

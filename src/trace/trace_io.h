@@ -1,0 +1,29 @@
+#ifndef DTRACE_TRACE_TRACE_IO_H_
+#define DTRACE_TRACE_TRACE_IO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// Serializes presence records as CSV (`entity,base_unit,begin,end` with a
+/// header line) — the interchange format for feeding real logs into the
+/// library. Returns false on I/O failure.
+bool WriteRecordsCsv(const std::string& path,
+                     const std::vector<PresenceRecord>& records);
+
+/// Parses records written by WriteRecordsCsv (or hand-made files with the
+/// same header). Returns std::nullopt on I/O failure or any malformed line
+/// (no partial results); the error message, if any, is stored in *error.
+std::optional<std::vector<PresenceRecord>> ReadRecordsCsv(
+    const std::string& path, std::string* error = nullptr);
+
+/// Parses one CSV line (exposed for testing).
+std::optional<PresenceRecord> ParseRecordLine(const std::string& line);
+
+}  // namespace dtrace
+
+#endif  // DTRACE_TRACE_TRACE_IO_H_

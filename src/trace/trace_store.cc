@@ -1,0 +1,187 @@
+#include "trace/trace_store.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dtrace {
+
+TraceStore::TraceStore(const SpatialHierarchy& hierarchy,
+                       uint32_t num_entities, TimeStep horizon,
+                       const std::vector<PresenceRecord>& records)
+    : hierarchy_(&hierarchy), num_entities_(num_entities), horizon_(horizon) {
+  const int m = hierarchy.num_levels();
+  const uint32_t base_units = hierarchy.num_base_units();
+
+  // Base-level cells per entity, then dedup/sort, then derive upper levels.
+  std::vector<std::vector<CellId>> base(num_entities_);
+  for (const auto& r : records) {
+    DT_CHECK_MSG(r.entity < num_entities_, "entity id out of range");
+    DT_CHECK_MSG(r.base_unit < base_units, "base unit out of range");
+    DT_CHECK_MSG(r.begin < r.end && r.end <= horizon_, "bad record period");
+    for (TimeStep t = r.begin; t < r.end; ++t) {
+      base[r.entity].push_back(EncodeCell(m, t, r.base_unit));
+    }
+  }
+
+  offsets_.assign(m, std::vector<uint64_t>(num_entities_ + 1, 0));
+  cells_.assign(m, {});
+  overrides_.assign(m, std::vector<std::vector<CellId>>(num_entities_));
+  overridden_.assign(num_entities_, false);
+
+  std::vector<CellId> upper;
+  for (EntityId e = 0; e < num_entities_; ++e) {
+    auto& bc = base[e];
+    std::sort(bc.begin(), bc.end());
+    bc.erase(std::unique(bc.begin(), bc.end()), bc.end());
+    // Level m.
+    offsets_[m - 1][e + 1] = offsets_[m - 1][e] + bc.size();
+    cells_[m - 1].insert(cells_[m - 1].end(), bc.begin(), bc.end());
+    // Levels m-1 .. 1, each derived from the level below.
+    std::vector<CellId> cur = bc;
+    for (Level level = m - 1; level >= 1; --level) {
+      upper.clear();
+      upper.reserve(cur.size());
+      for (CellId c : cur) upper.push_back(ParentCell(level + 1, c));
+      std::sort(upper.begin(), upper.end());
+      upper.erase(std::unique(upper.begin(), upper.end()), upper.end());
+      offsets_[level - 1][e + 1] = offsets_[level - 1][e] + upper.size();
+      cells_[level - 1].insert(cells_[level - 1].end(), upper.begin(),
+                               upper.end());
+      cur = upper;
+    }
+    bc.clear();
+    bc.shrink_to_fit();
+  }
+}
+
+std::span<const CellId> TraceStore::cells(EntityId e, Level level) const {
+  DT_DCHECK(e < num_entities_);
+  DT_DCHECK(level >= 1 && level <= hierarchy_->num_levels());
+  if (overridden_[e]) {
+    const auto& v = overrides_[level - 1][e];
+    return {v.data(), v.size()};
+  }
+  const auto& off = offsets_[level - 1];
+  const auto& cs = cells_[level - 1];
+  return {cs.data() + off[e], cs.data() + off[e + 1]};
+}
+
+uint32_t TraceStore::cell_count(EntityId e, Level level) const {
+  return static_cast<uint32_t>(cells(e, level).size());
+}
+
+CellId TraceStore::ParentCell(Level child_level, CellId c) const {
+  const TimeStep t = CellTime(child_level, c);
+  const UnitId u = CellUnit(child_level, c);
+  return EncodeCell(child_level - 1, t, hierarchy_->parent(child_level, u));
+}
+
+uint32_t TraceStore::IntersectionSize(EntityId a, EntityId b,
+                                      Level level) const {
+  const auto ca = cells(a, level);
+  const auto cb = cells(b, level);
+  uint32_t n = 0;
+  size_t i = 0, j = 0;
+  while (i < ca.size() && j < cb.size()) {
+    if (ca[i] < cb[j]) {
+      ++i;
+    } else if (cb[j] < ca[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+std::span<const CellId> TraceStore::CellsInWindow(EntityId e, Level level,
+                                                  TimeStep t0,
+                                                  TimeStep t1) const {
+  DT_DCHECK(t0 <= t1);
+  const auto all = cells(e, level);
+  const uint32_t units = hierarchy_->units_at(level);
+  // Cell ids are time-major, so the window is a contiguous range.
+  const auto lo = std::lower_bound(all.begin(), all.end(),
+                                   static_cast<CellId>(t0) * units);
+  const auto hi = std::lower_bound(lo, all.end(),
+                                   static_cast<CellId>(t1) * units);
+  return {lo, hi};
+}
+
+uint32_t TraceStore::WindowedIntersectionSize(EntityId a, EntityId b,
+                                              Level level, TimeStep t0,
+                                              TimeStep t1) const {
+  const auto ca = CellsInWindow(a, level, t0, t1);
+  const auto cb = CellsInWindow(b, level, t0, t1);
+  uint32_t n = 0;
+  size_t i = 0, j = 0;
+  while (i < ca.size() && j < cb.size()) {
+    if (ca[i] < cb[j]) {
+      ++i;
+    } else if (cb[j] < ca[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+double TraceStore::mean_base_cells() const {
+  if (num_entities_ == 0) return 0.0;
+  uint64_t total = 0;
+  const int m = hierarchy_->num_levels();
+  for (EntityId e = 0; e < num_entities_; ++e) total += cell_count(e, m);
+  return static_cast<double>(total) / num_entities_;
+}
+
+uint64_t TraceStore::total_cells() const {
+  uint64_t total = 0;
+  for (int l = 1; l <= hierarchy_->num_levels(); ++l) {
+    for (EntityId e = 0; e < num_entities_; ++e) total += cell_count(e, l);
+  }
+  return total;
+}
+
+std::vector<std::vector<CellId>> TraceStore::CellsForRecords(
+    const std::vector<PresenceRecord>& records) const {
+  const int m = hierarchy_->num_levels();
+  std::vector<std::vector<CellId>> per_level(m);
+  auto& base = per_level[m - 1];
+  for (const auto& r : records) {
+    DT_CHECK_MSG(r.base_unit < hierarchy_->num_base_units(),
+                 "base unit out of range");
+    DT_CHECK_MSG(r.begin < r.end && r.end <= horizon_, "bad record period");
+    for (TimeStep t = r.begin; t < r.end; ++t) {
+      base.push_back(EncodeCell(m, t, r.base_unit));
+    }
+  }
+  std::sort(base.begin(), base.end());
+  base.erase(std::unique(base.begin(), base.end()), base.end());
+  for (Level level = m - 1; level >= 1; --level) {
+    auto& up = per_level[level - 1];
+    up.reserve(per_level[level].size());
+    for (CellId c : per_level[level]) up.push_back(ParentCell(level + 1, c));
+    std::sort(up.begin(), up.end());
+    up.erase(std::unique(up.begin(), up.end()), up.end());
+  }
+  return per_level;
+}
+
+void TraceStore::ReplaceEntity(EntityId e,
+                               const std::vector<PresenceRecord>& records) {
+  DT_CHECK(e < num_entities_);
+  for (const auto& r : records) DT_CHECK_MSG(r.entity == e, "wrong entity");
+  auto per_level = CellsForRecords(records);
+  for (int l = 0; l < hierarchy_->num_levels(); ++l) {
+    overrides_[l][e] = std::move(per_level[l]);
+  }
+  overridden_[e] = true;
+}
+
+}  // namespace dtrace

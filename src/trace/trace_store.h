@@ -1,0 +1,96 @@
+#ifndef DTRACE_TRACE_TRACE_STORE_H_
+#define DTRACE_TRACE_TRACE_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/spatial_hierarchy.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// Materialized ST-cell set sequences (Sec. 4.1): for every entity and every
+/// sp-index level l, the sorted, deduplicated set seq^l_e of level-l ST-cells
+/// the entity was present in. seq^m comes directly from the presence records;
+/// seq^l for l < m is derived by mapping units to their level-l ancestors
+/// (Example 4.1.1).
+///
+/// Cells are encoded per level as `time * units_at(level) + unit`; helpers
+/// below convert. Storage is CSR per level (one offsets array + one flat cell
+/// array), so the whole store is two allocations per level.
+class TraceStore {
+ public:
+  /// Builds the store for `num_entities` entities (ids [0, num_entities))
+  /// from raw presence records over time horizon [0, horizon).
+  /// Records referencing out-of-range entities/units/times abort.
+  TraceStore(const SpatialHierarchy& hierarchy, uint32_t num_entities,
+             TimeStep horizon, const std::vector<PresenceRecord>& records);
+
+  const SpatialHierarchy& hierarchy() const { return *hierarchy_; }
+  uint32_t num_entities() const { return num_entities_; }
+  TimeStep horizon() const { return horizon_; }
+
+  /// seq^level_e: sorted level-`level` cell ids of entity e.
+  std::span<const CellId> cells(EntityId e, Level level) const;
+
+  /// |seq^level_e|.
+  uint32_t cell_count(EntityId e, Level level) const;
+
+  /// Encodes an ST-cell id at `level`.
+  CellId EncodeCell(Level level, TimeStep t, UnitId unit) const {
+    return t * hierarchy_->units_at(level) + unit;
+  }
+  TimeStep CellTime(Level level, CellId c) const {
+    return c / hierarchy_->units_at(level);
+  }
+  UnitId CellUnit(Level level, CellId c) const {
+    return c % hierarchy_->units_at(level);
+  }
+
+  /// Maps a level-(l+1) cell to its level-l parent cell.
+  CellId ParentCell(Level child_level, CellId c) const;
+
+  /// Size of |seq^l_ a ∩ seq^l_b| via sorted-merge intersection.
+  uint32_t IntersectionSize(EntityId a, EntityId b, Level level) const;
+
+  /// seq^level_e restricted to time steps [t0, t1) — a contiguous slice,
+  /// since cell ids order by time first. Supports the paper's
+  /// investigation scenario of querying association within a time range.
+  std::span<const CellId> CellsInWindow(EntityId e, Level level, TimeStep t0,
+                                        TimeStep t1) const;
+
+  /// |seq^l_a ∩ seq^l_b| restricted to time steps [t0, t1).
+  uint32_t WindowedIntersectionSize(EntityId a, EntityId b, Level level,
+                                    TimeStep t0, TimeStep t1) const;
+
+  /// Average number of base-level cells per entity (the paper's C).
+  double mean_base_cells() const;
+
+  /// Total stored cells across entities and levels.
+  uint64_t total_cells() const;
+
+  /// Replaces entity `e`'s trace with the one induced by `records` (all of
+  /// which must reference `e`). Used by the incremental-update path.
+  void ReplaceEntity(EntityId e, const std::vector<PresenceRecord>& records);
+
+ private:
+  // Computes the per-level sorted cell sets for one entity.
+  std::vector<std::vector<CellId>> CellsForRecords(
+      const std::vector<PresenceRecord>& records) const;
+
+  const SpatialHierarchy* hierarchy_;
+  uint32_t num_entities_;
+  TimeStep horizon_;
+  // CSR per level: cells_[l][offsets_[l][e] .. offsets_[l][e+1]).
+  std::vector<std::vector<uint64_t>> offsets_;  // [m][num_entities+1]
+  std::vector<std::vector<CellId>> cells_;      // [m][total]
+  // Overflow for entities modified by ReplaceEntity: per level, per entity.
+  // Empty unless updates happened; lookup checks this first.
+  std::vector<std::vector<std::vector<CellId>>> overrides_;  // [m][entity]
+  std::vector<bool> overridden_;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_TRACE_TRACE_STORE_H_

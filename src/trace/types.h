@@ -1,0 +1,45 @@
+#ifndef DTRACE_TRACE_TYPES_H_
+#define DTRACE_TRACE_TYPES_H_
+
+#include <cstdint>
+
+namespace dtrace {
+
+/// Identifier of an entity (person/device). Dense, [0, |E|).
+using EntityId = uint32_t;
+
+/// Identifier of a spatial unit *within one level* of the sp-index. Dense per
+/// level, [0, units_at(level)).
+using UnitId = uint32_t;
+
+/// Discretized base temporal unit (e.g. an hour index), [0, horizon).
+using TimeStep = uint32_t;
+
+/// Identifier of an ST-cell at a given level: `time * units_at(level) + unit`.
+/// Dense per level, [0, horizon * units_at(level)).
+using CellId = uint32_t;
+
+/// Level in the sp-index. The paper numbers levels 1 (root/coarsest) to m
+/// (base/finest); we use the same convention throughout: valid levels are
+/// [1, m]. Tree level 0 is the virtual MinSigTree root.
+using Level = int;
+
+constexpr EntityId kInvalidEntity = static_cast<EntityId>(-1);
+
+/// A raw digital-trace record: entity `e` was present at base spatial unit
+/// `base_unit` for the time steps [begin, end). This is the paper's presence
+/// instance (Definition 1) with `path` implied by the sp-index and
+/// `pd = [begin, end)` already discretized to base temporal units.
+struct PresenceRecord {
+  EntityId entity;
+  UnitId base_unit;
+  TimeStep begin;
+  TimeStep end;  // exclusive
+
+  friend bool operator==(const PresenceRecord&,
+                         const PresenceRecord&) = default;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_TRACE_TYPES_H_

@@ -1,0 +1,37 @@
+#ifndef DTRACE_UTIL_CHECK_H_
+#define DTRACE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant-checking macros. The library does not use exceptions; violated
+// invariants abort with a diagnostic. DT_CHECK is always on; DT_DCHECK
+// compiles out in NDEBUG builds and is meant for hot paths.
+
+#define DT_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "DT_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define DT_CHECK_MSG(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "DT_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   (msg), __FILE__, __LINE__);                             \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define DT_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define DT_DCHECK(cond) DT_CHECK(cond)
+#endif
+
+#endif  // DTRACE_UTIL_CHECK_H_

@@ -1,0 +1,52 @@
+#ifndef DTRACE_UTIL_RNG_H_
+#define DTRACE_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace dtrace {
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function. Used both for
+/// seeding and as the stateless hash primitive throughout the hash module.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines a seed and a value into a 64-bit hash (stateless).
+constexpr uint64_t Mix64(uint64_t seed, uint64_t v) {
+  return Mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**). All data
+/// generation and experiments are reproducible given a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound) for bound > 0 (unbiased via rejection).
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_UTIL_RNG_H_

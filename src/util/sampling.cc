@@ -1,0 +1,100 @@
+#include "util/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace dtrace {
+
+TruncatedPowerLaw::TruncatedPowerLaw(double exponent, double x_min,
+                                     double x_max)
+    : exponent_(exponent), x_min_(x_min), x_max_(x_max) {
+  DT_CHECK(exponent > 0.0);
+  DT_CHECK(x_min > 0.0 && x_max >= x_min);
+  a_ = std::pow(x_min_, -exponent_);
+  b_ = std::pow(x_max_, -exponent_);
+}
+
+double TruncatedPowerLaw::Sample(Rng& rng) const {
+  // Inverse CDF of the truncated Pareto: F^{-1}(u) with
+  // F(x) = (a - x^{-e}) / (a - b).
+  const double u = rng.NextDouble();
+  const double t = a_ - u * (a_ - b_);
+  return std::pow(t, -1.0 / exponent_);
+}
+
+ZipfSampler::ZipfSampler(double s, uint32_t n) : s_(s) {
+  DT_CHECK(s >= 0.0);
+  Resize(n);
+}
+
+void ZipfSampler::Resize(uint32_t n) {
+  const size_t old = cdf_.size();
+  if (n < old) {
+    cdf_.resize(n);
+    return;
+  }
+  cdf_.reserve(n);
+  double acc = old == 0 ? 0.0 : cdf_.back();
+  for (size_t y = old + 1; y <= n; ++y) {
+    acc += std::pow(static_cast<double>(y), -s_);
+    cdf_.push_back(acc);
+  }
+}
+
+uint32_t ZipfSampler::Sample(Rng& rng) const {
+  DT_CHECK(!cdf_.empty());
+  const double u = rng.NextDouble() * cdf_.back();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(it - cdf_.begin()) + 1;
+}
+
+std::vector<uint32_t> PowerLawPartition(uint32_t total, uint32_t parts,
+                                        double b) {
+  DT_CHECK(parts > 0);
+  DT_CHECK(total >= parts);
+  std::vector<double> w(parts);
+  double sum = 0.0;
+  for (uint32_t i = 0; i < parts; ++i) {
+    w[i] = std::pow(static_cast<double>(i + 1), b);
+    sum += w[i];
+  }
+  // Start every part at 1, distribute the remainder by largest fractional
+  // share (Hamilton apportionment) so sizes follow i^b as closely as integer
+  // arithmetic allows.
+  std::vector<uint32_t> sizes(parts, 1);
+  uint32_t remaining = total - parts;
+  std::vector<std::pair<double, uint32_t>> frac(parts);
+  uint32_t assigned = 0;
+  for (uint32_t i = 0; i < parts; ++i) {
+    const double share = w[i] / sum * remaining;
+    const auto whole = static_cast<uint32_t>(share);
+    sizes[i] += whole;
+    assigned += whole;
+    frac[i] = {share - whole, i};
+  }
+  std::sort(frac.begin(), frac.end(),
+            [](const auto& x, const auto& y) { return x.first > y.first; });
+  for (uint32_t j = 0; j < remaining - assigned; ++j) {
+    sizes[frac[j % parts].second] += 1;
+  }
+  return sizes;
+}
+
+std::vector<uint32_t> SampleDistinct(Rng& rng, uint32_t n, uint32_t k) {
+  DT_CHECK(k <= n);
+  std::unordered_set<uint32_t> seen;
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  for (uint32_t j = n - k; j < n; ++j) {
+    auto t = static_cast<uint32_t>(rng.NextBelow(j + 1));
+    if (seen.count(t)) t = j;
+    seen.insert(t);
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace dtrace

@@ -1,0 +1,62 @@
+#ifndef DTRACE_UTIL_SAMPLING_H_
+#define DTRACE_UTIL_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dtrace {
+
+/// Samples from a truncated continuous power law P(x) ~ x^{-1-exponent} on
+/// [x_min, x_max] via inverse-CDF. The paper's mobility model (Sec. 6.1) uses
+/// this for stay durations (Eq. 6.1) and jump displacements (Eq. 6.3).
+class TruncatedPowerLaw {
+ public:
+  /// `exponent` is the paper's beta/alpha; the density is x^{-(1+exponent)}.
+  TruncatedPowerLaw(double exponent, double x_min, double x_max);
+
+  double Sample(Rng& rng) const;
+
+  double exponent() const { return exponent_; }
+
+ private:
+  double exponent_;
+  double x_min_;
+  double x_max_;
+  double a_;   // x_min^{-exponent}
+  double b_;   // x_max^{-exponent}
+};
+
+/// Zipf-distributed ranks: P(rank = y) ~ y^{-s} for y in [1, n]. Used for the
+/// preferential-return visit frequency (Eq. 6.4). Sampling is O(log n) via a
+/// precomputed CDF; `Resize` grows the support incrementally.
+class ZipfSampler {
+ public:
+  ZipfSampler(double s, uint32_t n);
+
+  /// Returns a rank in [1, n].
+  uint32_t Sample(Rng& rng) const;
+
+  /// Grows (or shrinks) the support to `n` ranks.
+  void Resize(uint32_t n);
+
+  uint32_t n() const { return static_cast<uint32_t>(cdf_.size()); }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // unnormalized cumulative weights
+};
+
+/// Splits `total` into `parts` positive integer sizes proportional to
+/// (i+1)^b for i in [0, parts); the paper's relative-density law (Eq. 6.8).
+/// Every part is >= 1 (requires total >= parts). Deterministic.
+std::vector<uint32_t> PowerLawPartition(uint32_t total, uint32_t parts,
+                                        double b);
+
+/// Samples `k` distinct values from [0, n) (k <= n), Floyd's algorithm.
+std::vector<uint32_t> SampleDistinct(Rng& rng, uint32_t n, uint32_t k);
+
+}  // namespace dtrace
+
+#endif  // DTRACE_UTIL_SAMPLING_H_

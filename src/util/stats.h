@@ -1,0 +1,60 @@
+#ifndef DTRACE_UTIL_STATS_H_
+#define DTRACE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dtrace {
+
+/// Streaming accumulator for mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance; 0 for n < 2
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (q in [0,1]) of `values` by linear interpolation.
+/// Copies and sorts internally; empty input yields 0.
+double Quantile(std::vector<double> values, double q);
+
+/// Least-squares slope of log(y) vs log(x) over matched pairs with x,y > 0.
+/// Used to validate the mobility model's power-law exponents (Eq. 6.5/6.6).
+double LogLogSlope(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fixed-width histogram over [lo, hi) with `buckets` bins; values outside
+/// the range are clamped into the first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+
+  size_t bucket_count() const { return counts_.size(); }
+  size_t count(size_t bucket) const { return counts_[bucket]; }
+  size_t total() const { return total_; }
+  /// Inclusive lower edge of a bucket.
+  double bucket_lo(size_t bucket) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_UTIL_STATS_H_

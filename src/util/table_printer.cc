@@ -1,0 +1,60 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dtrace {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DT_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  DT_CHECK_MSG(row.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "| " : " | ",
+                   static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::fprintf(out, " |\n");
+  };
+  print_row(header_);
+  size_t total = header_.size() * 3 + 2;
+  for (size_t w : widths) total += w;
+  std::string sep(total - header_.size() - 1, '-');
+  std::fprintf(out, "|%s|\n", sep.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string TablePrinter::Fmt(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+}  // namespace dtrace

@@ -1,0 +1,35 @@
+#ifndef DTRACE_UTIL_TABLE_PRINTER_H_
+#define DTRACE_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dtrace {
+
+/// Prints aligned text tables to stdout; the benchmark harness uses this to
+/// emit one table per reproduced paper figure. Cells are strings; helpers
+/// format numerics consistently.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table to `out` (defaults to stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+  static std::string Fmt(double v, int precision = 4);
+  static std::string Fmt(uint64_t v);
+  static std::string Fmt(int64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_UTIL_TABLE_PRINTER_H_

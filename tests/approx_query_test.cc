@@ -1,0 +1,103 @@
+// Approximate top-k (future-work item 1, implemented via epsilon-slack early
+// termination): bounded error, monotone work reduction.
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "exp/harness.h"
+#include "exp/presets.h"
+
+namespace dtrace {
+namespace {
+
+class ApproxQueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(MakeSynDataset(800, /*seed=*/81));
+    index_ = new DigitalTraceIndex(
+        DigitalTraceIndex::Build(dataset_->store, {.num_functions = 256}));
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete dataset_;
+    index_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static Dataset* dataset_;
+  static DigitalTraceIndex* index_;
+};
+
+Dataset* ApproxQueryTest::dataset_ = nullptr;
+DigitalTraceIndex* ApproxQueryTest::index_ = nullptr;
+
+TEST_F(ApproxQueryTest, EpsilonZeroIsExact) {
+  PolynomialLevelMeasure measure(dataset_->hierarchy->num_levels());
+  QueryOptions opts;
+  opts.approximation_epsilon = 0.0;
+  for (EntityId q : SampleQueries(*dataset_->store, 5, 9)) {
+    const auto a = index_->Query(q, 10, measure, opts);
+    const auto b = index_->BruteForce(q, 10, measure);
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (size_t i = 0; i < a.items.size(); ++i) {
+      EXPECT_NEAR(a.items[i].score, b.items[i].score, 1e-12);
+    }
+  }
+}
+
+TEST_F(ApproxQueryTest, ErrorIsBoundedByEpsilon) {
+  PolynomialLevelMeasure measure(dataset_->hierarchy->num_levels());
+  for (double eps : {0.1, 0.5, 2.0}) {
+    QueryOptions opts;
+    opts.approximation_epsilon = eps;
+    for (EntityId q : SampleQueries(*dataset_->store, 8, 10)) {
+      const auto approx = index_->Query(q, 10, measure, opts);
+      const auto exact = index_->BruteForce(q, 10, measure);
+      ASSERT_FALSE(approx.items.empty());
+      // Guarantee: any missed entity's true degree is below
+      // (1 + eps) * (approximate k-th best score).
+      const double floor = approx.items.back().score * (1.0 + eps);
+      for (const auto& t : exact.items) {
+        const bool present =
+            std::any_of(approx.items.begin(), approx.items.end(),
+                        [&](const ScoredEntity& a) {
+                          return a.entity == t.entity;
+                        });
+        if (!present) {
+          EXPECT_LE(t.score, floor + 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ApproxQueryTest, LargerEpsilonNeverChecksMore) {
+  PolynomialLevelMeasure measure(dataset_->hierarchy->num_levels());
+  for (EntityId q : SampleQueries(*dataset_->store, 6, 11)) {
+    uint64_t prev = ~uint64_t{0};
+    for (double eps : {0.0, 0.2, 1.0, 5.0}) {
+      QueryOptions opts;
+      opts.approximation_epsilon = eps;
+      const auto r = index_->Query(q, 10, measure, opts);
+      EXPECT_LE(r.stats.entities_checked, prev);
+      prev = r.stats.entities_checked;
+    }
+  }
+}
+
+TEST_F(ApproxQueryTest, ReturnedScoresAreExactDegrees) {
+  // Approximation affects which entities are returned, never their scores.
+  PolynomialLevelMeasure measure(dataset_->hierarchy->num_levels());
+  QueryOptions opts;
+  opts.approximation_epsilon = 1.0;
+  for (EntityId q : SampleQueries(*dataset_->store, 4, 12)) {
+    const auto r = index_->Query(q, 5, measure, opts);
+    for (const auto& item : r.items) {
+      EXPECT_NEAR(item.score,
+                  ComputeDegree(measure, *dataset_->store, q, item.entity),
+                  1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtrace

@@ -1,0 +1,157 @@
+// ADM axioms (Sec. 3.2) and upper-bound admissibility for every measure.
+#include "core/association.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/rng.h"
+
+namespace dtrace {
+namespace {
+
+constexpr int kLevels = 4;
+
+std::vector<std::unique_ptr<AssociationMeasure>> AllMeasures() {
+  std::vector<std::unique_ptr<AssociationMeasure>> ms;
+  ms.push_back(std::make_unique<PolynomialLevelMeasure>(kLevels, 2.0, 2.0));
+  ms.push_back(std::make_unique<PolynomialLevelMeasure>(kLevels, 5.0, 2.0));
+  ms.push_back(std::make_unique<PolynomialLevelMeasure>(kLevels, 2.0, 5.0));
+  ms.push_back(
+      std::make_unique<WeightedDiceMeasure>(UniformLevelWeights(kLevels)));
+  ms.push_back(
+      std::make_unique<WeightedJaccardMeasure>(UniformLevelWeights(kLevels)));
+  return ms;
+}
+
+class MeasureTest : public ::testing::TestWithParam<int> {
+ protected:
+  MeasureTest() : measures_(AllMeasures()) {}
+  const AssociationMeasure& measure() const {
+    return *measures_[GetParam()];
+  }
+  std::vector<std::unique_ptr<AssociationMeasure>> measures_;
+};
+
+TEST_P(MeasureTest, NormalizationAxiom) {
+  Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint32_t> q(kLevels), c(kLevels), inter(kLevels);
+    for (int l = 0; l < kLevels; ++l) {
+      q[l] = static_cast<uint32_t>(rng.NextBelow(50));
+      c[l] = static_cast<uint32_t>(rng.NextBelow(50));
+      inter[l] = static_cast<uint32_t>(rng.NextBelow(std::min(q[l], c[l]) + 1));
+    }
+    const double s = measure().Score(q, c, inter);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_P(MeasureTest, ZeroIntersectionScoresZero) {
+  std::vector<uint32_t> q = {5, 10, 20, 40}, c = {3, 6, 9, 12};
+  std::vector<uint32_t> inter(kLevels, 0);
+  EXPECT_DOUBLE_EQ(measure().Score(q, c, inter), 0.0);
+}
+
+TEST_P(MeasureTest, MoreOverlapNeverHurts) {
+  Rng rng(GetParam() + 100);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<uint32_t> q(kLevels), c(kLevels), lo(kLevels), hi(kLevels);
+    for (int l = 0; l < kLevels; ++l) {
+      q[l] = 1 + static_cast<uint32_t>(rng.NextBelow(40));
+      c[l] = 1 + static_cast<uint32_t>(rng.NextBelow(40));
+      const uint32_t cap = std::min(q[l], c[l]);
+      lo[l] = static_cast<uint32_t>(rng.NextBelow(cap + 1));
+      hi[l] = lo[l] + static_cast<uint32_t>(rng.NextBelow(cap - lo[l] + 1));
+    }
+    EXPECT_LE(measure().Score(q, c, lo), measure().Score(q, c, hi) + 1e-12);
+  }
+}
+
+TEST_P(MeasureTest, SmallerCandidateNeverHurts) {
+  // Monotonicity: shrinking the candidate's sets (holding the intersection)
+  // cannot lower deg.
+  Rng rng(GetParam() + 200);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<uint32_t> q(kLevels), big(kLevels), small(kLevels),
+        inter(kLevels);
+    for (int l = 0; l < kLevels; ++l) {
+      q[l] = 1 + static_cast<uint32_t>(rng.NextBelow(40));
+      inter[l] = static_cast<uint32_t>(rng.NextBelow(q[l] + 1));
+      small[l] = inter[l] + static_cast<uint32_t>(rng.NextBelow(10));
+      big[l] = small[l] + static_cast<uint32_t>(rng.NextBelow(10));
+    }
+    EXPECT_GE(measure().Score(q, small, inter),
+              measure().Score(q, big, inter) - 1e-12);
+  }
+}
+
+TEST_P(MeasureTest, UpperBoundIsAdmissible) {
+  // For any candidate whose per-level intersection is capped by `remaining`,
+  // UpperBound dominates the exact score.
+  Rng rng(GetParam() + 300);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<uint32_t> q(kLevels), c(kLevels), inter(kLevels),
+        remaining(kLevels);
+    for (int l = 0; l < kLevels; ++l) {
+      q[l] = static_cast<uint32_t>(rng.NextBelow(40));
+      remaining[l] = static_cast<uint32_t>(rng.NextBelow(q[l] + 1));
+      c[l] = static_cast<uint32_t>(rng.NextBelow(40));
+      inter[l] = static_cast<uint32_t>(
+          rng.NextBelow(std::min({q[l], c[l], remaining[l]}) + 1));
+    }
+    const double ub = measure().UpperBound(q, remaining);
+    const double s = measure().Score(q, c, inter);
+    EXPECT_GE(ub, s - 1e-12) << measure().name();
+  }
+}
+
+TEST_P(MeasureTest, FullRemainingBoundsAnyCandidate) {
+  Rng rng(GetParam() + 400);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<uint32_t> q(kLevels), c(kLevels), inter(kLevels);
+    for (int l = 0; l < kLevels; ++l) {
+      q[l] = static_cast<uint32_t>(rng.NextBelow(40));
+      c[l] = static_cast<uint32_t>(rng.NextBelow(40));
+      inter[l] = static_cast<uint32_t>(rng.NextBelow(std::min(q[l], c[l]) + 1));
+    }
+    EXPECT_GE(measure().UpperBound(q, q), measure().Score(q, c, inter) - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeasures, MeasureTest, ::testing::Range(0, 5));
+
+TEST(PolynomialLevelMeasureTest, FinerLevelsWeighMore) {
+  PolynomialLevelMeasure m(kLevels, 2.0, 2.0);
+  std::vector<uint32_t> q = {10, 10, 10, 10}, c = {10, 10, 10, 10};
+  std::vector<uint32_t> coarse = {5, 0, 0, 0}, fine = {0, 0, 0, 5};
+  EXPECT_GT(m.Score(q, c, fine), m.Score(q, c, coarse));
+}
+
+TEST(PolynomialLevelMeasureTest, PerfectMatchScoresOne) {
+  PolynomialLevelMeasure m(kLevels, 2.0, 2.0);
+  std::vector<uint32_t> q = {4, 8, 16, 32};
+  EXPECT_NEAR(m.Score(q, q, q), 1.0, 1e-12);
+}
+
+TEST(WeightedJaccardMeasureTest, IdenticalSetsScoreOne) {
+  WeightedJaccardMeasure m(UniformLevelWeights(kLevels));
+  std::vector<uint32_t> q = {4, 8, 16, 32};
+  EXPECT_NEAR(m.Score(q, q, q), 1.0, 1e-12);
+}
+
+TEST(ComputeDegreeTest, MatchesManualComputation) {
+  SpatialHierarchy::Builder b(2);
+  b.AddLevel({0, 0, 1, 1});
+  const auto h = std::move(b).Build();
+  TraceStore store(h, 2, 2,
+                   {{0, 0, 0, 1}, {0, 1, 1, 2}, {1, 0, 0, 1}, {1, 2, 1, 2}});
+  WeightedDiceMeasure m({0.5, 0.5});
+  // Level 2: inter 1 of sizes 2,2 -> 0.25; level 1: inter 1 -> 0.25.
+  EXPECT_DOUBLE_EQ(ComputeDegree(m, store, 0, 1),
+                   0.5 * 0.25 + 0.5 * 0.25);
+}
+
+}  // namespace
+}  // namespace dtrace

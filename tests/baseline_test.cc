@@ -1,0 +1,81 @@
+#include "baseline/cluster_index.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/index.h"
+#include "mobility/hierarchy_generator.h"
+#include "mobility/synthetic.h"
+#include "util/rng.h"
+
+namespace dtrace {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SynConfig config;
+    config.num_entities = 150;
+    config.horizon = 96;
+    config.grid_side = 12;
+    config.hierarchy.m = 3;
+    config.seed = 9;
+    dataset_ = GenerateSyn(config);
+  }
+  Dataset dataset_;
+};
+
+TEST_F(BaselineTest, MatchesBruteForce) {
+  const auto index = ClusterBitmapIndex::Build(*dataset_.store, {});
+  const auto oracle =
+      DigitalTraceIndex::Build(dataset_.store, {.num_functions = 8});
+  PolynomialLevelMeasure measure(dataset_.hierarchy->num_levels());
+  for (EntityId q = 0; q < dataset_.num_entities(); q += 29) {
+    for (int k : {1, 5}) {
+      const TopKResult fast = index.Query(q, k, measure);
+      const TopKResult slow = oracle.BruteForce(q, k, measure);
+      ASSERT_EQ(fast.items.size(), slow.items.size());
+      for (size_t i = 0; i < fast.items.size(); ++i) {
+        EXPECT_NEAR(fast.items[i].score, slow.items[i].score, 1e-12)
+            << "q=" << q << " k=" << k << " rank=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(BaselineTest, GroupsPartitionEntities) {
+  const auto index = ClusterBitmapIndex::Build(*dataset_.store, {});
+  EXPECT_GT(index.num_groups(), 0u);
+  EXPECT_LE(index.num_groups(), dataset_.num_entities());
+  EXPECT_GT(index.MemoryBytes(), 0u);
+}
+
+TEST_F(BaselineTest, ChecksCountBoundedByPopulation) {
+  const auto index = ClusterBitmapIndex::Build(*dataset_.store, {});
+  PolynomialLevelMeasure measure(dataset_.hierarchy->num_levels());
+  const TopKResult r = index.Query(3, 5, measure);
+  EXPECT_LE(r.stats.entities_checked, dataset_.num_entities() - 1);
+  EXPECT_GE(r.stats.entities_checked, r.items.size());
+}
+
+TEST_F(BaselineTest, RespectsClusterBudget) {
+  BaselineOptions opts;
+  opts.clusters_per_level = 64;
+  const auto index = ClusterBitmapIndex::Build(*dataset_.store, opts);
+  PolynomialLevelMeasure measure(dataset_.hierarchy->num_levels());
+  // Still exact with a tiny cluster budget (bounds get looser, not wrong).
+  const auto oracle =
+      DigitalTraceIndex::Build(dataset_.store, {.num_functions = 8});
+  for (EntityId q = 5; q < dataset_.num_entities(); q += 47) {
+    const TopKResult fast = index.Query(q, 3, measure);
+    const TopKResult slow = oracle.BruteForce(q, 3, measure);
+    ASSERT_EQ(fast.items.size(), slow.items.size());
+    for (size_t i = 0; i < fast.items.size(); ++i) {
+      EXPECT_NEAR(fast.items[i].score, slow.items[i].score, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtrace

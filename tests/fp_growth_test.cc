@@ -1,0 +1,135 @@
+#include "fpm/fp_growth.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/rng.h"
+
+namespace dtrace {
+namespace {
+
+using Txns = std::vector<std::vector<uint32_t>>;
+
+// Brute-force miner for cross-checking: enumerate all itemsets up to
+// `max_size` present in the data.
+std::vector<FrequentItemset> BruteForceMine(const Txns& txns,
+                                            uint32_t min_support,
+                                            uint32_t max_size) {
+  std::set<uint32_t> items;
+  for (const auto& t : txns) items.insert(t.begin(), t.end());
+  const std::vector<uint32_t> universe(items.begin(), items.end());
+  std::vector<FrequentItemset> out;
+  // Enumerate subsets via recursion.
+  std::vector<uint32_t> current;
+  auto support_of = [&](const std::vector<uint32_t>& set) {
+    uint32_t s = 0;
+    for (const auto& t : txns) {
+      bool all = true;
+      for (uint32_t item : set) {
+        if (std::find(t.begin(), t.end(), item) == t.end()) {
+          all = false;
+          break;
+        }
+      }
+      s += all;
+    }
+    return s;
+  };
+  std::function<void(size_t)> rec = [&](size_t start) {
+    if (!current.empty()) {
+      const uint32_t s = support_of(current);
+      if (s >= min_support) out.push_back({current, s});
+      if (s < min_support) return;  // anti-monotone: no superset qualifies
+    }
+    if (max_size != 0 && current.size() >= max_size) return;
+    for (size_t i = start; i < universe.size(); ++i) {
+      current.push_back(universe[i]);
+      rec(i + 1);
+      current.pop_back();
+    }
+  };
+  rec(0);
+  std::sort(out.begin(), out.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return out;
+}
+
+TEST(FpGrowthTest, TextbookExample) {
+  // Classic example: {f,a,c,d,g,i,m,p} style, small alphabet.
+  const Txns txns = {{1, 2, 3}, {1, 2}, {1, 4}, {2, 3}, {1, 2, 3, 4}};
+  FpGrowth miner(2);
+  const auto result = miner.Mine(txns);
+  std::map<std::vector<uint32_t>, uint32_t> by_set;
+  for (const auto& fs : result) by_set[fs.items] = fs.support;
+  EXPECT_EQ(by_set.at({1}), 4u);
+  EXPECT_EQ(by_set.at({2}), 4u);
+  EXPECT_EQ(by_set.at({3}), 3u);
+  EXPECT_EQ(by_set.at({4}), 2u);
+  EXPECT_EQ(by_set.at({1, 2}), 3u);
+  EXPECT_EQ(by_set.at({2, 3}), 3u);
+  EXPECT_EQ(by_set.at({1, 2, 3}), 2u);
+  EXPECT_EQ(by_set.at({1, 4}), 2u);
+  EXPECT_EQ(by_set.count({3, 4}), 0u);  // support 1 < 2
+}
+
+TEST(FpGrowthTest, MatchesBruteForceOnRandomData) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Txns txns;
+    const int n = 30 + static_cast<int>(rng.NextBelow(40));
+    for (int i = 0; i < n; ++i) {
+      std::vector<uint32_t> t;
+      const int len = 1 + static_cast<int>(rng.NextBelow(6));
+      for (int j = 0; j < len; ++j) {
+        t.push_back(static_cast<uint32_t>(rng.NextBelow(12)));
+      }
+      std::sort(t.begin(), t.end());
+      t.erase(std::unique(t.begin(), t.end()), t.end());
+      txns.push_back(std::move(t));
+    }
+    const uint32_t min_support = 2 + static_cast<uint32_t>(rng.NextBelow(5));
+    FpGrowth miner(min_support);
+    EXPECT_EQ(miner.Mine(txns), BruteForceMine(txns, min_support, 0))
+        << "trial " << trial;
+  }
+}
+
+TEST(FpGrowthTest, MaxSizeLimitsItemsets) {
+  const Txns txns = {{1, 2, 3}, {1, 2, 3}, {1, 2, 3}};
+  FpGrowth pairs(2, /*max_itemset_size=*/2);
+  for (const auto& fs : pairs.Mine(txns)) {
+    EXPECT_LE(fs.items.size(), 2u);
+  }
+  EXPECT_EQ(pairs.Mine(txns), BruteForceMine(txns, 2, 2));
+}
+
+TEST(FpGrowthTest, HandlesEmptyAndNoFrequentItems) {
+  FpGrowth miner(2);
+  EXPECT_TRUE(miner.Mine({}).empty());
+  EXPECT_TRUE(miner.Mine({{1}, {2}, {3}}).empty());
+}
+
+TEST(FpGrowthTest, DuplicateItemsInTransactionCountOnce) {
+  FpGrowth miner(2);
+  const auto result = miner.Mine({{5, 5, 5}, {5}});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].support, 2u);
+}
+
+TEST(FpGrowthTest, SingleTransactionHighSupport) {
+  FpGrowth miner(1);
+  const auto result = miner.Mine({{1, 2}});
+  // {1}, {2}, {1,2}.
+  EXPECT_EQ(result.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dtrace

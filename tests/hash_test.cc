@@ -1,0 +1,177 @@
+// Property tests of the hash families: the parent constraint (Sec. 4.2.1),
+// Theorem 1 (per-level signature monotonicity), and Theorem 2 (pruning
+// soundness) must hold for every implementation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/signature.h"
+#include "hash/exact_hasher.h"
+#include "hash/hierarchical_hasher.h"
+#include "mobility/hierarchy_generator.h"
+#include "trace/trace_store.h"
+#include "util/rng.h"
+
+namespace dtrace {
+namespace {
+
+struct HasherCase {
+  std::string name;
+  bool hierarchical;  // else exact
+};
+
+class HashFamilyTest : public ::testing::TestWithParam<HasherCase> {
+ protected:
+  void SetUp() override {
+    hierarchy_ = GenerateGridHierarchy(8, {.m = 3, .a = 1.5, .b = 1.5});
+    horizon_ = 12;
+    nh_ = 16;
+    if (GetParam().hierarchical) {
+      hasher_ = std::make_unique<HierarchicalMinHasher>(*hierarchy_, horizon_,
+                                                        nh_, /*seed=*/99);
+    } else {
+      hasher_ = std::make_unique<ExactMinHasher>(*hierarchy_, nh_, 99);
+    }
+  }
+
+  std::shared_ptr<const SpatialHierarchy> hierarchy_;
+  TimeStep horizon_ = 0;
+  int nh_ = 0;
+  std::unique_ptr<CellHasher> hasher_;
+};
+
+TEST_P(HashFamilyTest, ParentConstraintHolds) {
+  // h_u(t, parent) == min over children of h_u(t, child), for all levels,
+  // units, several times, all functions.
+  for (Level level = 1; level < hierarchy_->num_levels(); ++level) {
+    const uint32_t units = hierarchy_->units_at(level);
+    const uint32_t child_units = hierarchy_->units_at(level + 1);
+    for (UnitId unit = 0; unit < units; ++unit) {
+      for (TimeStep t : {TimeStep{0}, TimeStep{5}, TimeStep{11}}) {
+        for (int u = 0; u < nh_; u += 5) {
+          uint64_t min_child = ~uint64_t{0};
+          for (UnitId c : hierarchy_->children(level, unit)) {
+            min_child = std::min(
+                min_child, hasher_->Hash(u, level + 1, t * child_units + c));
+          }
+          EXPECT_EQ(hasher_->Hash(u, level, t * units + unit), min_child);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(HashFamilyTest, HashAllMatchesSingle) {
+  std::vector<uint64_t> all(nh_);
+  Rng rng(1);
+  for (Level level = 1; level <= hierarchy_->num_levels(); ++level) {
+    const uint64_t n_cells =
+        static_cast<uint64_t>(horizon_) * hierarchy_->units_at(level);
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto cell = static_cast<CellId>(rng.NextBelow(n_cells));
+      hasher_->HashAll(level, cell, all.data());
+      for (int u = 0; u < nh_; ++u) {
+        ASSERT_EQ(all[u], hasher_->Hash(u, level, cell));
+      }
+    }
+  }
+}
+
+TEST_P(HashFamilyTest, Theorem1SignatureMonotonicity) {
+  // Random traces: sig^i[u] <= sig^{i+1}[u] for all i, u.
+  Rng rng(7);
+  std::vector<PresenceRecord> records;
+  const uint32_t num_entities = 20;
+  for (EntityId e = 0; e < num_entities; ++e) {
+    const int n = 1 + static_cast<int>(rng.NextBelow(10));
+    for (int i = 0; i < n; ++i) {
+      const auto unit =
+          static_cast<UnitId>(rng.NextBelow(hierarchy_->num_base_units()));
+      const auto t = static_cast<TimeStep>(rng.NextBelow(horizon_ - 1));
+      records.push_back({e, unit, t, t + 1});
+    }
+  }
+  TraceStore store(*hierarchy_, num_entities, horizon_, records);
+  SignatureComputer sigs(store, *hasher_);
+  for (EntityId e = 0; e < num_entities; ++e) {
+    const SignatureList sig = sigs.Compute(e);
+    for (Level l = 1; l < hierarchy_->num_levels(); ++l) {
+      for (int u = 0; u < nh_; ++u) {
+        EXPECT_LE(sig.level(l)[u], sig.level(l + 1)[u]);
+      }
+    }
+  }
+}
+
+TEST_P(HashFamilyTest, Theorem2PruningSoundness) {
+  // If sig^i[u] > h_u(s) for a level-j cell s (j >= i), then s is not in
+  // seq^j. Verified by enumerating the entity's actual cells.
+  Rng rng(21);
+  std::vector<PresenceRecord> records;
+  for (int i = 0; i < 12; ++i) {
+    const auto unit =
+        static_cast<UnitId>(rng.NextBelow(hierarchy_->num_base_units()));
+    const auto t = static_cast<TimeStep>(rng.NextBelow(horizon_ - 1));
+    records.push_back({0, unit, t, t + 1});
+  }
+  TraceStore store(*hierarchy_, 1, horizon_, records);
+  SignatureComputer sigs(store, *hasher_);
+  const SignatureList sig = sigs.Compute(0);
+  const int m = hierarchy_->num_levels();
+  for (Level i = 1; i <= m; ++i) {
+    for (Level j = i; j <= m; ++j) {
+      const uint64_t n_cells =
+          static_cast<uint64_t>(horizon_) * hierarchy_->units_at(j);
+      const auto cells = store.cells(0, j);
+      for (uint64_t c = 0; c < n_cells; c += 7) {  // sample the space
+        for (int u = 0; u < nh_; u += 3) {
+          if (sig.level(i)[u] > hasher_->Hash(u, j, static_cast<CellId>(c))) {
+            EXPECT_FALSE(std::binary_search(cells.begin(), cells.end(),
+                                            static_cast<CellId>(c)))
+                << "pruned cell is actually present";
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, HashFamilyTest,
+    ::testing::Values(HasherCase{"hierarchical", true},
+                      HasherCase{"exact", false}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(HierarchicalMinHasherTest, DeterministicAcrossInstances) {
+  const auto h = GenerateGridHierarchy(4, {.m = 2, .a = 1.0, .b = 1.0});
+  HierarchicalMinHasher a(*h, 10, 8, 5), b(*h, 10, 8, 5), c(*h, 10, 8, 6);
+  bool any_diff = false;
+  for (CellId cell = 0; cell < 40; ++cell) {
+    for (int u = 0; u < 8; ++u) {
+      EXPECT_EQ(a.Hash(u, 2, cell), b.Hash(u, 2, cell));
+      any_diff |= a.Hash(u, 2, cell) != c.Hash(u, 2, cell);
+    }
+  }
+  EXPECT_TRUE(any_diff) << "different seeds should differ";
+}
+
+TEST(HierarchicalMinHasherTest, ReportsMemory) {
+  const auto h = GenerateGridHierarchy(4, {.m = 2, .a = 1.0, .b = 1.0});
+  HierarchicalMinHasher hasher(*h, 10, 8, 5);
+  EXPECT_GT(hasher.MemoryBytes(), 0u);
+}
+
+TEST(DescendantBasesTest, CoversAllBases) {
+  const auto h = GenerateGridHierarchy(8, {.m = 3, .a = 2.0, .b = 2.0});
+  const auto d = DescendantBases::Compute(*h);
+  // Root level: the union of all level-1 units' descendants is every base.
+  size_t total = 0;
+  for (UnitId u = 0; u < h->units_at(1); ++u) {
+    auto [begin, end] = d.Of(1, u);
+    total += static_cast<size_t>(end - begin);
+  }
+  EXPECT_EQ(total, h->num_base_units());
+}
+
+}  // namespace
+}  // namespace dtrace

@@ -1,0 +1,103 @@
+#include "mobility/hierarchy_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dtrace {
+namespace {
+
+TEST(MortonCodeTest, OrdersQuadrants) {
+  EXPECT_EQ(MortonCode(0, 0), 0u);
+  EXPECT_EQ(MortonCode(1, 0), 1u);
+  EXPECT_EQ(MortonCode(0, 1), 2u);
+  EXPECT_EQ(MortonCode(1, 1), 3u);
+  EXPECT_EQ(MortonCode(2, 0), 4u);
+  // Locality: neighbours in the same 2x2 block are contiguous.
+  EXPECT_LT(MortonCode(3, 3), MortonCode(0, 4));
+}
+
+TEST(LevelWidthsTest, FollowsEq67) {
+  // W_l = Q l^a with W_m = num_base.
+  const auto widths = LevelWidths(2500, {.m = 4, .a = 2.0, .b = 2.0});
+  ASSERT_EQ(widths.size(), 4u);
+  EXPECT_EQ(widths[3], 2500u);
+  // Q = 2500/16; W_1 ~ 156, W_2 ~ 625, W_3 ~ 1406.
+  EXPECT_NEAR(widths[0], 156, 2);
+  EXPECT_NEAR(widths[1], 625, 2);
+  EXPECT_NEAR(widths[2], 1406, 2);
+  // Monotone.
+  for (size_t i = 1; i < widths.size(); ++i) {
+    EXPECT_LE(widths[i - 1], widths[i]);
+  }
+}
+
+TEST(LevelWidthsTest, DegenerateCases) {
+  EXPECT_EQ(LevelWidths(10, {.m = 1, .a = 2.0, .b = 1.0})[0], 10u);
+  const auto tiny = LevelWidths(2, {.m = 4, .a = 2.0, .b = 1.0});
+  for (uint32_t w : tiny) EXPECT_GE(w, 1u);
+}
+
+TEST(GenerateHierarchyTest, StructureMatchesWidths) {
+  const HierarchyParams params{.m = 4, .a = 2.0, .b = 2.0};
+  std::vector<UnitId> order(1000);
+  std::iota(order.begin(), order.end(), 0);
+  const auto h = GenerateHierarchy(1000, order, params);
+  const auto widths = LevelWidths(1000, params);
+  ASSERT_EQ(h->num_levels(), 4);
+  for (int l = 1; l <= 4; ++l) {
+    EXPECT_EQ(h->units_at(l), widths[l - 1]) << "level " << l;
+  }
+}
+
+TEST(GenerateHierarchyTest, SizesFollowPowerLawDensity) {
+  // Eq. 6.8: with b = 2 the largest level-1 unit should contain far more
+  // base units than the smallest.
+  const auto h = GenerateHierarchy(
+      2000, [] {
+        std::vector<UnitId> o(2000);
+        std::iota(o.begin(), o.end(), 0);
+        return o;
+      }(),
+      {.m = 3, .a = 1.5, .b = 2.0});
+  std::vector<size_t> base_counts(h->units_at(1), 0);
+  for (UnitId b = 0; b < h->num_base_units(); ++b) {
+    ++base_counts[h->AncestorOfBase(b, 1)];
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(base_counts.begin(), base_counts.end());
+  EXPECT_GT(*max_it, *min_it * 5);
+}
+
+TEST(GenerateGridHierarchyTest, ZOrderKeepsSpatialCoherence) {
+  const auto h = GenerateGridHierarchy(16, {.m = 3, .a = 1.5, .b = 0.0});
+  // With b = 0 (equal sizes), the bounding box of each level-1 region
+  // should be compact-ish: check that grid neighbours usually share their
+  // level-1 ancestor more often than random pairs do.
+  const uint32_t side = 16;
+  uint32_t neighbor_same = 0, neighbor_total = 0;
+  for (uint32_t y = 0; y < side; ++y) {
+    for (uint32_t x = 0; x + 1 < side; ++x) {
+      const UnitId a = y * side + x, b = y * side + x + 1;
+      neighbor_same +=
+          h->AncestorOfBase(a, 1) == h->AncestorOfBase(b, 1) ? 1 : 0;
+      ++neighbor_total;
+    }
+  }
+  const double p_neighbor =
+      static_cast<double>(neighbor_same) / neighbor_total;
+  const double p_random = 1.0 / h->units_at(1);
+  EXPECT_GT(p_neighbor, 3 * p_random);
+}
+
+TEST(GenerateGridHierarchyTest, EveryBaseHasFullAncestorPath) {
+  const auto h = GenerateGridHierarchy(8, {.m = 4, .a = 2.0, .b = 1.0});
+  for (UnitId b = 0; b < h->num_base_units(); ++b) {
+    for (int l = h->num_levels(); l >= 1; --l) {
+      EXPECT_LT(h->AncestorOfBase(b, l), h->units_at(l));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtrace

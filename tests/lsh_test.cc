@@ -1,0 +1,118 @@
+#include "lsh/banding_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/index.h"
+#include "exp/presets.h"
+#include "hash/hierarchical_hasher.h"
+
+namespace dtrace {
+namespace {
+
+class LshTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(MakeSynDataset(600, /*seed=*/71));
+    hasher_ = new HierarchicalMinHasher(*dataset_->hierarchy,
+                                        dataset_->horizon,
+                                        /*num_functions=*/128, /*seed=*/72);
+  }
+  static void TearDownTestSuite() {
+    delete hasher_;
+    delete dataset_;
+    hasher_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static Dataset* dataset_;
+  static HierarchicalMinHasher* hasher_;
+};
+
+Dataset* LshTest::dataset_ = nullptr;
+HierarchicalMinHasher* LshTest::hasher_ = nullptr;
+
+TEST_F(LshTest, RetrievalProbabilityCurve) {
+  MinHashBandingIndex index(*dataset_->store, *hasher_, {.bands = 32,
+                                                         .rows = 4});
+  // The S-curve: near 0 at low similarity, near 1 at high similarity,
+  // monotone in between.
+  EXPECT_LT(index.RetrievalProbability(0.05), 0.01);
+  EXPECT_GT(index.RetrievalProbability(0.9), 0.999);
+  double prev = 0.0;
+  for (double s = 0.0; s <= 1.0; s += 0.05) {
+    const double p = index.RetrievalProbability(s);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+}
+
+TEST_F(LshTest, CandidatesContainStrongAssociates) {
+  // Companion-group co-members share ~90% of their cells; with 32 bands of
+  // 4 rows they must be retrieved essentially always.
+  MinHashBandingIndex index(*dataset_->store, *hasher_, {.bands = 32,
+                                                         .rows = 4});
+  int hits = 0, want = 0;
+  for (EntityId q = 0; q < 200; q += 25) {
+    const auto cands = index.Candidates(q);
+    // Co-members of q share its group of 100 (entities q/100*100 ..).
+    const EntityId base = q / 100 * 100;
+    for (EntityId member = base; member < base + 5; ++member) {
+      if (member == q) continue;
+      ++want;
+      hits += std::binary_search(cands.begin(), cands.end(), member);
+    }
+  }
+  EXPECT_GE(hits, want * 9 / 10);
+}
+
+TEST_F(LshTest, QueryRecallVsExact) {
+  MinHashBandingIndex lsh(*dataset_->store, *hasher_, {.bands = 32,
+                                                       .rows = 4});
+  const auto exact =
+      DigitalTraceIndex::Build(dataset_->store, {.num_functions = 128});
+  PolynomialLevelMeasure measure(dataset_->hierarchy->num_levels());
+  int found = 0, total = 0;
+  for (EntityId q = 3; q < 600; q += 97) {
+    const auto approx = lsh.Query(q, 10, measure);
+    const auto truth = exact.Query(q, 10, measure);
+    for (const auto& t : truth.items) {
+      if (t.score <= 0.0) continue;
+      ++total;
+      for (const auto& a : approx.items) {
+        if (a.entity == t.entity) {
+          ++found;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(total, 0);
+  // Strong associates dominate top-10 here; banding recall should be high
+  // but it carries no guarantee — allow slack.
+  EXPECT_GE(found, total * 7 / 10);
+}
+
+TEST_F(LshTest, FewerBandsMeansFewerCandidates) {
+  MinHashBandingIndex wide(*dataset_->store, *hasher_, {.bands = 32,
+                                                        .rows = 4});
+  MinHashBandingIndex narrow(*dataset_->store, *hasher_, {.bands = 8,
+                                                          .rows = 16});
+  uint64_t wide_c = 0, narrow_c = 0;
+  for (EntityId q = 0; q < 600; q += 61) {
+    wide_c += wide.Candidates(q).size();
+    narrow_c += narrow.Candidates(q).size();
+  }
+  EXPECT_GE(wide_c, narrow_c);
+}
+
+TEST_F(LshTest, ReportsMemory) {
+  MinHashBandingIndex index(*dataset_->store, *hasher_, {.bands = 8,
+                                                         .rows = 8});
+  EXPECT_GT(index.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace dtrace

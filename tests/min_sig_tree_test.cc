@@ -1,0 +1,213 @@
+#include "core/min_sig_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <cmath>
+#include <set>
+
+#include "core/signature.h"
+#include "hash/hierarchical_hasher.h"
+#include "mobility/hierarchy_generator.h"
+#include "trace/trace_store.h"
+#include "util/rng.h"
+
+namespace dtrace {
+namespace {
+
+class MinSigTreeTest : public ::testing::Test {
+ protected:
+  static constexpr int kNh = 8;
+  static constexpr uint32_t kEntities = 60;
+  static constexpr TimeStep kHorizon = 24;
+
+  void SetUp() override {
+    hierarchy_ = GenerateGridHierarchy(8, {.m = 3, .a = 1.5, .b = 1.5});
+    Rng rng(11);
+    std::vector<PresenceRecord> records;
+    for (EntityId e = 0; e < kEntities; ++e) {
+      const int n = 2 + static_cast<int>(rng.NextBelow(8));
+      for (int i = 0; i < n; ++i) {
+        const auto unit =
+            static_cast<UnitId>(rng.NextBelow(hierarchy_->num_base_units()));
+        const auto t = static_cast<TimeStep>(rng.NextBelow(kHorizon - 1));
+        records.push_back({e, unit, t, t + 1});
+      }
+    }
+    store_ =
+        std::make_unique<TraceStore>(*hierarchy_, kEntities, kHorizon, records);
+    hasher_ = std::make_unique<HierarchicalMinHasher>(*hierarchy_, kHorizon,
+                                                      kNh, 23);
+    sigs_ = std::make_unique<SignatureComputer>(*store_, *hasher_);
+    all_.resize(kEntities);
+    for (EntityId e = 0; e < kEntities; ++e) all_[e] = e;
+  }
+
+  std::shared_ptr<const SpatialHierarchy> hierarchy_;
+  std::unique_ptr<TraceStore> store_;
+  std::unique_ptr<HierarchicalMinHasher> hasher_;
+  std::unique_ptr<SignatureComputer> sigs_;
+  std::vector<EntityId> all_;
+};
+
+TEST_F(MinSigTreeTest, BuildSatisfiesInvariants) {
+  const MinSigTree tree = MinSigTree::Build(*sigs_, all_);
+  tree.CheckInvariants(*sigs_);
+  EXPECT_EQ(tree.num_entities(), kEntities);
+  EXPECT_EQ(tree.num_levels(), hierarchy_->num_levels());
+  EXPECT_EQ(tree.num_functions(), kNh);
+}
+
+TEST_F(MinSigTreeTest, EveryEntityInExactlyOneLeaf) {
+  const MinSigTree tree = MinSigTree::Build(*sigs_, all_);
+  std::set<EntityId> seen;
+  for (uint32_t i = 0; i < tree.num_nodes(); ++i) {
+    const auto& n = tree.node(i);
+    if (n.level != tree.num_levels()) continue;
+    for (EntityId e : n.entities) {
+      EXPECT_TRUE(seen.insert(e).second) << "entity in two leaves";
+    }
+  }
+  EXPECT_EQ(seen.size(), kEntities);
+}
+
+TEST_F(MinSigTreeTest, NodeCountBounded) {
+  const MinSigTree tree = MinSigTree::Build(*sigs_, all_);
+  // Sec. 4.3: the tree has at most min(nh^m, |E| * m) nodes (plus the root).
+  const uint64_t bound = std::min<uint64_t>(
+      static_cast<uint64_t>(std::pow(kNh, hierarchy_->num_levels())),
+      static_cast<uint64_t>(kEntities) * hierarchy_->num_levels());
+  EXPECT_LE(tree.num_nodes() - 1, bound);
+}
+
+TEST_F(MinSigTreeTest, RoutingGroupsEntitiesByArgmax) {
+  const MinSigTree tree = MinSigTree::Build(*sigs_, all_);
+  // Each level-1 child of the root holds exactly the entities whose level-1
+  // routing index matches.
+  std::vector<uint64_t> sig(kNh);
+  for (EntityId e : all_) {
+    sigs_->ComputeLevel(e, 1, sig);
+    const int r = SignatureComputer::RoutingIndex(sig);
+    // Find e's level-1 ancestor.
+    uint32_t leaf = 0;
+    for (uint32_t i = 0; i < tree.num_nodes(); ++i) {
+      const auto& n = tree.node(i);
+      if (n.level == tree.num_levels() &&
+          std::find(n.entities.begin(), n.entities.end(), e) !=
+              n.entities.end()) {
+        leaf = i;
+        break;
+      }
+    }
+    uint32_t cur = leaf;
+    while (tree.node(cur).level > 1) {
+      cur = static_cast<uint32_t>(tree.node(cur).parent);
+    }
+    EXPECT_EQ(tree.node(cur).routing, r);
+  }
+}
+
+TEST_F(MinSigTreeTest, Theorem3PrunedSetMonotonicity) {
+  // A descendant's (routing, value) prunes at least the cells its ancestor
+  // prunes, expressed through values: since values only shrink along the
+  // build (group min over fewer entities), each child value at the same
+  // routing position dominates... verified via the per-entity dominance
+  // already; here check that sibling groups partition the parent's members.
+  const MinSigTree tree = MinSigTree::Build(*sigs_, all_);
+  for (uint32_t i = 0; i < tree.num_nodes(); ++i) {
+    const auto& n = tree.node(i);
+    if (n.level == 0 || n.level == tree.num_levels()) continue;
+    EXPECT_FALSE(n.children.empty()) << "inner node without children";
+  }
+}
+
+TEST_F(MinSigTreeTest, FullSignatureModeStoresDominatingVectors) {
+  const MinSigTree tree =
+      MinSigTree::Build(*sigs_, all_, {.store_full_signatures = true});
+  tree.CheckInvariants(*sigs_);
+  for (uint32_t i = 1; i < tree.num_nodes(); ++i) {
+    const auto& n = tree.node(i);
+    ASSERT_EQ(n.full_sig.size(), static_cast<size_t>(kNh));
+    // The materialized routing value equals the full signature's entry.
+    EXPECT_EQ(n.value, n.full_sig[n.routing]);
+  }
+}
+
+TEST_F(MinSigTreeTest, InsertMatchesBuild) {
+  // Building over all entities vs. building over half and inserting the
+  // rest must produce identical leaf membership (values may differ only by
+  // insertion order, which min() makes order-independent).
+  const MinSigTree built = MinSigTree::Build(*sigs_, all_);
+  std::vector<EntityId> half(all_.begin(), all_.begin() + kEntities / 2);
+  MinSigTree incremental = MinSigTree::Build(*sigs_, half);
+  for (EntityId e = kEntities / 2; e < kEntities; ++e) {
+    incremental.Insert(e, *sigs_);
+  }
+  incremental.CheckInvariants(*sigs_);
+  EXPECT_EQ(incremental.num_entities(), kEntities);
+
+  // Leaf co-membership must agree: two entities share a leaf in one tree
+  // iff they share a leaf in the other.
+  auto leaf_key = [](const MinSigTree& t, EntityId e) {
+    for (uint32_t i = 0; i < t.num_nodes(); ++i) {
+      const auto& n = t.node(i);
+      if (n.level != t.num_levels()) continue;
+      if (std::find(n.entities.begin(), n.entities.end(), e) !=
+          n.entities.end()) {
+        return i;
+      }
+    }
+    return ~uint32_t{0};
+  };
+  for (EntityId a = 0; a < kEntities; a += 7) {
+    for (EntityId b = a + 1; b < kEntities; b += 5) {
+      const bool same_built = leaf_key(built, a) == leaf_key(built, b);
+      const bool same_inc =
+          leaf_key(incremental, a) == leaf_key(incremental, b);
+      EXPECT_EQ(same_built, same_inc) << "pair " << a << "," << b;
+    }
+  }
+}
+
+TEST_F(MinSigTreeTest, RemoveKeepsInvariants) {
+  MinSigTree tree = MinSigTree::Build(*sigs_, all_);
+  tree.Remove(5);
+  tree.Remove(17);
+  EXPECT_EQ(tree.num_entities(), kEntities - 2);
+  EXPECT_FALSE(tree.Contains(5));
+  tree.CheckInvariants(*sigs_);
+  // Reinsert restores membership.
+  tree.Insert(5, *sigs_);
+  EXPECT_TRUE(tree.Contains(5));
+  tree.CheckInvariants(*sigs_);
+}
+
+TEST_F(MinSigTreeTest, RefreshTightensValues) {
+  MinSigTree tree = MinSigTree::Build(*sigs_, all_);
+  for (EntityId e = 0; e < kEntities; e += 2) tree.Remove(e);
+  tree.RefreshValues(*sigs_);
+  tree.CheckInvariants(*sigs_);
+  // After refresh, every nonempty leaf's value equals the min over its
+  // remaining members.
+  for (uint32_t i = 0; i < tree.num_nodes(); ++i) {
+    const auto& n = tree.node(i);
+    if (n.level != tree.num_levels() || n.entities.empty()) continue;
+    uint64_t expect = ~uint64_t{0};
+    std::vector<uint64_t> sig(kNh);
+    for (EntityId e : n.entities) {
+      sigs_->ComputeLevel(e, n.level, sig);
+      expect = std::min(expect, sig[n.routing]);
+    }
+    EXPECT_EQ(n.value, expect);
+  }
+}
+
+TEST_F(MinSigTreeTest, MemoryBytesGrowsWithEntities) {
+  const MinSigTree small = MinSigTree::Build(
+      *sigs_, std::span<const EntityId>(all_.data(), kEntities / 4));
+  const MinSigTree big = MinSigTree::Build(*sigs_, all_);
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace dtrace

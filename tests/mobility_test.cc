@@ -1,0 +1,203 @@
+// Validates the IM model (Sec. 6.1) and the synthetic generators against the
+// distributions they are supposed to follow.
+#include "mobility/im_model.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "mobility/synthetic.h"
+#include "util/stats.h"
+
+namespace dtrace {
+namespace {
+
+TEST(ImModelTest, RecordsAreWellFormed) {
+  ImModel model({}, 32);
+  Rng rng(1);
+  const auto trace = model.Simulate(7, 200, rng);
+  ASSERT_FALSE(trace.empty());
+  for (const auto& r : trace) {
+    EXPECT_EQ(r.entity, 7u);
+    EXPECT_LT(r.base_unit, 32u * 32u);
+    EXPECT_LT(r.begin, r.end);
+    EXPECT_LE(r.end, 200u);
+  }
+  // Records are time-ordered and non-overlapping (one place at a time).
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].end, trace[i].begin + 1);
+  }
+}
+
+TEST(ImModelTest, StayDurationsAreHeavyTailed) {
+  ImModelParams params;
+  params.beta = 0.8;
+  ImModel model(params, 32);
+  Rng rng(2);
+  RunningStats stays;
+  Histogram hist(1.0, 49.0, 48);
+  for (int e = 0; e < 50; ++e) {
+    for (const auto& r : model.Simulate(e, 500, rng)) {
+      const double d = r.end - r.begin;
+      stays.Add(d);
+      hist.Add(d);
+    }
+  }
+  // Power law with beta=0.8 on [1,48]: most stays are short. (Discretizing
+  // a continuous stay to time steps widens each record by up to one step,
+  // so the 1-2 step share is a bit below the continuous CDF's 45%.)
+  EXPECT_LT(stays.mean(), 8.0);
+  EXPECT_GT(hist.count(0) + hist.count(1), hist.total() / 4)
+      << "stay distribution not heavy at short durations";
+  EXPECT_GT(hist.count(0) + hist.count(1) + hist.count(2) + hist.count(3),
+            hist.total() / 2);
+}
+
+TEST(ImModelTest, VisitFrequencyIsSkewed) {
+  // Eq. 6.4: most visits go to the few top-ranked units.
+  ImModel model({}, 32);
+  Rng rng(3);
+  std::unordered_map<UnitId, int> visits;
+  for (const auto& r : model.Simulate(0, 2000, rng)) ++visits[r.base_unit];
+  std::vector<int> counts;
+  for (auto& [u, c] : visits) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+  ASSERT_GE(counts.size(), 3u);
+  int total = 0, top3 = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i];
+    if (i < 3) top3 += counts[i];
+  }
+  EXPECT_GT(top3, total / 4) << "no preferential return visible";
+}
+
+TEST(ImModelTest, DistinctUnitsGrowSublinearly) {
+  // Eq. 6.5: S(t) ~ t^mu with mu < 1 — the log-log slope of distinct units
+  // visited vs. time must be clearly below 1.
+  ImModel model({}, 48);
+  Rng rng(4);
+  std::vector<double> ts, ss;
+  for (TimeStep horizon : {100u, 200u, 400u, 800u, 1600u}) {
+    double mean_s = 0.0;
+    const int reps = 10;
+    for (int rep = 0; rep < reps; ++rep) {
+      std::unordered_set<UnitId> units;
+      for (const auto& r : model.Simulate(rep, horizon, rng)) {
+        units.insert(r.base_unit);
+      }
+      mean_s += static_cast<double>(units.size());
+    }
+    ts.push_back(horizon);
+    ss.push_back(mean_s / reps);
+  }
+  const double mu = LogLogSlope(ts, ss);
+  EXPECT_GT(mu, 0.05);
+  EXPECT_LT(mu, 0.95);
+}
+
+TEST(ImModelTest, HigherRhoExploresMore) {
+  ImModelParams low, high;
+  low.rho = 0.2;
+  high.rho = 1.0;
+  ImModel lm(low, 32), hm(high, 32);
+  Rng r1(5), r2(5);
+  double lo_units = 0, hi_units = 0;
+  for (int e = 0; e < 20; ++e) {
+    std::unordered_set<UnitId> a, b;
+    for (const auto& r : lm.Simulate(e, 400, r1)) a.insert(r.base_unit);
+    for (const auto& r : hm.Simulate(e, 400, r2)) b.insert(r.base_unit);
+    lo_units += a.size();
+    hi_units += b.size();
+  }
+  EXPECT_LT(lo_units, hi_units);
+}
+
+TEST(ImModelTest, ObservationProbabilityThinsTrace) {
+  ImModelParams dense, sparse;
+  sparse.observe_prob = 0.3;
+  ImModel dm(dense, 32), sm(sparse, 32);
+  Rng r1(6), r2(6);
+  size_t dn = 0, sn = 0;
+  for (int e = 0; e < 20; ++e) {
+    dn += dm.Simulate(e, 400, r1).size();
+    sn += sm.Simulate(e, 400, r2).size();
+  }
+  EXPECT_LT(sn, dn);
+}
+
+TEST(GenerateSynTest, ProducesConsistentDataset) {
+  SynConfig config;
+  config.num_entities = 50;
+  config.horizon = 48;
+  config.grid_side = 16;
+  const Dataset d = GenerateSyn(config);
+  EXPECT_EQ(d.num_entities(), 50u);
+  EXPECT_EQ(d.hierarchy->num_base_units(), 256u);
+  EXPECT_EQ(d.hierarchy->num_levels(), 4);
+  EXPECT_GT(d.store->mean_base_cells(), 0.0);
+}
+
+TEST(GenerateSynTest, DeterministicGivenSeed) {
+  SynConfig config;
+  config.num_entities = 20;
+  config.horizon = 48;
+  config.grid_side = 8;
+  config.hierarchy.m = 3;
+  const Dataset a = GenerateSyn(config);
+  const Dataset b = GenerateSyn(config);
+  EXPECT_EQ(a.records, b.records);
+}
+
+TEST(GenerateSynTest, GroupsShareTrajectories) {
+  SynConfig config;
+  config.num_entities = 40;
+  config.horizon = 96;
+  config.grid_side = 16;
+  config.hierarchy.m = 3;
+  config.num_groups = 4;
+  config.group_size = 3;
+  config.group_share = 0.9;
+  const Dataset d = GenerateSyn(config);
+  // A group member must overlap its leader far more than a random entity.
+  const uint32_t leader = 0, member = 1, stranger = 25;
+  const int m = d.hierarchy->num_levels();
+  EXPECT_GT(d.store->IntersectionSize(leader, member, m),
+            d.store->IntersectionSize(leader, stranger, m));
+}
+
+TEST(GenerateWifiTest, ProducesConsistentDataset) {
+  WifiConfig config;
+  config.num_entities = 60;
+  config.num_hotspots = 300;
+  config.horizon = 96;
+  const Dataset d = GenerateWifi(config);
+  EXPECT_EQ(d.num_entities(), 60u);
+  EXPECT_EQ(d.hierarchy->num_base_units(), 300u);
+  for (const auto& r : d.records) {
+    EXPECT_LT(r.base_unit, 300u);
+    EXPECT_LT(r.begin, r.end);
+    EXPECT_LE(r.end, 96u);
+  }
+}
+
+TEST(GenerateWifiTest, PopularHotspotsDominat) {
+  WifiConfig config;
+  config.num_entities = 200;
+  config.num_hotspots = 500;
+  config.horizon = 200;
+  const Dataset d = GenerateWifi(config);
+  std::vector<uint32_t> per_hotspot(config.num_hotspots, 0);
+  for (const auto& r : d.records) ++per_hotspot[r.base_unit];
+  std::vector<uint32_t> sorted = per_hotspot;
+  std::sort(sorted.rbegin(), sorted.rend());
+  uint64_t total = 0, top10 = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    total += sorted[i];
+    if (i < 50) top10 += sorted[i];  // top 10%
+  }
+  EXPECT_GT(top10 * 2, total) << "hotspot popularity not heavy-tailed";
+}
+
+}  // namespace
+}  // namespace dtrace

@@ -1,0 +1,102 @@
+#include "analytics/pe_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/association.h"
+#include "mobility/synthetic.h"
+
+namespace dtrace {
+namespace {
+
+PeModelParams BaseParams() {
+  PeModelParams p;
+  p.hash_range = 2500.0 * 720.0;
+  p.mean_cells = 60.0;
+  p.num_functions = 400;
+  p.nc = 5;
+  return p;
+}
+
+TEST(PeModelTest, PredictionInUnitInterval) {
+  const double pe = PredictPruningEffectiveness(BaseParams());
+  EXPECT_GE(pe, 0.0);
+  EXPECT_LE(pe, 1.0);
+}
+
+TEST(PeModelTest, MoreHashFunctionsImprovePruning) {
+  // Sec. 7.3: PE (fraction checked) decreases with nh.
+  auto p = BaseParams();
+  double prev = 1.1;
+  for (int nh : {50, 200, 800, 2000}) {
+    p.num_functions = nh;
+    const double pe = PredictPruningEffectiveness(p);
+    EXPECT_LE(pe, prev + 1e-9) << "nh=" << nh;
+    prev = pe;
+  }
+}
+
+TEST(PeModelTest, HigherNcMeansMorePruning) {
+  // Needing more shared cells to qualify makes nodes easier to discard.
+  auto p = BaseParams();
+  p.nc = 1;
+  const double loose = PredictPruningEffectiveness(p);
+  p.nc = 20;
+  const double tight = PredictPruningEffectiveness(p);
+  EXPECT_LE(tight, loose + 1e-9);
+}
+
+TEST(PeModelTest, NcOneChecksEverything) {
+  // If a single shared cell suffices, essentially nothing can be pruned.
+  auto p = BaseParams();
+  p.nc = 1;
+  EXPECT_GT(PredictPruningEffectiveness(p), 0.9);
+}
+
+TEST(EstimateNcTest, InvertsTheMeasure) {
+  PolynomialLevelMeasure measure(4);
+  const std::vector<uint32_t> q_sizes = {20, 30, 40, 50};
+  for (double target : {0.05, 0.2, 0.5}) {
+    const uint32_t nc = EstimateNc(measure, q_sizes, target);
+    ASSERT_GE(nc, 1u);
+    ASSERT_LE(nc, q_sizes.back());
+    // Typical-peer deg at nc reaches the target, at nc-1 it does not
+    // (unless clamped at the boundary).
+    std::vector<uint32_t> c(4), inter(4);
+    auto deg_at = [&](uint32_t shared) {
+      for (int l = 0; l < 4; ++l) {
+        inter[l] = std::min(shared, q_sizes[l]);
+        c[l] = q_sizes[l];
+      }
+      return measure.Score(q_sizes, c, inter);
+    };
+    if (deg_at(q_sizes.back()) >= target) {
+      EXPECT_GE(deg_at(nc), target);
+      if (nc > 1) EXPECT_LT(deg_at(nc - 1), target);
+    }
+  }
+}
+
+TEST(EstimateNcTest, ZeroTargetNeedsOneCell) {
+  PolynomialLevelMeasure measure(2);
+  EXPECT_EQ(EstimateNc(measure, std::vector<uint32_t>{10, 10}, 0.0), 1u);
+}
+
+TEST(PredictPeForDatasetTest, EndToEndOnSmallSyn) {
+  SynConfig config;
+  config.num_entities = 120;
+  config.horizon = 96;
+  config.grid_side = 12;
+  config.hierarchy.m = 3;
+  const Dataset d = GenerateSyn(config);
+  PolynomialLevelMeasure measure(3);
+  const std::vector<EntityId> queries = {1, 11, 21};
+  const PePrediction pred =
+      PredictPeForDataset(*d.store, measure, /*nh=*/200, /*k=*/5, queries);
+  EXPECT_GE(pred.pe, 0.0);
+  EXPECT_LE(pred.pe, 1.0);
+  EXPECT_GE(pred.de, 0.0);
+  EXPECT_GE(pred.nc, 1u);
+}
+
+}  // namespace
+}  // namespace dtrace

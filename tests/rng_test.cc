@@ -1,0 +1,76 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dtrace {
+namespace {
+
+TEST(Mix64Test, IsDeterministicAndSpread) {
+  EXPECT_EQ(Mix64(1), Mix64(1));
+  EXPECT_NE(Mix64(1), Mix64(2));
+  EXPECT_NE(Mix64(7, 1), Mix64(8, 1));
+  EXPECT_NE(Mix64(7, 1), Mix64(7, 2));
+  // Low bits should be well mixed: consecutive inputs give distinct low
+  // bytes most of the time.
+  std::set<uint8_t> low;
+  for (uint64_t i = 0; i < 64; ++i) low.insert(Mix64(i) & 0xff);
+  EXPECT_GT(low.size(), 48u);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123), c(124);
+  std::vector<uint64_t> va, vb, vc;
+  for (int i = 0; i < 100; ++i) {
+    va.push_back(a.Next());
+    vb.push_back(b.Next());
+    vc.push_back(c.Next());
+  }
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+}  // namespace
+}  // namespace dtrace

@@ -1,0 +1,123 @@
+#include "util/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/stats.h"
+
+namespace dtrace {
+namespace {
+
+TEST(TruncatedPowerLawTest, SamplesWithinBounds) {
+  Rng rng(1);
+  TruncatedPowerLaw law(0.8, 1.0, 48.0);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = law.Sample(rng);
+    ASSERT_GE(x, 1.0);
+    ASSERT_LE(x, 48.0);
+  }
+}
+
+TEST(TruncatedPowerLawTest, TailExponentRoughlyMatches) {
+  // Empirical survival function of x^{-1-e} has log-log slope about -e.
+  Rng rng(2);
+  const double exponent = 1.0;
+  TruncatedPowerLaw law(exponent, 1.0, 1e6);
+  std::vector<double> samples;
+  for (int i = 0; i < 200000; ++i) samples.push_back(law.Sample(rng));
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> xs, survival;
+  for (double x : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    const auto above = samples.end() -
+                       std::lower_bound(samples.begin(), samples.end(), x);
+    xs.push_back(x);
+    survival.push_back(static_cast<double>(above) / samples.size());
+  }
+  const double slope = LogLogSlope(xs, survival);
+  EXPECT_NEAR(slope, -exponent, 0.15);
+}
+
+TEST(TruncatedPowerLawTest, HigherExponentMeansShorterStays) {
+  Rng rng(3);
+  TruncatedPowerLaw light(0.2, 1.0, 48.0), heavy(1.0, 1.0, 48.0);
+  RunningStats sl, sh;
+  for (int i = 0; i < 20000; ++i) {
+    sl.Add(light.Sample(rng));
+    sh.Add(heavy.Sample(rng));
+  }
+  EXPECT_GT(sl.mean(), sh.mean());
+}
+
+TEST(ZipfSamplerTest, RanksInRangeAndSkewed) {
+  Rng rng(4);
+  ZipfSampler zipf(1.2, 100);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const uint32_t r = zipf.Sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 100u);
+    ++counts[r];
+  }
+  // Rank 1 should dominate rank 10 by roughly 10^1.2 ~ 16.
+  EXPECT_GT(counts[1], counts[10] * 8);
+}
+
+TEST(ZipfSamplerTest, ZeroExponentIsUniform) {
+  Rng rng(5);
+  ZipfSampler zipf(0.0, 10);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  for (int r = 1; r <= 10; ++r) {
+    EXPECT_NEAR(counts[r] / 50000.0, 0.1, 0.02);
+  }
+}
+
+TEST(ZipfSamplerTest, ResizeGrowsSupport) {
+  Rng rng(6);
+  ZipfSampler zipf(1.0, 3);
+  zipf.Resize(50);
+  EXPECT_EQ(zipf.n(), 50u);
+  bool saw_past_three = false;
+  for (int i = 0; i < 2000; ++i) saw_past_three |= zipf.Sample(rng) > 3;
+  EXPECT_TRUE(saw_past_three);
+}
+
+TEST(PowerLawPartitionTest, SumsAndPositivity) {
+  for (uint32_t total : {10u, 100u, 2500u}) {
+    for (uint32_t parts : {1u, 3u, 10u}) {
+      const auto sizes = PowerLawPartition(total, parts, 2.0);
+      ASSERT_EQ(sizes.size(), parts);
+      EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0u), total);
+      for (uint32_t s : sizes) EXPECT_GE(s, 1u);
+    }
+  }
+}
+
+TEST(PowerLawPartitionTest, SizesFollowExponent) {
+  const auto sizes = PowerLawPartition(1000, 10, 2.0);
+  // D_i ~ i^2: the last part should be about 100x the first.
+  EXPECT_GT(sizes.back(), sizes.front() * 20);
+  // b = 0 gives near-equal parts.
+  const auto flat = PowerLawPartition(1000, 10, 0.0);
+  for (uint32_t s : flat) EXPECT_NEAR(static_cast<double>(s), 100.0, 1.0);
+}
+
+TEST(SampleDistinctTest, DistinctAndInRange) {
+  Rng rng(7);
+  const auto sample = SampleDistinct(rng, 100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::set<uint32_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 30u);
+  for (uint32_t v : sample) EXPECT_LT(v, 100u);
+  // Full sample is a permutation domain.
+  const auto all = SampleDistinct(rng, 20, 20);
+  std::set<uint32_t> every(all.begin(), all.end());
+  EXPECT_EQ(every.size(), 20u);
+}
+
+}  // namespace
+}  // namespace dtrace

@@ -1,0 +1,109 @@
+#include "core/signature.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hash/hierarchical_hasher.h"
+#include "mobility/hierarchy_generator.h"
+#include "trace/trace_store.h"
+#include "util/rng.h"
+
+namespace dtrace {
+namespace {
+
+class SignatureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hierarchy_ = GenerateGridHierarchy(8, {.m = 3, .a = 1.5, .b = 1.5});
+    Rng rng(3);
+    std::vector<PresenceRecord> records;
+    for (EntityId e = 0; e < 10; ++e) {
+      for (int i = 0; i < 8; ++i) {
+        const auto unit =
+            static_cast<UnitId>(rng.NextBelow(hierarchy_->num_base_units()));
+        const auto t = static_cast<TimeStep>(rng.NextBelow(19));
+        records.push_back({e, unit, t, t + 1});
+      }
+    }
+    store_ = std::make_unique<TraceStore>(*hierarchy_, 10, 20, records);
+    hasher_ =
+        std::make_unique<HierarchicalMinHasher>(*hierarchy_, 20, 12, 17);
+    sigs_ = std::make_unique<SignatureComputer>(*store_, *hasher_);
+  }
+
+  std::shared_ptr<const SpatialHierarchy> hierarchy_;
+  std::unique_ptr<TraceStore> store_;
+  std::unique_ptr<HierarchicalMinHasher> hasher_;
+  std::unique_ptr<SignatureComputer> sigs_;
+};
+
+TEST_F(SignatureTest, SignatureIsMinOverCellHashes) {
+  for (EntityId e = 0; e < 3; ++e) {
+    const SignatureList sig = sigs_->Compute(e);
+    for (Level l = 1; l <= hierarchy_->num_levels(); ++l) {
+      for (int u = 0; u < 12; ++u) {
+        uint64_t expected = ~uint64_t{0};
+        for (CellId c : store_->cells(e, l)) {
+          expected = std::min(expected, hasher_->Hash(u, l, c));
+        }
+        EXPECT_EQ(sig.level(l)[u], expected);
+      }
+    }
+  }
+}
+
+TEST_F(SignatureTest, ComputeLevelMatchesCompute) {
+  const SignatureList full = sigs_->Compute(2);
+  std::vector<uint64_t> level(12);
+  for (Level l = 1; l <= hierarchy_->num_levels(); ++l) {
+    sigs_->ComputeLevel(2, l, level);
+    for (int u = 0; u < 12; ++u) EXPECT_EQ(level[u], full.level(l)[u]);
+  }
+}
+
+TEST_F(SignatureTest, EmptyTraceYieldsMaxSignature) {
+  TraceStore empty(*hierarchy_, 1, 20, {});
+  SignatureComputer sigs(empty, *hasher_);
+  const SignatureList sig = sigs.Compute(0);
+  for (Level l = 1; l <= hierarchy_->num_levels(); ++l) {
+    for (int u = 0; u < 12; ++u) EXPECT_EQ(sig.level(l)[u], ~uint64_t{0});
+  }
+}
+
+TEST_F(SignatureTest, RoutingIndexPicksFirstMaximum) {
+  EXPECT_EQ(SignatureComputer::RoutingIndex(std::vector<uint64_t>{1, 5, 3}),
+            1);
+  EXPECT_EQ(SignatureComputer::RoutingIndex(std::vector<uint64_t>{7, 7, 3}),
+            0);
+  EXPECT_EQ(SignatureComputer::RoutingIndex(std::vector<uint64_t>{2}), 0);
+}
+
+TEST_F(SignatureTest, IdenticalTracesShareSignatures) {
+  std::vector<PresenceRecord> records = {
+      {0, 5, 2, 4}, {0, 9, 7, 8}, {1, 5, 2, 4}, {1, 9, 7, 8}};
+  TraceStore store(*hierarchy_, 2, 20, records);
+  SignatureComputer sigs(store, *hasher_);
+  const SignatureList a = sigs.Compute(0);
+  const SignatureList b = sigs.Compute(1);
+  for (Level l = 1; l <= hierarchy_->num_levels(); ++l) {
+    for (int u = 0; u < 12; ++u) EXPECT_EQ(a.level(l)[u], b.level(l)[u]);
+  }
+}
+
+TEST_F(SignatureTest, SubsetTraceDominatesSignature) {
+  // If entity b's cells are a subset of a's, then sig_a <= sig_b pointwise
+  // (more cells can only lower minima).
+  std::vector<PresenceRecord> records = {
+      {0, 5, 2, 4}, {0, 9, 7, 8}, {0, 30, 1, 2}, {1, 5, 2, 4}};
+  TraceStore store(*hierarchy_, 2, 20, records);
+  SignatureComputer sigs(store, *hasher_);
+  const SignatureList a = sigs.Compute(0);
+  const SignatureList b = sigs.Compute(1);
+  for (Level l = 1; l <= hierarchy_->num_levels(); ++l) {
+    for (int u = 0; u < 12; ++u) EXPECT_LE(a.level(l)[u], b.level(l)[u]);
+  }
+}
+
+}  // namespace
+}  // namespace dtrace

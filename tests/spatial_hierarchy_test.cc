@@ -1,0 +1,80 @@
+#include "trace/spatial_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dtrace {
+namespace {
+
+SpatialHierarchy MakeSmall() {
+  // Level 1: {A, B}; level 2: A -> {a0, a1}, B -> {b0}; level 3 fans out
+  // unevenly.
+  SpatialHierarchy::Builder b(2);
+  b.AddLevel({0, 0, 1});
+  b.AddLevel({0, 0, 0, 1, 2, 2});
+  return std::move(b).Build();
+}
+
+TEST(SpatialHierarchyTest, LevelSizes) {
+  const auto h = MakeSmall();
+  EXPECT_EQ(h.num_levels(), 3);
+  EXPECT_EQ(h.units_at(1), 2u);
+  EXPECT_EQ(h.units_at(2), 3u);
+  EXPECT_EQ(h.units_at(3), 6u);
+  EXPECT_EQ(h.num_base_units(), 6u);
+  EXPECT_EQ(h.total_units(), 11u);
+}
+
+TEST(SpatialHierarchyTest, ParentChildrenAreConsistent) {
+  const auto h = MakeSmall();
+  for (Level level = 2; level <= h.num_levels(); ++level) {
+    for (UnitId u = 0; u < h.units_at(level); ++u) {
+      const UnitId p = h.parent(level, u);
+      const auto kids = h.children(level - 1, p);
+      EXPECT_NE(std::find(kids.begin(), kids.end(), u), kids.end());
+    }
+  }
+  // Children partition the lower level.
+  for (Level level = 1; level < h.num_levels(); ++level) {
+    std::set<UnitId> seen;
+    for (UnitId u = 0; u < h.units_at(level); ++u) {
+      for (UnitId c : h.children(level, u)) {
+        EXPECT_TRUE(seen.insert(c).second) << "duplicate child";
+      }
+    }
+    EXPECT_EQ(seen.size(), h.units_at(level + 1));
+  }
+}
+
+TEST(SpatialHierarchyTest, AncestorOfBase) {
+  const auto h = MakeSmall();
+  // Base unit 4 has parent 2 (level 2) whose parent is 1 (level 1).
+  EXPECT_EQ(h.AncestorOfBase(4, 3), 4u);
+  EXPECT_EQ(h.AncestorOfBase(4, 2), 2u);
+  EXPECT_EQ(h.AncestorOfBase(4, 1), 1u);
+  EXPECT_EQ(h.AncestorOfBase(0, 1), 0u);
+}
+
+TEST(SpatialHierarchyTest, UniformFanout) {
+  const auto h = SpatialHierarchy::UniformFanout(/*top_units=*/3, /*m=*/3,
+                                                 /*fanout=*/4);
+  EXPECT_EQ(h.units_at(1), 3u);
+  EXPECT_EQ(h.units_at(2), 12u);
+  EXPECT_EQ(h.units_at(3), 48u);
+  for (UnitId u = 0; u < h.units_at(2); ++u) {
+    EXPECT_EQ(h.children(2, u).size(), 4u);
+    EXPECT_EQ(h.parent(2, u), u / 4);
+  }
+}
+
+TEST(SpatialHierarchyTest, SingleLevelDegenerate) {
+  SpatialHierarchy::Builder b(5);
+  const auto h = std::move(b).Build();
+  EXPECT_EQ(h.num_levels(), 1);
+  EXPECT_EQ(h.num_base_units(), 5u);
+  EXPECT_EQ(h.AncestorOfBase(3, 1), 3u);
+}
+
+}  // namespace
+}  // namespace dtrace

@@ -1,0 +1,68 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dtrace {
+namespace {
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(QuantileTest, InterpolatesSortedValues) {
+  std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(LogLogSlopeTest, RecoversPowerLawExponent) {
+  std::vector<double> x, y;
+  for (double v = 1.0; v <= 64.0; v *= 2.0) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, -1.7));
+  }
+  EXPECT_NEAR(LogLogSlope(x, y), -1.7, 1e-9);
+}
+
+TEST(LogLogSlopeTest, IgnoresNonPositivePoints) {
+  std::vector<double> x = {1.0, 2.0, 0.0, 4.0};
+  std::vector<double> y = {1.0, 2.0, 5.0, 4.0};
+  EXPECT_NEAR(LogLogSlope(x, y), 1.0, 1e-9);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-1.0);   // clamps to bucket 0
+  h.Add(0.5);    // bucket 0
+  h.Add(5.0);    // bucket 2
+  h.Add(9.99);   // bucket 4
+  h.Add(100.0);  // clamps to bucket 4
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(2), 4.0);
+}
+
+}  // namespace
+}  // namespace dtrace

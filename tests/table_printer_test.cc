@@ -1,0 +1,38 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace dtrace {
+namespace {
+
+TEST(TablePrinterTest, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::Fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{42}), "42");
+  EXPECT_EQ(TablePrinter::Fmt(int64_t{-7}), "-7");
+}
+
+TEST(TablePrinterTest, TracksRows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, PrintsAlignedTable) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1.00"});
+  t.AddRow({"longer", "2.25"});
+  char buf[512] = {0};
+  std::FILE* mem = fmemopen(buf, sizeof(buf) - 1, "w");
+  ASSERT_NE(mem, nullptr);
+  t.Print(mem);
+  std::fclose(mem);
+  const std::string out(buf);
+  EXPECT_NE(out.find("| name  "), std::string::npos);
+  EXPECT_NE(out.find("| longer"), std::string::npos);
+  EXPECT_NE(out.find("2.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dtrace

@@ -1,0 +1,82 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace dtrace {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  const std::vector<PresenceRecord> records = {
+      {0, 5, 1, 3}, {1, 0, 0, 1}, {0xffffffffu, 7, 10, 20}};
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteRecordsCsv(path, records));
+  std::string error;
+  const auto back = ReadRecordsCsv(path, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(*back, records);
+}
+
+TEST(TraceIoTest, EmptyFileRoundTrips) {
+  const std::string path = TempPath("empty.csv");
+  ASSERT_TRUE(WriteRecordsCsv(path, {}));
+  const auto back = ReadRecordsCsv(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(TraceIoTest, ParseRecordLine) {
+  const auto r = ParseRecordLine("3,14,15,92");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->entity, 3u);
+  EXPECT_EQ(r->base_unit, 14u);
+  EXPECT_EQ(r->begin, 15u);
+  EXPECT_EQ(r->end, 92u);
+}
+
+TEST(TraceIoTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseRecordLine("").has_value());
+  EXPECT_FALSE(ParseRecordLine("1,2,3").has_value());
+  EXPECT_FALSE(ParseRecordLine("a,b,c,d").has_value());
+  EXPECT_FALSE(ParseRecordLine("1,2,3,4,5").has_value());
+  EXPECT_FALSE(ParseRecordLine("1,2,5,5").has_value());   // empty period
+  EXPECT_FALSE(ParseRecordLine("1,2,6,5").has_value());   // inverted period
+  EXPECT_FALSE(ParseRecordLine("99999999999,2,3,4").has_value());  // overflow
+}
+
+TEST(TraceIoTest, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(ReadRecordsCsv(TempPath("nope.csv"), &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceIoTest, BadHeaderReportsError) {
+  const std::string path = TempPath("badheader.csv");
+  {
+    std::ofstream out(path);
+    out << "wrong,header\n1,2,3,4\n";
+  }
+  std::string error;
+  EXPECT_FALSE(ReadRecordsCsv(path, &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(TraceIoTest, MalformedRowReportsLineNumber) {
+  const std::string path = TempPath("badrow.csv");
+  {
+    std::ofstream out(path);
+    out << "entity,base_unit,begin,end\n1,2,3,4\nbroken\n";
+  }
+  std::string error;
+  EXPECT_FALSE(ReadRecordsCsv(path, &error).has_value());
+  EXPECT_NE(error.find(":3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dtrace

@@ -1,0 +1,110 @@
+#include "trace/trace_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "trace/spatial_hierarchy.h"
+
+namespace dtrace {
+namespace {
+
+std::shared_ptr<SpatialHierarchy> ExampleHierarchy() {
+  // Example 4.1.1: L1..L4 with parent(L1)=parent(L2)=L5,
+  // parent(L3)=parent(L4)=L6, m=2.
+  SpatialHierarchy::Builder b(2);
+  b.AddLevel({0, 0, 1, 1});
+  return std::make_shared<SpatialHierarchy>(std::move(b).Build());
+}
+
+TEST(TraceStoreTest, Example411Derivation) {
+  const auto h = ExampleHierarchy();
+  // Entity at L3 (unit 2) at T1 (t=0) and L1 (unit 0) at T2 (t=1):
+  // seq^2 = {T1L3, T2L1}, seq^1 = {T1L6, T2L5}.
+  const std::vector<PresenceRecord> records = {{0, 2, 0, 1}, {0, 0, 1, 2}};
+  TraceStore store(*h, 1, 2, records);
+  const auto l2 = store.cells(0, 2);
+  ASSERT_EQ(l2.size(), 2u);
+  EXPECT_EQ(l2[0], 0u * 4 + 2);  // T1L3
+  EXPECT_EQ(l2[1], 1u * 4 + 0);  // T2L1
+  const auto l1 = store.cells(0, 1);
+  ASSERT_EQ(l1.size(), 2u);
+  EXPECT_EQ(l1[0], 0u * 2 + 1);  // T1L6
+  EXPECT_EQ(l1[1], 1u * 2 + 0);  // T2L5
+}
+
+TEST(TraceStoreTest, MultiStepRecordsExpandToCells) {
+  const auto h = ExampleHierarchy();
+  // One record spanning 3 time steps produces 3 base cells.
+  TraceStore store(*h, 1, 5, {{0, 1, 1, 4}});
+  EXPECT_EQ(store.cell_count(0, 2), 3u);
+  EXPECT_EQ(store.cell_count(0, 1), 3u);
+}
+
+TEST(TraceStoreTest, DeduplicatesOverlappingRecords) {
+  const auto h = ExampleHierarchy();
+  TraceStore store(*h, 1, 4, {{0, 1, 0, 3}, {0, 1, 1, 4}});
+  EXPECT_EQ(store.cell_count(0, 2), 4u);  // t = 0,1,2,3
+}
+
+TEST(TraceStoreTest, UpperLevelMergesSiblings) {
+  const auto h = ExampleHierarchy();
+  // Same time at L1 and L2 (both children of L5): two base cells but one
+  // level-1 cell.
+  TraceStore store(*h, 1, 1, {{0, 0, 0, 1}, {0, 1, 0, 1}});
+  EXPECT_EQ(store.cell_count(0, 2), 2u);
+  EXPECT_EQ(store.cell_count(0, 1), 1u);
+}
+
+TEST(TraceStoreTest, IntersectionSize) {
+  const auto h = ExampleHierarchy();
+  // a: L1@t0, L2@t1; b: L1@t0, L3@t1. Base intersection = 1 (L1@t0);
+  // level-1 intersection = 1 (L5@t0) — L2@t1 maps to L5 and L3@t1 to L6.
+  TraceStore store(*h, 2, 2,
+                   {{0, 0, 0, 1}, {0, 1, 1, 2}, {1, 0, 0, 1}, {1, 2, 1, 2}});
+  EXPECT_EQ(store.IntersectionSize(0, 1, 2), 1u);
+  EXPECT_EQ(store.IntersectionSize(0, 1, 1), 1u);
+  EXPECT_EQ(store.IntersectionSize(0, 0, 2), 2u);
+}
+
+TEST(TraceStoreTest, EmptyEntityHasNoCells) {
+  const auto h = ExampleHierarchy();
+  TraceStore store(*h, 3, 2, {{1, 0, 0, 1}});
+  EXPECT_EQ(store.cell_count(0, 1), 0u);
+  EXPECT_EQ(store.cell_count(0, 2), 0u);
+  EXPECT_EQ(store.cell_count(2, 2), 0u);
+  EXPECT_EQ(store.cell_count(1, 2), 1u);
+}
+
+TEST(TraceStoreTest, CellEncodingRoundTrips) {
+  const auto h = ExampleHierarchy();
+  TraceStore store(*h, 1, 10, {{0, 0, 0, 1}});
+  const CellId c = store.EncodeCell(2, 7, 3);
+  EXPECT_EQ(store.CellTime(2, c), 7u);
+  EXPECT_EQ(store.CellUnit(2, c), 3u);
+  EXPECT_EQ(store.ParentCell(2, c), store.EncodeCell(1, 7, 1));
+}
+
+TEST(TraceStoreTest, ReplaceEntityOverridesAllLevels) {
+  const auto h = ExampleHierarchy();
+  TraceStore store(*h, 2, 4, {{0, 0, 0, 1}, {1, 3, 0, 1}});
+  EXPECT_EQ(store.cell_count(0, 2), 1u);
+  store.ReplaceEntity(0, {{0, 1, 0, 3}});
+  EXPECT_EQ(store.cell_count(0, 2), 3u);
+  EXPECT_EQ(store.cell_count(0, 1), 3u);
+  // Other entities untouched.
+  EXPECT_EQ(store.cell_count(1, 2), 1u);
+  // Replace again with an empty trace.
+  store.ReplaceEntity(0, {});
+  EXPECT_EQ(store.cell_count(0, 2), 0u);
+}
+
+TEST(TraceStoreTest, MeanAndTotals) {
+  const auto h = ExampleHierarchy();
+  TraceStore store(*h, 2, 4, {{0, 0, 0, 2}, {1, 3, 0, 2}});
+  EXPECT_DOUBLE_EQ(store.mean_base_cells(), 2.0);
+  EXPECT_EQ(store.total_cells(), 8u);
+}
+
+}  // namespace
+}  // namespace dtrace

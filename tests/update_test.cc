@@ -1,0 +1,136 @@
+// Incremental maintenance (Sec. 4.2.3 / Sec. 7.8): inserts, updates and
+// removals must keep queries exact without a rebuild.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/index.h"
+#include "mobility/hierarchy_generator.h"
+#include "trace/trace_store.h"
+#include "util/rng.h"
+
+namespace dtrace {
+namespace {
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kEntities = 120;
+  static constexpr TimeStep kHorizon = 24;
+
+  void SetUp() override {
+    hierarchy_ = GenerateGridHierarchy(8, {.m = 3, .a = 1.5, .b = 1.5});
+    Rng rng(42);
+    std::vector<PresenceRecord> records;
+    for (EntityId e = 0; e < kEntities; ++e) {
+      const int n = 1 + static_cast<int>(rng.NextBelow(10));
+      for (int i = 0; i < n; ++i) {
+        records.push_back(RandomRecord(e, rng));
+      }
+    }
+    store_ = std::make_shared<TraceStore>(*hierarchy_, kEntities, kHorizon,
+                                          records);
+  }
+
+  PresenceRecord RandomRecord(EntityId e, Rng& rng) const {
+    const auto unit =
+        static_cast<UnitId>(rng.NextBelow(hierarchy_->num_base_units()));
+    const auto t = static_cast<TimeStep>(rng.NextBelow(kHorizon - 1));
+    return {e, unit, t, t + 1};
+  }
+
+  void ExpectExact(const DigitalTraceIndex& index, int k) const {
+    PolynomialLevelMeasure measure(hierarchy_->num_levels());
+    for (EntityId q = 0; q < kEntities; q += 17) {
+      if (!index.tree().Contains(q)) continue;
+      const TopKResult fast = index.Query(q, k, measure);
+      const TopKResult slow = index.BruteForce(q, k, measure);
+      ASSERT_EQ(fast.items.size(), slow.items.size());
+      for (size_t i = 0; i < fast.items.size(); ++i) {
+        ASSERT_NEAR(fast.items[i].score, slow.items[i].score, 1e-12);
+      }
+    }
+  }
+
+  std::shared_ptr<const SpatialHierarchy> hierarchy_;
+  std::shared_ptr<TraceStore> store_;
+};
+
+TEST_F(UpdateTest, InsertNewEntitiesStaysExact) {
+  // Index the first 80 entities, then insert the remaining 40.
+  std::vector<EntityId> first;
+  for (EntityId e = 0; e < 80; ++e) first.push_back(e);
+  auto index =
+      DigitalTraceIndex::Build(store_, {.num_functions = 16}, first);
+  EXPECT_EQ(index.tree().num_entities(), 80u);
+  for (EntityId e = 80; e < kEntities; ++e) index.InsertEntity(e);
+  EXPECT_EQ(index.tree().num_entities(), kEntities);
+  ExpectExact(index, 5);
+}
+
+TEST_F(UpdateTest, UpdateExistingEntitiesStaysExact) {
+  auto index = DigitalTraceIndex::Build(store_, {.num_functions = 16});
+  Rng rng(77);
+  for (EntityId e = 0; e < kEntities; e += 9) {
+    std::vector<PresenceRecord> fresh;
+    const int n = 1 + static_cast<int>(rng.NextBelow(8));
+    for (int i = 0; i < n; ++i) fresh.push_back(RandomRecord(e, rng));
+    index.mutable_store().ReplaceEntity(e, fresh);
+    index.UpdateEntity(e);
+  }
+  ExpectExact(index, 5);
+}
+
+TEST_F(UpdateTest, RemoveEntitiesStaysExact) {
+  auto index = DigitalTraceIndex::Build(store_, {.num_functions = 16});
+  for (EntityId e = 3; e < kEntities; e += 11) index.RemoveEntity(e);
+  ExpectExact(index, 5);
+  // Removed entities never appear in results.
+  PolynomialLevelMeasure measure(hierarchy_->num_levels());
+  const TopKResult r = index.Query(0, 20, measure);
+  for (const auto& item : r.items) {
+    EXPECT_TRUE(index.tree().Contains(item.entity));
+  }
+}
+
+TEST_F(UpdateTest, RefreshAfterChurnStaysExactAndTightens) {
+  auto index = DigitalTraceIndex::Build(store_, {.num_functions = 16});
+  Rng rng(5);
+  for (EntityId e = 0; e < kEntities; e += 4) {
+    std::vector<PresenceRecord> fresh = {RandomRecord(e, rng),
+                                         RandomRecord(e, rng)};
+    index.mutable_store().ReplaceEntity(e, fresh);
+    index.UpdateEntity(e);
+  }
+  PolynomialLevelMeasure measure(hierarchy_->num_levels());
+  uint64_t checked_before = 0, checked_after = 0;
+  for (EntityId q = 1; q < kEntities; q += 13) {
+    checked_before += index.Query(q, 3, measure).stats.entities_checked;
+  }
+  index.Refresh();
+  ExpectExact(index, 3);
+  for (EntityId q = 1; q < kEntities; q += 13) {
+    checked_after += index.Query(q, 3, measure).stats.entities_checked;
+  }
+  // Refresh can only tighten bounds, so pruning never degrades.
+  EXPECT_LE(checked_after, checked_before);
+}
+
+TEST_F(UpdateTest, MixedChurnSequence) {
+  std::vector<EntityId> initial;
+  for (EntityId e = 0; e < 100; ++e) initial.push_back(e);
+  auto index =
+      DigitalTraceIndex::Build(store_, {.num_functions = 16}, initial);
+  Rng rng(8);
+  // Interleave inserts, updates and removals.
+  for (EntityId e = 100; e < kEntities; ++e) index.InsertEntity(e);
+  for (EntityId e = 0; e < 30; e += 3) {
+    index.mutable_store().ReplaceEntity(
+        e, {RandomRecord(e, rng), RandomRecord(e, rng), RandomRecord(e, rng)});
+    index.UpdateEntity(e);
+  }
+  for (EntityId e = 50; e < 60; ++e) index.RemoveEntity(e);
+  ExpectExact(index, 7);
+}
+
+}  // namespace
+}  // namespace dtrace
