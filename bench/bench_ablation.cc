@@ -24,8 +24,10 @@ void HashFamilyAblation() {
                   "hash tables (MB)"});
   for (auto kind : {IndexOptions::Hasher::kHierarchical,
                     IndexOptions::Hasher::kExact}) {
+    // num_threads = 1 keeps the reported build time machine-independent.
     const auto index = DigitalTraceIndex::Build(
-        d.store, {.num_functions = 256, .seed = 52, .hasher = kind});
+        d.store,
+        {.num_functions = 256, .seed = 52, .hasher = kind, .num_threads = 1});
     const auto pe = MeasurePe(index, measure, queries, 10);
     t.AddRow({kind == IndexOptions::Hasher::kHierarchical ? "hierarchical"
                                                           : "exact",

@@ -21,8 +21,10 @@ void Run(const NamedDataset& nd) {
   TablePrinter t({"nh", "PE measured", "PE predicted", "mean checked",
                   "build (s)"});
   for (int nh : {100, 200, 400, 600, 800, 1200, 1600, 2000}) {
+    // num_threads = 1 keeps the reported build time machine-independent.
     const auto index = DigitalTraceIndex::Build(
-        nd.dataset.store, {.num_functions = nh, .seed = 7});
+        nd.dataset.store,
+        {.num_functions = nh, .seed = 7, .num_threads = 1});
     const auto pe = MeasurePe(index, measure, queries, kK);
     const auto pred = PredictPeForDataset(*nd.dataset.store, measure, nh, kK,
                                           predict_queries);

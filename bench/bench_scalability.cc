@@ -11,8 +11,10 @@ void Run() {
                   "index time (s)", "tree nodes"});
   for (uint32_t entities : {1000u, 2000u, 4000u, 8000u}) {
     Dataset d = MakeSynDataset(entities, /*seed=*/41);
+    // num_threads = 1 keeps the reported index time machine-independent.
     const auto index =
-        DigitalTraceIndex::Build(d.store, {.num_functions = 800, .seed = 41});
+        DigitalTraceIndex::Build(
+            d.store, {.num_functions = 800, .seed = 41, .num_threads = 1});
     PolynomialLevelMeasure measure(d.hierarchy->num_levels());
     const auto queries = SampleQueries(*d.store, 12, 808);
     const auto pe = MeasurePe(index, measure, queries, 10);

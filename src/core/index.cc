@@ -47,7 +47,9 @@ DigitalTraceIndex DigitalTraceIndex::Build(
   }
   SignatureComputer sigs(*store, *hasher);
   MinSigTree tree = MinSigTree::Build(
-      sigs, ids, {.store_full_signatures = options.store_full_signatures});
+      sigs, ids,
+      {.store_full_signatures = options.store_full_signatures,
+       .num_threads = options.num_threads});
   const double secs = timer.ElapsedSeconds();
   return DigitalTraceIndex(std::move(store), options, std::move(hasher),
                            std::move(tree), secs);

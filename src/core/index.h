@@ -29,6 +29,11 @@ struct IndexOptions {
   /// Hash family: the O(1) structured family (default) or the reference
   /// independent family (slow on deep hierarchies; for tests/ablation).
   enum class Hasher { kHierarchical, kExact } hasher = Hasher::kHierarchical;
+  /// Worker threads for the per-entity signature loop in Build.
+  /// 0 = hardware_concurrency, 1 = the historical serial build. Any value
+  /// produces an identical index (build is deterministic across thread
+  /// counts); this only changes wall-clock build time.
+  int num_threads = 0;
 };
 
 /// Facade over the whole pipeline — hash family, signatures, MinSigTree and

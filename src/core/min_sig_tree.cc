@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace dtrace {
 
@@ -44,6 +46,7 @@ MinSigTree MinSigTree::Build(const SignatureComputer& sigs,
   const int m = sigs.store().hierarchy().num_levels();
   const int nh = sigs.hasher().num_functions();
   MinSigTree tree(m, nh, options);
+  const int num_threads = ResolveThreadCount(options.num_threads);
 
   // Frontier of (node index, member entities) pairs, advanced one sp-index
   // level at a time (Algorithm 1's queue, level-synchronous).
@@ -51,28 +54,93 @@ MinSigTree MinSigTree::Build(const SignatureComputer& sigs,
   frontier.emplace_back(tree.root(),
                         std::vector<EntityId>(entities.begin(), entities.end()));
 
-  std::vector<uint64_t> sig(nh);
+  // Per-entity slots filled by the parallel phase each level, addressed by
+  // position in the frontier's concatenated member lists. `full` holds only
+  // the in-flight batch (see below), indexed relative to the batch start.
+  std::vector<EntityId> flat;
+  std::vector<int> routing;
+  std::vector<uint64_t> value;
+  std::vector<uint64_t> full;  // [(pos - batch_begin) * nh + u], full-sig mode
+
+  // In store_full_signatures mode each entity transiently needs nh values,
+  // so computing a whole level at once would cost |frontier| * nh * 8 bytes.
+  // The grouping phase consumes positions strictly in order, so a bounded
+  // batch (~8 MB of full signatures) keeps the transient flat in |E| while
+  // still giving every worker a full chunk. Default mode stores only
+  // (routing, value) per entity and runs as one batch.
+  const auto batch_size = [&](size_t n) {
+    if (!options.store_full_signatures) return n;
+    const size_t cap = std::max<size_t>(
+        static_cast<size_t>(num_threads),
+        options.full_sig_batch_bytes /
+            (static_cast<size_t>(nh) * sizeof(uint64_t)));
+    return std::min(n, cap);
+  };
+
   for (Level level = 1; level <= m; ++level) {
+    flat.clear();
+    for (const auto& [node_idx, members] : frontier) {
+      flat.insert(flat.end(), members.begin(), members.end());
+    }
+    routing.resize(flat.size());
+    value.resize(flat.size());
+    const size_t batch = batch_size(flat.size());
+    if (options.store_full_signatures) {
+      full.resize(batch * static_cast<size_t>(nh));
+    }
+
+    // Phase 1 (parallel, one batch at a time): each entity's level-`level`
+    // signature is independent of every other's, so compute routing index +
+    // routing value (and the full signature in ablation mode) into disjoint
+    // position-indexed slots. Entity order is fixed by the frontier, so the
+    // serial grouping below sees identical inputs for any thread count.
+    size_t batch_begin = 0, batch_end = 0;
+    const auto compute_through = [&](size_t pos) {
+      if (pos < batch_end) return;
+      batch_begin = pos;
+      batch_end = std::min(flat.size(), pos + batch);
+      ParallelFor(num_threads, batch_end - batch_begin,
+                  [&](size_t begin, size_t end) {
+        std::vector<uint64_t> sig(nh), scratch(nh);
+        for (size_t i = begin; i < end; ++i) {
+          const size_t p = batch_begin + i;
+          sigs.ComputeLevel(flat[p], level, sig, scratch);
+          const int r = SignatureComputer::RoutingIndex(sig);
+          routing[p] = r;
+          value[p] = sig[r];
+          if (options.store_full_signatures) {
+            std::copy(sig.begin(), sig.end(),
+                      full.begin() + i * static_cast<size_t>(nh));
+          }
+        }
+      });
+    };
+
+    // Phase 2 (serial): group members by routing index exactly as the
+    // single-threaded build always has; std::map keeps child order
+    // deterministic (ascending routing index).
     std::vector<std::pair<uint32_t, std::vector<EntityId>>> next;
+    size_t pos = 0;
     for (auto& [node_idx, members] : frontier) {
-      // Group members by routing index; std::map keeps child order
-      // deterministic (ascending routing index).
       std::map<int, Group> groups;
       for (EntityId e : members) {
-        sigs.ComputeLevel(e, level, sig);
-        const int r = SignatureComputer::RoutingIndex(sig);
+        compute_through(pos);
+        const int r = routing[pos];
         Group& g = groups[r];
         g.members.push_back(e);
-        g.value = std::min(g.value, sig[r]);
+        g.value = std::min(g.value, value[pos]);
         if (options.store_full_signatures) {
+          const uint64_t* sig =
+              full.data() + (pos - batch_begin) * static_cast<size_t>(nh);
           if (g.full_sig.empty()) {
-            g.full_sig.assign(sig.begin(), sig.end());
+            g.full_sig.assign(sig, sig + nh);
           } else {
             for (int u = 0; u < nh; ++u) {
               g.full_sig[u] = std::min(g.full_sig[u], sig[u]);
             }
           }
         }
+        ++pos;
       }
       for (auto& [r, g] : groups) {
         const uint32_t child = tree.AddNode(level, r, g.value,

@@ -31,6 +31,17 @@ class MinSigTree {
     /// Keep the full nh-value group signature per node (more pruning, nh x
     /// memory; Sec. 4.2.2 discusses the trade-off).
     bool store_full_signatures = false;
+    /// Worker threads for per-entity signature computation during Build.
+    /// 0 = hardware_concurrency; 1 = fully serial. The resulting tree is
+    /// identical for every thread count: workers only fill position-indexed
+    /// per-entity slots, and grouping/node allocation stays sequential.
+    int num_threads = 0;
+    /// Bound (bytes) on the transient full-signature buffer in
+    /// store_full_signatures builds; the level is processed in batches of
+    /// at most this many bytes of signatures (but never fewer entities
+    /// than worker threads). Exposed for tests; the default keeps the
+    /// transient flat in |E|. Ignored unless store_full_signatures is set.
+    size_t full_sig_batch_bytes = size_t{8} << 20;
   };
 
   struct Node {

@@ -8,10 +8,17 @@ namespace dtrace {
 
 void SignatureComputer::ComputeLevel(EntityId e, Level level,
                                      std::span<uint64_t> out) const {
+  std::vector<uint64_t> scratch(hasher_->num_functions());
+  ComputeLevel(e, level, out, scratch);
+}
+
+void SignatureComputer::ComputeLevel(EntityId e, Level level,
+                                     std::span<uint64_t> out,
+                                     std::span<uint64_t> scratch) const {
   const int nh = hasher_->num_functions();
   DT_CHECK(static_cast<int>(out.size()) == nh);
+  DT_CHECK(static_cast<int>(scratch.size()) == nh);
   std::fill(out.begin(), out.end(), ~uint64_t{0});
-  std::vector<uint64_t> scratch(nh);
   for (CellId c : store_->cells(e, level)) {
     hasher_->HashAll(level, c, scratch.data());
     for (int u = 0; u < nh; ++u) out[u] = std::min(out[u], scratch[u]);

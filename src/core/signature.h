@@ -8,6 +8,7 @@
 #include "hash/cell_hasher.h"
 #include "trace/trace_store.h"
 #include "trace/types.h"
+#include "util/check.h"
 
 namespace dtrace {
 
@@ -18,7 +19,7 @@ namespace dtrace {
 class SignatureList {
  public:
   SignatureList(int num_levels, int num_functions)
-      : nh_(num_functions),
+      : nh_(ValidatedCounts(num_levels, num_functions)),
         values_(static_cast<size_t>(num_levels) * num_functions,
                 ~uint64_t{0}) {}
 
@@ -35,6 +36,15 @@ class SignatureList {
   }
 
  private:
+  // nh_ divides values_.size() in num_levels(), so zero would be a silent
+  // division by zero there; negatives would wrap the allocation size. Runs
+  // ahead of the values_ allocation (it initializes nh_).
+  static int ValidatedCounts(int num_levels, int num_functions) {
+    DT_CHECK_MSG(num_functions > 0, "num_functions must be positive");
+    DT_CHECK_MSG(num_levels >= 0, "num_levels must be non-negative");
+    return num_functions;
+  }
+
   int nh_;
   std::vector<uint64_t> values_;
 };
@@ -47,6 +57,12 @@ class SignatureComputer {
 
   /// Fills `out` (nh values) with sig^level_e.
   void ComputeLevel(EntityId e, Level level, std::span<uint64_t> out) const;
+
+  /// Same, but hashes into caller-provided `scratch` (nh values) instead of
+  /// allocating one internally — the form used by the parallel index build,
+  /// where each worker reuses a thread-local scratch across entities.
+  void ComputeLevel(EntityId e, Level level, std::span<uint64_t> out,
+                    std::span<uint64_t> scratch) const;
 
   /// Full per-level signature list for one entity.
   SignatureList Compute(EntityId e) const;

@@ -59,4 +59,10 @@ Dataset MakeRealDataset(uint32_t num_entities, uint64_t seed) {
   return GenerateWifi(PresetReal(num_entities, seed));
 }
 
+IndexOptions PresetIndexOptions(int num_functions, int num_threads) {
+  return {.num_functions = num_functions,
+          .seed = 21,
+          .num_threads = num_threads};
+}
+
 }  // namespace dtrace

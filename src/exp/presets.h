@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/index.h"
 #include "mobility/synthetic.h"
 #include "trace/dataset.h"
 
@@ -23,6 +24,13 @@ WifiConfig PresetReal(uint32_t num_entities = 4000, uint64_t seed = 2);
 /// Generates the preset datasets.
 Dataset MakeSynDataset(uint32_t num_entities = 4000, uint64_t seed = 1);
 Dataset MakeRealDataset(uint32_t num_entities = 4000, uint64_t seed = 2);
+
+/// The indexing-cost bench's index configuration (hash-family seed 21, as
+/// used by bench_fig7_8; other figure benches keep their own seeds), with
+/// the parallel-build knob exposed so thread-count sweeps vary exactly one
+/// field. `num_threads` 0 = auto, 1 = serial; the built index is identical
+/// either way.
+IndexOptions PresetIndexOptions(int num_functions = 200, int num_threads = 0);
 
 }  // namespace dtrace
 

@@ -1,0 +1,70 @@
+#ifndef DTRACE_UTIL_PARALLEL_H_
+#define DTRACE_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dtrace {
+
+/// Resolves a `num_threads` knob to a concrete worker count: values > 0 are
+/// taken as-is; 0 (the "auto" default used across build options) maps to
+/// std::thread::hardware_concurrency(), falling back to 1 when the runtime
+/// cannot report it. Negative values abort.
+inline int ResolveThreadCount(int requested) {
+  DT_CHECK_MSG(requested >= 0, "num_threads must be >= 0 (0 = auto)");
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Runs `fn(begin, end)` over a static partition of [0, n) into at most
+/// `num_threads` contiguous chunks. Chunk 0 runs on the calling thread;
+/// the rest run on freshly spawned std::threads, and the call blocks until
+/// every chunk completes. With num_threads <= 1 (or n small) this degrades
+/// to a plain inline loop, so `num_threads = 1` reproduces serial execution
+/// exactly — no pool, no synchronization, no reordering.
+///
+/// Chunks are disjoint, so workers may write to disjoint slots of shared
+/// output arrays without synchronization; `fn` must not touch state shared
+/// across chunks. The library is exception-free (DT_CHECK aborts), so no
+/// exception propagation is attempted.
+template <typename Fn>
+void ParallelFor(int num_threads, size_t n, const Fn& fn) {
+  if (n == 0) return;
+  const size_t workers =
+      std::min<size_t>(static_cast<size_t>(ResolveThreadCount(num_threads)), n);
+  if (workers <= 1) {
+    fn(size_t{0}, n);
+    return;
+  }
+  // Split as evenly as possible: the first `extra` chunks get one more item.
+  const size_t base = n / workers;
+  const size_t extra = n % workers;
+  const size_t chunk0 = base + (extra > 0 ? 1 : 0);  // run by the caller
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  size_t begin = chunk0;
+  for (size_t w = 1; w < workers; ++w) {
+    const size_t len = base + (w < extra ? 1 : 0);
+    threads.emplace_back([&fn, begin, len] { fn(begin, begin + len); });
+    begin += len;
+  }
+  fn(size_t{0}, chunk0);
+  for (auto& t : threads) t.join();
+}
+
+/// Per-item convenience wrapper: `fn(i)` for i in [0, n), partitioned as
+/// above.
+template <typename Fn>
+void ParallelForEach(int num_threads, size_t n, const Fn& fn) {
+  ParallelFor(num_threads, n, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace dtrace
+
+#endif  // DTRACE_UTIL_PARALLEL_H_

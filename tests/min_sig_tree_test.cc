@@ -6,10 +6,13 @@
 #include <cmath>
 #include <set>
 
+#include <atomic>
+
 #include "core/signature.h"
 #include "hash/hierarchical_hasher.h"
 #include "mobility/hierarchy_generator.h"
 #include "trace/trace_store.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace dtrace {
@@ -200,6 +203,84 @@ TEST_F(MinSigTreeTest, RefreshTightensValues) {
     }
     EXPECT_EQ(n.value, expect);
   }
+}
+
+// Two trees are structurally identical: same nodes in the same order with
+// the same (level, routing, value, parent, children, entities, full_sig).
+void ExpectIdenticalTrees(const MinSigTree& a, const MinSigTree& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_entities(), b.num_entities());
+  for (uint32_t i = 0; i < a.num_nodes(); ++i) {
+    const auto& na = a.node(i);
+    const auto& nb = b.node(i);
+    EXPECT_EQ(na.level, nb.level) << "node " << i;
+    EXPECT_EQ(na.routing, nb.routing) << "node " << i;
+    EXPECT_EQ(na.value, nb.value) << "node " << i;
+    EXPECT_EQ(na.parent, nb.parent) << "node " << i;
+    EXPECT_EQ(na.children, nb.children) << "node " << i;
+    EXPECT_EQ(na.entities, nb.entities) << "node " << i;
+    EXPECT_EQ(na.full_sig, nb.full_sig) << "node " << i;
+  }
+}
+
+TEST_F(MinSigTreeTest, BuildIsDeterministicAcrossThreadCounts) {
+  // The parallel build must produce the exact tree the serial build does:
+  // same node order, same (routing, value) pairs, same leaf entity sets.
+  const MinSigTree serial =
+      MinSigTree::Build(*sigs_, all_, {.num_threads = 1});
+  for (int threads : {2, 3, 4, 7, 16, 0}) {
+    const MinSigTree parallel =
+        MinSigTree::Build(*sigs_, all_, {.num_threads = threads});
+    parallel.CheckInvariants(*sigs_);
+    ExpectIdenticalTrees(serial, parallel);
+  }
+}
+
+TEST_F(MinSigTreeTest, FullSignatureBuildIsDeterministicAcrossThreadCounts) {
+  const MinSigTree serial = MinSigTree::Build(
+      *sigs_, all_, {.store_full_signatures = true, .num_threads = 1});
+  const MinSigTree parallel = MinSigTree::Build(
+      *sigs_, all_, {.store_full_signatures = true, .num_threads = 5});
+  parallel.CheckInvariants(*sigs_);
+  ExpectIdenticalTrees(serial, parallel);
+
+  // Force the bounded-transient path into many tiny batches (batch bytes of
+  // 1 clamps each batch to the worker count), so batch boundaries straddle
+  // group boundaries mid-node; the tree must still be identical.
+  const MinSigTree batched = MinSigTree::Build(*sigs_, all_,
+                                               {.store_full_signatures = true,
+                                                .num_threads = 3,
+                                                .full_sig_batch_bytes = 1});
+  batched.CheckInvariants(*sigs_);
+  ExpectIdenticalTrees(serial, batched);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {0, 1, 2, 3, 8}) {
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      ParallelFor(threads, n, [&](size_t begin, size_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, n);
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, ForEachAccumulatesDisjointSlots) {
+  std::vector<uint64_t> out(257);
+  ParallelForEach(4, out.size(), [&](size_t i) { out[i] = i * i; });
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelForTest, ResolveThreadCount) {
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(6), 6);
+  EXPECT_GE(ResolveThreadCount(0), 1);  // auto: hardware_concurrency or 1
 }
 
 TEST_F(MinSigTreeTest, MemoryBytesGrowsWithEntities) {

@@ -71,7 +71,9 @@ TEST(EstimateNcTest, InvertsTheMeasure) {
     };
     if (deg_at(q_sizes.back()) >= target) {
       EXPECT_GE(deg_at(nc), target);
-      if (nc > 1) EXPECT_LT(deg_at(nc - 1), target);
+      if (nc > 1) {
+        EXPECT_LT(deg_at(nc - 1), target);
+      }
     }
   }
 }

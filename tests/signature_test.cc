@@ -53,6 +53,26 @@ TEST_F(SignatureTest, SignatureIsMinOverCellHashes) {
   }
 }
 
+TEST(SignatureListDeathTest, ZeroHashFunctionsRejected) {
+  // Regression: the constructor used to accept num_functions == 0, leaving
+  // num_levels() to divide by zero on first use. It must abort up front.
+  EXPECT_DEATH(SignatureList(3, 0), "num_functions must be positive");
+  EXPECT_DEATH(SignatureList(3, -4), "num_functions must be positive");
+}
+
+TEST_F(SignatureTest, ComputeLevelScratchOverloadMatches) {
+  // The allocating overload and the caller-scratch overload (used by the
+  // parallel index build) must agree exactly.
+  std::vector<uint64_t> plain(12), scratched(12), scratch(12, 0xdeadbeef);
+  for (EntityId e = 0; e < 10; ++e) {
+    for (Level l = 1; l <= hierarchy_->num_levels(); ++l) {
+      sigs_->ComputeLevel(e, l, plain);
+      sigs_->ComputeLevel(e, l, scratched, scratch);
+      EXPECT_EQ(plain, scratched) << "entity " << e << " level " << l;
+    }
+  }
+}
+
 TEST_F(SignatureTest, ComputeLevelMatchesCompute) {
   const SignatureList full = sigs_->Compute(2);
   std::vector<uint64_t> level(12);
