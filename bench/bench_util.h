@@ -45,6 +45,80 @@ inline void PrintDatasetInfo(const NamedDataset& nd) {
       nd.dataset.records.size());
 }
 
+/// Minimal machine-readable bench output: rows of scalar fields serialized
+/// as {"bench": <name>, "rows": [{...}, ...]} into BENCH_<name>.json in the
+/// working directory, so CI can track the perf trajectory across PRs
+/// without scraping the human-facing tables.
+class BenchJson {
+ public:
+  class Row {
+   public:
+    Row& Num(const char* key, double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "\"%s\": %.10g", key, v);
+      fields_.push_back(buf);
+      return *this;
+    }
+    Row& Int(const char* key, uint64_t v) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "\"%s\": %llu", key,
+                    static_cast<unsigned long long>(v));
+      fields_.push_back(buf);
+      return *this;
+    }
+    Row& Str(const char* key, const std::string& v) {
+      std::string out = "\"";
+      out += key;
+      out += "\": \"";
+      for (char c : v) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+      fields_.push_back(std::move(out));
+      return *this;
+    }
+
+   private:
+    friend class BenchJson;
+    std::vector<std::string> fields_;
+  };
+
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Writes BENCH_<bench>.json and prints the path (skips on fopen error,
+  /// e.g. a read-only working directory).
+  void Write() const {
+    const std::string path = "BENCH_" + bench_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("(could not write %s)\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", bench_.c_str());
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s{", r == 0 ? "" : ", ");
+      for (size_t i = 0; i < rows_[r].fields_.size(); ++i) {
+        std::fprintf(f, "%s%s", i == 0 ? "" : ", ",
+                     rows_[r].fields_[i].c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string bench_;
+  std::vector<Row> rows_;
+};
+
 }  // namespace dtrace::bench
 
 #endif  // DTRACE_BENCH_BENCH_UTIL_H_

@@ -8,13 +8,14 @@
 namespace dtrace {
 
 double ComputeDegree(const AssociationMeasure& measure,
-                     const TraceStore& store, EntityId a, EntityId b) {
-  const int m = store.hierarchy().num_levels();
+                     const TraceSource& source, EntityId a, EntityId b) {
+  const int m = source.hierarchy().num_levels();
+  const auto cursor = source.OpenCursor();
   std::vector<uint32_t> qs(m), cs(m), is(m);
   for (Level l = 1; l <= m; ++l) {
-    qs[l - 1] = store.cell_count(a, l);
-    cs[l - 1] = store.cell_count(b, l);
-    is[l - 1] = store.IntersectionSize(a, b, l);
+    qs[l - 1] = static_cast<uint32_t>(cursor->Cells(a, l).size());
+    cs[l - 1] = static_cast<uint32_t>(cursor->Cells(b, l).size());
+    is[l - 1] = cursor->IntersectionSize(a, b, l);
   }
   return measure.Score(qs, cs, is);
 }

@@ -6,7 +6,7 @@
 #include <string>
 #include <vector>
 
-#include "trace/trace_store.h"
+#include "trace/trace_source.h"
 #include "trace/types.h"
 
 namespace dtrace {
@@ -43,9 +43,10 @@ class AssociationMeasure {
 };
 
 /// Computes deg(a, b) for a concrete pair by materializing per-level sizes
-/// and intersections from the store. Convenience for baselines/tests.
-double ComputeDegree(const AssociationMeasure& measure, const TraceStore& store,
-                     EntityId a, EntityId b);
+/// and intersections through a cursor on `source` (the in-memory TraceStore
+/// or any storage-backed source). Convenience for baselines/tests.
+double ComputeDegree(const AssociationMeasure& measure,
+                     const TraceSource& source, EntityId a, EntityId b);
 
 /// The paper's experimental ADM (Eq. 7.1):
 ///

@@ -5,6 +5,7 @@
 #include "hash/exact_hasher.h"
 #include "hash/hierarchical_hasher.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace dtrace {
@@ -55,21 +56,57 @@ DigitalTraceIndex DigitalTraceIndex::Build(
                            std::move(tree), secs);
 }
 
+namespace {
+
+// Resolves the source queries evaluate against: an explicitly attached one
+// (which must describe the same population the index was built over), else
+// the in-memory store.
+const TraceSource& PickSource(const QueryOptions& options,
+                              const TraceStore& store) {
+  if (options.trace_source == nullptr) return store;
+  DT_CHECK_MSG(options.trace_source->num_entities() == store.num_entities(),
+               "trace_source describes a different dataset");
+  return *options.trace_source;
+}
+
+}  // namespace
+
 TopKResult DigitalTraceIndex::Query(EntityId q, int k,
                                     const AssociationMeasure& measure,
                                     const QueryOptions& options) const {
-  TopKQueryProcessor proc(tree_, *store_, *hasher_, measure);
+  TopKQueryProcessor proc(tree_, PickSource(options, *store_), *hasher_,
+                          measure);
   return proc.Query(q, k, options);
 }
 
 TopKResult DigitalTraceIndex::BruteForce(EntityId q, int k,
                                          const AssociationMeasure& measure,
                                          const QueryOptions& options) const {
-  TopKQueryProcessor proc(tree_, *store_, *hasher_, measure);
+  TopKQueryProcessor proc(tree_, PickSource(options, *store_), *hasher_,
+                          measure);
   return proc.BruteForce(q, k, options);
 }
 
+std::vector<TopKResult> DigitalTraceIndex::QueryMany(
+    std::span<const EntityId> queries, int k,
+    const AssociationMeasure& measure, const QueryOptions& options,
+    int num_threads) const {
+  TopKQueryProcessor proc(tree_, PickSource(options, *store_), *hasher_,
+                          measure);
+  std::vector<TopKResult> results(queries.size());
+  // Queries are independent; each worker fills disjoint position-indexed
+  // slots, so the output order (and every result) matches the serial run.
+  ParallelForEach(num_threads, queries.size(), [&](size_t i) {
+    results[i] = proc.Query(queries[i], k, options);
+  });
+  return results;
+}
+
 void DigitalTraceIndex::InsertEntity(EntityId e) { tree_.Insert(e, sigs_); }
+
+void DigitalTraceIndex::InsertEntities(std::span<const EntityId> entities) {
+  tree_.InsertBatch(entities, sigs_);
+}
 
 void DigitalTraceIndex::UpdateEntity(EntityId e) { tree_.Update(e, sigs_); }
 

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/association.h"
@@ -53,7 +54,9 @@ class DigitalTraceIndex {
       std::shared_ptr<TraceStore> store, IndexOptions options = {},
       std::optional<std::vector<EntityId>> entities = std::nullopt);
 
-  /// Exact top-k query; `measure` must satisfy the ADM axioms.
+  /// Exact top-k query; `measure` must satisfy the ADM axioms. Candidate
+  /// traces are read from `options.trace_source` when set (e.g. a
+  /// PagedTraceSource over the same dataset), else from the in-memory store.
   TopKResult Query(EntityId q, int k, const AssociationMeasure& measure,
                    const QueryOptions& options = {}) const;
 
@@ -61,8 +64,25 @@ class DigitalTraceIndex {
   TopKResult BruteForce(EntityId q, int k, const AssociationMeasure& measure,
                         const QueryOptions& options = {}) const;
 
+  /// Evaluates independent queries on `num_threads` workers (0 = auto,
+  /// 1 = serial). results[i] answers queries[i], and every entry is
+  /// bit-identical to the serial Query(queries[i], ...) result for any
+  /// thread count; only QueryStats timing/page counters may vary. Workers
+  /// share `options` (including any trace_source, whose buffer pool is
+  /// internally synchronized).
+  std::vector<TopKResult> QueryMany(std::span<const EntityId> queries, int k,
+                                    const AssociationMeasure& measure,
+                                    const QueryOptions& options = {},
+                                    int num_threads = 0) const;
+
   /// Indexes an entity whose trace is already present in the store.
   void InsertEntity(EntityId e);
+
+  /// Indexes a batch of entities: per-entity signatures are computed on
+  /// `options().num_threads` workers, then applied to the tree in input
+  /// order — the resulting tree is identical to sequential InsertEntity
+  /// calls in the same order.
+  void InsertEntities(std::span<const EntityId> entities);
 
   /// Re-indexes an entity after TraceStore::ReplaceEntity changed its trace.
   void UpdateEntity(EntityId e);
@@ -71,6 +91,9 @@ class DigitalTraceIndex {
   void RemoveEntity(EntityId e);
 
   /// Restores tight node values after a batch of updates/removals.
+  /// Signature recomputation — the dominant cost — runs on
+  /// `options().num_threads` workers; the refreshed values are identical
+  /// for every thread count.
   void Refresh();
 
   const MinSigTree& tree() const { return tree_; }

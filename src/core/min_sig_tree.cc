@@ -164,12 +164,37 @@ MinSigTree MinSigTree::Build(const SignatureComputer& sigs,
 }
 
 void MinSigTree::Insert(EntityId e, const SignatureComputer& sigs) {
+  std::vector<int> routing(m_);
+  std::vector<uint64_t> value(m_);
+  std::vector<uint64_t> full;
+  if (opts_.store_full_signatures) {
+    full.resize(static_cast<size_t>(m_) * nh_);
+  }
+  std::vector<uint64_t> sig(nh_), scratch(nh_);
+  for (Level level = 1; level <= m_; ++level) {
+    sigs.ComputeLevel(e, level, sig, scratch);
+    const int r = SignatureComputer::RoutingIndex(sig);
+    routing[level - 1] = r;
+    value[level - 1] = sig[r];
+    if (!full.empty()) {
+      std::copy(sig.begin(), sig.end(),
+                full.begin() + static_cast<size_t>(level - 1) * nh_);
+    }
+  }
+  InsertPrecomputed(e, routing.data(), value.data(),
+                    full.empty() ? nullptr : full.data());
+}
+
+void MinSigTree::InsertPrecomputed(EntityId e, const int* routing,
+                                   const uint64_t* value,
+                                   const uint64_t* full) {
   DT_CHECK_MSG(!Contains(e), "entity already in tree");
-  std::vector<uint64_t> sig(nh_);
   uint32_t cur = root();
   for (Level level = 1; level <= m_; ++level) {
-    sigs.ComputeLevel(e, level, sig);
-    const int r = SignatureComputer::RoutingIndex(sig);
+    const int r = routing[level - 1];
+    const uint64_t v = value[level - 1];
+    const uint64_t* level_sig =
+        full ? full + static_cast<size_t>(level - 1) * nh_ : nullptr;
     // Find the child with this routing index, if any.
     uint32_t child = 0;
     bool found = false;
@@ -182,22 +207,75 @@ void MinSigTree::Insert(EntityId e, const SignatureComputer& sigs) {
     }
     if (found) {
       Node& cn = nodes_[child];
-      cn.value = std::min(cn.value, sig[r]);
-      if (opts_.store_full_signatures) {
+      cn.value = std::min(cn.value, v);
+      if (level_sig != nullptr) {
         for (int u = 0; u < nh_; ++u) {
-          cn.full_sig[u] = std::min(cn.full_sig[u], sig[u]);
+          cn.full_sig[u] = std::min(cn.full_sig[u], level_sig[u]);
         }
       }
     } else {
-      child = AddNode(level, r, sig[r], static_cast<int32_t>(cur));
-      if (opts_.store_full_signatures) {
-        nodes_[child].full_sig.assign(sig.begin(), sig.end());
+      child = AddNode(level, r, v, static_cast<int32_t>(cur));
+      if (level_sig != nullptr) {
+        nodes_[child].full_sig.assign(level_sig, level_sig + nh_);
       }
     }
     cur = child;
   }
   nodes_[cur].entities.push_back(e);
   NoteLeafMembership(e, cur);
+}
+
+void MinSigTree::InsertBatch(std::span<const EntityId> entities,
+                             const SignatureComputer& sigs) {
+  const size_t n = entities.size();
+  if (n == 0) return;
+  const int num_threads = ResolveThreadCount(opts_.num_threads);
+  // Bound the transient full-signature buffer exactly as Build does.
+  size_t batch = n;
+  if (opts_.store_full_signatures) {
+    const size_t cap = std::max<size_t>(
+        static_cast<size_t>(num_threads),
+        opts_.full_sig_batch_bytes /
+            (static_cast<size_t>(m_) * nh_ * sizeof(uint64_t)));
+    batch = std::min(n, cap);
+  }
+  std::vector<int> routing(n * static_cast<size_t>(m_));
+  std::vector<uint64_t> value(n * static_cast<size_t>(m_));
+  std::vector<uint64_t> full;  // [(i - b0) * m + (l-1)] * nh, full-sig mode
+  if (opts_.store_full_signatures) {
+    full.resize(batch * static_cast<size_t>(m_) * nh_);
+  }
+  for (size_t b0 = 0; b0 < n; b0 += batch) {
+    const size_t b1 = std::min(n, b0 + batch);
+    // Phase 1 (parallel): each entity's signatures into disjoint slots.
+    ParallelFor(num_threads, b1 - b0, [&](size_t begin, size_t end) {
+      std::vector<uint64_t> sig(nh_), scratch(nh_);
+      for (size_t i = begin; i < end; ++i) {
+        const EntityId e = entities[b0 + i];
+        for (Level level = 1; level <= m_; ++level) {
+          sigs.ComputeLevel(e, level, sig, scratch);
+          const int r = SignatureComputer::RoutingIndex(sig);
+          const size_t slot = (b0 + i) * static_cast<size_t>(m_) + (level - 1);
+          routing[slot] = r;
+          value[slot] = sig[r];
+          if (!full.empty()) {
+            std::copy(sig.begin(), sig.end(),
+                      full.begin() +
+                          (i * static_cast<size_t>(m_) + (level - 1)) * nh_);
+          }
+        }
+      }
+    });
+    // Phase 2 (serial, input order): identical to sequential Insert calls.
+    for (size_t i = b0; i < b1; ++i) {
+      const size_t slot = i * static_cast<size_t>(m_);
+      InsertPrecomputed(
+          entities[i], routing.data() + slot, value.data() + slot,
+          full.empty()
+              ? nullptr
+              : full.data() + (i - b0) * static_cast<size_t>(m_) * nh_);
+    }
+  }
 }
 
 void MinSigTree::Remove(EntityId e) {
@@ -222,21 +300,73 @@ void MinSigTree::RefreshValues(const SignatureComputer& sigs) {
       nodes_[i].full_sig.assign(nh_, ~uint64_t{0});
     }
   }
+  std::vector<EntityId> active;
+  active.reserve(num_entities_);
   for (size_t i = 0; i < leaf_of_.size(); ++i) {
-    if (leaf_of_[i] < 0) continue;
-    const auto e = static_cast<EntityId>(i);
-    const SignatureList sig = sigs.Compute(e);
-    uint32_t cur = static_cast<uint32_t>(leaf_of_[e]);
-    while (cur != root()) {
-      Node& n = nodes_[cur];
-      const auto level_sig = sig.level(n.level);
-      n.value = std::min(n.value, level_sig[n.routing]);
-      if (opts_.store_full_signatures) {
-        for (int u = 0; u < nh_; ++u) {
-          n.full_sig[u] = std::min(n.full_sig[u], level_sig[u]);
+    if (leaf_of_[i] >= 0) active.push_back(static_cast<EntityId>(i));
+  }
+  const size_t n = active.size();
+  if (n == 0) return;
+  const int num_threads = ResolveThreadCount(opts_.num_threads);
+  // Signature recomputation is the dominant cost and is independent per
+  // entity, so it runs in parallel into per-entity slots; the min-merge
+  // into shared node values stays serial. The merge is a pure min, so the
+  // refreshed tree is identical for every thread count (and to the
+  // historical fully-serial walk). Full-signature mode bounds the transient
+  // buffer exactly as Build does.
+  size_t batch = n;
+  if (opts_.store_full_signatures) {
+    const size_t cap = std::max<size_t>(
+        static_cast<size_t>(num_threads),
+        opts_.full_sig_batch_bytes /
+            (static_cast<size_t>(m_) * nh_ * sizeof(uint64_t)));
+    batch = std::min(n, cap);
+  }
+  // vals[(i - b0) * m + (l-1)]: e's level-l signature at the routing index
+  // of e's ancestor at level l.
+  std::vector<uint64_t> vals(batch * static_cast<size_t>(m_));
+  std::vector<uint64_t> full;
+  if (opts_.store_full_signatures) {
+    full.resize(batch * static_cast<size_t>(m_) * nh_);
+  }
+  for (size_t b0 = 0; b0 < n; b0 += batch) {
+    const size_t b1 = std::min(n, b0 + batch);
+    ParallelFor(num_threads, b1 - b0, [&](size_t begin, size_t end) {
+      std::vector<uint64_t> sig(nh_), scratch(nh_);
+      std::vector<int> route(m_);
+      for (size_t i = begin; i < end; ++i) {
+        const EntityId e = active[b0 + i];
+        uint32_t cur = static_cast<uint32_t>(leaf_of_[e]);
+        for (Level l = m_; l >= 1; --l) {
+          route[l - 1] = nodes_[cur].routing;
+          cur = static_cast<uint32_t>(nodes_[cur].parent);
+        }
+        for (Level l = 1; l <= m_; ++l) {
+          sigs.ComputeLevel(e, l, sig, scratch);
+          vals[i * static_cast<size_t>(m_) + (l - 1)] = sig[route[l - 1]];
+          if (!full.empty()) {
+            std::copy(sig.begin(), sig.end(),
+                      full.begin() +
+                          (i * static_cast<size_t>(m_) + (l - 1)) * nh_);
+          }
         }
       }
-      cur = static_cast<uint32_t>(n.parent);
+    });
+    for (size_t i = b0; i < b1; ++i) {
+      uint32_t cur = static_cast<uint32_t>(leaf_of_[active[i]]);
+      while (cur != root()) {
+        Node& nd = nodes_[cur];
+        const size_t slot =
+            (i - b0) * static_cast<size_t>(m_) + (nd.level - 1);
+        nd.value = std::min(nd.value, vals[slot]);
+        if (!full.empty()) {
+          const uint64_t* level_sig = full.data() + slot * nh_;
+          for (int u = 0; u < nh_; ++u) {
+            nd.full_sig[u] = std::min(nd.full_sig[u], level_sig[u]);
+          }
+        }
+        cur = static_cast<uint32_t>(nd.parent);
+      }
     }
   }
 }

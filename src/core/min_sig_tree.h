@@ -68,6 +68,13 @@ class MinSigTree {
   /// extending/lowering the root-to-leaf path (Sec. 4.2.3).
   void Insert(EntityId e, const SignatureComputer& sigs);
 
+  /// Inserts a batch: per-entity signatures are computed on
+  /// `Options::num_threads` workers (the dominant cost), then applied to
+  /// the tree serially in input order — the result is identical to calling
+  /// Insert for each entity in the same order, for every thread count.
+  void InsertBatch(std::span<const EntityId> entities,
+                   const SignatureComputer& sigs);
+
   /// Removes an entity from its leaf. Node values are left unchanged
   /// (conservative: they can only be lower than the true group minimum,
   /// which loosens pruning but preserves exactness).
@@ -77,7 +84,10 @@ class MinSigTree {
   void Update(EntityId e, const SignatureComputer& sigs);
 
   /// Recomputes every node value (and full signature) from current member
-  /// signatures, restoring tight pruning after removals/updates.
+  /// signatures, restoring tight pruning after removals/updates. Signature
+  /// recomputation runs on `Options::num_threads` workers into per-entity
+  /// slots; the min-merge into nodes stays serial, so refreshed values are
+  /// identical for every thread count.
   void RefreshValues(const SignatureComputer& sigs);
 
   uint32_t root() const { return 0; }
@@ -106,6 +116,12 @@ class MinSigTree {
 
   uint32_t AddNode(Level level, int routing, uint64_t value, int32_t parent);
   void NoteLeafMembership(EntityId e, uint32_t leaf);
+
+  // Walks/extends the root-to-leaf path for `e` from precomputed per-level
+  // data: routing/value have m entries (level l at [l-1]); `full` is the
+  // m*nh concatenated level signatures, or null outside full-signature mode.
+  void InsertPrecomputed(EntityId e, const int* routing, const uint64_t* value,
+                         const uint64_t* full);
 
   int m_;
   int nh_;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <queue>
 
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace dtrace {
@@ -84,30 +86,98 @@ struct EntryLess {
   }
 };
 
+// Exact evaluation of a batch of candidates (one leaf's members, or the
+// whole population in BruteForce). Serial path streams through the query's
+// cursor; with eval_threads > 1 scores are computed into position-indexed
+// slots by workers holding their own cursors, then offered to the heap in
+// serial candidate order — so the result is bit-identical to the serial
+// path for every thread count.
+void EvalCandidates(const TraceSource& source,
+                    const AssociationMeasure& measure, EntityId q,
+                    std::span<const uint32_t> q_sizes, TimeStep w0,
+                    TimeStep w1, std::span<const EntityId> candidates,
+                    const QueryOptions& options, TraceCursor& cursor,
+                    TopKHeap& heap, QueryStats& stats) {
+  // Below this, thread spawn/cursor-open overhead dominates the evaluation.
+  constexpr size_t kMinParallelEval = 16;
+  const int m = static_cast<int>(q_sizes.size());
+  const int threads =
+      options.eval_threads == 1 ? 1 : ResolveThreadCount(options.eval_threads);
+  if (threads <= 1 || candidates.size() < kMinParallelEval) {
+    std::vector<uint32_t> c_sizes(m), inter(m);
+    for (EntityId e : candidates) {
+      if (e == q) continue;
+      if (options.access_hook) options.access_hook(e);
+      for (Level l = 1; l <= m; ++l) {
+        c_sizes[l - 1] =
+            static_cast<uint32_t>(cursor.CellsInWindow(e, l, w0, w1).size());
+        inter[l - 1] = cursor.WindowedIntersectionSize(q, e, l, w0, w1);
+      }
+      heap.Offer(e, measure.Score(q_sizes, c_sizes, inter));
+      ++stats.entities_checked;
+    }
+    return;
+  }
+  if (options.access_hook) {
+    for (EntityId e : candidates) {
+      if (e != q) options.access_hook(e);
+    }
+  }
+  std::vector<double> scores(candidates.size());
+  std::mutex io_mu;
+  ParallelFor(threads, candidates.size(), [&](size_t begin, size_t end) {
+    auto local = source.OpenCursor();
+    std::vector<uint32_t> c_sizes(m), inter(m);
+    for (size_t i = begin; i < end; ++i) {
+      const EntityId e = candidates[i];
+      if (e == q) continue;
+      for (Level l = 1; l <= m; ++l) {
+        c_sizes[l - 1] = static_cast<uint32_t>(
+            local->CellsInWindow(e, l, w0, w1).size());
+        inter[l - 1] = local->WindowedIntersectionSize(q, e, l, w0, w1);
+      }
+      scores[i] = measure.Score(q_sizes, c_sizes, inter);
+    }
+    const std::lock_guard<std::mutex> lock(io_mu);
+    stats.io.Add(local->io());
+  });
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i] == q) continue;
+    heap.Offer(candidates[i], scores[i]);
+    ++stats.entities_checked;
+  }
+}
+
 }  // namespace
 
 double QueryStats::pruning_effectiveness(size_t num_entities, int k) const {
-  if (num_entities == 0) return 0.0;
+  // Degenerate inputs: an empty population, or k covering the whole
+  // population, means there is nothing to prune — PE is 0 by convention
+  // (the naive formula would divide by zero or go negative).
+  if (num_entities == 0 || k < 0 || static_cast<size_t>(k) >= num_entities) {
+    return 0.0;
+  }
   const double extra =
       static_cast<double>(entities_checked) - static_cast<double>(k);
-  return std::max(0.0, extra) / static_cast<double>(num_entities);
+  return std::clamp(extra / static_cast<double>(num_entities), 0.0, 1.0);
 }
 
 TopKQueryProcessor::TopKQueryProcessor(const MinSigTree& tree,
-                                       const TraceStore& store,
+                                       const TraceSource& source,
                                        const CellHasher& hasher,
                                        const AssociationMeasure& measure)
-    : tree_(&tree), store_(&store), hasher_(&hasher), measure_(&measure) {}
+    : tree_(&tree), source_(&source), hasher_(&hasher), measure_(&measure) {}
 
 TopKResult TopKQueryProcessor::Query(EntityId q, int k,
                                      const QueryOptions& options) const {
   DT_CHECK(k >= 1);
   Timer timer;
-  const int m = store_->hierarchy().num_levels();
+  const int m = source_->hierarchy().num_levels();
+  const auto cursor = source_->OpenCursor();
 
   const TimeStep w0 = options.time_window ? options.time_window->begin : 0;
   const TimeStep w1 =
-      options.time_window ? options.time_window->end : store_->horizon();
+      options.time_window ? options.time_window->end : source_->horizon();
 
   std::vector<uint32_t> q_sizes(m);
   auto root_remaining = std::make_shared<Remaining>();
@@ -115,7 +185,7 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
   root_remaining->lists.resize(m);
   root_remaining->counts.resize(m);
   for (Level l = 1; l <= m; ++l) {
-    const auto cells = store_->CellsInWindow(q, l, w0, w1);
+    const auto cells = cursor->CellsInWindow(q, l, w0, w1);
     root_remaining->lists[l - 1].assign(cells.begin(), cells.end());
     q_sizes[l - 1] = static_cast<uint32_t>(cells.size());
     root_remaining->counts[l - 1] = q_sizes[l - 1];
@@ -171,7 +241,6 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
     return own;
   };
 
-  std::vector<uint32_t> c_sizes(m), inter(m);
   const double slack = 1.0 + options.approximation_epsilon;
   while (!frontier.empty()) {
     FrontierEntry entry =
@@ -200,18 +269,10 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
     ++stats.nodes_visited;
 
     if (node.level == tree_->num_levels()) {
-      // Leaf: exact evaluation of every member (Lines 10-14).
-      for (EntityId e : node.entities) {
-        if (e == q) continue;
-        if (options.access_hook) options.access_hook(e);
-        for (Level l = 1; l <= m; ++l) {
-          c_sizes[l - 1] =
-              static_cast<uint32_t>(store_->CellsInWindow(e, l, w0, w1).size());
-          inter[l - 1] = store_->WindowedIntersectionSize(q, e, l, w0, w1);
-        }
-        heap.Offer(e, measure_->Score(q_sizes, c_sizes, inter));
-        ++stats.entities_checked;
-      }
+      // Leaf: exact evaluation of every member (Lines 10-14), through the
+      // trace source — in parallel past the frontier when requested.
+      EvalCandidates(*source_, *measure_, q, q_sizes, w0, w1, node.entities,
+                     options, *cursor, heap, stats);
       continue;
     }
 
@@ -224,6 +285,7 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
   }
 
   result.items = std::move(heap).Sorted();
+  stats.io.Add(cursor->io());
   stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }
@@ -232,30 +294,29 @@ TopKResult TopKQueryProcessor::BruteForce(EntityId q, int k,
                                           const QueryOptions& options) const {
   DT_CHECK(k >= 1);
   Timer timer;
-  const int m = store_->hierarchy().num_levels();
+  const int m = source_->hierarchy().num_levels();
+  const auto cursor = source_->OpenCursor();
   const TimeStep w0 = options.time_window ? options.time_window->begin : 0;
   const TimeStep w1 =
-      options.time_window ? options.time_window->end : store_->horizon();
-  std::vector<uint32_t> q_sizes(m), c_sizes(m), inter(m);
+      options.time_window ? options.time_window->end : source_->horizon();
+  std::vector<uint32_t> q_sizes(m);
   for (Level l = 1; l <= m; ++l) {
     q_sizes[l - 1] =
-        static_cast<uint32_t>(store_->CellsInWindow(q, l, w0, w1).size());
+        static_cast<uint32_t>(cursor->CellsInWindow(q, l, w0, w1).size());
+  }
+
+  std::vector<EntityId> candidates;
+  candidates.reserve(tree_->num_entities());
+  for (EntityId e = 0; e < source_->num_entities(); ++e) {
+    if (e != q && tree_->Contains(e)) candidates.push_back(e);
   }
 
   TopKResult result;
   TopKHeap heap(k);
-  for (EntityId e = 0; e < store_->num_entities(); ++e) {
-    if (e == q || !tree_->Contains(e)) continue;
-    if (options.access_hook) options.access_hook(e);
-    for (Level l = 1; l <= m; ++l) {
-      c_sizes[l - 1] =
-          static_cast<uint32_t>(store_->CellsInWindow(e, l, w0, w1).size());
-      inter[l - 1] = store_->WindowedIntersectionSize(q, e, l, w0, w1);
-    }
-    heap.Offer(e, measure_->Score(q_sizes, c_sizes, inter));
-    ++result.stats.entities_checked;
-  }
+  EvalCandidates(*source_, *measure_, q, q_sizes, w0, w1, candidates, options,
+                 *cursor, heap, result.stats);
   result.items = std::move(heap).Sorted();
+  result.stats.io.Add(cursor->io());
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -9,20 +9,26 @@
 #include "core/association.h"
 #include "core/min_sig_tree.h"
 #include "hash/cell_hasher.h"
-#include "trace/trace_store.h"
+#include "trace/trace_source.h"
 #include "trace/types.h"
 
 namespace dtrace {
 
 /// Per-query instrumentation. `pruning_effectiveness` follows Definition 5:
 /// PE = (|E'| - k) / |E| where |E'| is the number of entities whose exact
-/// association degree was computed — lower is better.
+/// association degree was computed — lower is better. Degenerate inputs
+/// (|E| = 0, k >= |E|) clamp to 0 instead of producing NaN/negative values.
 struct QueryStats {
   uint64_t nodes_visited = 0;     // frontier pops
   uint64_t entities_checked = 0;  // exact deg evaluations
   uint64_t heap_pushes = 0;
   uint64_t hash_evals = 0;  // cell-hash evaluations during filtering
   double elapsed_seconds = 0.0;
+  /// I/O charged by the TraceSource the query evaluated candidates against
+  /// (all-zero for the in-memory store). With eval_threads > 1 the page
+  /// counts can vary across thread counts (workers share the buffer pool);
+  /// results never do.
+  TraceIoStats io;
 
   double pruning_effectiveness(size_t num_entities, int k) const;
 };
@@ -62,14 +68,29 @@ struct QueryOptions {
   /// still the candidate's exact degree; only ranks can be off, and any
   /// missed entity's degree is < (1 + epsilon) * returned k-th score.
   double approximation_epsilon = 0.0;
+  /// Evaluate the query and every candidate against this source instead of
+  /// the index's in-memory store (e.g. a PagedTraceSource over the same
+  /// dataset). Null = in-memory. Read by DigitalTraceIndex::Query/QueryMany;
+  /// a TopKQueryProcessor is already bound to its source.
+  const TraceSource* trace_source = nullptr;
+  /// Worker threads for exact candidate evaluations past the frontier (leaf
+  /// members and the brute-force scan): 1 = serial (default), 0 = auto,
+  /// N > 1 = that many workers. Scores are computed in parallel and offered
+  /// to the result heap in serial order, so results are identical for every
+  /// value. Keep at 1 inside QueryMany unless you want nested parallelism.
+  int eval_threads = 1;
 };
 
 /// Algorithm 2: exact top-k search over a MinSigTree with best-first
 /// expansion, per-node upper bounds from partial pruned sets, and early
 /// termination. See DESIGN.md Sec. 3.2 for the bound derivation.
+///
+/// All trace reads — the query's own cells, candidate sizes, intersections —
+/// go through a per-query TraceCursor opened on `source`, so the same search
+/// runs in-memory or storage-backed (DESIGN-storage.md).
 class TopKQueryProcessor {
  public:
-  TopKQueryProcessor(const MinSigTree& tree, const TraceStore& store,
+  TopKQueryProcessor(const MinSigTree& tree, const TraceSource& source,
                      const CellHasher& hasher,
                      const AssociationMeasure& measure);
 
@@ -82,7 +103,7 @@ class TopKQueryProcessor {
 
  private:
   const MinSigTree* tree_;
-  const TraceStore* store_;
+  const TraceSource* source_;
   const CellHasher* hasher_;
   const AssociationMeasure* measure_;
 };

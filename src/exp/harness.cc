@@ -27,14 +27,19 @@ std::vector<EntityId> SampleQueries(const TraceStore& store, size_t count,
 
 PeMeasurement MeasurePe(const DigitalTraceIndex& index,
                         const AssociationMeasure& measure,
-                        std::span<const EntityId> queries, int k) {
+                        std::span<const EntityId> queries, int k,
+                        const QueryOptions& options, int num_threads) {
   PeMeasurement agg;
-  for (EntityId q : queries) {
-    const TopKResult r = index.Query(q, k, measure);
-    agg.mean_pe += r.stats.pruning_effectiveness(index.tree().num_entities(), k);
+  const std::vector<TopKResult> results =
+      index.QueryMany(queries, k, measure, options, num_threads);
+  for (const TopKResult& r : results) {
+    agg.mean_pe +=
+        r.stats.pruning_effectiveness(index.tree().num_entities(), k);
     agg.mean_entities_checked += static_cast<double>(r.stats.entities_checked);
     agg.mean_nodes_visited += static_cast<double>(r.stats.nodes_visited);
     agg.mean_query_seconds += r.stats.elapsed_seconds;
+    agg.mean_pages_read += static_cast<double>(r.stats.io.pages_read);
+    agg.mean_io_seconds += r.stats.io.modeled_io_seconds;
     ++agg.num_queries;
   }
   if (agg.num_queries > 0) {
@@ -43,16 +48,30 @@ PeMeasurement MeasurePe(const DigitalTraceIndex& index,
     agg.mean_entities_checked /= n;
     agg.mean_nodes_visited /= n;
     agg.mean_query_seconds /= n;
+    agg.mean_pages_read /= n;
+    agg.mean_io_seconds /= n;
   }
   return agg;
 }
 
+PeMeasurement MeasurePe(const DigitalTraceIndex& index,
+                        const AssociationMeasure& measure,
+                        std::span<const EntityId> queries, int k) {
+  return MeasurePe(index, measure, queries, k, QueryOptions{},
+                   /*num_threads=*/1);
+}
+
 bool VerifyExactness(const DigitalTraceIndex& index,
                      const AssociationMeasure& measure,
-                     std::span<const EntityId> queries, int k) {
+                     std::span<const EntityId> queries, int k,
+                     const QueryOptions& options) {
+  // Exactness is only meaningful with zero slack (brute force ignores
+  // epsilon anyway), so strip it from whatever options the caller reuses.
+  QueryOptions exact = options;
+  exact.approximation_epsilon = 0.0;
   for (EntityId q : queries) {
-    const TopKResult fast = index.Query(q, k, measure);
-    const TopKResult slow = index.BruteForce(q, k, measure);
+    const TopKResult fast = index.Query(q, k, measure, exact);
+    const TopKResult slow = index.BruteForce(q, k, measure, exact);
     if (fast.items.size() != slow.items.size()) return false;
     for (size_t i = 0; i < fast.items.size(); ++i) {
       if (std::abs(fast.items[i].score - slow.items[i].score) > 1e-12) {
@@ -61,6 +80,12 @@ bool VerifyExactness(const DigitalTraceIndex& index,
     }
   }
   return true;
+}
+
+bool VerifyExactness(const DigitalTraceIndex& index,
+                     const AssociationMeasure& measure,
+                     std::span<const EntityId> queries, int k) {
+  return VerifyExactness(index, measure, queries, k, QueryOptions{});
 }
 
 }  // namespace dtrace

@@ -18,6 +18,9 @@ struct PeMeasurement {
   double mean_entities_checked = 0.0;
   double mean_nodes_visited = 0.0;
   double mean_query_seconds = 0.0;
+  /// Storage-path I/O, averaged per query (zero on the in-memory path).
+  double mean_pages_read = 0.0;
+  double mean_io_seconds = 0.0;
   size_t num_queries = 0;
 };
 
@@ -27,14 +30,31 @@ struct PeMeasurement {
 std::vector<EntityId> SampleQueries(const TraceStore& store, size_t count,
                                     uint64_t seed, uint32_t min_cells = 5);
 
-/// Runs top-k queries through the index and aggregates PE/time.
+/// Runs top-k queries through the index and aggregates PE/time/I-O.
+/// `options` selects the evaluation path — in particular a storage-backed
+/// `options.trace_source` (the real Sec. 7.6 regime, replacing the old
+/// access-hook emulation) — and `num_threads` batches the queries through
+/// QueryMany (1 = serial, 0 = auto).
+PeMeasurement MeasurePe(const DigitalTraceIndex& index,
+                        const AssociationMeasure& measure,
+                        std::span<const EntityId> queries, int k,
+                        const QueryOptions& options, int num_threads = 1);
+
+/// In-memory serial convenience overload.
 PeMeasurement MeasurePe(const DigitalTraceIndex& index,
                         const AssociationMeasure& measure,
                         std::span<const EntityId> queries, int k);
 
 /// Returns true iff the index's answers match brute force on every query —
 /// same score multiset (ties may permute entity ids). Used by integration
-/// tests and by benches' self-checks.
+/// tests and by benches' self-checks. Both sides evaluate through
+/// `options` (window, epsilon slack excluded — exactness needs epsilon 0,
+/// and brute force ignores it anyway; trace_source applies to both).
+bool VerifyExactness(const DigitalTraceIndex& index,
+                     const AssociationMeasure& measure,
+                     std::span<const EntityId> queries, int k,
+                     const QueryOptions& options);
+
 bool VerifyExactness(const DigitalTraceIndex& index,
                      const AssociationMeasure& measure,
                      std::span<const EntityId> queries, int k);

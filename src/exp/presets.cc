@@ -65,4 +65,16 @@ IndexOptions PresetIndexOptions(int num_functions, int num_threads) {
           .num_threads = num_threads};
 }
 
+Dataset MakeDiskResidentDataset(uint32_t num_entities, uint64_t seed) {
+  return GenerateSyn(PresetSyn(num_entities, seed));
+}
+
+PagedTraceSource::Options PresetHddSourceOptions(size_t pool_pages) {
+  PagedTraceSource::Options options;
+  options.pool_pages = pool_pages;
+  options.read_latency_seconds = 5e-3;
+  options.write_latency_seconds = 5e-3;
+  return options;
+}
+
 }  // namespace dtrace

@@ -6,6 +6,7 @@
 
 #include "core/index.h"
 #include "mobility/synthetic.h"
+#include "storage/paged_trace_source.h"
 #include "trace/dataset.h"
 
 namespace dtrace {
@@ -31,6 +32,18 @@ Dataset MakeRealDataset(uint32_t num_entities = 4000, uint64_t seed = 2);
 /// field. `num_threads` 0 = auto, 1 = serial; the built index is identical
 /// either way.
 IndexOptions PresetIndexOptions(int num_functions = 200, int num_threads = 0);
+
+/// Disk-resident scalability preset (ROADMAP: scale past laptop presets):
+/// a SYN dataset an order of magnitude larger than the in-memory presets,
+/// meant to be queried through a PagedTraceSource rather than resident
+/// traces. Structural parameters are PresetSyn's.
+Dataset MakeDiskResidentDataset(uint32_t num_entities = 20000,
+                                uint64_t seed = 7);
+
+/// HDD-class PagedTraceSource options for the Sec. 7.6 memory-size
+/// experiment: 5 ms seek-dominated 4K random access, pool capacity as
+/// given.
+PagedTraceSource::Options PresetHddSourceOptions(size_t pool_pages);
 
 }  // namespace dtrace
 

@@ -34,10 +34,24 @@ class BufferPool {
   /// Writes all dirty resident pages back.
   void FlushAll();
 
+  /// Counter snapshot in one struct, so callers (benches, sources) read a
+  /// consistent triple instead of recomputing deltas accessor by accessor.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+
+    double hit_rate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
   size_t capacity() const { return capacity_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t evictions() const { return evictions_; }
+  Stats stats() const { return {hits_, misses_, evictions_}; }
   void ResetStats();
 
  private:

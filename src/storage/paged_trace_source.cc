@@ -1,0 +1,150 @@
+#include "storage/paged_trace_source.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dtrace {
+
+namespace {
+
+// One decoded entity record held by a cursor's materialization cache.
+struct CachedEntity {
+  EntityId entity = kInvalidEntity;
+  uint64_t last_used = 0;
+  std::vector<std::vector<CellId>> levels;  // [m], sorted cell ids
+};
+
+}  // namespace
+
+/// Per-query cursor: a tiny LRU of decoded records in front of the shared
+/// buffer pool. Capacity >= 2 guarantees the query entity and the candidate
+/// under evaluation stay resident across one exact evaluation.
+class PagedTraceCursor final : public TraceCursor {
+ public:
+  explicit PagedTraceCursor(const PagedTraceSource& src)
+      : src_(&src), slots_(src.cache_entities_) {}
+
+  std::span<const CellId> Cells(EntityId e, Level level) override {
+    const auto& levels = Fetch(e);
+    const auto& v = levels[level - 1];
+    return {v.data(), v.size()};
+  }
+
+  std::span<const CellId> CellsInWindow(EntityId e, Level level, TimeStep t0,
+                                        TimeStep t1) override {
+    DT_DCHECK(t0 <= t1);
+    const auto all = Cells(e, level);
+    const uint32_t units = src_->hierarchy().units_at(level);
+    const auto lo = std::lower_bound(all.begin(), all.end(),
+                                     static_cast<CellId>(t0) * units);
+    const auto hi = std::lower_bound(lo, all.end(),
+                                     static_cast<CellId>(t1) * units);
+    return {lo, hi};
+  }
+
+  uint32_t IntersectionSize(EntityId a, EntityId b, Level level) override {
+    // Fetch both before taking spans: the second fetch may evict, the spans
+    // taken after it cannot be invalidated by each other.
+    Fetch(a);
+    Fetch(b);
+    return IntersectSortedSize(Cells(a, level), Cells(b, level));
+  }
+
+  uint32_t WindowedIntersectionSize(EntityId a, EntityId b, Level level,
+                                    TimeStep t0, TimeStep t1) override {
+    Fetch(a);
+    Fetch(b);
+    return IntersectSortedSize(CellsInWindow(a, level, t0, t1),
+                               CellsInWindow(b, level, t0, t1));
+  }
+
+ private:
+  const std::vector<std::vector<CellId>>& Fetch(EntityId e) {
+    for (auto& slot : slots_) {
+      if (slot.entity == e) {
+        slot.last_used = ++tick_;
+        ++io_.cache_hits;
+        return slot.levels;
+      }
+    }
+    // Miss: read through the shared pool, charging the pool/disk deltas
+    // observed under the source lock to this cursor.
+    std::vector<std::vector<CellId>> levels;
+    {
+      std::lock_guard<std::mutex> lock(src_->mu_);
+      BufferPool& pool = *src_->pool_;
+      const uint64_t h0 = pool.hits();
+      const uint64_t m0 = pool.misses();
+      const double io0 = src_->disk_.modeled_io_seconds();
+      levels = src_->paged_->ReadEntity(&pool, e);
+      io_.pages_hit += pool.hits() - h0;
+      io_.pages_read += pool.misses() - m0;
+      io_.modeled_io_seconds += src_->disk_.modeled_io_seconds() - io0;
+    }
+    ++io_.entities_fetched;
+    io_.bytes_read += src_->paged_->entity_bytes(e);
+
+    CachedEntity* victim = &slots_[0];
+    for (auto& slot : slots_) {
+      if (slot.entity == kInvalidEntity) {
+        victim = &slot;
+        break;
+      }
+      if (slot.last_used < victim->last_used) victim = &slot;
+    }
+    victim->entity = e;
+    victim->last_used = ++tick_;
+    victim->levels = std::move(levels);
+    return victim->levels;
+  }
+
+  const PagedTraceSource* src_;
+  std::vector<CachedEntity> slots_;
+  uint64_t tick_ = 0;
+};
+
+PagedTraceSource::PagedTraceSource(const TraceStore& store,
+                                   PagedTraceSource::Options options)
+    : hierarchy_(&store.hierarchy()),
+      num_entities_(store.num_entities()),
+      horizon_(store.horizon()),
+      cache_entities_(std::max<size_t>(2, options.cursor_cache_entities)),
+      disk_(options.read_latency_seconds, options.write_latency_seconds) {
+  paged_ = std::make_unique<PagedTraceStore>(store, &disk_);
+  size_t capacity = options.pool_pages > 0
+                        ? options.pool_pages
+                        : std::max<size_t>(1, paged_->num_pages());
+  if (options.pool_fraction > 0.0) {
+    capacity = std::max<size_t>(
+        1, static_cast<size_t>(options.pool_fraction *
+                               static_cast<double>(paged_->num_pages())));
+  }
+  pool_.emplace(&disk_, capacity);
+  // Serialization traffic is construction cost, not query I/O.
+  disk_.ResetStats();
+}
+
+std::unique_ptr<TraceCursor> PagedTraceSource::OpenCursor() const {
+  return std::make_unique<PagedTraceCursor>(*this);
+}
+
+BufferPool::Stats PagedTraceSource::pool_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_->stats();
+}
+
+uint64_t PagedTraceSource::disk_reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_.reads();
+}
+
+void PagedTraceSource::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_->ResetStats();
+  disk_.ResetStats();
+}
+
+}  // namespace dtrace

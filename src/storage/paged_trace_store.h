@@ -30,6 +30,9 @@ class PagedTraceStore {
   /// Total serialized bytes.
   uint64_t data_bytes() const { return data_bytes_; }
 
+  /// Serialized bytes of entity `e`'s record.
+  uint64_t entity_bytes(EntityId e) const { return dir_[e].bytes; }
+
   /// Reads entity `e`'s full record through `pool` and returns its per-level
   /// cell sets (index 0 = level 1). This is the I/O the query's exact
   /// evaluation of a candidate performs.

@@ -1,0 +1,109 @@
+#ifndef DTRACE_TRACE_TRACE_SOURCE_H_
+#define DTRACE_TRACE_TRACE_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "trace/spatial_hierarchy.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// I/O performed on behalf of one cursor (hence, one query). All-zero for
+/// the in-memory source; the paged source charges every candidate
+/// materialization here. Surfaced per query through QueryStats::io.
+struct TraceIoStats {
+  uint64_t entities_fetched = 0;  ///< records materialized from storage
+  uint64_t pages_read = 0;        ///< buffer-pool misses (disk page reads)
+  uint64_t pages_hit = 0;         ///< buffer-pool hits
+  uint64_t bytes_read = 0;        ///< serialized bytes materialized
+  uint64_t cache_hits = 0;        ///< cursor-cache hits (no pool traffic)
+  double modeled_io_seconds = 0.0;  ///< SimDisk modeled latency charged
+
+  void Add(const TraceIoStats& o) {
+    entities_fetched += o.entities_fetched;
+    pages_read += o.pages_read;
+    pages_hit += o.pages_hit;
+    bytes_read += o.bytes_read;
+    cache_hits += o.cache_hits;
+    modeled_io_seconds += o.modeled_io_seconds;
+  }
+};
+
+/// Per-query read handle onto a TraceSource. Cursors are cheap to open, are
+/// NOT thread-safe (each worker opens its own), and accumulate the I/O they
+/// cause in io(). Returned spans stay valid only until the next cursor call
+/// that touches a *different* entity: a paged cursor hands out views into its
+/// bounded materialization cache, so take sizes/copies promptly. Within one
+/// call — and for the intersection helpers — lifetime is handled internally.
+class TraceCursor {
+ public:
+  virtual ~TraceCursor() = default;
+
+  /// seq^level_e: sorted level-`level` cell ids of entity e.
+  virtual std::span<const CellId> Cells(EntityId e, Level level) = 0;
+
+  /// seq^level_e restricted to time steps [t0, t1).
+  virtual std::span<const CellId> CellsInWindow(EntityId e, Level level,
+                                                TimeStep t0, TimeStep t1) = 0;
+
+  /// |seq^level_a ∩ seq^level_b|.
+  virtual uint32_t IntersectionSize(EntityId a, EntityId b, Level level) = 0;
+
+  /// |seq^level_a ∩ seq^level_b| restricted to time steps [t0, t1).
+  virtual uint32_t WindowedIntersectionSize(EntityId a, EntityId b,
+                                            Level level, TimeStep t0,
+                                            TimeStep t1) = 0;
+
+  /// I/O accumulated by this cursor since it was opened.
+  const TraceIoStats& io() const { return io_; }
+
+ protected:
+  TraceIoStats io_;
+};
+
+/// Where candidate traces are read from during a query. The query processor
+/// is written against this interface only, so the storage layer sits *under*
+/// the index rather than beside it: the same exact top-k search runs against
+/// the in-memory TraceStore or against a disk-resident PagedTraceSource
+/// (storage/paged_trace_source.h) without code changes. Implementations must
+/// describe the same logical dataset as the store the index was built from.
+///
+/// OpenCursor() must be safe to call concurrently; the returned cursors are
+/// single-threaded but may share backing state (the paged source serializes
+/// buffer-pool access internally).
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  virtual const SpatialHierarchy& hierarchy() const = 0;
+  virtual uint32_t num_entities() const = 0;
+  virtual TimeStep horizon() const = 0;
+
+  virtual std::unique_ptr<TraceCursor> OpenCursor() const = 0;
+};
+
+/// Sorted-merge |a ∩ b| over two sorted cell-id ranges (shared by cursor
+/// implementations).
+inline uint32_t IntersectSortedSize(std::span<const CellId> a,
+                                    std::span<const CellId> b) {
+  uint32_t n = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+}  // namespace dtrace
+
+#endif  // DTRACE_TRACE_TRACE_SOURCE_H_

@@ -1,10 +1,45 @@
 #include "trace/trace_store.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/check.h"
 
 namespace dtrace {
+
+namespace {
+
+// Forwards every read to the store; spans alias the CSR arrays (or the
+// override vectors), so they stay valid for the store's lifetime and io()
+// stays all-zero.
+class InMemoryTraceCursor final : public TraceCursor {
+ public:
+  explicit InMemoryTraceCursor(const TraceStore& store) : store_(&store) {}
+
+  std::span<const CellId> Cells(EntityId e, Level level) override {
+    return store_->cells(e, level);
+  }
+  std::span<const CellId> CellsInWindow(EntityId e, Level level, TimeStep t0,
+                                        TimeStep t1) override {
+    return store_->CellsInWindow(e, level, t0, t1);
+  }
+  uint32_t IntersectionSize(EntityId a, EntityId b, Level level) override {
+    return store_->IntersectionSize(a, b, level);
+  }
+  uint32_t WindowedIntersectionSize(EntityId a, EntityId b, Level level,
+                                    TimeStep t0, TimeStep t1) override {
+    return store_->WindowedIntersectionSize(a, b, level, t0, t1);
+  }
+
+ private:
+  const TraceStore* store_;
+};
+
+}  // namespace
+
+std::unique_ptr<TraceCursor> TraceStore::OpenCursor() const {
+  return std::make_unique<InMemoryTraceCursor>(*this);
+}
 
 TraceStore::TraceStore(const SpatialHierarchy& hierarchy,
                        uint32_t num_entities, TimeStep horizon,

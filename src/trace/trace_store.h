@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "trace/spatial_hierarchy.h"
+#include "trace/trace_source.h"
 #include "trace/types.h"
 
 namespace dtrace {
@@ -19,7 +20,10 @@ namespace dtrace {
 /// Cells are encoded per level as `time * units_at(level) + unit`; helpers
 /// below convert. Storage is CSR per level (one offsets array + one flat cell
 /// array), so the whole store is two allocations per level.
-class TraceStore {
+///
+/// TraceStore is itself the in-memory TraceSource: its cursors forward to
+/// the CSR arrays directly and never charge I/O.
+class TraceStore : public TraceSource {
  public:
   /// Builds the store for `num_entities` entities (ids [0, num_entities))
   /// from raw presence records over time horizon [0, horizon).
@@ -27,9 +31,12 @@ class TraceStore {
   TraceStore(const SpatialHierarchy& hierarchy, uint32_t num_entities,
              TimeStep horizon, const std::vector<PresenceRecord>& records);
 
-  const SpatialHierarchy& hierarchy() const { return *hierarchy_; }
-  uint32_t num_entities() const { return num_entities_; }
-  TimeStep horizon() const { return horizon_; }
+  const SpatialHierarchy& hierarchy() const override { return *hierarchy_; }
+  uint32_t num_entities() const override { return num_entities_; }
+  TimeStep horizon() const override { return horizon_; }
+
+  /// In-memory cursor: zero-copy spans into the CSR arrays, zero I/O.
+  std::unique_ptr<TraceCursor> OpenCursor() const override;
 
   /// seq^level_e: sorted level-`level` cell ids of entity e.
   std::span<const CellId> cells(EntityId e, Level level) const;

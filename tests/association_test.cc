@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "trace/trace_store.h"
 #include "util/rng.h"
 
 namespace dtrace {

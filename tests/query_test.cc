@@ -134,6 +134,35 @@ TEST(QueryTest, StatsArepopulated) {
   EXPECT_LE(pe, 1.0);
 }
 
+TEST(QueryTest, PruningEffectivenessGuardsDegenerateInputs) {
+  QueryStats stats;
+  stats.entities_checked = 50;
+  // Empty population: the naive (checked - k) / |E| would divide by zero.
+  EXPECT_DOUBLE_EQ(stats.pruning_effectiveness(0, 10), 0.0);
+  // k covers (or exceeds) the whole population: nothing to prune.
+  EXPECT_DOUBLE_EQ(stats.pruning_effectiveness(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(stats.pruning_effectiveness(100, 500), 0.0);
+  // Fewer checked than k (tiny leaves): clamps to 0, never negative.
+  stats.entities_checked = 3;
+  EXPECT_DOUBLE_EQ(stats.pruning_effectiveness(100, 10), 0.0);
+  // Normal case: (50 - 10) / 100.
+  stats.entities_checked = 50;
+  EXPECT_DOUBLE_EQ(stats.pruning_effectiveness(100, 10), 0.4);
+  // Never exceeds 1 even if instrumentation over-counts.
+  stats.entities_checked = 1000;
+  EXPECT_DOUBLE_EQ(stats.pruning_effectiveness(100, 10), 1.0);
+  // Every value above is finite and in [0, 1] — no NaN leaks into PE
+  // aggregation.
+  for (size_t n : {size_t{0}, size_t{1}, size_t{100}}) {
+    for (int k : {-1, 0, 1, 100, 1000}) {
+      const double pe = stats.pruning_effectiveness(n, k);
+      EXPECT_TRUE(std::isfinite(pe));
+      EXPECT_GE(pe, 0.0);
+      EXPECT_LE(pe, 1.0);
+    }
+  }
+}
+
 TEST(QueryTest, PruningActuallySkipsEntities) {
   // With enough hash functions the search should not touch everyone.
   const auto hierarchy = GenerateGridHierarchy(8, {.m = 3, .a = 1.5, .b = 1.5});

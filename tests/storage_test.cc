@@ -116,6 +116,32 @@ TEST_F(BufferPoolTest, FlushAllPersistsDirtyPages) {
   EXPECT_EQ(check.data[10], 0x55);
 }
 
+TEST_F(BufferPoolTest, StatsSnapshotMatchesAccessorsAndResets) {
+  BufferPool pool(&disk_, 2);
+  pool.Pin(0);
+  pool.Unpin(0);
+  pool.Pin(0);
+  pool.Unpin(0);
+  pool.Pin(1);
+  pool.Unpin(1);
+  pool.Pin(2);  // evicts
+  pool.Unpin(2);
+  const BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.hits, pool.hits());
+  EXPECT_EQ(stats.misses, pool.misses());
+  EXPECT_EQ(stats.evictions, pool.evictions());
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.25);
+  pool.ResetStats();
+  const BufferPool::Stats cleared = pool.stats();
+  EXPECT_EQ(cleared.hits, 0u);
+  EXPECT_EQ(cleared.misses, 0u);
+  EXPECT_EQ(cleared.evictions, 0u);
+  EXPECT_DOUBLE_EQ(cleared.hit_rate(), 0.0);  // no division by zero
+}
+
 TEST_F(BufferPoolTest, RepinningKeepsSinglePinAccounting) {
   BufferPool pool(&disk_, 2);
   pool.Pin(0);

@@ -115,6 +115,70 @@ TEST_F(UpdateTest, RefreshAfterChurnStaysExactAndTightens) {
   EXPECT_LE(checked_after, checked_before);
 }
 
+void ExpectSameTree(const MinSigTree& a, const MinSigTree& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (uint32_t i = 0; i < a.num_nodes(); ++i) {
+    const MinSigTree::Node& na = a.node(i);
+    const MinSigTree::Node& nb = b.node(i);
+    EXPECT_EQ(na.level, nb.level) << "node " << i;
+    EXPECT_EQ(na.routing, nb.routing) << "node " << i;
+    EXPECT_EQ(na.value, nb.value) << "node " << i;
+    EXPECT_EQ(na.children, nb.children) << "node " << i;
+    EXPECT_EQ(na.entities, nb.entities) << "node " << i;
+    EXPECT_EQ(na.full_sig, nb.full_sig) << "node " << i;
+  }
+}
+
+TEST_F(UpdateTest, ParallelRefreshMatchesSerial) {
+  for (bool full_sigs : {false, true}) {
+    IndexOptions serial_opts{.num_functions = 16,
+                             .store_full_signatures = full_sigs,
+                             .num_threads = 1};
+    IndexOptions parallel_opts = serial_opts;
+    parallel_opts.num_threads = 4;
+    auto serial = DigitalTraceIndex::Build(store_, serial_opts);
+    auto parallel = DigitalTraceIndex::Build(store_, parallel_opts);
+    // Identical churn against the shared store; Refresh must restore the
+    // same (tight) values on any thread count.
+    Rng rng(19);
+    for (EntityId e = 0; e < kEntities; e += 5) {
+      store_->ReplaceEntity(e, {RandomRecord(e, rng), RandomRecord(e, rng)});
+      serial.UpdateEntity(e);
+      parallel.UpdateEntity(e);
+    }
+    for (EntityId e = 40; e < 50; ++e) {
+      serial.RemoveEntity(e);
+      parallel.RemoveEntity(e);
+    }
+    serial.Refresh();
+    parallel.Refresh();
+    ExpectSameTree(serial.tree(), parallel.tree());
+    const SignatureComputer sigs(parallel.store(), parallel.hasher());
+    parallel.tree().CheckInvariants(sigs);
+    ExpectExact(parallel, 5);
+  }
+}
+
+TEST_F(UpdateTest, BatchInsertMatchesSequential) {
+  for (bool full_sigs : {false, true}) {
+    std::vector<EntityId> first, rest;
+    for (EntityId e = 0; e < 70; ++e) first.push_back(e);
+    for (EntityId e = 70; e < kEntities; ++e) rest.push_back(e);
+    IndexOptions serial_opts{.num_functions = 16,
+                             .store_full_signatures = full_sigs,
+                             .num_threads = 1};
+    IndexOptions parallel_opts = serial_opts;
+    parallel_opts.num_threads = 4;
+    auto serial = DigitalTraceIndex::Build(store_, serial_opts, first);
+    auto parallel = DigitalTraceIndex::Build(store_, parallel_opts, first);
+    for (EntityId e : rest) serial.InsertEntity(e);
+    parallel.InsertEntities(rest);
+    EXPECT_EQ(parallel.tree().num_entities(), kEntities);
+    ExpectSameTree(serial.tree(), parallel.tree());
+    ExpectExact(parallel, 5);
+  }
+}
+
 TEST_F(UpdateTest, MixedChurnSequence) {
   std::vector<EntityId> initial;
   for (EntityId e = 0; e < 100; ++e) initial.push_back(e);
