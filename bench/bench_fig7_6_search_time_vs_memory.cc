@@ -45,12 +45,17 @@ void Run(const NamedDataset& nd, BenchJson& json) {
       Timer timer;
       double io_seconds = 0.0;
       uint64_t cell_read = 0, cell_hit = 0;  // this (frac, k) cell only
+      uint64_t cell_prefetch = 0;
       for (EntityId q : queries) {
         const TopKResult r = index.Query(q, k, measure, qopts);
         io_seconds += r.stats.io.modeled_io_seconds;
         cell_read += r.stats.io.pages_read;
         cell_hit += r.stats.io.pages_hit;
+        cell_prefetch += r.stats.io.prefetch_hits;
       }
+      json.Counter("lock_wait_seconds", src.pool_stats().lock_wait_seconds);
+      json.Counter("prefetch_hits", static_cast<double>(cell_prefetch));
+      json.Counter("pages_read", static_cast<double>(cell_read));
       pages_read += cell_read;
       pages_hit += cell_hit;
       const double wall = timer.ElapsedSeconds();

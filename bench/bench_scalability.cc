@@ -3,12 +3,15 @@
 //
 // Two modes:
 //   bench_scalability                 — the in-memory |E| sweep (default)
-//   bench_scalability --disk [|E|]    — the disk-resident preset: traces an
-//       order of magnitude past the laptop presets, served from the paged
-//       storage substrate through PagedTraceSource with a pool holding 25%
-//       of the data, queries batched through QueryMany. Registered with
-//       CTest so the storage-backed path is exercised at scale on every
-//       run.
+//   bench_scalability --disk [|E|] [--workers N] [--prefetch D]
+//       — the disk-resident preset: traces an order of magnitude past the
+//       laptop presets, served from the paged storage substrate through
+//       PagedTraceSource (sharded buffer pool, 25% of the data in memory),
+//       queries batched through QueryMany on N workers (0 = auto) with a
+//       leaf-prefetch lookahead of D records (0 = off). Registered with
+//       CTest so the concurrent storage-backed path is exercised at scale
+//       on every run. Emits a "counters" section (lock_wait_seconds,
+//       prefetch_hits, ...) alongside the rows.
 #include <cstdlib>
 #include <cstring>
 
@@ -50,7 +53,7 @@ void Run(BenchJson& json) {
   t.Print();
 }
 
-void RunDisk(uint32_t entities, BenchJson& json) {
+void RunDisk(uint32_t entities, int workers, int prefetch, BenchJson& json) {
   PrintHeader("Scalability (disk-resident)",
               "storage-backed queries past the laptop presets");
   Dataset d = MakeDiskResidentDataset(entities);
@@ -66,23 +69,29 @@ void RunDisk(uint32_t entities, BenchJson& json) {
 
   QueryOptions qopts;
   qopts.trace_source = &src;
+  qopts.prefetch_depth = prefetch;
   Timer timer;
-  const auto pe =
-      MeasurePe(index, measure, queries, 10, qopts, /*num_threads=*/0);
+  const auto pe = MeasurePe(index, measure, queries, 10, qopts, workers);
   const double wall = timer.ElapsedSeconds();
   const auto pool = src.pool_stats();
 
   std::printf(
-      "|E|=%u pages=%zu pool_fraction=%.2f index_s=%.2f\n"
+      "|E|=%u pages=%zu pool_fraction=%.2f shards=%zu workers=%d prefetch=%d "
+      "index_s=%.2f\n"
       "queries=%zu PE=%.4f checked/query=%.1f pages/query=%.1f "
-      "hit_rate=%.3f qps=%.1f (wall, excl. modeled I/O %.2fs/query)\n",
+      "hit_rate=%.3f lock_wait=%.4fs prefetch_hits/query=%.1f "
+      "qps=%.1f (wall, excl. modeled I/O %.2fs/query)\n",
       d.num_entities(), src.num_pages(), opts.pool_fraction,
-      index.build_seconds(), queries.size(), pe.mean_pe,
+      src.pool_shards(), workers, prefetch, index.build_seconds(),
+      queries.size(), pe.mean_pe,
       pe.mean_entities_checked, pe.mean_pages_read, pool.hit_rate(),
-      queries.size() / wall, pe.mean_io_seconds);
+      pool.lock_wait_seconds, pe.mean_prefetch_hits, queries.size() / wall,
+      pe.mean_io_seconds);
   json.AddRow()
       .Str("mode", "disk")
       .Int("entities", d.num_entities())
+      .Int("workers", static_cast<uint64_t>(workers))
+      .Int("prefetch_depth", static_cast<uint64_t>(prefetch))
       .Num("pe", pe.mean_pe)
       .Num("queries_per_sec", queries.size() / wall)
       .Num("mean_entities_checked", pe.mean_entities_checked)
@@ -90,6 +99,10 @@ void RunDisk(uint32_t entities, BenchJson& json) {
            static_cast<uint64_t>(pe.mean_pages_read * queries.size()))
       .Num("hit_rate", pool.hit_rate())
       .Num("index_seconds", index.build_seconds());
+  json.Counter("lock_wait_seconds", pool.lock_wait_seconds);
+  json.Counter("prefetch_hits", pe.mean_prefetch_hits * queries.size());
+  json.Counter("pages_read", pe.mean_pages_read * queries.size());
+  json.Counter("pool_evictions", static_cast<double>(pool.evictions));
 }
 
 }  // namespace
@@ -98,9 +111,22 @@ void RunDisk(uint32_t entities, BenchJson& json) {
 int main(int argc, char** argv) {
   dtrace::bench::BenchJson json("scalability");
   if (argc > 1 && std::strcmp(argv[1], "--disk") == 0) {
-    const uint32_t entities =
-        argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 20000u;
-    dtrace::bench::RunDisk(entities, json);
+    uint32_t entities = 20000;
+    int workers = 0;
+    int prefetch = 0;
+    int pos = 2;
+    if (pos < argc && argv[pos][0] != '-') {
+      entities = static_cast<uint32_t>(std::atoi(argv[pos]));
+      ++pos;
+    }
+    for (; pos + 1 < argc; ++pos) {
+      if (std::strcmp(argv[pos], "--workers") == 0) {
+        workers = std::atoi(argv[++pos]);
+      } else if (std::strcmp(argv[pos], "--prefetch") == 0) {
+        prefetch = std::atoi(argv[++pos]);
+      }
+    }
+    dtrace::bench::RunDisk(entities, workers, prefetch, json);
   } else {
     dtrace::bench::Run(json);
   }

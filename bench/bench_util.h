@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/association.h"
@@ -46,9 +47,11 @@ inline void PrintDatasetInfo(const NamedDataset& nd) {
 }
 
 /// Minimal machine-readable bench output: rows of scalar fields serialized
-/// as {"bench": <name>, "rows": [{...}, ...]} into BENCH_<name>.json in the
-/// working directory, so CI can track the perf trajectory across PRs
-/// without scraping the human-facing tables.
+/// as {"bench": <name>, "rows": [{...}, ...], "counters": {...}} into
+/// BENCH_<name>.json in the working directory, so CI can track the perf
+/// trajectory across PRs without scraping the human-facing tables. The
+/// counters section carries run-wide perf signals (lock_wait_seconds,
+/// prefetch_hits, ...) accumulated across rows via Counter().
 class BenchJson {
  public:
   class Row {
@@ -91,6 +94,18 @@ class BenchJson {
     return rows_.back();
   }
 
+  /// Accumulates `v` into the run-wide counter `key` (first use creates it
+  /// at 0). Counters land in a top-level "counters" object.
+  void Counter(const std::string& key, double v) {
+    for (auto& [k, total] : counters_) {
+      if (k == key) {
+        total += v;
+        return;
+      }
+    }
+    counters_.emplace_back(key, v);
+  }
+
   /// Writes BENCH_<bench>.json and prints the path (skips on fopen error,
   /// e.g. a read-only working directory).
   void Write() const {
@@ -109,7 +124,16 @@ class BenchJson {
       }
       std::fprintf(f, "}");
     }
-    std::fprintf(f, "]}\n");
+    std::fprintf(f, "]");
+    if (!counters_.empty()) {
+      std::fprintf(f, ", \"counters\": {");
+      for (size_t i = 0; i < counters_.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %.10g", i == 0 ? "" : ", ",
+                     counters_[i].first.c_str(), counters_[i].second);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
   }
@@ -117,6 +141,7 @@ class BenchJson {
  private:
   std::string bench_;
   std::vector<Row> rows_;
+  std::vector<std::pair<std::string, double>> counters_;
 };
 
 }  // namespace dtrace::bench

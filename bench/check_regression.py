@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fail when a bench's queries/sec regressed vs. a checked-in baseline.
+
+Usage:
+    check_regression.py CURRENT.json BASELINE.json [--max-drop 0.30]
+
+Both files are BENCH_*.json emissions ({"bench": ..., "rows": [...],
+"counters": {...}}). Rows are matched on every shared non-measurement field
+(mode, entities, dataset, k, mem_fraction, workers, prefetch_depth, ...);
+for each matched pair with a positive baseline `queries_per_sec`, the
+current value must be at least (1 - max_drop) * baseline. Exits non-zero
+listing every regressed row, so CI can gate on it.
+
+Baseline json files live in bench/baselines/ and are refreshed deliberately
+(copy a trusted run's BENCH_*.json) whenever the expected performance level
+changes.
+"""
+
+import argparse
+import json
+import sys
+
+# Fields that carry measurements rather than identity; everything else in a
+# row is treated as a match key.
+MEASUREMENT_FIELDS = {
+    "queries_per_sec",
+    "pe",
+    "mean_entities_checked",
+    "pages_read",
+    "hit_rate",
+    "index_seconds",
+    "modeled_ms_per_query",
+}
+
+
+def row_key(row):
+    return tuple(sorted(
+        (k, v) for k, v in row.items() if k not in MEASUREMENT_FIELDS))
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {row_key(r): r for r in doc.get("rows", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--max-drop", type=float, default=0.30,
+                        help="maximum tolerated fractional qps drop")
+    args = parser.parse_args()
+
+    current = load_rows(args.current)
+    baseline = load_rows(args.baseline)
+
+    compared = 0
+    regressions = []
+    for key, base_row in baseline.items():
+        base_qps = base_row.get("queries_per_sec", 0)
+        if not base_qps or base_qps <= 0:
+            continue
+        cur_row = current.get(key)
+        if cur_row is None:
+            print(f"WARNING: baseline row missing from current run: {key}")
+            continue
+        cur_qps = cur_row.get("queries_per_sec", 0)
+        compared += 1
+        floor = (1.0 - args.max_drop) * base_qps
+        status = "OK " if cur_qps >= floor else "REG"
+        print(f"[{status}] qps {cur_qps:10.2f} vs baseline {base_qps:10.2f} "
+              f"(floor {floor:10.2f})  {dict(key)}")
+        if cur_qps < floor:
+            regressions.append((key, base_qps, cur_qps))
+
+    if compared == 0:
+        print("ERROR: no comparable rows between current and baseline")
+        return 2
+    if regressions:
+        print(f"\n{len(regressions)} row(s) regressed more than "
+              f"{args.max_drop:.0%} vs baseline:")
+        for key, base_qps, cur_qps in regressions:
+            print(f"  {dict(key)}: {base_qps:.2f} -> {cur_qps:.2f} qps")
+        return 1
+    print(f"\nAll {compared} row(s) within {args.max_drop:.0%} of baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,19 @@ double PolynomialLevelMeasure::Score(
     std::span<const uint32_t> inter_sizes) const {
   DT_DCHECK(static_cast<int>(q_sizes.size()) == m_);
   double s = 0.0;
+  if (v_ == 2.0) {
+    // Hot path for the default exponent: one multiply instead of a libm
+    // pow call per level per candidate. glibc's pow is correctly rounded,
+    // so the result is bit-identical to the general branch.
+    for (int l = 0; l < m_; ++l) {
+      const double denom =
+          static_cast<double>(q_sizes[l]) + static_cast<double>(c_sizes[l]);
+      if (denom == 0.0 || inter_sizes[l] == 0) continue;
+      const double ratio = inter_sizes[l] / denom;
+      s += level_weight_[l] * (ratio * ratio);
+    }
+    return s;
+  }
   for (int l = 0; l < m_; ++l) {
     const double denom =
         static_cast<double>(q_sizes[l]) + static_cast<double>(c_sizes[l]);
@@ -53,6 +66,19 @@ double PolynomialLevelMeasure::UpperBound(
   // (x / (q + x) is increasing in x). Raising to v (monotone) and summing
   // the per-level weights preserves the bound.
   double s = 0.0;
+  if (v_ == 2.0) {
+    // Same correctly-rounded shortcut as Score: the bound is evaluated once
+    // per frontier materialization, which makes pow the hottest libm call
+    // of a query.
+    for (int l = 0; l < m_; ++l) {
+      const double q = q_sizes[l];
+      const double r = remaining[l];
+      if (q + r == 0.0 || r == 0.0) continue;
+      const double ratio = r / (q + r);
+      s += level_weight_[l] * (ratio * ratio);
+    }
+    return s;
+  }
   for (int l = 0; l < m_; ++l) {
     const double q = q_sizes[l];
     const double r = remaining[l];

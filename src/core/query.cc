@@ -1,6 +1,7 @@
 #include "core/query.h"
 
 #include <algorithm>
+#include <bit>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -57,11 +58,52 @@ class TopKHeap {
 
 // The query's unpruned cells per sp-index level, shared (immutably) between
 // a materialized frontier entry and its children until they materialize
-// their own copies.
+// their own copies. Stored as *bitmasks over ordinals* into the query's root
+// cell lists: filtering only ever needs a cell's hashes (indexed by ordinal
+// in the per-query hash table), counts fall out of popcounts, and a whole
+// Remaining is a handful of words — so the frontier's per-node state comes
+// from a reusable pool instead of the heap.
 struct Remaining {
-  Level base;  // sp-index level of lists[0]
-  std::vector<std::vector<CellId>> lists;
+  Level base;  // first level with a stored mask (levels base..m)
+  uint32_t refs = 0;  // frontier entries referencing this (single-threaded)
   std::vector<uint32_t> counts;  // all levels [1..m] (frozen above `base`)
+  std::vector<uint64_t> words;   // masks for levels base..m, concatenated
+};
+
+// Per-query pool: Remaining objects are recycled through a free list, so
+// steady-state materialization allocates nothing (vector capacities survive
+// reuse). Everything is owned by storage_ and freed when the query returns,
+// which also covers entries stranded in the frontier by early termination.
+class RemainingPool {
+ public:
+  // Returns every object to the free list (capacities intact). Called at
+  // query start, so a thread-local pool carries its high-water storage from
+  // query to query and steady-state queries allocate no Remaining at all.
+  // Safe because nothing outlives the query that acquired it.
+  void Reset() {
+    free_.clear();
+    free_.reserve(storage_.size());
+    for (auto& r : storage_) free_.push_back(r.get());
+  }
+
+  Remaining* Acquire() {
+    if (free_.empty()) {
+      storage_.push_back(std::make_unique<Remaining>());
+      return storage_.back().get();
+    }
+    Remaining* r = free_.back();
+    free_.pop_back();
+    return r;
+  }
+
+  void AddRef(Remaining* r) { ++r->refs; }
+  void Release(Remaining* r) {
+    if (--r->refs == 0) free_.push_back(r);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Remaining>> storage_;
+  std::vector<Remaining*> free_;
 };
 
 // Frontier entries are *lazily materialized*: a child is pushed carrying its
@@ -76,7 +118,7 @@ struct FrontierEntry {
   uint32_t node;
   uint64_t order;  // deterministic tie-break (FIFO among equal bounds)
   bool materialized;
-  std::shared_ptr<const Remaining> remaining;  // own if materialized
+  Remaining* remaining;  // pool-owned; own if materialized, else parent's
 };
 
 struct EntryLess {
@@ -86,34 +128,118 @@ struct EntryLess {
   }
 };
 
+// Per-query evaluation arena: every buffer the candidate-scoring loop needs,
+// allocated once per query and reused across leaf batches so the hot loop is
+// allocation-free (capacity stays at the high-water mark).
+struct EvalScratch {
+  std::vector<uint32_t> c_sizes, inter;
+  std::vector<double> scores;
+  std::vector<EntityId> batch;  // prefetch stream: candidates minus q
+};
+
+// Per-query intersection kernel: the query side of every candidate
+// intersection, captured once. Per level it keeps the query's windowed cells
+// and — when the level's cell space is small enough — a bitmap over it, so
+// scoring a candidate is a single pass over the candidate's span with one
+// bit probe per cell instead of re-fetching the query record and merging.
+// Both paths count the same set, so scores are bit-identical to the
+// cursor-merge formulation.
+class QueryKernel {
+ public:
+  // Bitmap cap per level (bits): 2^23 bits = 1 MB. Above this the sorted
+  // merge (with its galloping skew path) wins on memory traffic.
+  static constexpr uint64_t kMaxBitmapBits = uint64_t{1} << 23;
+
+  void Build(TraceCursor& cursor, EntityId q, const SpatialHierarchy& h,
+             TimeStep horizon, TimeStep w0, TimeStep w1) {
+    const int m = h.num_levels();
+    q_cells_.resize(m);
+    bits_.resize(m);
+    for (Level l = 1; l <= m; ++l) {
+      const auto cells = cursor.CellsInWindow(q, l, w0, w1);
+      q_cells_[l - 1].assign(cells.begin(), cells.end());
+      const uint64_t space =
+          static_cast<uint64_t>(horizon) * h.units_at(l);
+      auto& bits = bits_[l - 1];
+      if (cells.empty() || space > kMaxBitmapBits) {
+        bits.clear();
+        continue;
+      }
+      bits.assign((space + 63) / 64, 0);
+      for (CellId c : cells) bits[c >> 6] |= uint64_t{1} << (c & 63);
+    }
+  }
+
+  uint32_t Intersect(int level0, std::span<const CellId> candidate) const {
+    const auto& bits = bits_[level0];
+    if (bits.empty()) {
+      return IntersectSortedSize(
+          {q_cells_[level0].data(), q_cells_[level0].size()}, candidate);
+    }
+    uint32_t n = 0;
+    const uint64_t* b = bits.data();
+    for (CellId c : candidate) {
+      n += static_cast<uint32_t>((b[c >> 6] >> (c & 63)) & 1u);
+    }
+    return n;
+  }
+
+ private:
+  std::vector<std::vector<CellId>> q_cells_;
+  std::vector<std::vector<uint64_t>> bits_;
+};
+
+// Hands the upcoming candidate order to a storage-backed cursor's prefetch
+// pipeline (no-op for in-memory cursors or depth <= 0). The stream must
+// match the exact fetch order of the scoring loop, which skips q.
+void BeginPrefetch(TraceCursor& cursor, std::span<const EntityId> candidates,
+                   EntityId q, int depth, std::vector<EntityId>& batch) {
+  if (depth <= 0) return;
+  batch.clear();
+  for (EntityId e : candidates) {
+    if (e != q) batch.push_back(e);
+  }
+  cursor.Prefetch(batch, depth);
+}
+
 // Exact evaluation of a batch of candidates (one leaf's members, or the
 // whole population in BruteForce). Serial path streams through the query's
 // cursor; with eval_threads > 1 scores are computed into position-indexed
 // slots by workers holding their own cursors, then offered to the heap in
 // serial candidate order — so the result is bit-identical to the serial
-// path for every thread count.
+// path for every thread count. With options.prefetch_depth > 0 each cursor
+// additionally pipelines its candidates' materialization ahead of scoring.
+//
+// The query side of every intersection comes from `kernel` (built once per
+// query), so the inner loop touches the cursor exactly once per
+// (candidate, level): one windowed span read, one kernel pass — no repeated
+// query-record fetches, no per-candidate allocation.
 void EvalCandidates(const TraceSource& source,
                     const AssociationMeasure& measure, EntityId q,
-                    std::span<const uint32_t> q_sizes, TimeStep w0,
-                    TimeStep w1, std::span<const EntityId> candidates,
+                    std::span<const uint32_t> q_sizes,
+                    const QueryKernel& kernel, TimeStep w0, TimeStep w1,
+                    std::span<const EntityId> candidates,
                     const QueryOptions& options, TraceCursor& cursor,
-                    TopKHeap& heap, QueryStats& stats) {
+                    TopKHeap& heap, QueryStats& stats, EvalScratch& scratch) {
   // Below this, thread spawn/cursor-open overhead dominates the evaluation.
   constexpr size_t kMinParallelEval = 16;
   const int m = static_cast<int>(q_sizes.size());
   const int threads =
       options.eval_threads == 1 ? 1 : ResolveThreadCount(options.eval_threads);
   if (threads <= 1 || candidates.size() < kMinParallelEval) {
-    std::vector<uint32_t> c_sizes(m), inter(m);
+    scratch.c_sizes.resize(m);
+    scratch.inter.resize(m);
+    BeginPrefetch(cursor, candidates, q, options.prefetch_depth,
+                  scratch.batch);
     for (EntityId e : candidates) {
       if (e == q) continue;
       if (options.access_hook) options.access_hook(e);
       for (Level l = 1; l <= m; ++l) {
-        c_sizes[l - 1] =
-            static_cast<uint32_t>(cursor.CellsInWindow(e, l, w0, w1).size());
-        inter[l - 1] = cursor.WindowedIntersectionSize(q, e, l, w0, w1);
+        const auto span = cursor.CellsInWindow(e, l, w0, w1);
+        scratch.c_sizes[l - 1] = static_cast<uint32_t>(span.size());
+        scratch.inter[l - 1] = kernel.Intersect(l - 1, span);
       }
-      heap.Offer(e, measure.Score(q_sizes, c_sizes, inter));
+      heap.Offer(e, measure.Score(q_sizes, scratch.c_sizes, scratch.inter));
       ++stats.entities_checked;
     }
     return;
@@ -123,18 +249,22 @@ void EvalCandidates(const TraceSource& source,
       if (e != q) options.access_hook(e);
     }
   }
-  std::vector<double> scores(candidates.size());
+  scratch.scores.assign(candidates.size(), 0.0);
+  std::vector<double>& scores = scratch.scores;
   std::mutex io_mu;
   ParallelFor(threads, candidates.size(), [&](size_t begin, size_t end) {
     auto local = source.OpenCursor();
     std::vector<uint32_t> c_sizes(m), inter(m);
+    std::vector<EntityId> batch;
+    BeginPrefetch(*local, candidates.subspan(begin, end - begin), q,
+                  options.prefetch_depth, batch);
     for (size_t i = begin; i < end; ++i) {
       const EntityId e = candidates[i];
       if (e == q) continue;
       for (Level l = 1; l <= m; ++l) {
-        c_sizes[l - 1] = static_cast<uint32_t>(
-            local->CellsInWindow(e, l, w0, w1).size());
-        inter[l - 1] = local->WindowedIntersectionSize(q, e, l, w0, w1);
+        const auto span = local->CellsInWindow(e, l, w0, w1);
+        c_sizes[l - 1] = static_cast<uint32_t>(span.size());
+        inter[l - 1] = kernel.Intersect(l - 1, span);
       }
       scores[i] = measure.Score(q_sizes, c_sizes, inter);
     }
@@ -179,21 +309,69 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
   const TimeStep w1 =
       options.time_window ? options.time_window->end : source_->horizon();
 
-  std::vector<uint32_t> q_sizes(m);
-  auto root_remaining = std::make_shared<Remaining>();
-  root_remaining->base = 1;
-  root_remaining->lists.resize(m);
-  root_remaining->counts.resize(m);
-  for (Level l = 1; l <= m; ++l) {
-    const auto cells = cursor->CellsInWindow(q, l, w0, w1);
-    root_remaining->lists[l - 1].assign(cells.begin(), cells.end());
-    q_sizes[l - 1] = static_cast<uint32_t>(cells.size());
-    root_remaining->counts[l - 1] = q_sizes[l - 1];
-  }
-
   TopKResult result;
   QueryStats& stats = result.stats;
+
+  // Per-query filtering kernel: every hash any node's filter can ask for is
+  // bulk-computed once up front, transposed so one node's check is a single
+  // column scan — hash_table[l-1][u * n_l + ord] = h_u of the query's ord-th
+  // level-l cell — instead of one virtual, div-heavy Hash call per
+  // (node, cell). Cost is |query cells| * nh, the same as one signature
+  // computation; the old lazy scheme re-hashed each cell once per visited
+  // node.
+  const int nh = tree_->num_functions();
+  std::vector<uint32_t> q_sizes(m);
+  // Reused across queries on this thread (QueryMany workers each have their
+  // own): the table is fully overwritten per query, so only its capacity
+  // survives — the ~per-query-MB allocation and first-touch faults do not
+  // repeat.
+  static thread_local std::vector<std::vector<uint64_t>> hash_table;
+  static thread_local std::vector<uint64_t> hash_row;
+  hash_table.resize(m);
+  hash_row.resize(nh);
+  // Mask geometry: level l's mask is word_count[l-1] words; a Remaining with
+  // base b stores levels b..m at offset word_prefix[l-1] - word_prefix[b-1].
+  std::vector<size_t> word_count(m), word_prefix(m + 1, 0);
+  static thread_local RemainingPool pool;
+  pool.Reset();
+  Remaining* root_remaining = pool.Acquire();
+  root_remaining->base = 1;
+  root_remaining->refs = 1;
+  root_remaining->counts.assign(m, 0);
+  for (Level l = 1; l <= m; ++l) {
+    const auto cells = cursor->CellsInWindow(q, l, w0, w1);
+    const size_t n = cells.size();
+    q_sizes[l - 1] = static_cast<uint32_t>(n);
+    root_remaining->counts[l - 1] = q_sizes[l - 1];
+    word_count[l - 1] = (n + 63) / 64;
+    word_prefix[l] = word_prefix[l - 1] + word_count[l - 1];
+    auto& table = hash_table[l - 1];
+    table.resize(n * static_cast<size_t>(nh));
+    for (size_t i = 0; i < n; ++i) {
+      hasher_->HashAll(l, cells[i], hash_row.data());
+      for (int u = 0; u < nh; ++u) {
+        table[static_cast<size_t>(u) * n + i] = hash_row[u];
+      }
+    }
+    stats.hash_evals += n * static_cast<size_t>(nh);
+  }
+  // Root masks: all query cells survive; tail bits beyond n stay zero (the
+  // filter loops only propagate set input bits, preserving this).
+  root_remaining->words.assign(word_prefix[m], 0);
+  for (Level l = 1; l <= m; ++l) {
+    uint64_t* w = root_remaining->words.data() + word_prefix[l - 1];
+    const size_t n = q_sizes[l - 1];
+    for (size_t i = 0; i < n / 64; ++i) w[i] = ~uint64_t{0};
+    if (n % 64 != 0) w[n / 64] = (uint64_t{1} << (n % 64)) - 1;
+  }
+
+  // Thread-local like the hash table: Build overwrites all per-query state,
+  // only buffer capacity survives (eval_threads workers share it read-only).
+  static thread_local QueryKernel kernel;
+  kernel.Build(*cursor, q, source_->hierarchy(), source_->horizon(), w0, w1);
+
   TopKHeap heap(k);
+  EvalScratch scratch;
 
   std::priority_queue<FrontierEntry, std::vector<FrontierEntry>, EntryLess>
       frontier;
@@ -206,53 +384,82 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
   // Filters `parent` through `node`'s (routing, value) — or its full group
   // signature when stored — producing the node's own Remaining (Theorem 2:
   // a node at level i prunes a level-l cell c, l >= i, iff some stored
-  // signature position exceeds the cell's hash).
-  std::vector<uint64_t> all_hashes(tree_->num_functions());
+  // signature position exceeds the cell's hash). Pure lookups into the
+  // per-query hash table; no hashing happens here. The node's *own* level
+  // is only ever read back as a count — children filter from their own
+  // (deeper) level down, and the bound uses counts — so that level is
+  // counted without a stored mask; in particular leaves (level m) store no
+  // masks at all.
   auto materialize = [&](const MinSigTree::Node& node,
                          const Remaining& parent) {
-    auto own = std::make_shared<Remaining>();
-    own->base = node.level;
+    Remaining* own = pool.Acquire();
+    own->base = node.level + 1;
+    own->refs = 1;
     own->counts = parent.counts;
-    own->lists.resize(m - node.level + 1);
+    own->words.assign(word_prefix[m] - word_prefix[own->base - 1], 0);
     for (Level l = node.level; l <= m; ++l) {
-      const auto& src = parent.lists[l - parent.base];
-      auto& dst = own->lists[l - node.level];
-      dst.reserve(src.size());
-      for (CellId c : src) {
-        bool pruned;
+      const uint64_t* src = parent.words.data() + word_prefix[l - 1] -
+                            word_prefix[parent.base - 1];
+      const size_t n_l = q_sizes[l - 1];
+      const uint64_t* table = hash_table[l - 1].data();
+      auto survives = [&](size_t ord) {
         if (node.full_sig.empty()) {
-          pruned = hasher_->Hash(node.routing, l, c) < node.value;
-          ++stats.hash_evals;
-        } else {
-          hasher_->HashAll(l, c, all_hashes.data());
-          stats.hash_evals += all_hashes.size();
-          pruned = false;
-          for (int u = 0; u < tree_->num_functions(); ++u) {
-            if (all_hashes[u] < node.full_sig[u]) {
-              pruned = true;
-              break;
-            }
+          return table[static_cast<size_t>(node.routing) * n_l + ord] >=
+                 node.value;
+        }
+        for (int u = 0; u < nh; ++u) {
+          if (table[static_cast<size_t>(u) * n_l + ord] < node.full_sig[u]) {
+            return false;
           }
         }
-        if (!pruned) dst.push_back(c);
+        return true;
+      };
+      uint32_t count = 0;
+      if (l == node.level) {
+        for (size_t w = 0; w < word_count[l - 1]; ++w) {
+          uint64_t bits = src[w];
+          while (bits != 0) {
+            const size_t ord = w * 64 + static_cast<size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            count += survives(ord) ? 1 : 0;
+          }
+        }
+      } else {
+        uint64_t* dst = own->words.data() + word_prefix[l - 1] -
+                        word_prefix[own->base - 1];
+        for (size_t w = 0; w < word_count[l - 1]; ++w) {
+          uint64_t bits = src[w];
+          uint64_t out = 0;
+          while (bits != 0) {
+            const int i = std::countr_zero(bits);
+            bits &= bits - 1;
+            if (survives(w * 64 + static_cast<size_t>(i))) {
+              out |= uint64_t{1} << i;
+            }
+          }
+          dst[w] = out;
+          count += static_cast<uint32_t>(std::popcount(out));
+        }
       }
-      own->counts[l - 1] = static_cast<uint32_t>(dst.size());
+      own->counts[l - 1] = count;
     }
     return own;
   };
 
   const double slack = 1.0 + options.approximation_epsilon;
   while (!frontier.empty()) {
-    FrontierEntry entry =
-        std::move(const_cast<FrontierEntry&>(frontier.top()));
+    FrontierEntry entry = frontier.top();
     frontier.pop();
     // Early termination (Sec. 5.1): the k-th best exact score dominates
     // every remaining upper bound (scaled by the approximation slack).
+    // Stranded entries' refs are reclaimed by the pool's destructor.
     if (heap.Full() && heap.MinScore() * slack >= entry.ub) break;
 
     const MinSigTree::Node& node = tree_->node(entry.node);
     if (!entry.materialized) {
-      entry.remaining = materialize(node, *entry.remaining);
+      Remaining* own = materialize(node, *entry.remaining);
+      pool.Release(entry.remaining);  // drop the ref on the parent
+      entry.remaining = own;
       entry.materialized = true;
       const double ub = std::min(
           entry.ub, measure_->UpperBound(q_sizes, entry.remaining->counts));
@@ -260,7 +467,7 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
       // If the tightened bound no longer leads, yield the pop.
       if (!frontier.empty() && frontier.top().ub > ub) {
         entry.order = order++;
-        frontier.push(std::move(entry));
+        frontier.push(entry);
         ++stats.heap_pushes;
         continue;
       }
@@ -271,17 +478,26 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
     if (node.level == tree_->num_levels()) {
       // Leaf: exact evaluation of every member (Lines 10-14), through the
       // trace source — in parallel past the frontier when requested.
-      EvalCandidates(*source_, *measure_, q, q_sizes, w0, w1, node.entities,
-                     options, *cursor, heap, stats);
+      EvalCandidates(*source_, *measure_, q, q_sizes, kernel, w0, w1,
+                     node.entities, options, *cursor, heap, stats, scratch);
+      pool.Release(entry.remaining);
       continue;
     }
 
     // Inner node: push children lazily with the parent's bound (Lines 7-8).
-    for (uint32_t child_idx : node.children) {
-      frontier.push({entry.ub, child_idx, order++, /*materialized=*/false,
-                     entry.remaining});
-      ++stats.heap_pushes;
+    // A child's bound can only tighten below the parent's, so once the k-th
+    // best score dominates the parent bound the children can never win —
+    // skipping the push keeps results identical and saves the heap traffic
+    // of entries the termination rule would strand in the frontier.
+    if (!(heap.Full() && heap.MinScore() * slack >= entry.ub)) {
+      for (uint32_t child_idx : node.children) {
+        pool.AddRef(entry.remaining);
+        frontier.push({entry.ub, child_idx, order++, /*materialized=*/false,
+                       entry.remaining});
+        ++stats.heap_pushes;
+      }
     }
+    pool.Release(entry.remaining);
   }
 
   result.items = std::move(heap).Sorted();
@@ -300,6 +516,8 @@ TopKResult TopKQueryProcessor::BruteForce(EntityId q, int k,
   const TimeStep w1 =
       options.time_window ? options.time_window->end : source_->horizon();
   std::vector<uint32_t> q_sizes(m);
+  static thread_local QueryKernel kernel;
+  kernel.Build(*cursor, q, source_->hierarchy(), source_->horizon(), w0, w1);
   for (Level l = 1; l <= m; ++l) {
     q_sizes[l - 1] =
         static_cast<uint32_t>(cursor->CellsInWindow(q, l, w0, w1).size());
@@ -313,8 +531,9 @@ TopKResult TopKQueryProcessor::BruteForce(EntityId q, int k,
 
   TopKResult result;
   TopKHeap heap(k);
-  EvalCandidates(*source_, *measure_, q, q_sizes, w0, w1, candidates, options,
-                 *cursor, heap, result.stats);
+  EvalScratch scratch;
+  EvalCandidates(*source_, *measure_, q, q_sizes, kernel, w0, w1, candidates,
+                 options, *cursor, heap, result.stats, scratch);
   result.items = std::move(heap).Sorted();
   result.stats.io.Add(cursor->io());
   result.stats.elapsed_seconds = timer.ElapsedSeconds();

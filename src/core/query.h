@@ -22,7 +22,10 @@ struct QueryStats {
   uint64_t nodes_visited = 0;     // frontier pops
   uint64_t entities_checked = 0;  // exact deg evaluations
   uint64_t heap_pushes = 0;
-  uint64_t hash_evals = 0;  // cell-hash evaluations during filtering
+  // Cell-hash evaluations performed for filtering. Since the per-query hash
+  // table, these happen once up front (|query cells| * nh); node filtering
+  // itself is table lookups and charges nothing here.
+  uint64_t hash_evals = 0;
   double elapsed_seconds = 0.0;
   /// I/O charged by the TraceSource the query evaluated candidates against
   /// (all-zero for the in-memory store). With eval_threads > 1 the page
@@ -79,6 +82,14 @@ struct QueryOptions {
   /// to the result heap in serial order, so results are identical for every
   /// value. Keep at 1 inside QueryMany unless you want nested parallelism.
   int eval_threads = 1;
+  /// Storage-backed leaf-prefetch lookahead: while the current candidate is
+  /// being scored, the cursor's pipeline worker materializes up to this many
+  /// upcoming candidates of the leaf batch (0 = off, the synchronous path).
+  /// Results are bit-identical and per-query I/O page accounting is
+  /// unchanged — the pipeline performs exactly the page reads the
+  /// synchronous path would, in the same order — only wall time improves.
+  /// Ignored by in-memory sources.
+  int prefetch_depth = 0;
 };
 
 /// Algorithm 2: exact top-k search over a MinSigTree with best-first

@@ -8,7 +8,13 @@ namespace dtrace {
 
 void SignatureComputer::ComputeLevel(EntityId e, Level level,
                                      std::span<uint64_t> out) const {
-  std::vector<uint64_t> scratch(hasher_->num_functions());
+  // This overload sits inside the per-cell min-hash loop callers hit once
+  // per level per entity, so a per-call vector would allocate O(|E| * m)
+  // times per build. One thread-local buffer serves every computer (callers
+  // on different threads — the parallel build, QueryMany workers — each get
+  // their own) and only ever grows to the largest nh seen.
+  static thread_local std::vector<uint64_t> scratch;
+  scratch.resize(static_cast<size_t>(hasher_->num_functions()));
   ComputeLevel(e, level, out, scratch);
 }
 

@@ -40,6 +40,7 @@ PeMeasurement MeasurePe(const DigitalTraceIndex& index,
     agg.mean_query_seconds += r.stats.elapsed_seconds;
     agg.mean_pages_read += static_cast<double>(r.stats.io.pages_read);
     agg.mean_io_seconds += r.stats.io.modeled_io_seconds;
+    agg.mean_prefetch_hits += static_cast<double>(r.stats.io.prefetch_hits);
     ++agg.num_queries;
   }
   if (agg.num_queries > 0) {
@@ -50,6 +51,7 @@ PeMeasurement MeasurePe(const DigitalTraceIndex& index,
     agg.mean_query_seconds /= n;
     agg.mean_pages_read /= n;
     agg.mean_io_seconds /= n;
+    agg.mean_prefetch_hits /= n;
   }
   return agg;
 }

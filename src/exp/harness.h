@@ -21,6 +21,9 @@ struct PeMeasurement {
   /// Storage-path I/O, averaged per query (zero on the in-memory path).
   double mean_pages_read = 0.0;
   double mean_io_seconds = 0.0;
+  /// Records served by the leaf-prefetch pipeline, averaged per query
+  /// (zero with QueryOptions::prefetch_depth = 0).
+  double mean_prefetch_hits = 0.0;
   size_t num_queries = 0;
 };
 

@@ -1,29 +1,47 @@
 #ifndef DTRACE_STORAGE_BUFFER_POOL_H_
 #define DTRACE_STORAGE_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
-#include <unordered_map>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "storage/sim_disk.h"
 
 namespace dtrace {
 
-/// LRU buffer pool over a SimDisk. Frames hold whole pages; pinned pages are
-/// never evicted; dirty pages are written back on eviction or FlushAll. The
-/// memory-size experiment (Sec. 7.6) varies `capacity_pages` relative to the
-/// data size.
+/// Sharded LRU buffer pool over a SimDisk. Frames hold whole pages; pinned
+/// pages are never evicted; dirty pages are written back on eviction or
+/// FlushAll. The memory-size experiment (Sec. 7.6) varies `capacity_pages`
+/// relative to the data size.
+///
+/// Pages are partitioned across `num_shards` shards by page id, each with its
+/// own frame table, LRU list and mutex, so pinners on different shards never
+/// contend. Disk I/O is never performed while holding a shard mutex: a miss
+/// marks its frame `loading` (and a dirty victim's old id `writing back`),
+/// drops the lock for the transfer, then publishes the frame — concurrent
+/// misses on different shards (or different pages of one shard) truly
+/// overlap, and a second pinner of an in-flight page waits on the shard's
+/// condition variable instead of re-reading it.
 class BufferPool {
  public:
-  BufferPool(SimDisk* disk, size_t capacity_pages);
+  /// `num_shards`: 0 = auto (16 — shards are cheap and over-sharding only
+  /// shortens critical sections); always capped at capacity_pages / 4 so
+  /// every shard keeps at least 4 frames (and at least one shard exists).
+  BufferPool(SimDisk* disk, size_t capacity_pages, size_t num_shards = 1);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins a page for reading; the pointer stays valid until Unpin.
-  const uint8_t* Pin(PageId id);
+  /// Pins a page for reading; the pointer stays valid until Unpin. When
+  /// `missed` is non-null it reports whether this pin caused a disk read —
+  /// per-call outcome reporting, so concurrent callers can account their own
+  /// I/O exactly without diffing the shared counters.
+  const uint8_t* Pin(PageId id, bool* missed = nullptr);
 
   /// Pins a page for writing (marks it dirty).
   uint8_t* PinMutable(PageId id);
@@ -31,15 +49,22 @@ class BufferPool {
   /// Releases one pin on `id`.
   void Unpin(PageId id);
 
-  /// Writes all dirty resident pages back.
+  /// Writes all dirty resident pages back. Pages are copied out under the
+  /// shard lock and written outside it (the no-I/O-under-lock rule).
   void FlushAll();
 
-  /// Counter snapshot in one struct, so callers (benches, sources) read a
-  /// consistent triple instead of recomputing deltas accessor by accessor.
+  /// Counter snapshot in one struct, aggregated across shards in one call,
+  /// so callers (benches, sources) read a consistent-enough triple instead
+  /// of recomputing deltas accessor by accessor. Under concurrency the
+  /// snapshot is per-shard consistent (each shard is read under its lock).
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    /// Seconds pinners spent blocked acquiring contended shard mutexes —
+    /// the bench-facing "lock_wait" signal; ~0 when sharding removes the
+    /// single-mutex bottleneck.
+    double lock_wait_seconds = 0.0;
 
     double hit_rate() const {
       const uint64_t total = hits + misses;
@@ -48,10 +73,11 @@ class BufferPool {
   };
 
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
-  Stats stats() const { return {hits_, misses_, evictions_}; }
+  size_t num_shards() const { return shards_.size(); }
+  uint64_t hits() const { return stats().hits; }
+  uint64_t misses() const { return stats().misses; }
+  uint64_t evictions() const { return stats().evictions; }
+  Stats stats() const;
   void ResetStats();
 
  private:
@@ -60,22 +86,44 @@ class BufferPool {
     PageId id = 0;
     uint32_t pins = 0;
     bool dirty = false;
-    std::list<size_t>::iterator lru_pos;  // valid iff pins == 0
+    bool loading = false;  // disk read in flight; contents not yet valid
+    std::list<size_t>::iterator lru_pos;  // valid iff in_lru
     bool in_lru = false;
   };
 
-  Frame* GetFrame(PageId id, bool mutate);
-  size_t PickVictim();
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Frame> frames;
+    std::vector<size_t> free_frames;
+    // page -> frame index, -1 if absent: a flat array over the pages this
+    // shard owns, indexed by id / num_shards (sized from the disk at
+    // construction, grown on demand), so the residency check under the
+    // shard lock is one load instead of a hash probe.
+    std::vector<int32_t> resident;
+    std::list<size_t> lru;  // front = oldest unpinned, not loading
+    // Old ids of dirty victims whose write-back is in flight: a re-read of
+    // such a page must wait for the write to land first.
+    std::unordered_set<PageId> writing_back;
+    uint32_t io_in_flight = 0;    // loads + write-backs outside the lock
+    uint32_t pinned_frames = 0;   // frames with pins > 0
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    double lock_wait_seconds = 0.0;
+  };
+
+  Shard& ShardOf(PageId id) { return *shards_[id % shards_.size()]; }
+  const Shard& ShardOf(PageId id) const { return *shards_[id % shards_.size()]; }
+  // Acquires s.mu, charging blocked time to s.lock_wait_seconds.
+  static std::unique_lock<std::mutex> LockShard(Shard& s);
+  int32_t& ResidentSlot(Shard& s, PageId id) const;
+  Frame* GetFrame(PageId id, bool mutate, bool* missed);
 
   SimDisk* disk_;
   size_t capacity_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::unordered_map<PageId, size_t> resident_;  // page -> frame index
-  std::list<size_t> lru_;                        // front = oldest, unpinned
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  // unique_ptr: Shard holds a mutex and is neither movable nor copyable.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace dtrace

@@ -1,6 +1,9 @@
 #include "storage/paged_trace_source.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -20,12 +23,50 @@ struct CachedEntity {
 }  // namespace
 
 /// Per-query cursor: a tiny LRU of decoded records in front of the shared
-/// buffer pool. Capacity >= 2 guarantees the query entity and the candidate
-/// under evaluation stay resident across one exact evaluation.
+/// buffer pool. Capacity >= 2 lets two entities' records coexist, so
+/// pairwise reads (IntersectionSize, ad-hoc ComputeDegree) fetch each side
+/// once; the query engine itself reads the query entity once up front (into
+/// its QueryKernel) and then streams candidates, touching each record's
+/// levels back to back.
+///
+/// Cache hits are cursor-local — no lock, no shared state. Cache misses
+/// materialize through the pool (internally sharded; I/O outside shard
+/// locks) and charge the per-call page outcomes to this cursor's io().
+///
+/// Prefetch(batch, depth) starts the pipeline: a worker thread materializes
+/// the batch's records in order, up to `depth` records ahead of consumption,
+/// into a fixed handoff ring. Fetches then consume from the ring in the same
+/// order instead of touching the pool. Because the worker performs exactly
+/// the pool accesses the synchronous path would have performed, in the same
+/// order, results AND per-query I/O page counts are identical to
+/// prefetch-off; only wall time changes. Entities already in the cursor
+/// cache are dropped from the stream for the same reason (the synchronous
+/// path would not have touched the pool for them).
+///
+/// The identical-accounting guarantee assumes batch entities are not in the
+/// cursor cache when their turn comes — which the query engine guarantees
+/// structurally (leaf batches partition entities, the query entity is
+/// excluded, and each candidate is evaluated exactly once, so a batch
+/// member can never be cache-resident mid-batch). An ad-hoc caller that
+/// prefetches entities it has recently read can still desynchronize the
+/// stream (a cached-then-evicted entity falls back to a direct pool read);
+/// results stay correct and io() stays truthful, but page counts may then
+/// differ from a synchronous replay.
 class PagedTraceCursor final : public TraceCursor {
  public:
   explicit PagedTraceCursor(const PagedTraceSource& src)
       : src_(&src), slots_(src.cache_entities_) {}
+
+  ~PagedTraceCursor() override {
+    if (worker_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(pf_mu_);
+        stop_ = true;
+      }
+      pf_cv_.notify_all();
+      worker_.join();
+    }
+  }
 
   std::span<const CellId> Cells(EntityId e, Level level) override {
     const auto& levels = Fetch(e);
@@ -37,6 +78,8 @@ class PagedTraceCursor final : public TraceCursor {
                                         TimeStep t1) override {
     DT_DCHECK(t0 <= t1);
     const auto all = Cells(e, level);
+    // The unwindowed common case: every cell lies in [0, horizon).
+    if (t0 == 0 && t1 >= src_->horizon()) return all;
     const uint32_t units = src_->hierarchy().units_at(level);
     const auto lo = std::lower_bound(all.begin(), all.end(),
                                      static_cast<CellId>(t0) * units);
@@ -61,32 +104,66 @@ class PagedTraceCursor final : public TraceCursor {
                                CellsInWindow(b, level, t0, t1));
   }
 
+  // Below this batch size the handoff round-trip (mutex + cv per record)
+  // costs more than the overlap buys; such batches run synchronously, which
+  // changes neither results nor accounting (the pipeline is outcome-neutral
+  // by construction).
+  static constexpr size_t kMinPrefetchBatch = 8;
+
+  void Prefetch(std::span<const EntityId> entities, int depth) override {
+    if (depth <= 0 || entities.size() < kMinPrefetchBatch) return;
+    std::unique_lock<std::mutex> lock(pf_mu_);
+    DT_CHECK_MSG(
+        stream_pos_ == stream_.size() && fetch_pos_ == stream_.size() &&
+            ready_count_ == 0,
+        "Prefetch started before the previous batch was fully consumed");
+    stream_.clear();
+    for (EntityId e : entities) {
+      // Drop entities the cursor cache would serve without pool traffic, so
+      // the worker replicates exactly the synchronous pool access sequence.
+      bool cached = false;
+      for (const auto& slot : slots_) {
+        if (slot.entity == e) {
+          cached = true;
+          break;
+        }
+      }
+      if (!cached) stream_.push_back(e);
+    }
+    stream_pos_ = 0;
+    fetch_pos_ = 0;
+    if (stream_.empty()) return;
+    const size_t ring = std::min<size_t>(depth, stream_.size());
+    if (ring_.size() != ring) ring_.assign(ring, HandoffSlot{});
+    ring_head_ = ring_tail_ = 0;
+    if (!worker_.joinable()) {
+      worker_ = std::thread([this] { WorkerLoop(); });
+    }
+    lock.unlock();
+    pf_cv_.notify_all();
+  }
+
  private:
+  struct HandoffSlot {
+    std::vector<std::vector<CellId>> levels;
+    PagedTraceStore::ReadStats stats;
+  };
+
   const std::vector<std::vector<CellId>>& Fetch(EntityId e) {
+    // MRU shortcut: the scoring loop reads one entity's levels back to back.
+    if (mru_ != nullptr && mru_->entity == e) {
+      ++io_.cache_hits;
+      return mru_->levels;
+    }
     for (auto& slot : slots_) {
       if (slot.entity == e) {
         slot.last_used = ++tick_;
         ++io_.cache_hits;
+        mru_ = &slot;
         return slot.levels;
       }
     }
-    // Miss: read through the shared pool, charging the pool/disk deltas
-    // observed under the source lock to this cursor.
-    std::vector<std::vector<CellId>> levels;
-    {
-      std::lock_guard<std::mutex> lock(src_->mu_);
-      BufferPool& pool = *src_->pool_;
-      const uint64_t h0 = pool.hits();
-      const uint64_t m0 = pool.misses();
-      const double io0 = src_->disk_.modeled_io_seconds();
-      levels = src_->paged_->ReadEntity(&pool, e);
-      io_.pages_hit += pool.hits() - h0;
-      io_.pages_read += pool.misses() - m0;
-      io_.modeled_io_seconds += src_->disk_.modeled_io_seconds() - io0;
-    }
-    ++io_.entities_fetched;
-    io_.bytes_read += src_->paged_->entity_bytes(e);
-
+    // Miss: reuse the least-recently-used slot's buffers.
     CachedEntity* victim = &slots_[0];
     for (auto& slot : slots_) {
       if (slot.entity == kInvalidEntity) {
@@ -95,15 +172,94 @@ class PagedTraceCursor final : public TraceCursor {
       }
       if (slot.last_used < victim->last_used) victim = &slot;
     }
+    if (!ConsumeFromStream(e, victim)) {
+      PagedTraceStore::ReadStats rs;
+      src_->paged_->ReadEntity(&*src_->pool_, e, &victim->levels, &rs);
+      ChargePages(rs);
+    }
+    ++io_.entities_fetched;
+    io_.bytes_read += src_->paged_->entity_bytes(e);
     victim->entity = e;
     victim->last_used = ++tick_;
-    victim->levels = std::move(levels);
+    mru_ = victim;
     return victim->levels;
+  }
+
+  void ChargePages(const PagedTraceStore::ReadStats& rs) {
+    io_.pages_read += rs.pages_read;
+    io_.pages_hit += rs.pages_hit;
+    // Queries never dirty pages, so modeled latency is reads only — the
+    // same charge the SimDisk applied, attributed per call.
+    io_.modeled_io_seconds += static_cast<double>(rs.pages_read) *
+                              src_->disk_.read_latency_seconds();
+  }
+
+  // Consumes the next pipelined record if `e` is the head of the prefetch
+  // stream (the engine reads candidates in exactly the prefetched order, so
+  // this is the only case that occurs in practice; any out-of-order access
+  // falls back to a direct pool read and leaves the stream untouched).
+  bool ConsumeFromStream(EntityId e, CachedEntity* victim) {
+    // stream_pos_/stream_ are only written by this (the consumer) thread
+    // while the worker is quiescent, so this pre-check needs no lock.
+    if (stream_pos_ >= stream_.size() || stream_[stream_pos_] != e) {
+      return false;
+    }
+    std::unique_lock<std::mutex> lock(pf_mu_);
+    pf_cv_.wait(lock, [&] { return ready_count_ > 0; });
+    HandoffSlot& slot = ring_[ring_head_];
+    victim->levels.swap(slot.levels);
+    ChargePages(slot.stats);
+    ++io_.prefetch_hits;
+    ring_head_ = (ring_head_ + 1) % ring_.size();
+    --ready_count_;
+    ++stream_pos_;
+    lock.unlock();
+    pf_cv_.notify_all();
+    return true;
+  }
+
+  void WorkerLoop() {
+    std::unique_lock<std::mutex> lock(pf_mu_);
+    for (;;) {
+      pf_cv_.wait(lock, [&] {
+        return stop_ ||
+               (fetch_pos_ < stream_.size() && ready_count_ < ring_.size());
+      });
+      if (stop_) return;
+      const EntityId e = stream_[fetch_pos_];
+      HandoffSlot& slot = ring_[ring_tail_];
+      lock.unlock();
+      // The tail slot is invisible to the consumer until ready_count_ is
+      // bumped, so the pool read runs without the handoff lock.
+      slot.stats = {};
+      src_->paged_->ReadEntity(&*src_->pool_, e, &slot.levels, &slot.stats);
+      lock.lock();
+      ring_tail_ = (ring_tail_ + 1) % ring_.size();
+      ++ready_count_;
+      ++fetch_pos_;
+      pf_cv_.notify_all();
+    }
   }
 
   const PagedTraceSource* src_;
   std::vector<CachedEntity> slots_;
+  CachedEntity* mru_ = nullptr;  // points into slots_ (stable), or null
   uint64_t tick_ = 0;
+
+  // Prefetch pipeline state. stream_pos_ (consumption) is owned by the
+  // consumer thread; fetch_pos_/ready_count_/ring indices are shared and
+  // guarded by pf_mu_.
+  std::vector<EntityId> stream_;
+  size_t stream_pos_ = 0;
+  size_t fetch_pos_ = 0;
+  std::vector<HandoffSlot> ring_;
+  size_t ring_head_ = 0;
+  size_t ring_tail_ = 0;
+  size_t ready_count_ = 0;
+  bool stop_ = false;
+  std::mutex pf_mu_;
+  std::condition_variable pf_cv_;
+  std::thread worker_;
 };
 
 PagedTraceSource::PagedTraceSource(const TraceStore& store,
@@ -122,7 +278,7 @@ PagedTraceSource::PagedTraceSource(const TraceStore& store,
         1, static_cast<size_t>(options.pool_fraction *
                                static_cast<double>(paged_->num_pages())));
   }
-  pool_.emplace(&disk_, capacity);
+  pool_.emplace(&disk_, capacity, options.pool_shards);
   // Serialization traffic is construction cost, not query I/O.
   disk_.ResetStats();
 }
@@ -131,18 +287,7 @@ std::unique_ptr<TraceCursor> PagedTraceSource::OpenCursor() const {
   return std::make_unique<PagedTraceCursor>(*this);
 }
 
-BufferPool::Stats PagedTraceSource::pool_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pool_->stats();
-}
-
-uint64_t PagedTraceSource::disk_reads() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return disk_.reads();
-}
-
 void PagedTraceSource::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
   pool_->ResetStats();
   disk_.ResetStats();
 }

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "storage/buffer_pool.h"
@@ -15,13 +14,21 @@
 namespace dtrace {
 
 /// Disk-resident TraceSource: serializes a TraceStore onto a SimDisk at
-/// construction and serves every subsequent read through an LRU BufferPool,
-/// so queries run against it perform *real* page traffic (Sec. 7.6's regime)
-/// instead of the bench-side access-hook emulation. Each cursor keeps a
-/// small per-query materialization cache of decoded entity records; cache
-/// misses read through the shared pool under an internal mutex (cursors from
-/// concurrent QueryMany workers interleave safely) and charge the observed
-/// pool/disk deltas to that cursor's TraceIoStats.
+/// construction and serves every subsequent read through a sharded LRU
+/// BufferPool, so queries run against it perform *real* page traffic
+/// (Sec. 7.6's regime) instead of the bench-side access-hook emulation.
+///
+/// There is no source-wide lock: the pool synchronizes per shard (disk I/O
+/// happens outside shard mutexes), so cursors from concurrent QueryMany /
+/// eval_threads workers miss on different shards in parallel. Each cursor
+/// keeps a small per-query materialization cache of decoded entity records;
+/// cache hits touch no shared state at all. Cache misses read through the
+/// pool and charge the *per-call* page outcomes to that cursor's
+/// TraceIoStats — accounting stays exact under any concurrency because no
+/// shared counters are diffed. A cursor's Prefetch() starts its pipeline
+/// worker: upcoming candidates are materialized up to `depth` records ahead
+/// while the caller scores the current one, with identical results and
+/// identical per-query I/O accounting (see DESIGN-storage.md).
 ///
 /// The hierarchy referenced by `store` must outlive the source; the store
 /// itself is only read during construction. Reads after construction see the
@@ -37,9 +44,12 @@ class PagedTraceSource final : public TraceSource {
     /// Sec. 7.6, resolved after serialization so callers need not know the
     /// page count up front.
     double pool_fraction = 0.0;
-    /// Per-cursor materialization cache capacity in entities. The query
-    /// entity plus the candidate under evaluation must coexist, so values
-    /// below 2 are raised to 2.
+    /// Buffer-pool shards (0 = auto = 16; always capped at
+    /// pool capacity / 4 so every shard keeps at least 4 frames).
+    size_t pool_shards = 0;
+    /// Per-cursor materialization cache capacity in entities. Pairwise
+    /// reads (the intersection helpers) need both sides resident at once,
+    /// so values below 2 are raised to 2.
     size_t cursor_cache_entities = 8;
     /// Modeled per-page latencies charged by the SimDisk (default HDD-class
     /// 4K random access; Fig. 7.6 uses 5 ms seek-dominated values).
@@ -58,11 +68,12 @@ class PagedTraceSource final : public TraceSource {
 
   size_t num_pages() const { return paged_->num_pages(); }
   uint64_t data_bytes() const { return paged_->data_bytes(); }
+  size_t pool_shards() const { return pool_->num_shards(); }
 
-  /// Lifetime pool/disk counters (across every cursor). Taken under the
-  /// internal lock, so safe to call while queries run.
-  BufferPool::Stats pool_stats() const;
-  uint64_t disk_reads() const;
+  /// Lifetime pool/disk counters (across every cursor). The pool aggregates
+  /// its shards internally, so safe to call while queries run.
+  BufferPool::Stats pool_stats() const { return pool_->stats(); }
+  uint64_t disk_reads() const { return disk_.reads(); }
 
   /// Clears pool and disk counters (resident pages stay warm).
   void ResetStats();
@@ -77,7 +88,6 @@ class PagedTraceSource final : public TraceSource {
   mutable SimDisk disk_;
   std::unique_ptr<PagedTraceStore> paged_;
   mutable std::optional<BufferPool> pool_;
-  mutable std::mutex mu_;  // guards disk_ + pool_ (neither is thread-safe)
 };
 
 }  // namespace dtrace

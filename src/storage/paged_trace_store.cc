@@ -1,5 +1,6 @@
 #include "storage/paged_trace_store.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/check.h"
@@ -48,62 +49,98 @@ PagedTraceStore::PagedTraceStore(const TraceStore& store, SimDisk* disk)
   if (in_page > 0) flush();
 }
 
-std::vector<std::vector<CellId>> PagedTraceStore::ReadEntity(
-    BufferPool* pool, EntityId e) const {
+void PagedTraceStore::ReadEntity(BufferPool* pool, EntityId e,
+                                 std::vector<std::vector<CellId>>* out,
+                                 ReadStats* stats) const {
   DT_CHECK(e < dir_.size());
   const DirEntry& d = dir_[e];
-  // Gather the raw bytes across pages (values never straddle pages, but an
-  // entity may span several).
-  std::vector<uint8_t> raw;
-  raw.reserve(d.bytes);
+  out->resize(m_);
+
+  // Walk the record with a one-page pinned window, decoding values straight
+  // out of the frame. Values are 4-byte units written back-to-back from a
+  // page-aligned start, so every value is contained in (and aligned within)
+  // one page; the writer re-aligns to the next page where one would
+  // straddle, leaving zero padding we must skip the same way.
+  constexpr size_t kNoPage = static_cast<size_t>(-1);
+  size_t cur_page = kNoPage;
+  const uint8_t* data = nullptr;
   uint64_t off = d.offset;
-  uint64_t remaining = d.bytes;
-  while (remaining > 0) {
-    const size_t page_idx = off / kPageSize;
-    const size_t in_page = off % kPageSize;
-    const size_t take =
-        std::min<uint64_t>(remaining, kPageSize - in_page);
-    const uint8_t* data = pool->Pin(pages_[page_idx]);
-    raw.insert(raw.end(), data + in_page, data + in_page + take);
-    pool->Unpin(pages_[page_idx]);
-    off += take;
-    remaining -= take;
-  }
-  // Decode, skipping the zero padding put_u32 may have inserted at page
-  // tails (counts and cells are written back-to-back, so padding only occurs
-  // where a value would straddle; it is transparent because values are
-  // always re-aligned to the next page start).
-  std::vector<std::vector<CellId>> out(m_);
-  size_t pos = 0;
-  auto get_u32 = [&]() {
-    // Skip tail padding: if fewer than 4 bytes remain in this page slot of
-    // the original stream, the writer moved to the next page boundary.
-    const uint64_t abs = d.offset + pos;
-    const size_t in_page = abs % kPageSize;
-    if (in_page + sizeof(uint32_t) > kPageSize) {
-      pos += kPageSize - in_page;
+  auto pin_page_of = [&](uint64_t abs) {
+    const size_t p = abs / kPageSize;
+    if (p != cur_page) {
+      if (cur_page != kNoPage) pool->Unpin(pages_[cur_page]);
+      bool missed = false;
+      data = pool->Pin(pages_[p], &missed);
+      if (stats != nullptr) {
+        if (missed) {
+          ++stats->pages_read;
+        } else {
+          ++stats->pages_hit;
+        }
+      }
+      cur_page = p;
     }
+    return abs % kPageSize;
+  };
+  auto skip_padding = [&] {
+    const size_t in_page = off % kPageSize;
+    if (in_page + sizeof(uint32_t) > kPageSize) off += kPageSize - in_page;
+  };
+  auto get_u32 = [&] {
+    skip_padding();
+    const size_t in_page = pin_page_of(off);
     uint32_t v;
-    std::memcpy(&v, raw.data() + pos, sizeof(uint32_t));
-    pos += sizeof(uint32_t);
+    std::memcpy(&v, data + in_page, sizeof(uint32_t));
+    off += sizeof(uint32_t);
     return v;
   };
+
   for (int l = 0; l < m_; ++l) {
     const uint32_t n = get_u32();
-    out[l].resize(n);
-    for (uint32_t i = 0; i < n; ++i) out[l][i] = get_u32();
+    auto& level = (*out)[l];
+    level.resize(n);
+    uint32_t got = 0;
+    while (got < n) {
+      // Bulk-copy the run of values that lives in the current page.
+      skip_padding();
+      const size_t in_page = pin_page_of(off);
+      const uint32_t fit =
+          static_cast<uint32_t>((kPageSize - in_page) / sizeof(uint32_t));
+      const uint32_t take = std::min(n - got, fit);
+      std::memcpy(level.data() + got, data + in_page,
+                  static_cast<size_t>(take) * sizeof(uint32_t));
+      got += take;
+      off += static_cast<uint64_t>(take) * sizeof(uint32_t);
+    }
   }
+  if (cur_page != kNoPage) pool->Unpin(pages_[cur_page]);
+}
+
+std::vector<std::vector<CellId>> PagedTraceStore::ReadEntity(
+    BufferPool* pool, EntityId e) const {
+  std::vector<std::vector<CellId>> out;
+  ReadEntity(pool, e, &out, nullptr);
   return out;
 }
 
-void PagedTraceStore::TouchEntity(BufferPool* pool, EntityId e) const {
+void PagedTraceStore::TouchEntity(BufferPool* pool, EntityId e,
+                                  ReadStats* stats) const {
   DT_CHECK(e < dir_.size());
   const DirEntry& d = dir_[e];
   const size_t first = d.offset / kPageSize;
-  const size_t last = d.bytes == 0 ? first : (d.offset + d.bytes - 1) / kPageSize;
+  const size_t last =
+      d.bytes == 0 ? first : (d.offset + d.bytes - 1) / kPageSize;
   for (size_t p = first; p <= last; ++p) {
-    pool->Pin(pages_[p]);
+    bool missed = false;
+    pool->Pin(pages_[p], &missed);
     pool->Unpin(pages_[p]);
+    if (stats != nullptr) {
+      if (missed) {
+        ++stats->pages_read;
+      } else {
+        ++stats->pages_hit;
+      }
+    }
   }
 }
 

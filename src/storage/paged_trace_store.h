@@ -21,6 +21,13 @@ namespace dtrace {
 /// by count uint32 cell ids.
 class PagedTraceStore {
  public:
+  /// Pool outcomes of one read, reported per call so concurrent readers can
+  /// charge their own cursors exactly instead of diffing shared counters.
+  struct ReadStats {
+    uint64_t pages_read = 0;  // pool misses (real SimDisk page reads)
+    uint64_t pages_hit = 0;   // pool hits
+  };
+
   /// Serializes `store` onto `disk`.
   PagedTraceStore(const TraceStore& store, SimDisk* disk);
 
@@ -33,15 +40,25 @@ class PagedTraceStore {
   /// Serialized bytes of entity `e`'s record.
   uint64_t entity_bytes(EntityId e) const { return dir_[e].bytes; }
 
-  /// Reads entity `e`'s full record through `pool` and returns its per-level
-  /// cell sets (index 0 = level 1). This is the I/O the query's exact
-  /// evaluation of a candidate performs.
+  /// Reads entity `e`'s full record through `pool` into `out` (resized to m
+  /// levels; inner vectors are reused, so a caller cycling records through a
+  /// bounded cache allocates nothing in steady state). Cell values are
+  /// decoded straight out of the pinned frames — no intermediate byte-stream
+  /// copy. Per-page pool outcomes are accumulated into `stats` when given.
+  /// Safe to call concurrently (the pool is internally synchronized).
+  void ReadEntity(BufferPool* pool, EntityId e,
+                  std::vector<std::vector<CellId>>* out,
+                  ReadStats* stats = nullptr) const;
+
+  /// Convenience overload returning fresh vectors (tests, tooling).
   std::vector<std::vector<CellId>> ReadEntity(BufferPool* pool,
                                               EntityId e) const;
 
   /// Touches (pins+unpins) every page of entity `e` without materializing —
-  /// the access-hook fast path used by the Fig. 7.6 bench.
-  void TouchEntity(BufferPool* pool, EntityId e) const;
+  /// a pure pool-warming pass (the prefetch pipeline materializes instead;
+  /// this remains for access-hook emulation and tests).
+  void TouchEntity(BufferPool* pool, EntityId e,
+                   ReadStats* stats = nullptr) const;
 
  private:
   struct DirEntry {

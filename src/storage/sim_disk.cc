@@ -19,21 +19,18 @@ PageId SimDisk::Allocate() {
 void SimDisk::Read(PageId id, Page* out) {
   DT_CHECK(id < pages_.size());
   *out = *pages_[id];
-  ++reads_;
-  modeled_io_seconds_ += read_latency_;
+  reads_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void SimDisk::Write(PageId id, const Page& page) {
   DT_CHECK(id < pages_.size());
   *pages_[id] = page;
-  ++writes_;
-  modeled_io_seconds_ += write_latency_;
+  writes_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void SimDisk::ResetStats() {
-  reads_ = 0;
-  writes_ = 0;
-  modeled_io_seconds_ = 0.0;
+  reads_.store(0, std::memory_order_relaxed);
+  writes_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace dtrace

@@ -2,6 +2,7 @@
 #define DTRACE_STORAGE_SIM_DISK_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -24,23 +25,38 @@ struct Page {
 /// preserves the paper's HDD-bound shape without real device access
 /// (DESIGN.md Sec. 3.4). Reads/writes copy whole pages, as a real device
 /// driver would.
+///
+/// Thread safety: concurrent Read/Write calls are safe as long as no two of
+/// them target the same page with at least one writer — exactly the
+/// exclusivity the sharded BufferPool provides (a page is loaded or written
+/// back by the one thread that owns its frame transition). Allocate mutates
+/// the page table and must not run concurrently with any other call; all
+/// allocation happens during serialization, before queries start.
 class SimDisk {
  public:
   /// Default latencies are HDD-class per 4K access.
   explicit SimDisk(double read_latency_seconds = 100e-6,
                    double write_latency_seconds = 100e-6);
 
-  /// Allocates a zeroed page and returns its id.
+  /// Allocates a zeroed page and returns its id. Not thread-safe; see class
+  /// comment.
   PageId Allocate();
 
   void Read(PageId id, Page* out);
   void Write(PageId id, const Page& page);
 
   size_t num_pages() const { return pages_.size(); }
-  uint64_t reads() const { return reads_; }
-  uint64_t writes() const { return writes_; }
-  /// Accumulated modeled I/O latency in seconds.
-  double modeled_io_seconds() const { return modeled_io_seconds_; }
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  double read_latency_seconds() const { return read_latency_; }
+  double write_latency_seconds() const { return write_latency_; }
+  /// Accumulated modeled I/O latency in seconds. Derived from the I/O counts
+  /// (latencies are fixed per device), so it stays exact under concurrency
+  /// without an atomic-double accumulator.
+  double modeled_io_seconds() const {
+    return static_cast<double>(reads()) * read_latency_ +
+           static_cast<double>(writes()) * write_latency_;
+  }
 
   void ResetStats();
 
@@ -48,9 +64,8 @@ class SimDisk {
   double read_latency_;
   double write_latency_;
   std::vector<std::unique_ptr<Page>> pages_;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
-  double modeled_io_seconds_ = 0.0;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
 };
 
 }  // namespace dtrace

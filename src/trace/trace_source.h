@@ -1,6 +1,7 @@
 #ifndef DTRACE_TRACE_TRACE_SOURCE_H_
 #define DTRACE_TRACE_TRACE_SOURCE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -19,6 +20,7 @@ struct TraceIoStats {
   uint64_t pages_hit = 0;         ///< buffer-pool hits
   uint64_t bytes_read = 0;        ///< serialized bytes materialized
   uint64_t cache_hits = 0;        ///< cursor-cache hits (no pool traffic)
+  uint64_t prefetch_hits = 0;     ///< records served by the prefetch pipeline
   double modeled_io_seconds = 0.0;  ///< SimDisk modeled latency charged
 
   void Add(const TraceIoStats& o) {
@@ -27,6 +29,7 @@ struct TraceIoStats {
     pages_hit += o.pages_hit;
     bytes_read += o.bytes_read;
     cache_hits += o.cache_hits;
+    prefetch_hits += o.prefetch_hits;
     modeled_io_seconds += o.modeled_io_seconds;
   }
 };
@@ -56,6 +59,18 @@ class TraceCursor {
                                             Level level, TimeStep t0,
                                             TimeStep t1) = 0;
 
+  /// Hint: the caller is about to read `entities` in exactly this order,
+  /// one batch at a time. A storage-backed cursor may pipeline the batch —
+  /// materializing records up to `depth` entities ahead of consumption on a
+  /// prefetch worker while the caller scores the current one — as long as
+  /// subsequent reads return bit-identical data and the cursor's io() stays
+  /// exact. Must only be called when the previous batch (if any) has been
+  /// fully consumed. Default: no-op (`depth` <= 0 must also be a no-op).
+  virtual void Prefetch(std::span<const EntityId> entities, int depth) {
+    (void)entities;
+    (void)depth;
+  }
+
   /// I/O accumulated by this cursor since it was opened.
   const TraceIoStats& io() const { return io_; }
 
@@ -84,11 +99,36 @@ class TraceSource {
   virtual std::unique_ptr<TraceCursor> OpenCursor() const = 0;
 };
 
-/// Sorted-merge |a ∩ b| over two sorted cell-id ranges (shared by cursor
-/// implementations).
+/// |a ∩ b| over two sorted, deduplicated cell-id ranges (shared by cursor
+/// implementations and TraceStore). Balanced inputs use a linear merge; when
+/// one side is more than 8x longer, a galloping merge probes the long side
+/// exponentially from the last match position and binary-searches the
+/// bracketed window — O(|short| log(|long|/|short|)) instead of
+/// O(|short| + |long|). Both branches count the same set, so the result is
+/// identical either way.
 inline uint32_t IntersectSortedSize(std::span<const CellId> a,
                                     std::span<const CellId> b) {
+  if (a.size() > b.size()) std::swap(a, b);  // a is the short side
+  if (a.empty()) return 0;
   uint32_t n = 0;
+  if (b.size() > 8 * a.size()) {
+    size_t base = 0;  // everything before `base` in b is < the current key
+    for (CellId x : a) {
+      size_t step = 1;
+      while (base + step < b.size() && b[base + step] < x) step <<= 1;
+      const auto first = b.begin() + static_cast<ptrdiff_t>(base);
+      const auto last =
+          b.begin() +
+          static_cast<ptrdiff_t>(std::min(base + step + 1, b.size()));
+      base = static_cast<size_t>(std::lower_bound(first, last, x) - b.begin());
+      if (base < b.size() && b[base] == x) {
+        ++n;
+        ++base;
+      }
+      if (base >= b.size()) break;
+    }
+    return n;
+  }
   size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
     if (a[i] < b[j]) {

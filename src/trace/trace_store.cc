@@ -114,22 +114,7 @@ CellId TraceStore::ParentCell(Level child_level, CellId c) const {
 
 uint32_t TraceStore::IntersectionSize(EntityId a, EntityId b,
                                       Level level) const {
-  const auto ca = cells(a, level);
-  const auto cb = cells(b, level);
-  uint32_t n = 0;
-  size_t i = 0, j = 0;
-  while (i < ca.size() && j < cb.size()) {
-    if (ca[i] < cb[j]) {
-      ++i;
-    } else if (cb[j] < ca[i]) {
-      ++j;
-    } else {
-      ++n;
-      ++i;
-      ++j;
-    }
-  }
-  return n;
+  return IntersectSortedSize(cells(a, level), cells(b, level));
 }
 
 std::span<const CellId> TraceStore::CellsInWindow(EntityId e, Level level,
@@ -137,6 +122,8 @@ std::span<const CellId> TraceStore::CellsInWindow(EntityId e, Level level,
                                                   TimeStep t1) const {
   DT_DCHECK(t0 <= t1);
   const auto all = cells(e, level);
+  // The unwindowed common case: every cell lies in [0, horizon).
+  if (t0 == 0 && t1 >= horizon_) return all;
   const uint32_t units = hierarchy_->units_at(level);
   // Cell ids are time-major, so the window is a contiguous range.
   const auto lo = std::lower_bound(all.begin(), all.end(),
@@ -149,22 +136,8 @@ std::span<const CellId> TraceStore::CellsInWindow(EntityId e, Level level,
 uint32_t TraceStore::WindowedIntersectionSize(EntityId a, EntityId b,
                                               Level level, TimeStep t0,
                                               TimeStep t1) const {
-  const auto ca = CellsInWindow(a, level, t0, t1);
-  const auto cb = CellsInWindow(b, level, t0, t1);
-  uint32_t n = 0;
-  size_t i = 0, j = 0;
-  while (i < ca.size() && j < cb.size()) {
-    if (ca[i] < cb[j]) {
-      ++i;
-    } else if (cb[j] < ca[i]) {
-      ++j;
-    } else {
-      ++n;
-      ++i;
-      ++j;
-    }
-  }
-  return n;
+  return IntersectSortedSize(CellsInWindow(a, level, t0, t1),
+                             CellsInWindow(b, level, t0, t1));
 }
 
 double TraceStore::mean_base_cells() const {

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "storage/buffer_pool.h"
 #include "storage/sim_disk.h"
 
@@ -154,6 +158,149 @@ TEST_F(BufferPoolTest, RepinningKeepsSinglePinAccounting) {
   pool.Unpin(2);
   pool.Unpin(0);
   SUCCEED();
+}
+
+TEST_F(BufferPoolTest, PinReportsPerCallOutcome) {
+  BufferPool pool(&disk_, 4);
+  bool missed = false;
+  pool.Pin(3, &missed);
+  EXPECT_TRUE(missed);
+  pool.Unpin(3);
+  pool.Pin(3, &missed);
+  EXPECT_FALSE(missed);
+  pool.Unpin(3);
+}
+
+TEST_F(BufferPoolTest, ShardingSplitsCapacityButServesEveryPage) {
+  BufferPool pool(&disk_, 8, /*num_shards=*/2);
+  EXPECT_EQ(pool.num_shards(), 2u);
+  EXPECT_EQ(pool.capacity(), 8u);
+  for (PageId id = 0; id < 8; ++id) {
+    const uint8_t* p = pool.Pin(id);
+    EXPECT_EQ(p[0], id + 1);
+    pool.Unpin(id);
+  }
+  EXPECT_EQ(pool.misses(), 8u);
+}
+
+TEST_F(BufferPoolTest, ShardCountIsCappedSoShardsKeepFrames) {
+  // Auto sharding must never starve a shard below 4 frames.
+  BufferPool tiny(&disk_, 2, /*num_shards=*/0);
+  EXPECT_EQ(tiny.num_shards(), 1u);
+  BufferPool eight(&disk_, 8, /*num_shards=*/16);
+  EXPECT_LE(eight.num_shards(), 2u);
+}
+
+TEST_F(BufferPoolTest, StatsAggregateAcrossShardsUnderConcurrentPinners) {
+  BufferPool pool(&disk_, 8, /*num_shards=*/2);
+  constexpr int kThreads = 4;
+  constexpr int kPinsPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < kPinsPerThread; ++i) {
+        const PageId id = static_cast<PageId>((t * 3 + i * 7) % 8);
+        bool missed = false;
+        pool.Pin(id, &missed);
+        pool.Unpin(id);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const BufferPool::Stats stats = pool.stats();
+  // Every pin is either a hit or a miss — the aggregated snapshot must sum
+  // exactly, and the accessors must agree with it.
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kPinsPerThread);
+  EXPECT_EQ(stats.hits, pool.hits());
+  EXPECT_EQ(stats.misses, pool.misses());
+  EXPECT_EQ(stats.evictions, pool.evictions());
+  // All 8 pages fit (4 frames per shard, ids split evenly), so after the
+  // first touch of each page everything hits.
+  EXPECT_EQ(stats.misses, 8u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_GE(stats.lock_wait_seconds, 0.0);
+}
+
+TEST_F(BufferPoolTest, ConcurrentMissesOnDistinctPagesAllLoadCorrectly) {
+  // Misses overlap outside the shard locks; every thread must still see the
+  // right bytes for its page, and a page mid-load must not be re-read.
+  BufferPool pool(&disk_, 8, /*num_shards=*/2);
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 200; ++round) {
+        const PageId id = static_cast<PageId>((t + round) % 8);
+        const uint8_t* p = pool.Pin(id);
+        if (p[0] != id + 1) wrong.fetch_add(1);
+        pool.Unpin(id);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(disk_.reads(), 8u);  // one real read per page, ever
+}
+
+TEST_F(BufferPoolTest, ShardCrossingPinMutableDuringEvictionPersistsWrites) {
+  // Writers on every shard while capacity pressure forces dirty evictions
+  // (write-backs happen outside the shard locks): every written byte must
+  // land on disk, via eviction or the final FlushAll.
+  constexpr int kPages = 16;
+  for (int i = 8; i < kPages; ++i) {
+    const PageId id = disk_.Allocate();
+    Page p;
+    p.data.fill(static_cast<uint8_t>(i + 1));
+    disk_.Write(id, p);
+  }
+  disk_.ResetStats();
+  BufferPool pool(&disk_, 8, /*num_shards=*/2);  // half the pages fit
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 100; ++round) {
+        const PageId id = static_cast<PageId>((t * 5 + round) % kPages);
+        uint8_t* p = pool.PinMutable(id);
+        p[1] = static_cast<uint8_t>(0x40 + id);  // idempotent per page
+        pool.Unpin(id);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  pool.FlushAll();
+  for (PageId id = 0; id < kPages; ++id) {
+    Page check;
+    disk_.Read(id, &check);
+    EXPECT_EQ(check.data[0], id + 1) << "page " << id;  // original byte
+    EXPECT_EQ(check.data[1], 0x40 + id) << "page " << id;
+  }
+}
+
+using BufferPoolDeathTest = BufferPoolTest;
+
+TEST_F(BufferPoolDeathTest, UnpinOfNeverPinnedPageAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  BufferPool pool(&disk_, 4);
+  EXPECT_DEATH(pool.Unpin(3), "unpin of non-resident page");
+}
+
+TEST_F(BufferPoolDeathTest, UnpinPastPinCountAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  BufferPool pool(&disk_, 4);
+  pool.Pin(2);
+  pool.Unpin(2);
+  EXPECT_DEATH(pool.Unpin(2), "unpin of unpinned page");
+}
+
+TEST_F(BufferPoolDeathTest, UnpinOfEvictedPageAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  BufferPool pool(&disk_, 1);
+  pool.Pin(0);
+  pool.Unpin(0);
+  pool.Pin(1);  // evicts 0
+  pool.Unpin(1);
+  EXPECT_DEATH(pool.Unpin(0), "unpin of non-resident page");
 }
 
 }  // namespace
