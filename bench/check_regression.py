@@ -21,7 +21,9 @@ import json
 import sys
 
 # Fields that carry measurements rather than identity; everything else in a
-# row is treated as a match key.
+# row is treated as a match key. "shards" is informational-only by design:
+# sharded runs must gate directly against the single-shard baseline rows
+# (sharding is required to be answer-identical and at least qps-neutral).
 MEASUREMENT_FIELDS = {
     "queries_per_sec",
     "pe",
@@ -30,6 +32,7 @@ MEASUREMENT_FIELDS = {
     "hit_rate",
     "index_seconds",
     "modeled_ms_per_query",
+    "shards",
 }
 
 

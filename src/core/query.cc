@@ -450,10 +450,16 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
   while (!frontier.empty()) {
     FrontierEntry entry = frontier.top();
     frontier.pop();
-    // Early termination (Sec. 5.1): the k-th best exact score dominates
-    // every remaining upper bound (scaled by the approximation slack).
-    // Stranded entries' refs are reclaimed by the pool's destructor.
-    if (heap.Full() && heap.MinScore() * slack >= entry.ub) break;
+    // Early termination (Sec. 5.1): the k-th best exact score *strictly*
+    // dominates every remaining upper bound (scaled by the approximation
+    // slack). Strictness is what makes the returned tie set canonical: a
+    // node whose bound equals the k-th score may still hold candidates
+    // that tie it, and those must be evaluated so the heap's total order
+    // (score desc, entity id asc) — the same order the sharded top-k merge
+    // uses — picks the same entities regardless of traversal order, shard
+    // count, or partition. Stranded entries' refs are reclaimed by the
+    // pool's destructor.
+    if (heap.Full() && heap.MinScore() * slack > entry.ub) break;
 
     const MinSigTree::Node& node = tree_->node(entry.node);
     if (!entry.materialized) {
@@ -471,7 +477,7 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
         ++stats.heap_pushes;
         continue;
       }
-      if (heap.Full() && heap.MinScore() * slack >= ub) break;
+      if (heap.Full() && heap.MinScore() * slack > ub) break;
     }
     ++stats.nodes_visited;
 
@@ -486,10 +492,11 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
 
     // Inner node: push children lazily with the parent's bound (Lines 7-8).
     // A child's bound can only tighten below the parent's, so once the k-th
-    // best score dominates the parent bound the children can never win —
-    // skipping the push keeps results identical and saves the heap traffic
-    // of entries the termination rule would strand in the frontier.
-    if (!(heap.Full() && heap.MinScore() * slack >= entry.ub)) {
+    // best score strictly dominates the parent bound the children can never
+    // win (nor tie) — skipping the push keeps results identical and saves
+    // the heap traffic of entries the termination rule would strand in the
+    // frontier. Mirrors the strict termination rule above.
+    if (!(heap.Full() && heap.MinScore() * slack > entry.ub)) {
       for (uint32_t child_idx : node.children) {
         pool.AddRef(entry.remaining);
         frontier.push({entry.ub, child_idx, order++, /*materialized=*/false,

@@ -42,7 +42,12 @@ struct ScoredEntity {
 };
 
 struct TopKResult {
-  /// Sorted by descending score; ties by ascending entity id.
+  /// Sorted by descending score; ties by ascending entity id. With zero
+  /// approximation slack the *selection* is canonical too: among candidates
+  /// tying the k-th score, the lowest entity ids are kept (termination is
+  /// strict on tied bounds, so every potential tie is evaluated). Exact
+  /// results are therefore bit-identical across traversal orders, thread
+  /// counts, and shard partitions (core/sharded_index.h relies on this).
   std::vector<ScoredEntity> items;
   QueryStats stats;
 };

@@ -25,16 +25,11 @@ std::vector<EntityId> SampleQueries(const TraceStore& store, size_t count,
   return out;
 }
 
-PeMeasurement MeasurePe(const DigitalTraceIndex& index,
-                        const AssociationMeasure& measure,
-                        std::span<const EntityId> queries, int k,
-                        const QueryOptions& options, int num_threads) {
+PeMeasurement AggregatePe(std::span<const TopKResult> results,
+                          size_t num_entities, int k) {
   PeMeasurement agg;
-  const std::vector<TopKResult> results =
-      index.QueryMany(queries, k, measure, options, num_threads);
   for (const TopKResult& r : results) {
-    agg.mean_pe +=
-        r.stats.pruning_effectiveness(index.tree().num_entities(), k);
+    agg.mean_pe += r.stats.pruning_effectiveness(num_entities, k);
     agg.mean_entities_checked += static_cast<double>(r.stats.entities_checked);
     agg.mean_nodes_visited += static_cast<double>(r.stats.nodes_visited);
     agg.mean_query_seconds += r.stats.elapsed_seconds;
@@ -54,6 +49,15 @@ PeMeasurement MeasurePe(const DigitalTraceIndex& index,
     agg.mean_prefetch_hits /= n;
   }
   return agg;
+}
+
+PeMeasurement MeasurePe(const DigitalTraceIndex& index,
+                        const AssociationMeasure& measure,
+                        std::span<const EntityId> queries, int k,
+                        const QueryOptions& options, int num_threads) {
+  const std::vector<TopKResult> results =
+      index.QueryMany(queries, k, measure, options, num_threads);
+  return AggregatePe(results, index.tree().num_entities(), k);
 }
 
 PeMeasurement MeasurePe(const DigitalTraceIndex& index,

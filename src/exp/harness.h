@@ -27,6 +27,14 @@ struct PeMeasurement {
   size_t num_queries = 0;
 };
 
+/// Aggregates already-computed top-k results into a PeMeasurement, with PE
+/// computed against a population of `num_entities`. The common core of
+/// MeasurePe and of benches that run batches through other entry points
+/// (e.g. ShardedIndex::QueryMany, whose per-result stats already aggregate
+/// across shards).
+PeMeasurement AggregatePe(std::span<const TopKResult> results,
+                          size_t num_entities, int k);
+
 /// Samples `count` query entities with at least `min_cells` base-level
 /// cells (deterministic given `seed`), mirroring the paper's averaging of
 /// PE over multiple query entities.

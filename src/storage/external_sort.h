@@ -43,28 +43,25 @@ class ExternalSorter {
   /// final on-disk run). The in-memory working set never exceeds
   /// buffer_pages pages of records (plus bookkeeping).
   std::vector<Record> Sort(const std::vector<Record>& input) {
-    runs_.clear();
-    // Pass 0: run formation. Fill the buffer, sort, spill as one run.
-    const size_t run_capacity = buffer_pages_ * kPerPage;
-    std::vector<Record> buffer;
-    buffer.reserve(run_capacity);
-    for (const Record& r : input) {
-      buffer.push_back(r);
-      if (buffer.size() == run_capacity) SpillRun(&buffer);
-    }
-    if (!buffer.empty()) SpillRun(&buffer);
+    FormRuns(input);
     if (runs_.empty()) return {};
-
-    // Merge passes: B-1 input runs at a time, 1 output buffer page.
-    while (runs_.size() > 1) {
-      std::vector<RunMeta> next;
-      for (size_t i = 0; i < runs_.size(); i += buffer_pages_ - 1) {
-        const size_t hi = std::min(runs_.size(), i + buffer_pages_ - 1);
-        next.push_back(MergeRuns(i, hi));
-      }
-      runs_ = std::move(next);
-    }
+    MergePassesDownTo(1);
     return ReadRun(runs_[0]);
+  }
+
+  /// Streaming sort: like Sort, but the final merge is consumed record by
+  /// record through `consume(const Record&)` instead of being written back
+  /// to disk and materialized, saving one full write+read pass — the sort
+  /// itself holds at most buffer_pages pages of records (the input vector
+  /// is the caller's). Used by the sharded index's streamed construction,
+  /// where each shard's run is built (and released) as it streams past.
+  template <typename Consume>
+  void SortInto(const std::vector<Record>& input, Consume&& consume) {
+    FormRuns(input);
+    if (runs_.empty()) return;
+    // Stop while one final B-1-way merge remains and stream that one.
+    MergePassesDownTo(buffer_pages_ - 1);
+    MergeStream(0, runs_.size(), consume);
   }
 
  private:
@@ -97,6 +94,19 @@ class ExternalSorter {
     uint64_t consumed_ = 0;
   };
 
+  // Pass 0: run formation. Fill the buffer, sort, spill as one run.
+  void FormRuns(const std::vector<Record>& input) {
+    runs_.clear();
+    const size_t run_capacity = buffer_pages_ * kPerPage;
+    std::vector<Record> buffer;
+    buffer.reserve(run_capacity);
+    for (const Record& r : input) {
+      buffer.push_back(r);
+      if (buffer.size() == run_capacity) SpillRun(&buffer);
+    }
+    if (!buffer.empty()) SpillRun(&buffer);
+  }
+
   void SpillRun(std::vector<Record>* buffer) {
     std::sort(buffer->begin(), buffer->end(), less_);
     RunMeta run;
@@ -116,7 +126,22 @@ class ExternalSorter {
     buffer->clear();
   }
 
-  RunMeta MergeRuns(size_t lo, size_t hi) {
+  // Merge passes (B-1 input runs at a time, 1 output buffer page) until at
+  // most `max_runs` runs remain.
+  void MergePassesDownTo(size_t max_runs) {
+    while (runs_.size() > max_runs) {
+      std::vector<RunMeta> next;
+      for (size_t i = 0; i < runs_.size(); i += buffer_pages_ - 1) {
+        const size_t hi = std::min(runs_.size(), i + buffer_pages_ - 1);
+        next.push_back(MergeRuns(i, hi));
+      }
+      runs_ = std::move(next);
+    }
+  }
+
+  // K-way heap merge of runs [lo, hi), emitting records in sorted order.
+  template <typename Emit>
+  void MergeStream(size_t lo, size_t hi, Emit&& emit) {
     struct HeapItem {
       Record record;
       size_t reader;
@@ -133,7 +158,19 @@ class ExternalSorter {
       if (readers.back().Next(&r)) heap.push_back({r, readers.size() - 1});
     }
     std::make_heap(heap.begin(), heap.end(), greater);
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), greater);
+      HeapItem item = heap.back();
+      heap.pop_back();
+      emit(item.record);
+      if (readers[item.reader].Next(&item.record)) {
+        heap.push_back(item);
+        std::push_heap(heap.begin(), heap.end(), greater);
+      }
+    }
+  }
 
+  RunMeta MergeRuns(size_t lo, size_t hi) {
     RunMeta out;
     Page page;
     size_t in_page = 0;
@@ -143,19 +180,12 @@ class ExternalSorter {
       out.pages.push_back(id);
       in_page = 0;
     };
-    while (!heap.empty()) {
-      std::pop_heap(heap.begin(), heap.end(), greater);
-      HeapItem item = heap.back();
-      heap.pop_back();
-      std::memcpy(page.data.data() + in_page * sizeof(Record), &item.record,
+    MergeStream(lo, hi, [&](const Record& r) {
+      std::memcpy(page.data.data() + in_page * sizeof(Record), &r,
                   sizeof(Record));
       ++out.num_records;
       if (++in_page == kPerPage) flush();
-      if (readers[item.reader].Next(&item.record)) {
-        heap.push_back(item);
-        std::push_heap(heap.begin(), heap.end(), greater);
-      }
-    }
+    });
     if (in_page > 0) flush();
     return out;
   }

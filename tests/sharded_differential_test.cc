@@ -1,0 +1,363 @@
+// Differential/property harness for the sharded index (in the spirit of
+// black-box consistency checking of concurrent databases): a seeded
+// randomized workload — build, Query / QueryMany / windowed queries,
+// InsertBatch, ReplaceEntity + UpdateEntity + RemoveEntity + Refresh — runs
+// against ShardedIndex instances at {1, 2, 4, 7} shards, over both storage
+// backends (in-memory TraceStore and PagedTraceSource, shared or per-shard
+// pools) and across thread counts, and every configuration must return
+// results bit-identical to the single-tree DigitalTraceIndex oracle.
+// Aggregated QueryStats::io must also be consistent: per-query access
+// totals are deterministic across thread counts for a fixed configuration,
+// and the 1-shard sharded instance charges exactly the oracle's I/O.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/index.h"
+#include "core/sharded_index.h"
+#include "exp/harness.h"
+#include "exp/presets.h"
+#include "storage/paged_trace_source.h"
+#include "util/rng.h"
+
+namespace dtrace {
+namespace {
+
+constexpr int kShardCounts[] = {1, 2, 4, 7};
+
+struct World {
+  Dataset dataset;
+  std::unique_ptr<DigitalTraceIndex> oracle;
+  std::vector<std::unique_ptr<ShardedIndex>> sharded;  // one per kShardCounts
+
+  explicit World(uint32_t num_entities, uint64_t data_seed,
+                 std::vector<EntityId> initial)
+      : dataset(MakeSynDataset(num_entities, data_seed)) {
+    const IndexOptions iopts{.num_functions = 96, .seed = 17};
+    oracle = std::make_unique<DigitalTraceIndex>(
+        DigitalTraceIndex::Build(dataset.store, iopts, initial));
+    for (int shards : kShardCounts) {
+      sharded.push_back(std::make_unique<ShardedIndex>(ShardedIndex::Build(
+          dataset.store, {.num_shards = shards, .index = iopts}, initial)));
+    }
+  }
+};
+
+std::vector<EntityId> Range(EntityId begin, EntityId end) {
+  std::vector<EntityId> ids;
+  for (EntityId e = begin; e < end; ++e) ids.push_back(e);
+  return ids;
+}
+
+void ExpectIdentical(const TopKResult& expected, const TopKResult& actual,
+                     const char* what) {
+  ASSERT_EQ(expected.items.size(), actual.items.size()) << what;
+  for (size_t i = 0; i < expected.items.size(); ++i) {
+    EXPECT_EQ(expected.items[i].entity, actual.items[i].entity)
+        << what << " rank " << i;
+    EXPECT_EQ(expected.items[i].score, actual.items[i].score)
+        << what << " rank " << i;
+  }
+}
+
+// One randomized query plan: entity, k, and an optional time window.
+struct QueryPlan {
+  EntityId q;
+  int k;
+  QueryOptions options;  // window only; backends fill in trace_source
+};
+
+std::vector<QueryPlan> MakePlans(const World& w, size_t count, uint64_t seed) {
+  const auto pool = SampleQueries(*w.dataset.store, count, seed);
+  Rng rng(seed ^ 0xD1FFull);
+  std::vector<QueryPlan> plans;
+  for (EntityId q : pool) {
+    QueryPlan plan;
+    plan.q = q;
+    plan.k = 1 + static_cast<int>(rng.NextBelow(25));
+    if (rng.NextBelow(2) == 0) {
+      const TimeStep horizon = w.dataset.horizon;
+      const TimeStep begin = static_cast<TimeStep>(rng.NextBelow(horizon / 2));
+      const TimeStep end =
+          begin + 1 +
+          static_cast<TimeStep>(rng.NextBelow(horizon - begin - 1));
+      plan.options.time_window = TimeWindow{begin, end};
+    }
+    plans.push_back(plan);
+  }
+  return plans;
+}
+
+// Every sharded configuration must reproduce the oracle bit for bit, for
+// every shard count and across shard-fan-out thread counts.
+void CheckAgainstOracle(const World& w, const std::vector<QueryPlan>& plans) {
+  for (const QueryPlan& plan : plans) {
+    const TopKResult expected =
+        w.oracle->Query(plan.q, plan.k, PolynomialLevelMeasure(
+            w.dataset.hierarchy->num_levels()), plan.options);
+    for (size_t si = 0; si < w.sharded.size(); ++si) {
+      for (int shard_threads : {1, 3}) {
+        const TopKResult actual = w.sharded[si]->Query(
+            plan.q, plan.k,
+            PolynomialLevelMeasure(w.dataset.hierarchy->num_levels()),
+            plan.options, shard_threads);
+        ExpectIdentical(expected, actual, "in-memory");
+        // PE inputs must agree too: the merged stats cover the whole
+        // population's worth of exact evaluations.
+        EXPECT_GE(actual.stats.entities_checked,
+                  static_cast<uint64_t>(actual.items.size()));
+      }
+    }
+  }
+}
+
+TEST(ShardedDifferentialTest, RandomizedQueriesMatchOracleInMemory) {
+  World w(500, /*data_seed=*/97, Range(0, 500));
+  CheckAgainstOracle(w, MakePlans(w, 8, /*seed=*/301));
+}
+
+TEST(ShardedDifferentialTest, StreamedBuildIsBitIdentical) {
+  const Dataset d = MakeSynDataset(400, /*seed=*/83);
+  const IndexOptions iopts{.num_functions = 64, .seed = 11};
+  for (int shards : {2, 4, 7}) {
+    const ShardedIndex direct = ShardedIndex::Build(
+        d.store, {.num_shards = shards, .index = iopts});
+    for (size_t buffer_pages : {size_t{3}, size_t{16}}) {
+      const ShardedIndex streamed = ShardedIndex::Build(
+          d.store, {.num_shards = shards,
+                    .index = iopts,
+                    .stream_build = true,
+                    .stream_buffer_pages = buffer_pages});
+      for (int s = 0; s < shards; ++s) {
+        const MinSigTree& a = direct.shard(s).tree();
+        const MinSigTree& b = streamed.shard(s).tree();
+        ASSERT_EQ(a.num_nodes(), b.num_nodes())
+            << "shard " << s << " pages " << buffer_pages;
+        for (uint32_t n = 0; n < a.num_nodes(); ++n) {
+          EXPECT_EQ(a.node(n).level, b.node(n).level);
+          EXPECT_EQ(a.node(n).routing, b.node(n).routing);
+          EXPECT_EQ(a.node(n).value, b.node(n).value);
+          EXPECT_EQ(a.node(n).parent, b.node(n).parent);
+          EXPECT_EQ(a.node(n).children, b.node(n).children);
+          EXPECT_EQ(a.node(n).entities, b.node(n).entities);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedDifferentialTest, PagedBackendMatchesOracleAcrossThreadCounts) {
+  World w(500, /*data_seed=*/97, Range(0, 500));
+  PolynomialLevelMeasure measure(w.dataset.hierarchy->num_levels());
+  const auto plans = MakePlans(w, 6, /*seed=*/302);
+  std::vector<EntityId> queries;
+  for (const auto& p : plans) queries.push_back(p.q);
+  const int k = 10;
+
+  // In-memory oracle reference (the storage path must not change answers).
+  std::vector<TopKResult> expected;
+  for (EntityId q : queries) {
+    expected.push_back(w.oracle->Query(q, k, measure));
+  }
+
+  PagedTraceSource::Options popts;
+  popts.pool_fraction = 0.4;  // partial pool: real miss/eviction traffic
+  const PagedTraceSource shared(*w.dataset.store, popts);
+  QueryOptions qopts;
+  qopts.trace_source = &shared;
+
+  for (size_t si = 0; si < w.sharded.size(); ++si) {
+    // Per-query I/O *totals* (accesses, records, bytes) are deterministic
+    // for a fixed shard count: every (query, shard) cell issues the same
+    // access sequence no matter how cells interleave. Only the read/hit
+    // split may shift with pool state, so compare their sum.
+    std::vector<uint64_t> ref_touched, ref_fetched, ref_bytes;
+    for (int num_threads : {1, 4}) {
+      const auto results =
+          w.sharded[si]->QueryMany(queries, k, measure, qopts, num_threads);
+      ASSERT_EQ(results.size(), queries.size());
+      std::vector<uint64_t> touched, fetched, bytes;
+      for (size_t i = 0; i < results.size(); ++i) {
+        ExpectIdentical(expected[i], results[i], "paged");
+        touched.push_back(results[i].stats.io.pages_read +
+                          results[i].stats.io.pages_hit);
+        fetched.push_back(results[i].stats.io.entities_fetched);
+        bytes.push_back(results[i].stats.io.bytes_read);
+        EXPECT_GT(fetched.back(), 0u) << "paged backend did no I/O?";
+      }
+      if (ref_touched.empty()) {
+        ref_touched = touched;
+        ref_fetched = fetched;
+        ref_bytes = bytes;
+        continue;
+      }
+      EXPECT_EQ(ref_touched, touched) << "shards " << kShardCounts[si]
+                                      << " threads " << num_threads;
+      EXPECT_EQ(ref_fetched, fetched);
+      EXPECT_EQ(ref_bytes, bytes);
+    }
+  }
+}
+
+TEST(ShardedDifferentialTest, OneShardChargesExactlyTheOracleIo) {
+  World w(400, /*data_seed=*/89, Range(0, 400));
+  PolynomialLevelMeasure measure(w.dataset.hierarchy->num_levels());
+  const auto queries = SampleQueries(*w.dataset.store, 4, 51);
+  PagedTraceSource::Options popts;
+  popts.pool_fraction = 0.4;
+  for (EntityId q : queries) {
+    // Fresh cold source per side: serial runs are fully deterministic, so
+    // a 1-shard ShardedIndex must reproduce the oracle's accounting to the
+    // page.
+    PagedTraceSource oracle_src(*w.dataset.store, popts);
+    PagedTraceSource sharded_src(*w.dataset.store, popts);
+    QueryOptions oracle_opts;
+    oracle_opts.trace_source = &oracle_src;
+    QueryOptions sharded_opts;
+    sharded_opts.trace_source = &sharded_src;
+    const TopKResult a = w.oracle->Query(q, 10, measure, oracle_opts);
+    const TopKResult b =
+        w.sharded[0]->Query(q, 10, measure, sharded_opts, /*shard_threads=*/1);
+    ExpectIdentical(a, b, "1-shard");
+    EXPECT_EQ(a.stats.io.pages_read, b.stats.io.pages_read);
+    EXPECT_EQ(a.stats.io.pages_hit, b.stats.io.pages_hit);
+    EXPECT_EQ(a.stats.io.entities_fetched, b.stats.io.entities_fetched);
+    EXPECT_EQ(a.stats.io.bytes_read, b.stats.io.bytes_read);
+    EXPECT_EQ(a.stats.entities_checked, b.stats.entities_checked);
+    EXPECT_EQ(a.stats.nodes_visited, b.stats.nodes_visited);
+  }
+}
+
+TEST(ShardedDifferentialTest, PerShardSourcesMatchSharedAndOracle) {
+  World w(400, /*data_seed=*/89, Range(0, 400));
+  PolynomialLevelMeasure measure(w.dataset.hierarchy->num_levels());
+  const auto queries = SampleQueries(*w.dataset.store, 4, 52);
+
+  ShardedIndex& four = *w.sharded[2];  // 4 shards
+  ASSERT_EQ(four.num_shards(), 4);
+  PagedTraceSource::Options popts;
+  popts.pool_fraction = 0.4;
+  // Each shard owns a private paged source (its own pool and disk).
+  std::vector<std::unique_ptr<PagedTraceSource>> sources;
+  for (int s = 0; s < four.num_shards(); ++s) {
+    sources.push_back(
+        std::make_unique<PagedTraceSource>(*w.dataset.store, popts));
+    four.AttachShardSource(s, sources.back().get());
+  }
+  for (EntityId q : queries) {
+    const TopKResult expected = w.oracle->Query(q, 10, measure);
+    for (int threads : {1, 4}) {
+      const TopKResult actual = four.Query(q, 10, measure, {}, threads);
+      ExpectIdentical(expected, actual, "per-shard sources");
+      EXPECT_GT(actual.stats.io.entities_fetched, 0u);
+    }
+  }
+  for (int s = 0; s < four.num_shards(); ++s) four.AttachShardSource(s, nullptr);
+}
+
+TEST(ShardedDifferentialTest, EvalThreadsAndPrefetchCompose) {
+  World w(400, /*data_seed=*/89, Range(0, 400));
+  PolynomialLevelMeasure measure(w.dataset.hierarchy->num_levels());
+  const auto queries = SampleQueries(*w.dataset.store, 3, 53);
+  PagedTraceSource::Options popts;
+  popts.pool_fraction = 0.4;
+  const PagedTraceSource shared(*w.dataset.store, popts);
+  for (EntityId q : queries) {
+    const TopKResult expected = w.oracle->Query(q, 10, measure);
+    for (size_t si = 0; si < w.sharded.size(); ++si) {
+      QueryOptions qopts;
+      qopts.trace_source = &shared;
+      qopts.eval_threads = 2;
+      qopts.prefetch_depth = 4;
+      const TopKResult actual = w.sharded[si]->Query(q, 10, measure, qopts);
+      ExpectIdentical(expected, actual, "eval+prefetch");
+    }
+  }
+}
+
+TEST(ShardedDifferentialTest, InsertBatchRoutesThroughShardMap) {
+  // Build over the first 400 entities, then batch-insert the remaining 100
+  // everywhere; results must stay aligned with the oracle.
+  World w(500, /*data_seed=*/97, Range(0, 400));
+  w.oracle->InsertEntities(Range(400, 500));
+  for (auto& sharded : w.sharded) {
+    sharded->InsertEntities(Range(400, 500));
+    EXPECT_EQ(sharded->num_entities(), 500u);
+  }
+  CheckAgainstOracle(w, MakePlans(w, 6, /*seed=*/303));
+}
+
+TEST(ShardedDifferentialTest, UpdatesRemovalsAndRefreshStayAligned) {
+  World w(400, /*data_seed=*/89, Range(0, 400));
+  Rng rng(777);
+  // Replace a few random traces with fresh random ones, re-index on both
+  // sides, remove a couple of entities, then Refresh to restore tightness.
+  const uint32_t base_units = w.dataset.hierarchy->num_base_units();
+  for (int round = 0; round < 5; ++round) {
+    const EntityId e = static_cast<EntityId>(rng.NextBelow(400));
+    std::vector<PresenceRecord> records;
+    const int n = 3 + static_cast<int>(rng.NextBelow(20));
+    for (int i = 0; i < n; ++i) {
+      const auto t =
+          static_cast<TimeStep>(rng.NextBelow(w.dataset.horizon - 1));
+      records.push_back({e, static_cast<UnitId>(rng.NextBelow(base_units)), t,
+                         t + 1});
+    }
+    w.dataset.store->ReplaceEntity(e, records);
+    w.oracle->UpdateEntity(e);
+    for (auto& sharded : w.sharded) sharded->UpdateEntity(e);
+  }
+  const EntityId gone1 = 42, gone2 = 137;
+  w.oracle->RemoveEntity(gone1);
+  w.oracle->RemoveEntity(gone2);
+  for (auto& sharded : w.sharded) {
+    sharded->RemoveEntity(gone1);
+    sharded->RemoveEntity(gone2);
+    EXPECT_EQ(sharded->num_entities(), 398u);
+  }
+  w.oracle->Refresh();
+  for (auto& sharded : w.sharded) sharded->Refresh();
+
+  const auto plans = MakePlans(w, 6, /*seed=*/304);
+  CheckAgainstOracle(w, plans);
+
+  // The paged backend snapshots at construction, so a fresh source over the
+  // mutated store must agree too.
+  PolynomialLevelMeasure measure(w.dataset.hierarchy->num_levels());
+  PagedTraceSource::Options popts;
+  popts.pool_fraction = 0.5;
+  const PagedTraceSource src(*w.dataset.store, popts);
+  for (const auto& plan : plans) {
+    QueryOptions paged = plan.options;
+    paged.trace_source = &src;
+    const TopKResult expected =
+        w.oracle->Query(plan.q, plan.k, measure, paged);
+    for (auto& sharded : w.sharded) {
+      ExpectIdentical(expected,
+                      sharded->Query(plan.q, plan.k, measure, paged),
+                      "paged after updates");
+    }
+  }
+}
+
+TEST(ShardedDifferentialTest, ManyShardsOnTinyPopulations) {
+  // More shards than "natural" group sizes: some shards end up tiny or
+  // empty, k routinely exceeds per-shard candidate counts, and the merge
+  // must still reproduce the oracle (including k near |E|).
+  World w(500, /*data_seed=*/97, Range(0, 30));
+  PolynomialLevelMeasure measure(w.dataset.hierarchy->num_levels());
+  const auto queries = SampleQueries(*w.dataset.store, 4, 54);
+  for (EntityId q : queries) {
+    for (int k : {1, 5, 29, 30, 100}) {
+      const TopKResult expected = w.oracle->Query(q, k, measure);
+      for (auto& sharded : w.sharded) {
+        ExpectIdentical(expected, sharded->Query(q, k, measure),
+                        "tiny population");
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtrace
