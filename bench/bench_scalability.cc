@@ -4,6 +4,7 @@
 // Two modes:
 //   bench_scalability                 — the in-memory |E| sweep (default)
 //   bench_scalability --disk [|E|] [--workers N] [--prefetch D] [--shards S]
+//                     [--route]
 //       — the disk-resident preset: traces an order of magnitude past the
 //       laptop presets, served from the paged storage substrate through
 //       PagedTraceSource (sharded buffer pool, 25% of the data in memory),
@@ -12,10 +13,15 @@
 //       the index is a ShardedIndex: S MinSigTrees over a stable-hash
 //       entity partition, per-(query, shard) fan-out and a deterministic
 //       top-k merge — bit-identical answers (tests/sharded_differential_
-//       test.cc), measured here for throughput. Registered with CTest so
-//       the concurrent storage-backed path is exercised at scale on every
-//       run (plus a Release-only 100K x 4-shard preset). Emits a "counters"
-//       section (lock_wait_seconds, prefetch_hits, ...) alongside the rows.
+//       test.cc), measured here for throughput. --route turns on the
+//       cross-shard pruning layer (coarse router + threshold propagation,
+//       DESIGN-sharding.md) — still bit-identical, but late shards stop
+//       re-checking candidates the global k-th score already beats.
+//       Registered with CTest so the concurrent storage-backed path is
+//       exercised at scale on every run (plus Release-only 100K x 4-shard
+//       and routed 20K presets). Emits a "counters" section
+//       (lock_wait_seconds, prefetch_hits, shards_pruned, ...) alongside
+//       the rows.
 #include <cstdlib>
 #include <cstring>
 
@@ -59,7 +65,7 @@ void Run(BenchJson& json) {
 }
 
 void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
-             BenchJson& json) {
+             bool route, BenchJson& json) {
   PrintHeader("Scalability (disk-resident)",
               "storage-backed queries past the laptop presets");
   Dataset d = MakeDiskResidentDataset(entities);
@@ -93,6 +99,7 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
   QueryOptions qopts;
   qopts.trace_source = &src;
   qopts.prefetch_depth = prefetch;
+  qopts.cross_shard_routing = route;
   Timer timer;
   const std::vector<TopKResult> results =
       shards > 1 ? sharded->QueryMany(queries, 10, measure, qopts, workers)
@@ -103,25 +110,27 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
 
   std::printf(
       "|E|=%u pages=%zu pool_fraction=%.2f pool_shards=%zu index_shards=%d "
-      "workers=%d prefetch=%d index_s=%.2f\n"
+      "workers=%d prefetch=%d route=%d index_s=%.2f\n"
       "queries=%zu PE=%.4f checked/query=%.1f pages/query=%.1f "
       "hit_rate=%.3f lock_wait=%.4fs prefetch_hits/query=%.1f "
+      "shards_pruned/query=%.1f threshold_updates/query=%.1f "
       "qps=%.1f (wall, excl. modeled I/O %.2fs/query)\n",
       d.num_entities(), src.num_pages(), opts.pool_fraction,
-      src.pool_shards(), shards, workers, prefetch, index_seconds,
-      queries.size(), pe.mean_pe,
+      src.pool_shards(), shards, workers, prefetch, route ? 1 : 0,
+      index_seconds, queries.size(), pe.mean_pe,
       pe.mean_entities_checked, pe.mean_pages_read, pool.hit_rate(),
-      pool.lock_wait_seconds, pe.mean_prefetch_hits, queries.size() / wall,
-      pe.mean_io_seconds);
+      pool.lock_wait_seconds, pe.mean_prefetch_hits, pe.mean_shards_pruned,
+      pe.mean_threshold_updates, queries.size() / wall, pe.mean_io_seconds);
   json.AddRow()
       .Str("mode", "disk")
       .Int("entities", d.num_entities())
       .Int("workers", static_cast<uint64_t>(workers))
       .Int("prefetch_depth", static_cast<uint64_t>(prefetch))
       // Informational, not a baseline match key (check_regression.py lists
-      // "shards" as a measurement field), so sharded runs gate directly
-      // against the single-shard baseline rows.
+      // "shards" and "routing" as measurement fields), so sharded/routed
+      // runs gate directly against the single-shard baseline rows.
       .Int("shards", static_cast<uint64_t>(shards))
+      .Int("routing", route ? 1 : 0)
       .Num("pe", pe.mean_pe)
       .Num("queries_per_sec", queries.size() / wall)
       .Num("mean_entities_checked", pe.mean_entities_checked)
@@ -133,6 +142,11 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
   json.Counter("prefetch_hits", pe.mean_prefetch_hits * queries.size());
   json.Counter("pages_read", pe.mean_pages_read * queries.size());
   json.Counter("pool_evictions", static_cast<double>(pool.evictions));
+  json.Counter("shards_pruned", pe.mean_shards_pruned * queries.size());
+  json.Counter("threshold_updates",
+               pe.mean_threshold_updates * queries.size());
+  json.Counter("router_bound_evals",
+               pe.mean_router_bound_evals * queries.size());
 }
 
 }  // namespace
@@ -145,13 +159,18 @@ int main(int argc, char** argv) {
     int workers = 0;
     int prefetch = 0;
     int shards = 1;
+    bool route = false;
     int pos = 2;
     if (pos < argc && argv[pos][0] != '-') {
       entities = static_cast<uint32_t>(std::atoi(argv[pos]));
       ++pos;
     }
-    for (; pos + 1 < argc; ++pos) {
-      if (std::strcmp(argv[pos], "--workers") == 0) {
+    for (; pos < argc; ++pos) {
+      if (std::strcmp(argv[pos], "--route") == 0) {
+        route = true;
+      } else if (pos + 1 >= argc) {
+        break;
+      } else if (std::strcmp(argv[pos], "--workers") == 0) {
         workers = std::atoi(argv[++pos]);
       } else if (std::strcmp(argv[pos], "--prefetch") == 0) {
         prefetch = std::atoi(argv[++pos]);
@@ -159,7 +178,7 @@ int main(int argc, char** argv) {
         shards = std::atoi(argv[++pos]);
       }
     }
-    dtrace::bench::RunDisk(entities, workers, prefetch, shards, json);
+    dtrace::bench::RunDisk(entities, workers, prefetch, shards, route, json);
   } else {
     dtrace::bench::Run(json);
   }

@@ -9,7 +9,10 @@ Both files are BENCH_*.json emissions ({"bench": ..., "rows": [...],
 (mode, entities, dataset, k, mem_fraction, workers, prefetch_depth, ...);
 for each matched pair with a positive baseline `queries_per_sec`, the
 current value must be at least (1 - max_drop) * baseline. Exits non-zero
-listing every regressed row, so CI can gate on it.
+listing every regressed row, so CI can gate on it. The run-wide counters
+(lock_wait_seconds, prefetch_hits, shards_pruned, ...) are printed as
+informational deltas next to the gate — they explain qps moves but never
+fail the check.
 
 Baseline json files live in bench/baselines/ and are refreshed deliberately
 (copy a trusted run's BENCH_*.json) whenever the expected performance level
@@ -21,9 +24,11 @@ import json
 import sys
 
 # Fields that carry measurements rather than identity; everything else in a
-# row is treated as a match key. "shards" is informational-only by design:
-# sharded runs must gate directly against the single-shard baseline rows
-# (sharding is required to be answer-identical and at least qps-neutral).
+# row is treated as a match key. "shards" and "routing" are
+# informational-only by design: sharded/routed runs must gate directly
+# against the single-shard baseline rows (sharding is required to be
+# answer-identical and at least qps-neutral, and the cross-shard router
+# keeps that contract).
 MEASUREMENT_FIELDS = {
     "queries_per_sec",
     "pe",
@@ -33,7 +38,21 @@ MEASUREMENT_FIELDS = {
     "index_seconds",
     "modeled_ms_per_query",
     "shards",
+    "routing",
 }
+
+# Counters reported as informational deltas next to the qps gate (never
+# gated): run-wide perf signals whose drift explains a qps move — lock
+# contention, prefetch engagement, shards skipped by the coarse router, ...
+INFORMATIONAL_COUNTERS = (
+    "lock_wait_seconds",
+    "prefetch_hits",
+    "pages_read",
+    "pool_evictions",
+    "shards_pruned",
+    "threshold_updates",
+    "router_bound_evals",
+)
 
 
 def row_key(row):
@@ -41,10 +60,34 @@ def row_key(row):
         (k, v) for k, v in row.items() if k not in MEASUREMENT_FIELDS))
 
 
-def load_rows(path):
+def load_doc(path):
     with open(path) as f:
         doc = json.load(f)
-    return {row_key(r): r for r in doc.get("rows", [])}
+    return {row_key(r): r for r in doc.get("rows", [])}, doc.get("counters", {})
+
+
+def print_counter_deltas(current, baseline):
+    """Informational: counter movements vs the baseline, printed alongside
+    the qps gate instead of silently dropped. Never affects the exit code."""
+    keys = [k for k in INFORMATIONAL_COUNTERS
+            if k in current or k in baseline]
+    keys += sorted(k for k in set(current) | set(baseline)
+                   if k not in INFORMATIONAL_COUNTERS)
+    if not keys:
+        return
+    print("\ncounter deltas vs baseline (informational):")
+    for key in keys:
+        cur = current.get(key)
+        base = baseline.get(key)
+        if cur is None:
+            print(f"  [INFO] {key}: (absent) <- baseline {base:g}")
+        elif base is None:
+            print(f"  [INFO] {key}: {cur:g} (no baseline)")
+        elif base != 0:
+            pct = 100.0 * (cur - base) / base
+            print(f"  [INFO] {key}: {base:g} -> {cur:g} ({pct:+.1f}%)")
+        else:
+            print(f"  [INFO] {key}: {base:g} -> {cur:g}")
 
 
 def main():
@@ -55,8 +98,8 @@ def main():
                         help="maximum tolerated fractional qps drop")
     args = parser.parse_args()
 
-    current = load_rows(args.current)
-    baseline = load_rows(args.baseline)
+    current, current_counters = load_doc(args.current)
+    baseline, baseline_counters = load_doc(args.baseline)
 
     compared = 0
     regressions = []
@@ -76,6 +119,8 @@ def main():
               f"(floor {floor:10.2f})  {dict(key)}")
         if cur_qps < floor:
             regressions.append((key, base_qps, cur_qps))
+
+    print_counter_deltas(current_counters, baseline_counters)
 
     if compared == 0:
         print("ERROR: no comparable rows between current and baseline")

@@ -4,7 +4,6 @@
 #include <bit>
 #include <memory>
 #include <mutex>
-#include <queue>
 
 #include "util/check.h"
 #include "util/parallel.h"
@@ -35,6 +34,9 @@ class TopKHeap {
 
   bool Full() const { return static_cast<int>(items_.size()) >= k_; }
   double MinScore() const { return items_.front().score; }
+  // The current k-th item (worst kept) — the pair a full heap certifies to
+  // the cross-shard watermark.
+  const ScoredEntity& Min() const { return items_.front(); }
 
   std::vector<ScoredEntity> Sorted() && {
     std::sort(items_.begin(), items_.end(), Better);
@@ -116,6 +118,7 @@ class RemainingPool {
 struct FrontierEntry {
   double ub;
   uint32_t node;
+  uint32_t lane;   // which SearchLane's tree `node` indexes into
   uint64_t order;  // deterministic tie-break (FIFO among equal bounds)
   bool materialized;
   Remaining* remaining;  // pool-owned; own if materialized, else parent's
@@ -126,6 +129,53 @@ struct EntryLess {
     if (a.ub != b.ub) return a.ub < b.ub;
     return a.order > b.order;
   }
+};
+
+// Max-heap frontier specialized for the search loop: 4-ary layout (half the
+// levels of a binary heap, children on one cache line) over a reusable
+// vector, so steady-state queries allocate nothing for frontier storage.
+// EntryLess is a total order (the FIFO `order` field breaks every ub tie),
+// so the pop sequence — hence every traversal-dependent counter — is
+// identical to std::priority_queue's.
+class FrontierHeap {
+ public:
+  void Clear() { v_.clear(); }
+  bool empty() const { return v_.empty(); }
+  const FrontierEntry& top() const { return v_.front(); }
+
+  void push(const FrontierEntry& e) {
+    size_t i = v_.size();
+    v_.push_back(e);
+    while (i > 0) {
+      const size_t parent = (i - 1) / 4;
+      if (!less_(v_[parent], v_[i])) break;
+      std::swap(v_[parent], v_[i]);
+      i = parent;
+    }
+  }
+
+  void pop() {
+    v_.front() = v_.back();
+    v_.pop_back();
+    size_t i = 0;
+    const size_t n = v_.size();
+    while (true) {
+      const size_t first = 4 * i + 1;
+      if (first >= n) break;
+      size_t best = first;
+      const size_t last = std::min(first + 4, n);
+      for (size_t c = first + 1; c < last; ++c) {
+        if (less_(v_[best], v_[c])) best = c;
+      }
+      if (!less_(v_[i], v_[best])) break;
+      std::swap(v_[i], v_[best]);
+      i = best;
+    }
+  }
+
+ private:
+  EntryLess less_;
+  std::vector<FrontierEntry> v_;
 };
 
 // Per-query evaluation arena: every buffer the candidate-scoring loop needs,
@@ -298,16 +348,39 @@ TopKQueryProcessor::TopKQueryProcessor(const MinSigTree& tree,
                                        const AssociationMeasure& measure)
     : tree_(&tree), source_(&source), hasher_(&hasher), measure_(&measure) {}
 
-TopKResult TopKQueryProcessor::Query(EntityId q, int k,
-                                     const QueryOptions& options) const {
+TopKResult ForestTopKQuery(std::span<const SearchLane> lanes,
+                           const TraceSource& query_source,
+                           const CellHasher& hasher,
+                           const AssociationMeasure& measure, EntityId q,
+                           int k, const QueryOptions& options) {
   DT_CHECK(k >= 1);
+  DT_CHECK(!lanes.empty());
+  const int nh = hasher.num_functions();
+  const int m = query_source.hierarchy().num_levels();
+  for (const SearchLane& lane : lanes) {
+    DT_CHECK(lane.tree != nullptr && lane.source != nullptr);
+    DT_CHECK_MSG(lane.tree->num_functions() == nh,
+                 "lane tree hash family differs from the query hasher");
+    DT_CHECK_MSG(lane.tree->num_levels() == m,
+                 "lane tree depth differs from the query hierarchy");
+  }
   Timer timer;
-  const int m = source_->hierarchy().num_levels();
-  const auto cursor = source_->OpenCursor();
+  const auto cursor = query_source.OpenCursor();
+  // Lanes whose source IS the query source share the query cursor (so a
+  // 1-lane forest charges exactly the single-tree search's I/O); other
+  // lanes open their own cursor lazily on first leaf evaluation.
+  std::vector<std::unique_ptr<TraceCursor>> lane_cursors(lanes.size());
+  const auto lane_cursor = [&](uint32_t lane) -> TraceCursor& {
+    if (lanes[lane].source == &query_source) return *cursor;
+    if (lane_cursors[lane] == nullptr) {
+      lane_cursors[lane] = lanes[lane].source->OpenCursor();
+    }
+    return *lane_cursors[lane];
+  };
 
   const TimeStep w0 = options.time_window ? options.time_window->begin : 0;
   const TimeStep w1 =
-      options.time_window ? options.time_window->end : source_->horizon();
+      options.time_window ? options.time_window->end : query_source.horizon();
 
   TopKResult result;
   QueryStats& stats = result.stats;
@@ -318,16 +391,21 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
   // level-l cell — instead of one virtual, div-heavy Hash call per
   // (node, cell). Cost is |query cells| * nh, the same as one signature
   // computation; the old lazy scheme re-hashed each cell once per visited
-  // node.
-  const int nh = tree_->num_functions();
+  // node. Lanes share one hash family, so the table (and the kernel and
+  // every Remaining mask below) serves all of them — a forest search pays
+  // this once, not once per shard.
   std::vector<uint32_t> q_sizes(m);
   // Reused across queries on this thread (QueryMany workers each have their
   // own): the table is fully overwritten per query, so only its capacity
   // survives — the ~per-query-MB allocation and first-touch faults do not
-  // repeat.
+  // repeat. cell_min[l-1][i] = min over u of h_u of the query's i-th
+  // level-l cell, collected while the table is filled; it powers the lane
+  // bounds' quick-accept below.
   static thread_local std::vector<std::vector<uint64_t>> hash_table;
+  static thread_local std::vector<std::vector<uint64_t>> cell_min;
   static thread_local std::vector<uint64_t> hash_row;
   hash_table.resize(m);
+  cell_min.resize(m);
   hash_row.resize(nh);
   // Mask geometry: level l's mask is word_count[l-1] words; a Remaining with
   // base b stores levels b..m at offset word_prefix[l-1] - word_prefix[b-1].
@@ -346,12 +424,17 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
     word_count[l - 1] = (n + 63) / 64;
     word_prefix[l] = word_prefix[l - 1] + word_count[l - 1];
     auto& table = hash_table[l - 1];
+    auto& mins = cell_min[l - 1];
     table.resize(n * static_cast<size_t>(nh));
+    mins.resize(n);
     for (size_t i = 0; i < n; ++i) {
-      hasher_->HashAll(l, cells[i], hash_row.data());
+      hasher.HashAll(l, cells[i], hash_row.data());
+      uint64_t mn = ~uint64_t{0};
       for (int u = 0; u < nh; ++u) {
         table[static_cast<size_t>(u) * n + i] = hash_row[u];
+        mn = std::min(mn, hash_row[u]);
       }
+      mins[i] = mn;
     }
     stats.hash_evals += n * static_cast<size_t>(nh);
   }
@@ -368,18 +451,75 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
   // Thread-local like the hash table: Build overwrites all per-query state,
   // only buffer capacity survives (eval_threads workers share it read-only).
   static thread_local QueryKernel kernel;
-  kernel.Build(*cursor, q, source_->hierarchy(), source_->horizon(), w0, w1);
+  kernel.Build(*cursor, q, query_source.hierarchy(), query_source.horizon(),
+               w0, w1);
 
   TopKHeap heap(k);
   EvalScratch scratch;
 
-  std::priority_queue<FrontierEntry, std::vector<FrontierEntry>, EntryLess>
-      frontier;
+  // Thread-local like the hash table: cleared per query, capacity survives.
+  static thread_local FrontierHeap frontier;
+  frontier.Clear();
   uint64_t order = 0;
-  frontier.push({measure_->UpperBound(q_sizes, root_remaining->counts),
-                 tree_->root(), order++, /*materialized=*/true,
-                 root_remaining});
-  ++stats.heap_pushes;
+  // Per-lane population-wide root bounds from the coarse signatures (the
+  // shared router's level-1 extraction): a query cell at any level can
+  // belong to some lane member only if every one of its hashes dominates
+  // the lane signature (Theorem 2 with the lane as the group, valid across
+  // levels by the hash family's parent constraint). Evaluated straight off
+  // the transposed hash table — no hashing beyond what the search already
+  // paid.
+  const double root_ub = measure.UpperBound(q_sizes, root_remaining->counts);
+  std::vector<double> lane_bound(lanes.size(), root_ub);
+  {
+    std::vector<uint32_t> remaining(m);
+    for (size_t lane = 0; lane < lanes.size(); ++lane) {
+      const std::span<const uint64_t> sig = lanes[lane].coarse_sig;
+      if (sig.empty()) continue;
+      DT_CHECK(static_cast<int>(sig.size()) == nh);
+      ++stats.router_bound_evals;
+      // Quick accept: a cell whose *smallest* hash clears the lane's
+      // *largest* signature value dominates at every position; only the
+      // rare remainder pays the per-function scan. Lane signatures are
+      // mins over whole shard populations (tiny values), so nearly every
+      // cell takes the one-compare path.
+      uint64_t max_sig = 0;
+      for (int u = 0; u < nh; ++u) max_sig = std::max(max_sig, sig[u]);
+      for (Level l = 1; l <= m; ++l) {
+        const size_t n = q_sizes[l - 1];
+        const uint64_t* table = hash_table[l - 1].data();
+        const uint64_t* mins = cell_min[l - 1].data();
+        uint32_t count = 0;
+        for (size_t i = 0; i < n; ++i) {
+          if (mins[i] >= max_sig) {
+            ++count;
+            continue;
+          }
+          bool alive = true;
+          for (int u = 0; u < nh; ++u) {
+            if (table[static_cast<size_t>(u) * n + i] < sig[u]) {
+              alive = false;
+              break;
+            }
+          }
+          count += alive ? 1 : 0;
+        }
+        remaining[l - 1] = count;
+      }
+      lane_bound[lane] = measure.UpperBound(q_sizes, remaining);
+    }
+  }
+  // Every lane's root enters the one shared frontier, carrying the lane's
+  // cap: a lane whose bound cannot reach the k-th score sinks below the
+  // termination point and is skipped outright. All roots share
+  // root_remaining (no filtering has happened yet).
+  root_remaining->refs = static_cast<uint32_t>(lanes.size());
+  for (uint32_t lane = 0; lane < lanes.size(); ++lane) {
+    frontier.push({lane_bound[lane], lanes[lane].tree->root(), lane, order++,
+                   /*materialized=*/true, root_remaining});
+    ++stats.heap_pushes;
+  }
+  // Lanes whose root gets expanded; the rest were pruned whole.
+  std::vector<char> lane_expanded(lanes.size(), 0);
 
   // Filters `parent` through `node`'s (routing, value) — or its full group
   // signature when stored — producing the node's own Remaining (Theorem 2:
@@ -397,16 +537,20 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
     own->refs = 1;
     own->counts = parent.counts;
     own->words.assign(word_prefix[m] - word_prefix[own->base - 1], 0);
+    const bool full_mode = !node.full_sig.empty();
+    const uint64_t value = node.value;
     for (Level l = node.level; l <= m; ++l) {
       const uint64_t* src = parent.words.data() + word_prefix[l - 1] -
                             word_prefix[parent.base - 1];
       const size_t n_l = q_sizes[l - 1];
       const uint64_t* table = hash_table[l - 1].data();
+      // In the default routing mode one contiguous column decides
+      // survival, so the branch and column base hoist out of the word
+      // loops below.
+      const uint64_t* col =
+          table + static_cast<size_t>(node.routing) * n_l;
       auto survives = [&](size_t ord) {
-        if (node.full_sig.empty()) {
-          return table[static_cast<size_t>(node.routing) * n_l + ord] >=
-                 node.value;
-        }
+        if (!full_mode) return col[ord] >= value;
         for (int u = 0; u < nh; ++u) {
           if (table[static_cast<size_t>(u) * n_l + ord] < node.full_sig[u]) {
             return false;
@@ -414,10 +558,26 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
         }
         return true;
       };
+      // A fully-set word (the common case near the top of the tree, where
+      // little has been pruned yet) takes a branchless contiguous scan of
+      // the column instead of the per-set-bit walk — same 64 loads, no
+      // loop-carried bit dependency, vectorizable.
+      const auto filter_word_dense = [&](size_t w) {
+        const uint64_t* base = col + w * 64;
+        uint64_t out = 0;
+        for (int i = 0; i < 64; ++i) {
+          out |= static_cast<uint64_t>(base[i] >= value) << i;
+        }
+        return out;
+      };
       uint32_t count = 0;
       if (l == node.level) {
         for (size_t w = 0; w < word_count[l - 1]; ++w) {
           uint64_t bits = src[w];
+          if (!full_mode && bits == ~uint64_t{0}) {
+            count += static_cast<uint32_t>(std::popcount(filter_word_dense(w)));
+            continue;
+          }
           while (bits != 0) {
             const size_t ord = w * 64 + static_cast<size_t>(std::countr_zero(bits));
             bits &= bits - 1;
@@ -430,11 +590,15 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
         for (size_t w = 0; w < word_count[l - 1]; ++w) {
           uint64_t bits = src[w];
           uint64_t out = 0;
-          while (bits != 0) {
-            const int i = std::countr_zero(bits);
-            bits &= bits - 1;
-            if (survives(w * 64 + static_cast<size_t>(i))) {
-              out |= uint64_t{1} << i;
+          if (!full_mode && bits == ~uint64_t{0}) {
+            out = filter_word_dense(w);
+          } else {
+            while (bits != 0) {
+              const int i = std::countr_zero(bits);
+              bits &= bits - 1;
+              if (survives(w * 64 + static_cast<size_t>(i))) {
+                out |= uint64_t{1} << i;
+              }
             }
           }
           dst[w] = out;
@@ -447,10 +611,34 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
   };
 
   const double slack = 1.0 + options.approximation_epsilon;
-  while (!frontier.empty()) {
+  CrossShardThreshold* shared = options.shared_threshold;
+  // The certified k-th score this search may prune against: its own heap's
+  // k-th once full, raised by the cross-shard watermark when one is shared
+  // (any shard's certified k-th lower-bounds the global k-th, so late
+  // shards inherit the pruning power of the searches that ran before or
+  // alongside them). Negative means nothing is certified yet. A stale
+  // (lower) watermark read only prunes less, so relaxed reads are safe.
+  const auto certified_kth = [&]() {
+    double kth = heap.Full() ? heap.MinScore() : -1.0;
+    if (shared != nullptr) kth = std::max(kth, shared->score());
+    return kth;
+  };
+  const auto dominated = [&](double ub) {
+    const double kth = certified_kth();
+    return kth >= 0.0 && kth * slack > ub;
+  };
+  // Publishes this search's own k-th to the watermark (at leaf-batch
+  // granularity — offers take a lock, pops don't).
+  const auto publish_kth = [&]() {
+    if (shared == nullptr || !heap.Full()) return;
+    const ScoredEntity& kth = heap.Min();
+    if (shared->Offer(kth.score, kth.entity)) ++stats.threshold_updates;
+  };
+  bool terminated = false;
+  while (!terminated && !frontier.empty()) {
     FrontierEntry entry = frontier.top();
     frontier.pop();
-    // Early termination (Sec. 5.1): the k-th best exact score *strictly*
+    // Early termination (Sec. 5.1): the certified k-th score *strictly*
     // dominates every remaining upper bound (scaled by the approximation
     // slack). Strictness is what makes the returned tie set canonical: a
     // node whose bound equals the k-th score may still hold candidates
@@ -458,59 +646,101 @@ TopKResult TopKQueryProcessor::Query(EntityId q, int k,
     // (score desc, entity id asc) — the same order the sharded top-k merge
     // uses — picks the same entities regardless of traversal order, shard
     // count, or partition. Stranded entries' refs are reclaimed by the
-    // pool's destructor.
-    if (heap.Full() && heap.MinScore() * slack > entry.ub) break;
+    // pool's Reset at the next query on this thread.
+    if (dominated(entry.ub)) break;
 
-    const MinSigTree::Node& node = tree_->node(entry.node);
-    if (!entry.materialized) {
-      Remaining* own = materialize(node, *entry.remaining);
-      pool.Release(entry.remaining);  // drop the ref on the parent
-      entry.remaining = own;
-      entry.materialized = true;
-      const double ub = std::min(
-          entry.ub, measure_->UpperBound(q_sizes, entry.remaining->counts));
-      entry.ub = ub;
-      // If the tightened bound no longer leads, yield the pop.
-      if (!frontier.empty() && frontier.top().ub > ub) {
-        entry.order = order++;
-        frontier.push(entry);
-        ++stats.heap_pushes;
+    // Inner loop: chain fusion. The trees are thin near the leaves (long
+    // single-child chains), and a lazily-pushed only-child re-enters the
+    // frontier with exactly its parent's bound — the bound it was just
+    // popped at — so the round-trip through the heap is pure overhead.
+    // An only-child instead continues here directly (the parent's
+    // Remaining ref transfers to it); the yield rule after materialization
+    // is unchanged, so anything that no longer leads still returns to the
+    // frontier.
+    while (true) {
+      const MinSigTree::Node& node =
+          lanes[entry.lane].tree->node(entry.node);
+      if (!entry.materialized) {
+        Remaining* own = materialize(node, *entry.remaining);
+        pool.Release(entry.remaining);  // drop the ref on the parent
+        entry.remaining = own;
+        entry.materialized = true;
+        const double ub = std::min(
+            entry.ub, measure.UpperBound(q_sizes, entry.remaining->counts));
+        entry.ub = ub;
+        // If the tightened bound no longer leads, yield the pop.
+        if (!frontier.empty() && frontier.top().ub > ub) {
+          entry.order = order++;
+          frontier.push(entry);
+          ++stats.heap_pushes;
+          break;
+        }
+        if (dominated(ub)) {
+          terminated = true;
+          break;
+        }
+      }
+      ++stats.nodes_visited;
+      lane_expanded[entry.lane] = 1;
+
+      if (node.level == m) {
+        // Leaf: exact evaluation of every member (Lines 10-14), through
+        // the owning lane's trace source — in parallel past the frontier
+        // when requested.
+        EvalCandidates(*lanes[entry.lane].source, measure, q, q_sizes,
+                       kernel, w0, w1, node.entities, options,
+                       lane_cursor(entry.lane), heap, stats, scratch);
+        publish_kth();
+        pool.Release(entry.remaining);
+        break;
+      }
+
+      // Inner node: push children lazily with the parent's bound (Lines
+      // 7-8). A child's bound can only tighten below the parent's, so once
+      // the k-th best score strictly dominates the parent bound the
+      // children can never win (nor tie) — skipping the push keeps results
+      // identical and saves the heap traffic of entries the termination
+      // rule would strand in the frontier. Mirrors the strict termination
+      // rule above.
+      if (dominated(entry.ub)) {
+        pool.Release(entry.remaining);
+        break;
+      }
+      if (node.children.size() == 1) {
+        // Fused descent: the ref on entry.remaining transfers to the child.
+        entry = {entry.ub, node.children[0], entry.lane, order++,
+                 /*materialized=*/false, entry.remaining};
         continue;
       }
-      if (heap.Full() && heap.MinScore() * slack > ub) break;
-    }
-    ++stats.nodes_visited;
-
-    if (node.level == tree_->num_levels()) {
-      // Leaf: exact evaluation of every member (Lines 10-14), through the
-      // trace source — in parallel past the frontier when requested.
-      EvalCandidates(*source_, *measure_, q, q_sizes, kernel, w0, w1,
-                     node.entities, options, *cursor, heap, stats, scratch);
-      pool.Release(entry.remaining);
-      continue;
-    }
-
-    // Inner node: push children lazily with the parent's bound (Lines 7-8).
-    // A child's bound can only tighten below the parent's, so once the k-th
-    // best score strictly dominates the parent bound the children can never
-    // win (nor tie) — skipping the push keeps results identical and saves
-    // the heap traffic of entries the termination rule would strand in the
-    // frontier. Mirrors the strict termination rule above.
-    if (!(heap.Full() && heap.MinScore() * slack > entry.ub)) {
       for (uint32_t child_idx : node.children) {
         pool.AddRef(entry.remaining);
-        frontier.push({entry.ub, child_idx, order++, /*materialized=*/false,
-                       entry.remaining});
+        frontier.push({entry.ub, child_idx, entry.lane, order++,
+                       /*materialized=*/false, entry.remaining});
         ++stats.heap_pushes;
       }
+      pool.Release(entry.remaining);
+      break;
     }
-    pool.Release(entry.remaining);
   }
 
+  for (char expanded : lane_expanded) {
+    if (!expanded) ++stats.shards_pruned;
+  }
   result.items = std::move(heap).Sorted();
   stats.io.Add(cursor->io());
+  for (const auto& lc : lane_cursors) {
+    if (lc != nullptr) stats.io.Add(lc->io());
+  }
   stats.elapsed_seconds = timer.ElapsedSeconds();
+  stats.work_seconds = stats.elapsed_seconds;
   return result;
+}
+
+TopKResult TopKQueryProcessor::Query(EntityId q, int k,
+                                     const QueryOptions& options) const {
+  const SearchLane lane{tree_, source_, /*coarse_sig=*/{}};
+  return ForestTopKQuery({&lane, 1}, *source_, *hasher_, *measure_, q, k,
+                         options);
 }
 
 TopKResult TopKQueryProcessor::BruteForce(EntityId q, int k,
@@ -544,6 +774,7 @@ TopKResult TopKQueryProcessor::BruteForce(EntityId q, int k,
   result.items = std::move(heap).Sorted();
   result.stats.io.Add(cursor->io());
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  result.stats.work_seconds = result.stats.elapsed_seconds;
   return result;
 }
 

@@ -1,9 +1,12 @@
 #ifndef DTRACE_CORE_QUERY_H_
 #define DTRACE_CORE_QUERY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/association.h"
@@ -26,7 +29,25 @@ struct QueryStats {
   // table, these happen once up front (|query cells| * nh); node filtering
   // itself is table lookups and charges nothing here.
   uint64_t hash_evals = 0;
+  /// Cross-shard pruning layer (core/sharded_index.h): whole shards skipped
+  /// by the coarse router because their population-wide upper bound could
+  /// not beat the certified global k-th score, coarse-router bound
+  /// evaluations performed (one per shard per routed query), and successful
+  /// raises of the shared k-th-score watermark by this search. All zero for
+  /// unrouted / single-index queries; MergeShardTopK sums them like the
+  /// other counters.
+  uint64_t shards_pruned = 0;
+  uint64_t router_bound_evals = 0;
+  uint64_t threshold_updates = 0;
+  /// Wall time of the call that produced this result. For a parallel shard
+  /// fan-out this is the fan-out wall time, NOT the summed per-shard work —
+  /// that lives in `work_seconds`, so aggregating callers no longer
+  /// overwrite one with the other.
   double elapsed_seconds = 0.0;
+  /// Total search work: a single-tree search reports its own elapsed time
+  /// here too, and MergeShardTopK sums it across shards. Unlike
+  /// elapsed_seconds it survives the fan-out callers' wall-clock overwrite.
+  double work_seconds = 0.0;
   /// I/O charged by the TraceSource the query evaluated candidates against
   /// (all-zero for the in-memory store). With eval_threads > 1 the page
   /// counts can vary across thread counts (workers share the buffer pool);
@@ -57,6 +78,56 @@ struct TopKResult {
 struct TimeWindow {
   TimeStep begin;
   TimeStep end;  // exclusive
+};
+
+/// Per-query shared watermark for concurrent (or sequential) shard
+/// searches: the best *certified* k-th item seen so far across shards,
+/// ordered exactly like MergeShardTopK / TopKHeap — (score descending,
+/// entity id ascending). "Certified" means the offering search had k
+/// exactly-evaluated entities at least as good as the offered item, so the
+/// final global k-th item can only be better: any node whose upper bound is
+/// *strictly* below score() can therefore never contribute to the merged
+/// top-k, for any shard interleaving. Strictness is what preserves the
+/// canonical tie set (DESIGN-sharding.md) — a node whose bound ties the
+/// watermark may still hold tying candidates that win on entity id, so it
+/// is never pruned by the watermark alone.
+///
+/// score() starts at 0.0, which is indistinguishable from a certified
+/// 0-score watermark — harmless either way, since bounds are non-negative
+/// and pruning is strict. Reads are a relaxed atomic load (hot path);
+/// offers take a mutex (they happen at most once per leaf batch). The
+/// tie entity is bookkeeping only: it totalizes the update order so
+/// equal-score offers resolve deterministically.
+class CrossShardThreshold {
+ public:
+  /// Offers a certified k-th (score, entity). Keeps the incumbent unless
+  /// the offer is strictly better in (score desc, id asc) order; returns
+  /// whether the watermark moved (QueryStats::threshold_updates).
+  bool Offer(double score, EntityId entity) {
+    if (score < score_.load(std::memory_order_relaxed)) return false;
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (score > best_score_ ||
+        (score == best_score_ && entity < best_entity_)) {
+      best_score_ = score;
+      best_entity_ = entity;
+      score_.store(score, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Current certified k-th score (0.0 until the first offer). Safe to read
+  /// concurrently with offers; a stale (lower) value only prunes less.
+  /// Pruning reads only the score — the tie entity exists to make the
+  /// update order (hence threshold_updates counting) total and
+  /// deterministic when scores tie.
+  double score() const { return score_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> score_{0.0};
+  mutable std::mutex mu_;
+  double best_score_ = 0.0;
+  EntityId best_entity_ = kInvalidEntity;
 };
 
 /// Hooks for instrumenting a query (e.g. routing candidate-trace reads
@@ -95,11 +166,73 @@ struct QueryOptions {
   /// synchronous path would, in the same order — only wall time improves.
   /// Ignored by in-memory sources.
   int prefetch_depth = 0;
+  /// Cross-shard pruning layer (read by ShardedIndex only; single-index
+  /// queries ignore it): route the shard fan-out through the coarse router
+  /// — shards visited best-bound-first, whole shards skipped when their
+  /// population-wide bound cannot beat the certified global k-th score —
+  /// and propagate that k-th score between shard searches through a shared
+  /// CrossShardThreshold. Results stay bit-identical to the unrouted
+  /// fan-out (and to the single-tree oracle); only QueryStats counters
+  /// shrink. The identity proof needs exact mode, so routing is ignored
+  /// when approximation_epsilon > 0 (the fan-out falls back to the
+  /// unrouted grid, whose approximate traversal is at least
+  /// run-deterministic). Off by default because counter/io accounting
+  /// becomes propagation-order-dependent when shards run concurrently
+  /// (QueryMany's routed path visits shards serially per query, so its
+  /// accounting stays deterministic across thread counts).
+  bool cross_shard_routing = false;
+  /// Internal plumbing for the routed fan-out: when set, the search reads
+  /// this watermark to tighten early termination and the child-push guard,
+  /// and publishes its own k-th score after each leaf batch. Callers other
+  /// than ShardedIndex leave it null.
+  CrossShardThreshold* shared_threshold = nullptr;
 };
+
+/// One lane of a forest search (the routed ShardedIndex fan-out): a
+/// MinSigTree over a slice of the entity population, the source its
+/// candidate traces are read from, and the lane's population-wide coarse
+/// signature (the shared router's level-1 min-signature over every member;
+/// empty = uncapped). The search derives each lane's admissible root bound
+/// from the coarse signature using its own transposed hash table, so the
+/// router costs no extra hashing per query.
+struct SearchLane {
+  const MinSigTree* tree = nullptr;
+  const TraceSource* source = nullptr;
+  std::span<const uint64_t> coarse_sig = {};
+};
+
+/// Exact top-k over a *forest* of MinSigTrees that partition the entity
+/// population, searched as ONE best-first expansion: a single frontier
+/// holds every lane's nodes (each lane's root enters with its bound capped
+/// by the coarse-signature bound, so weakly-bounded lanes sink and are
+/// skipped outright when early termination fires first), and a single
+/// global heap supplies the k-th score every pruning decision compares
+/// against. A multi-lane
+/// search therefore prunes exactly like the one big tree the lanes were
+/// split from — the recovery of the sharded pruning loss
+/// (DESIGN-sharding.md) — and per-query state (the transposed hash table,
+/// the intersection kernel, Remaining masks) is built once, not once per
+/// lane.
+///
+/// Requirements: every lane's tree is built over the same hash family as
+/// `hasher` (same seed and width) and the same hierarchy, lane populations
+/// are disjoint, and every source describes the same dataset. The query's
+/// own cells are read through `query_source`; lane candidates through the
+/// lane's source (lanes sharing `query_source` reuse its cursor, so a
+/// 1-lane forest charges I/O exactly like TopKQueryProcessor::Query).
+/// Results are bit-identical to the single-tree search over the union
+/// population, by the same strict-termination tie canonicalization.
+/// QueryStats::shards_pruned counts lanes whose root was never expanded.
+TopKResult ForestTopKQuery(std::span<const SearchLane> lanes,
+                           const TraceSource& query_source,
+                           const CellHasher& hasher,
+                           const AssociationMeasure& measure, EntityId q,
+                           int k, const QueryOptions& options = {});
 
 /// Algorithm 2: exact top-k search over a MinSigTree with best-first
 /// expansion, per-node upper bounds from partial pruned sets, and early
-/// termination. See DESIGN.md Sec. 3.2 for the bound derivation.
+/// termination. See DESIGN.md Sec. 3.2 for the bound derivation. (A thin
+/// wrapper over the one-lane ForestTopKQuery.)
 ///
 /// All trace reads — the query's own cells, candidate sizes, intersections —
 /// go through a per-query TraceCursor opened on `source`, so the same search

@@ -1,0 +1,86 @@
+#ifndef DTRACE_CORE_SHARD_ROUTER_H_
+#define DTRACE_CORE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/association.h"
+#include "hash/cell_hasher.h"
+#include "trace/trace_source.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// The shared coarse routing level of a ShardedIndex (DESIGN-sharding.md):
+/// one full nh-value level-1 min-signature per shard, computed over the
+/// shard's *entire* entity population with the same hash family every shard
+/// tree uses. Because the hash family satisfies the parent constraint
+/// (hash/cell_hasher.h), a level-1 signature prunes cells at *every* level
+/// l >= 1 — so a single coarse level per shard yields a per-query,
+/// population-wide admissible upper bound:
+///
+///   for shard s:  bound_s = UpperBound(q_sizes, remaining_s)
+///   remaining_s[l-1] = |{ query cells c at level l :
+///                         forall u, h_u(c) >= SIG_s[u] }|
+///
+/// Any cell failing the test is absent from every member's trace (Theorem 2
+/// with the shard as the group), so every member's per-level intersection
+/// with the query is capped by remaining_s and bound_s dominates every
+/// member's score (the Theorem 4 artificial-entity argument). The routed
+/// fan-out visits shards best-bound-first and skips a shard outright when
+/// the certified global k-th score strictly exceeds its bound.
+///
+/// Maintenance mirrors MinSigTree's convention: inserts and updates
+/// min-merge the new entity's level-1 signature in (values only ever
+/// drop — still admissible); removals leave values stale low (loose but
+/// admissible); Refresh recomputes tight signatures via
+/// MinSigTree::CoarseSignature.
+class CoarseShardRouter {
+ public:
+  CoarseShardRouter(int num_shards, int num_functions);
+
+  /// Overwrites shard `s`'s signature (build / Refresh path). `sig` holds
+  /// nh values.
+  void SetShardSignature(int s, std::span<const uint64_t> sig);
+
+  /// Min-merges an entity's level-1 signature into shard `s` (insert /
+  /// update path).
+  void Absorb(int s, std::span<const uint64_t> sig);
+
+  std::span<const uint64_t> shard_signature(int s) const {
+    return {sigs_.data() + static_cast<size_t>(s) * nh_,
+            static_cast<size_t>(nh_)};
+  }
+  int num_shards() const { return num_shards_; }
+  int num_functions() const { return nh_; }
+
+  /// The query side of every shard-bound evaluation, computed once per
+  /// routed query and reused across shards: the query's (windowed) per-level
+  /// cell counts and each cell's nh hash values.
+  struct QueryProbe {
+    std::vector<uint32_t> q_sizes;          // per level, length m
+    std::vector<std::vector<uint64_t>> cell_hashes;  // per level, cells x nh
+  };
+
+  /// Fills `probe` from the query's cells in [w0, w1) read through `cursor`
+  /// (callers pass a cursor on the in-memory store: cell contents are
+  /// identical across sources, and the router must not charge storage I/O).
+  void BuildProbe(TraceCursor& cursor, EntityId q, const CellHasher& hasher,
+                  int num_levels, TimeStep w0, TimeStep w1,
+                  QueryProbe* probe) const;
+
+  /// Admissible upper bound on the score of every entity in shard `s` for
+  /// the probed query.
+  double ShardBound(int s, const QueryProbe& probe,
+                    const AssociationMeasure& measure) const;
+
+ private:
+  int num_shards_;
+  int nh_;
+  std::vector<uint64_t> sigs_;  // shard-major, nh values each, all-max init
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_CORE_SHARD_ROUTER_H_

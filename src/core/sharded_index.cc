@@ -1,6 +1,8 @@
 #include "core/sharded_index.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <numeric>
 #include <utility>
 
@@ -33,7 +35,11 @@ TopKResult MergeShardTopK(std::span<const TopKResult> shard_results, int k) {
     merged.stats.entities_checked += r.stats.entities_checked;
     merged.stats.heap_pushes += r.stats.heap_pushes;
     merged.stats.hash_evals += r.stats.hash_evals;
+    merged.stats.shards_pruned += r.stats.shards_pruned;
+    merged.stats.router_bound_evals += r.stats.router_bound_evals;
+    merged.stats.threshold_updates += r.stats.threshold_updates;
     merged.stats.elapsed_seconds += r.stats.elapsed_seconds;
+    merged.stats.work_seconds += r.stats.work_seconds;
     merged.stats.io.Add(r.stats.io);
   }
   merged.items.reserve(total);
@@ -104,6 +110,7 @@ ShardedIndex ShardedIndex::Build(std::shared_ptr<TraceStore> store,
     const auto build_shard = [&](uint32_t s, std::vector<EntityId> members) {
       sharded.shards_[s] = std::make_unique<DigitalTraceIndex>(
           DigitalTraceIndex::Build(store, options.index, std::move(members)));
+      sharded.RefreshRouterShard(static_cast<int>(s));
     };
     sorter.SortInto(runs, [&](const ShardRun& r) {
       while (next_shard < r.shard) {
@@ -132,10 +139,125 @@ ShardedIndex ShardedIndex::Build(std::shared_ptr<TraceStore> store,
     ParallelForEach(workers, num_shards, [&](size_t s) {
       sharded.shards_[s] = std::make_unique<DigitalTraceIndex>(
           DigitalTraceIndex::Build(store, shard_opts, std::move(parts[s])));
+      // Router slots are per shard, so extracting the coarse level here is
+      // race-free and deterministic.
+      sharded.RefreshRouterShard(static_cast<int>(s));
     });
   }
   sharded.build_seconds_ = timer.ElapsedSeconds();
   return sharded;
+}
+
+TopKResult ShardedIndex::RoutedFanOut(EntityId q, int k,
+                                      const AssociationMeasure& measure,
+                                      const QueryOptions& options,
+                                      int shard_threads) const {
+  const size_t num_shards = shards_.size();
+  const TraceSource* default_source =
+      options.trace_source != nullptr ? options.trace_source : store_.get();
+  DT_CHECK_MSG(default_source->num_entities() == store_->num_entities(),
+               "trace_source describes a different dataset");
+
+  const int workers =
+      std::min<int>(ResolveThreadCount(shard_threads),
+                    static_cast<int>(num_shards));
+  if (workers <= 1) {
+    // Serial visit: search the whole forest as ONE best-first expansion
+    // (core/query.h ForestTopKQuery) — a single frontier over every shard
+    // tree, each root capped by its coarse-signature bound (derived inside
+    // the search from its own hash table, so the router costs no extra
+    // hashing), one global heap. This prunes exactly like the big single
+    // tree (late lanes never re-check candidates the global k-th already
+    // beats), builds the per-query filtering state once instead of once
+    // per shard, and keeps result AND counter/io accounting fully
+    // deterministic — which is why the routed QueryMany runs every query
+    // this way.
+    std::vector<SearchLane> lanes(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      lanes[s] = {&shards_[s]->tree(),
+                  shard_sources_[s] != nullptr ? shard_sources_[s]
+                                               : default_source,
+                  router_.shard_signature(static_cast<int>(s))};
+    }
+    return ForestTopKQuery(lanes, *default_source, shards_[0]->hasher(),
+                           measure, q, k, options);
+  }
+  // Concurrent visit: independent per-shard searches coupled through a
+  // shared watermark — weaker pruning than the unified forest walk (each
+  // shard still pays its own warm-up and per-query state), but the shards
+  // overlap in wall time. Bounds come from a router probe (one hashing
+  // pass over the query's windowed cells, read from the in-memory store so
+  // no storage I/O is charged); shards are visited best-bound-first and
+  // skipped when the watermark strictly beats their bound.
+  const TimeStep w0 = options.time_window ? options.time_window->begin : 0;
+  const TimeStep w1 =
+      options.time_window ? options.time_window->end : store_->horizon();
+  CoarseShardRouter::QueryProbe probe;
+  const auto cursor = store_->OpenCursor();
+  router_.BuildProbe(*cursor, q, shards_[0]->hasher(),
+                     store_->hierarchy().num_levels(), w0, w1, &probe);
+  std::vector<double> bounds(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    bounds[s] = router_.ShardBound(static_cast<int>(s), probe, measure);
+  }
+  std::vector<uint32_t> order(num_shards);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (bounds[a] != bounds[b]) return bounds[a] > bounds[b];
+    return a < b;
+  });
+  CrossShardThreshold threshold;
+  std::vector<TopKResult> per_shard(num_shards);
+  std::atomic<uint64_t> shards_pruned{0};
+  // Running cross-shard merge: as shards complete, their exact top-k items
+  // accumulate into a bounded merged list whose k-th entry certifies the
+  // strongest watermark available — the merged k-th of every finished
+  // shard, which dominates any single shard's local k-th. This is what
+  // lets the third and fourth shard terminate almost as early as the big
+  // single tree would.
+  std::mutex merged_mu;
+  std::vector<ScoredEntity> merged_topk;
+  const auto offer_merged = [&](const std::vector<ScoredEntity>& items) {
+    if (items.empty()) return;
+    const std::lock_guard<std::mutex> lock(merged_mu);
+    merged_topk.insert(merged_topk.end(), items.begin(), items.end());
+    std::sort(merged_topk.begin(), merged_topk.end(),
+              [](const ScoredEntity& a, const ScoredEntity& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.entity < b.entity;
+              });
+    if (merged_topk.size() > static_cast<size_t>(k)) {
+      merged_topk.resize(static_cast<size_t>(k));
+    }
+    if (merged_topk.size() == static_cast<size_t>(k)) {
+      threshold.Offer(merged_topk.back().score, merged_topk.back().entity);
+    }
+  };
+  // Workers claim shards in rank order (chunk 0 — the calling thread —
+  // takes the best-ranked shards). Only reached with more than one
+  // worker: the serial case returned above via the forest walk.
+  ParallelForEach(shard_threads, num_shards, [&](size_t rank) {
+    const uint32_t s = order[rank];
+    // Strict: a shard whose bound ties the watermark may hold tying
+    // candidates that win on entity id, so it is never skipped. (Routing
+    // only runs in exact mode, so no approximation slack applies here.)
+    if (threshold.score() > bounds[s]) {
+      shards_pruned.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    QueryOptions shard_options = options;
+    shard_options.shared_threshold = &threshold;
+    if (shard_sources_[s] != nullptr) {
+      shard_options.trace_source = shard_sources_[s];
+    }
+    per_shard[s] = shards_[s]->Query(q, k, measure, shard_options);
+    offer_merged(per_shard[s].items);
+  });
+  TopKResult merged = MergeShardTopK(per_shard, k);
+  merged.stats.router_bound_evals += num_shards;
+  merged.stats.shards_pruned +=
+      shards_pruned.load(std::memory_order_relaxed);
+  return merged;
 }
 
 TopKResult ShardedIndex::Query(EntityId q, int k,
@@ -143,15 +265,21 @@ TopKResult ShardedIndex::Query(EntityId q, int k,
                                const QueryOptions& options,
                                int shard_threads) const {
   Timer timer;
-  std::vector<TopKResult> per_shard(shards_.size());
-  ParallelForEach(shard_threads, shards_.size(), [&](size_t s) {
-    QueryOptions shard_options = options;
-    if (shard_sources_[s] != nullptr) {
-      shard_options.trace_source = shard_sources_[s];
-    }
-    per_shard[s] = shards_[s]->Query(q, k, measure, shard_options);
-  });
-  TopKResult merged = MergeShardTopK(per_shard, k);
+  TopKResult merged;
+  if (options.cross_shard_routing && options.approximation_epsilon == 0.0) {
+    merged = RoutedFanOut(q, k, measure, options, shard_threads);
+  } else {
+    std::vector<TopKResult> per_shard(shards_.size());
+    ParallelForEach(shard_threads, shards_.size(), [&](size_t s) {
+      QueryOptions shard_options = options;
+      if (shard_sources_[s] != nullptr) {
+        shard_options.trace_source = shard_sources_[s];
+      }
+      per_shard[s] = shards_[s]->Query(q, k, measure, shard_options);
+    });
+    merged = MergeShardTopK(per_shard, k);
+  }
+  // Fan-out wall time; the summed per-shard work stays in work_seconds.
   merged.stats.elapsed_seconds = timer.ElapsedSeconds();
   return merged;
 }
@@ -160,6 +288,20 @@ std::vector<TopKResult> ShardedIndex::QueryMany(
     std::span<const EntityId> queries, int k, const AssociationMeasure& measure,
     const QueryOptions& options, int num_threads) const {
   const size_t num_shards = shards_.size();
+  std::vector<TopKResult> results(queries.size());
+  if (options.cross_shard_routing && options.approximation_epsilon == 0.0) {
+    // Routed batches parallelize across queries only: each query walks its
+    // shards serially, best-bound-first, carrying the threshold from shard
+    // to shard. That keeps every per-query result AND its counter/io totals
+    // deterministic for any thread count (each query's visit sequence is
+    // self-contained), and late shards see the strongest possible
+    // watermark.
+    ParallelForEach(num_threads, queries.size(), [&](size_t i) {
+      results[i] =
+          RoutedFanOut(queries[i], k, measure, options, /*shard_threads=*/1);
+    });
+    return results;
+  }
   // Flattened (query, shard) grid: every cell is an independent exact
   // per-shard query into its own slot, so any thread count fills the same
   // grid and the per-query merges see identical inputs.
@@ -173,7 +315,6 @@ std::vector<TopKResult> ShardedIndex::QueryMany(
     }
     grid[cell] = shards_[s]->Query(queries[i], k, measure, shard_options);
   });
-  std::vector<TopKResult> results(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     results[i] = MergeShardTopK(
         {grid.data() + i * num_shards, num_shards}, k);
@@ -181,8 +322,25 @@ std::vector<TopKResult> ShardedIndex::QueryMany(
   return results;
 }
 
+void ShardedIndex::RefreshRouterShard(int s) {
+  const SignatureComputer sigs(*store_, shards_[s]->hasher());
+  std::vector<uint64_t> sig(router_.num_functions());
+  shards_[s]->tree().CoarseSignature(sigs, /*level=*/1, sig);
+  router_.SetShardSignature(s, sig);
+}
+
+void ShardedIndex::AbsorbIntoRouter(int s, EntityId e) {
+  const SignatureComputer sigs(*store_, shards_[s]->hasher());
+  std::vector<uint64_t> sig(router_.num_functions());
+  std::vector<uint64_t> scratch(router_.num_functions());
+  sigs.ComputeLevel(e, /*level=*/1, sig, scratch);
+  router_.Absorb(s, sig);
+}
+
 void ShardedIndex::InsertEntity(EntityId e) {
-  shards_[ShardOf(e)]->InsertEntity(e);
+  const int s = ShardOf(e);
+  shards_[s]->InsertEntity(e);
+  AbsorbIntoRouter(s, e);
 }
 
 void ShardedIndex::InsertEntities(std::span<const EntityId> entities) {
@@ -193,18 +351,30 @@ void ShardedIndex::InsertEntities(std::span<const EntityId> entities) {
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (!parts[s].empty()) shards_[s]->InsertEntities(parts[s]);
   }
+  for (EntityId e : entities) AbsorbIntoRouter(ShardOf(e), e);
 }
 
 void ShardedIndex::UpdateEntity(EntityId e) {
-  shards_[ShardOf(e)]->UpdateEntity(e);
+  const int s = ShardOf(e);
+  shards_[s]->UpdateEntity(e);
+  // Min-merge the new trace's coarse signature in; the old trace's
+  // contribution may linger stale-low until Refresh — loose but admissible,
+  // the same convention the shard trees follow.
+  AbsorbIntoRouter(s, e);
 }
 
 void ShardedIndex::RemoveEntity(EntityId e) {
+  // Router values stay stale low (they only ever under-estimate member
+  // signatures, which loosens bounds but keeps them admissible); Refresh
+  // restores tightness.
   shards_[ShardOf(e)]->RemoveEntity(e);
 }
 
 void ShardedIndex::Refresh() {
-  for (auto& shard : shards_) shard->Refresh();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->Refresh();
+    RefreshRouterShard(static_cast<int>(s));
+  }
 }
 
 void ShardedIndex::AttachShardSource(int s, const TraceSource* source) {

@@ -9,6 +9,7 @@
 
 #include "core/index.h"
 #include "core/query.h"
+#include "core/shard_router.h"
 #include "trace/trace_store.h"
 #include "trace/types.h"
 
@@ -28,9 +29,11 @@ uint32_t ShardOfEntity(EntityId e, uint32_t num_shards);
 /// empty result; k beyond the union keeps everything). Shards partition the
 /// entity space, so ids never collide across inputs and the merge needs no
 /// deduplication. Counter stats (nodes_visited, entities_checked,
-/// heap_pushes, hash_evals) and TraceIoStats sum across shards;
-/// elapsed_seconds sums to *total work* (callers measuring wall time of a
-/// parallel fan-out overwrite it).
+/// heap_pushes, hash_evals, shards_pruned, router_bound_evals,
+/// threshold_updates), work_seconds, and TraceIoStats sum across shards.
+/// elapsed_seconds also sums, but callers measuring the wall time of a
+/// parallel fan-out overwrite it — the summed per-shard work stays
+/// available in work_seconds.
 TopKResult MergeShardTopK(std::span<const TopKResult> shard_results, int k);
 
 /// Construction knobs for a ShardedIndex.
@@ -80,6 +83,22 @@ struct ShardedIndexOptions {
 /// QueryStats of a merged result aggregate across shards (counters and io
 /// sum; hash_evals grows with the shard count since every shard hashes the
 /// query's cells against its own tree — the fan-out cost of sharding).
+///
+/// Cross-shard pruning (QueryOptions::cross_shard_routing): every build
+/// also extracts a shared coarse routing level — one population-wide
+/// level-1 min-signature per shard (CoarseShardRouter) over the same hash
+/// family. A routed query bounds each shard once, visits shards
+/// best-bound-first, skips shards whose bound cannot beat the certified
+/// global k-th score, and threads a CrossShardThreshold through the
+/// per-shard searches so late shards terminate with the pruning power of
+/// the big single tree. Results stay bit-identical to the unrouted fan-out
+/// and the single-tree oracle (the strict-tie canonicalization in
+/// core/query.cc is what makes this safe); only the work counters shrink.
+/// The identity argument needs exact search, so routing is ignored when
+/// QueryOptions::approximation_epsilon > 0.
+/// The router is maintained through the same insert/update/remove/Refresh
+/// conventions as the shard trees (min-merge on insert, stale-low after
+/// removal, tight again after Refresh).
 class ShardedIndex {
  public:
   /// Builds shards over every entity in the store, or over `entities` when
@@ -93,7 +112,12 @@ class ShardedIndex {
   /// Exact top-k: per-shard exact queries on `shard_threads` workers
   /// (0 = auto, 1 = serial), merged with MergeShardTopK. Bit-identical to
   /// the single-shard DigitalTraceIndex answer for any shard count and any
-  /// thread count. stats.elapsed_seconds is the fan-out wall time.
+  /// thread count. stats.elapsed_seconds is the fan-out wall time
+  /// (work_seconds keeps the summed per-shard work). With
+  /// options.cross_shard_routing the fan-out goes through the coarse
+  /// router + shared threshold: identical items, fewer entities checked;
+  /// counter/io accounting becomes interleaving-dependent when
+  /// shard_threads > 1.
   TopKResult Query(EntityId q, int k, const AssociationMeasure& measure,
                    const QueryOptions& options = {},
                    int shard_threads = 0) const;
@@ -101,8 +125,12 @@ class ShardedIndex {
   /// Batch queries on `num_threads` workers (0 = auto): the (query, shard)
   /// grid is flattened so workers stay busy even when queries and shards
   /// are both few. results[i] is bit-identical to Query(queries[i], ...)
-  /// for every thread count; its elapsed_seconds is summed per-shard work,
-  /// not wall time.
+  /// for every thread count; its elapsed_seconds is summed per-shard work
+  /// (= work_seconds), not wall time. With options.cross_shard_routing each
+  /// query instead visits its shards serially, best-bound-first, carrying
+  /// the threshold from shard to shard — queries stay the unit of
+  /// parallelism, so results AND per-query counter/io totals are
+  /// deterministic across thread counts.
   std::vector<TopKResult> QueryMany(std::span<const EntityId> queries, int k,
                                     const AssociationMeasure& measure,
                                     const QueryOptions& options = {},
@@ -138,6 +166,7 @@ class ShardedIndex {
         ShardOfEntity(e, static_cast<uint32_t>(shards_.size())));
   }
   const DigitalTraceIndex& shard(int s) const { return *shards_[s]; }
+  const CoarseShardRouter& router() const { return router_; }
   const TraceStore& store() const { return *store_; }
   const ShardedIndexOptions& options() const { return options_; }
 
@@ -150,10 +179,26 @@ class ShardedIndex {
 
  private:
   ShardedIndex(std::shared_ptr<TraceStore> store, ShardedIndexOptions options)
-      : store_(std::move(store)), options_(options) {}
+      : store_(std::move(store)),
+        options_(options),
+        router_(options.num_shards, options.index.num_functions) {}
+
+  /// Recomputes shard `s`'s coarse router signature from its tree's current
+  /// members (build and Refresh paths; writes only shard s's slot, so
+  /// per-shard calls may run in parallel).
+  void RefreshRouterShard(int s);
+  /// Min-merges entity `e`'s level-1 signature into shard `s`'s router
+  /// signature (insert/update paths).
+  void AbsorbIntoRouter(int s, EntityId e);
+  /// The routed fan-out behind Query/QueryMany when
+  /// options.cross_shard_routing is set: coarse bounds, best-bound-first
+  /// visit order, shard skipping, and threshold propagation.
+  TopKResult RoutedFanOut(EntityId q, int k, const AssociationMeasure& measure,
+                          const QueryOptions& options, int shard_threads) const;
 
   std::shared_ptr<TraceStore> store_;
   ShardedIndexOptions options_;
+  CoarseShardRouter router_;
   std::vector<std::unique_ptr<DigitalTraceIndex>> shards_;
   std::vector<const TraceSource*> shard_sources_;  // null = default source
   double build_seconds_ = 0.0;

@@ -36,6 +36,12 @@ PeMeasurement AggregatePe(std::span<const TopKResult> results,
     agg.mean_pages_read += static_cast<double>(r.stats.io.pages_read);
     agg.mean_io_seconds += r.stats.io.modeled_io_seconds;
     agg.mean_prefetch_hits += static_cast<double>(r.stats.io.prefetch_hits);
+    agg.mean_shards_pruned += static_cast<double>(r.stats.shards_pruned);
+    agg.mean_threshold_updates +=
+        static_cast<double>(r.stats.threshold_updates);
+    agg.mean_router_bound_evals +=
+        static_cast<double>(r.stats.router_bound_evals);
+    agg.mean_work_seconds += r.stats.work_seconds;
     ++agg.num_queries;
   }
   if (agg.num_queries > 0) {
@@ -47,6 +53,10 @@ PeMeasurement AggregatePe(std::span<const TopKResult> results,
     agg.mean_pages_read /= n;
     agg.mean_io_seconds /= n;
     agg.mean_prefetch_hits /= n;
+    agg.mean_shards_pruned /= n;
+    agg.mean_threshold_updates /= n;
+    agg.mean_router_bound_evals /= n;
+    agg.mean_work_seconds /= n;
   }
   return agg;
 }

@@ -103,7 +103,11 @@ TEST(ShardMergeTest, AggregatesStatsAcrossShards) {
   a.stats.entities_checked = 10;
   a.stats.heap_pushes = 5;
   a.stats.hash_evals = 100;
+  a.stats.shards_pruned = 1;
+  a.stats.router_bound_evals = 4;
+  a.stats.threshold_updates = 2;
   a.stats.elapsed_seconds = 0.25;
+  a.stats.work_seconds = 0.2;
   a.stats.io.pages_read = 7;
   a.stats.io.pages_hit = 2;
   a.stats.io.entities_fetched = 10;
@@ -113,7 +117,11 @@ TEST(ShardMergeTest, AggregatesStatsAcrossShards) {
   b.stats.entities_checked = 12;
   b.stats.heap_pushes = 6;
   b.stats.hash_evals = 100;
+  b.stats.shards_pruned = 2;
+  b.stats.router_bound_evals = 4;
+  b.stats.threshold_updates = 3;
   b.stats.elapsed_seconds = 0.5;
+  b.stats.work_seconds = 0.4;
   b.stats.io.pages_read = 3;
   b.stats.io.pages_hit = 9;
   b.stats.io.entities_fetched = 12;
@@ -125,7 +133,13 @@ TEST(ShardMergeTest, AggregatesStatsAcrossShards) {
   EXPECT_EQ(merged.stats.entities_checked, 22u);
   EXPECT_EQ(merged.stats.heap_pushes, 11u);
   EXPECT_EQ(merged.stats.hash_evals, 200u);
+  EXPECT_EQ(merged.stats.shards_pruned, 3u);
+  EXPECT_EQ(merged.stats.router_bound_evals, 8u);
+  EXPECT_EQ(merged.stats.threshold_updates, 5u);
   EXPECT_DOUBLE_EQ(merged.stats.elapsed_seconds, 0.75);
+  // work_seconds sums independently of elapsed_seconds, so a fan-out caller
+  // overwriting elapsed with wall time no longer loses the summed work.
+  EXPECT_DOUBLE_EQ(merged.stats.work_seconds, 0.6);
   EXPECT_EQ(merged.stats.io.pages_read, 10u);
   EXPECT_EQ(merged.stats.io.pages_hit, 11u);
   EXPECT_EQ(merged.stats.io.entities_fetched, 22u);
