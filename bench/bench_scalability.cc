@@ -22,6 +22,14 @@
 //       and routed 20K presets). Emits a "counters" section
 //       (lock_wait_seconds, prefetch_hits, shards_pruned, ...) alongside
 //       the rows.
+//   bench_scalability --paged-tree [|E|] [--workers N] [--pool-fraction F]
+//       — the paged-MinSigTree preset: the TREE (not the traces) lives in
+//       SoA node pages behind a SimDisk-backed BufferPool capped at F of
+//       the packed index size, so the search faults node pages while the
+//       resident zone maps absorb part of the traffic. Spot-checks
+//       bit-identity against the in-memory tree before timing. The small
+//       20K leg runs under CTest; CI's perf-smoke job runs the 1M-entity
+//       preset and gates it against bench/baselines/.
 #include <cstdlib>
 #include <cstring>
 
@@ -149,6 +157,103 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
                pe.mean_router_bound_evals * queries.size());
 }
 
+// The paged-MinSigTree preset (PR 6): the tree itself lives in SoA pages
+// behind a SimDisk-backed BufferPool capped below the packed index size,
+// so the search faults node pages in and out while the resident zone maps
+// absorb part of that traffic. Traces stay in memory (the preset isolates
+// TREE paging; --disk measures the trace side). A handful of queries run
+// against the in-memory tree first and must match the paged answers
+// exactly — the bench-side spot check of the differential harness's
+// bit-identity contract.
+void RunPagedTree(uint32_t entities, int workers, double pool_fraction,
+                  BenchJson& json) {
+  PrintHeader("Scalability (paged tree)",
+              "node pages through the buffer pool, zone-map pruning");
+  Dataset d = MakePagedTreeDataset(entities);
+  // 64 functions keep the 1M-entity build tractable; PE is set by nh, not
+  // |E| (Sec. 6.4), so the paging measurements transfer.
+  const IndexOptions iopts = PresetIndexOptions(/*num_functions=*/64);
+  auto index = DigitalTraceIndex::Build(d.store, iopts);
+  PolynomialLevelMeasure measure(d.hierarchy->num_levels());
+  const auto queries = SampleQueries(*d.store, 8, 909);
+
+  const std::vector<TopKResult> oracle =
+      index.QueryMany({queries.data(), 4}, 10, measure, {}, workers);
+
+  PagedTreeOptions popts;
+  popts.backing = PagedTreeOptions::Backing::kSimDisk;
+  popts.disk.pool_fraction = pool_fraction;
+  index.EnablePagedTree(popts);
+  const PagedMinSigTree& paged = index.paged_tree();
+  const BufferPool* pool = paged.page_store().pool();
+  const size_t pool_pages = pool != nullptr ? pool->capacity() : 0;
+  if (pool_pages * kPageSize >= paged.PackedBytes()) {
+    std::fprintf(stderr,
+                 "FAIL: pool (%zu pages) must be smaller than the packed "
+                 "index (%zu pages)\n",
+                 pool_pages, paged.num_pages());
+    std::exit(1);
+  }
+
+  const std::vector<TopKResult> spot =
+      index.QueryMany({queries.data(), 4}, 10, measure, {}, workers);
+  for (size_t i = 0; i < spot.size(); ++i) {
+    if (spot[i].items.size() != oracle[i].items.size()) {
+      std::fprintf(stderr, "FAIL: paged top-k differs from oracle\n");
+      std::exit(1);
+    }
+    for (size_t r = 0; r < spot[i].items.size(); ++r) {
+      if (spot[i].items[r].entity != oracle[i].items[r].entity ||
+          spot[i].items[r].score != oracle[i].items[r].score) {
+        std::fprintf(stderr,
+                     "FAIL: paged top-k differs from oracle at query %zu "
+                     "rank %zu\n",
+                     i, r);
+        std::exit(1);
+      }
+    }
+  }
+
+  Timer timer;
+  const std::vector<TopKResult> results =
+      index.QueryMany(queries, 10, measure, {}, workers);
+  const double wall = timer.ElapsedSeconds();
+  const auto pe = AggregatePe(results, index.tree().num_entities(), 10);
+  const auto pstats =
+      pool != nullptr ? pool->stats() : BufferPool::Stats{};
+
+  std::printf(
+      "|E|=%u nodes=%zu packed_pages=%zu (%.1f MB) zone_bytes=%.1f MB "
+      "pool_pages=%zu (%.2fx) workers=%d index_s=%.2f bit_identical=yes\n"
+      "queries=%zu PE=%.4f checked/query=%.1f tree_reads/query=%.1f "
+      "tree_hits/query=%.1f pool_hit_rate=%.3f qps=%.1f "
+      "(wall, excl. modeled I/O %.3fs/query)\n",
+      d.num_entities(), paged.num_nodes(), paged.num_pages(),
+      paged.PackedBytes() / 1048576.0, paged.ZoneBytes() / 1048576.0,
+      pool_pages,
+      static_cast<double>(pool_pages) / static_cast<double>(paged.num_pages()),
+      workers, index.build_seconds(), queries.size(), pe.mean_pe,
+      pe.mean_entities_checked, pe.mean_tree_pages_read,
+      pe.mean_tree_page_hits, pstats.hit_rate(), queries.size() / wall,
+      pe.mean_io_seconds);
+  json.AddRow()
+      .Str("mode", "paged-tree")
+      .Int("entities", d.num_entities())
+      .Int("workers", static_cast<uint64_t>(workers))
+      // Informational like "shards"/"routing": not a baseline match key.
+      .Int("paged_tree", 1)
+      .Num("pe", pe.mean_pe)
+      .Num("queries_per_sec", queries.size() / wall)
+      .Num("mean_entities_checked", pe.mean_entities_checked)
+      .Int("pages_read",
+           static_cast<uint64_t>(pe.mean_tree_pages_read * queries.size()))
+      .Num("hit_rate", pstats.hit_rate())
+      .Num("index_seconds", index.build_seconds());
+  json.Counter("tree_pages_read", pe.mean_tree_pages_read * queries.size());
+  json.Counter("tree_page_hits", pe.mean_tree_page_hits * queries.size());
+  json.Counter("pool_evictions", static_cast<double>(pstats.evictions));
+}
+
 }  // namespace
 }  // namespace dtrace::bench
 
@@ -179,6 +284,23 @@ int main(int argc, char** argv) {
       }
     }
     dtrace::bench::RunDisk(entities, workers, prefetch, shards, route, json);
+  } else if (argc > 1 && std::strcmp(argv[1], "--paged-tree") == 0) {
+    uint32_t entities = 20000;
+    int workers = 0;
+    double pool_fraction = 0.25;
+    int pos = 2;
+    if (pos < argc && argv[pos][0] != '-') {
+      entities = static_cast<uint32_t>(std::atoi(argv[pos]));
+      ++pos;
+    }
+    for (; pos + 1 < argc; ++pos) {
+      if (std::strcmp(argv[pos], "--workers") == 0) {
+        workers = std::atoi(argv[++pos]);
+      } else if (std::strcmp(argv[pos], "--pool-fraction") == 0) {
+        pool_fraction = std::atof(argv[++pos]);
+      }
+    }
+    dtrace::bench::RunPagedTree(entities, workers, pool_fraction, json);
   } else {
     dtrace::bench::Run(json);
   }

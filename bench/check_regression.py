@@ -24,11 +24,11 @@ import json
 import sys
 
 # Fields that carry measurements rather than identity; everything else in a
-# row is treated as a match key. "shards" and "routing" are
-# informational-only by design: sharded/routed runs must gate directly
-# against the single-shard baseline rows (sharding is required to be
-# answer-identical and at least qps-neutral, and the cross-shard router
-# keeps that contract).
+# row is treated as a match key. "shards", "routing" and "paged_tree" are
+# informational-only by design: sharded/routed/paged-tree runs must gate
+# directly against the corresponding plain baseline rows (each of those
+# layers is required to be answer-identical, and sharding/routing also at
+# least qps-neutral).
 MEASUREMENT_FIELDS = {
     "queries_per_sec",
     "pe",
@@ -39,6 +39,7 @@ MEASUREMENT_FIELDS = {
     "modeled_ms_per_query",
     "shards",
     "routing",
+    "paged_tree",
 }
 
 # Counters reported as informational deltas next to the qps gate (never
@@ -48,6 +49,8 @@ INFORMATIONAL_COUNTERS = (
     "lock_wait_seconds",
     "prefetch_hits",
     "pages_read",
+    "tree_pages_read",
+    "tree_page_hits",
     "pool_evictions",
     "shards_pruned",
     "threshold_updates",

@@ -71,10 +71,38 @@ const TraceSource& PickSource(const QueryOptions& options,
 
 }  // namespace
 
+void DigitalTraceIndex::EnablePagedTree(const PagedTreeOptions& options) {
+  DT_CHECK_MSG(!options_.store_full_signatures,
+               "paged tree does not support full-signature mode");
+  paged_options_ = options;
+  paged_ = std::make_unique<PagedMinSigTree>(
+      PagedMinSigTree::Pack(tree_, paged_options_));
+  paged_dirty_ = false;
+}
+
+void DigitalTraceIndex::DisablePagedTree() {
+  paged_.reset();
+  paged_dirty_ = false;
+}
+
+const PagedMinSigTree& DigitalTraceIndex::paged_tree() const {
+  DT_CHECK(paged_ != nullptr);
+  return static_cast<const PagedMinSigTree&>(QueryTree());
+}
+
+const TreeSource& DigitalTraceIndex::QueryTree() const {
+  if (paged_ == nullptr) return tree_;
+  if (paged_dirty_) {
+    *paged_ = PagedMinSigTree::Pack(tree_, paged_options_);
+    paged_dirty_ = false;
+  }
+  return *paged_;
+}
+
 TopKResult DigitalTraceIndex::Query(EntityId q, int k,
                                     const AssociationMeasure& measure,
                                     const QueryOptions& options) const {
-  TopKQueryProcessor proc(tree_, PickSource(options, *store_), *hasher_,
+  TopKQueryProcessor proc(QueryTree(), PickSource(options, *store_), *hasher_,
                           measure);
   return proc.Query(q, k, options);
 }
@@ -82,7 +110,7 @@ TopKResult DigitalTraceIndex::Query(EntityId q, int k,
 TopKResult DigitalTraceIndex::BruteForce(EntityId q, int k,
                                          const AssociationMeasure& measure,
                                          const QueryOptions& options) const {
-  TopKQueryProcessor proc(tree_, PickSource(options, *store_), *hasher_,
+  TopKQueryProcessor proc(QueryTree(), PickSource(options, *store_), *hasher_,
                           measure);
   return proc.BruteForce(q, k, options);
 }
@@ -91,7 +119,7 @@ std::vector<TopKResult> DigitalTraceIndex::QueryMany(
     std::span<const EntityId> queries, int k,
     const AssociationMeasure& measure, const QueryOptions& options,
     int num_threads) const {
-  TopKQueryProcessor proc(tree_, PickSource(options, *store_), *hasher_,
+  TopKQueryProcessor proc(QueryTree(), PickSource(options, *store_), *hasher_,
                           measure);
   std::vector<TopKResult> results(queries.size());
   // Queries are independent; each worker fills disjoint position-indexed
@@ -102,16 +130,29 @@ std::vector<TopKResult> DigitalTraceIndex::QueryMany(
   return results;
 }
 
-void DigitalTraceIndex::InsertEntity(EntityId e) { tree_.Insert(e, sigs_); }
+void DigitalTraceIndex::InsertEntity(EntityId e) {
+  tree_.Insert(e, sigs_);
+  paged_dirty_ = paged_ != nullptr;
+}
 
 void DigitalTraceIndex::InsertEntities(std::span<const EntityId> entities) {
   tree_.InsertBatch(entities, sigs_);
+  paged_dirty_ = paged_ != nullptr;
 }
 
-void DigitalTraceIndex::UpdateEntity(EntityId e) { tree_.Update(e, sigs_); }
+void DigitalTraceIndex::UpdateEntity(EntityId e) {
+  tree_.Update(e, sigs_);
+  paged_dirty_ = paged_ != nullptr;
+}
 
-void DigitalTraceIndex::RemoveEntity(EntityId e) { tree_.Remove(e); }
+void DigitalTraceIndex::RemoveEntity(EntityId e) {
+  tree_.Remove(e);
+  paged_dirty_ = paged_ != nullptr;
+}
 
-void DigitalTraceIndex::Refresh() { tree_.RefreshValues(sigs_); }
+void DigitalTraceIndex::Refresh() {
+  tree_.RefreshValues(sigs_);
+  paged_dirty_ = paged_ != nullptr;
+}
 
 }  // namespace dtrace

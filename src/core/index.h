@@ -8,6 +8,7 @@
 
 #include "core/association.h"
 #include "core/min_sig_tree.h"
+#include "core/paged_min_sig_tree.h"
 #include "core/query.h"
 #include "core/signature.h"
 #include "hash/cell_hasher.h"
@@ -96,6 +97,27 @@ class DigitalTraceIndex {
   /// for every thread count.
   void Refresh();
 
+  /// Switches queries onto a paged snapshot of the tree (SoA node pages
+  /// behind a TreePageSource — core/paged_min_sig_tree.h): the snapshot is
+  /// packed immediately and every subsequent Query/BruteForce/QueryMany
+  /// searches it instead of the heap tree. Results are bit-identical; only
+  /// QueryStats gains tree-page I/O (and zone maps may *shrink* traversal
+  /// counters). The in-memory tree stays authoritative: maintenance
+  /// (Insert/Update/Remove/Refresh) mutates it and marks the snapshot
+  /// dirty, and the next query repacks it — so after maintenance the paged
+  /// search again matches the heap search exactly. Not supported in
+  /// store_full_signatures mode (the packed slot layout is routing-only).
+  void EnablePagedTree(const PagedTreeOptions& options = {});
+  /// Back to the in-memory tree; drops the snapshot.
+  void DisablePagedTree();
+  bool paged_tree_enabled() const { return paged_ != nullptr; }
+  /// The current snapshot (repacked first if maintenance dirtied it).
+  /// Requires paged_tree_enabled().
+  const PagedMinSigTree& paged_tree() const;
+  /// The tree queries run against: the paged snapshot when enabled
+  /// (repacked if dirty), else the in-memory tree.
+  const TreeSource& QueryTree() const;
+
   const MinSigTree& tree() const { return tree_; }
   const CellHasher& hasher() const { return *hasher_; }
   const TraceStore& store() const { return *store_; }
@@ -119,6 +141,13 @@ class DigitalTraceIndex {
   std::unique_ptr<CellHasher> hasher_;
   SignatureComputer sigs_;
   MinSigTree tree_;
+  // Paged query snapshot (null = disabled). `mutable` implements the
+  // repack-on-dirty convention from const query entry points; queries and
+  // maintenance already require external serialization, so no lock is
+  // needed around the repack.
+  mutable std::unique_ptr<PagedMinSigTree> paged_;
+  mutable bool paged_dirty_ = false;
+  PagedTreeOptions paged_options_;
   double build_seconds_;
 };
 

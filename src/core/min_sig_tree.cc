@@ -384,6 +384,29 @@ void MinSigTree::CoarseSignature(const SignatureComputer& sigs, Level level,
   }
 }
 
+namespace {
+
+// TreeSource cursor over the heap nodes: views alias the Node vectors, so
+// there is nothing to copy and nothing to charge.
+class InMemoryNodeCursor final : public TreeNodeCursor {
+ public:
+  explicit InMemoryNodeCursor(const MinSigTree* tree) : tree_(tree) {}
+
+  TreeNodeView Node(uint32_t id) override {
+    const MinSigTree::Node& n = tree_->node(id);
+    return {n.level, n.routing, n.value, n.children, n.entities, n.full_sig};
+  }
+
+ private:
+  const MinSigTree* tree_;
+};
+
+}  // namespace
+
+std::unique_ptr<TreeNodeCursor> MinSigTree::OpenNodeCursor() const {
+  return std::make_unique<InMemoryNodeCursor>(this);
+}
+
 uint64_t MinSigTree::MemoryBytes() const {
   // Per the paper (Sec. 7.8): each node stores a routing index and the hash
   // value at that index; leaves additionally point at their entity lists.

@@ -2,10 +2,12 @@
 #define DTRACE_CORE_MIN_SIG_TREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/signature.h"
+#include "core/tree_source.h"
 #include "trace/types.h"
 
 namespace dtrace {
@@ -25,7 +27,12 @@ namespace dtrace {
 /// Incremental updates only ever *lower* stored values (or leave them stale
 /// low after removals), so the invariant — and query exactness — is
 /// maintained without rebuilds; `RefreshValues` restores tightness.
-class MinSigTree {
+///
+/// Implements TreeSource (core/tree_source.h): its node cursor hands out
+/// views straight into the heap nodes — zero copies, zero I/O — so the
+/// query layer is written against the interface only and the paged tree
+/// (core/paged_min_sig_tree.h) slots in behind the same search.
+class MinSigTree : public TreeSource {
  public:
   struct Options {
     /// Keep the full nh-value group signature per node (more pruning, nh x
@@ -90,15 +97,21 @@ class MinSigTree {
   /// identical for every thread count.
   void RefreshValues(const SignatureComputer& sigs);
 
-  uint32_t root() const { return 0; }
+  uint32_t root() const override { return 0; }
   const Node& node(uint32_t idx) const { return nodes_[idx]; }
   size_t num_nodes() const { return nodes_.size(); }
-  size_t num_entities() const { return num_entities_; }
-  bool Contains(EntityId e) const {
+  size_t num_entities() const override { return num_entities_; }
+  bool Contains(EntityId e) const override {
     return e < leaf_of_.size() && leaf_of_[e] >= 0;
   }
-  int num_levels() const { return m_; }
-  int num_functions() const { return nh_; }
+  int num_levels() const override { return m_; }
+  int num_functions() const override { return nh_; }
+
+  /// Zero-I/O cursor over the heap nodes (TreeSource). The views alias
+  /// nodes_ directly, so they are invalidated by any tree mutation — the
+  /// same external query/maintenance serialization the rest of the API
+  /// already assumes.
+  std::unique_ptr<TreeNodeCursor> OpenNodeCursor() const override;
 
   /// Coarse-level extraction for the cross-shard router
   /// (core/shard_router.h): min-merges the level-`level` signatures of every

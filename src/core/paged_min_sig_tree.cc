@@ -1,0 +1,255 @@
+#include "core/paged_min_sig_tree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "storage/tree_page.h"
+#include "util/check.h"
+
+namespace dtrace {
+
+namespace {
+
+// One blob region's streaming writer: fills a page buffer entry by entry
+// and writes it out at its final index the moment it completes, so packing
+// keeps one transient page per region no matter how large the tree is.
+class BlobWriter {
+ public:
+  BlobWriter(TreePageSource* store, uint32_t base_page)
+      : store_(store), next_page_(base_page) {
+    buf_.data.fill(0);
+  }
+
+  void Put(uint32_t v) {
+    std::memcpy(buf_.data.data() + sizeof(uint32_t) * fill_, &v,
+                sizeof(uint32_t));
+    if (++fill_ == kTreeBlobEntriesPerPage) Flush();
+  }
+
+  void Close() {
+    if (fill_ > 0) Flush();
+  }
+
+ private:
+  void Flush() {
+    store_->WritePage(next_page_++, buf_);
+    buf_.data.fill(0);
+    fill_ = 0;
+  }
+
+  TreePageSource* store_;
+  uint32_t next_page_;
+  Page buf_;
+  size_t fill_ = 0;
+};
+
+}  // namespace
+
+// Per-query cursor over the packed pages. Holds at most one pin at a time:
+// node scalars are copied out of the node page before the blob pages are
+// touched, and blob spans are copied page by page into reusable buffers —
+// so a cursor can never exhaust a shared pool, and the returned spans stay
+// valid until the next Node() call, exactly the TreeNodeView contract.
+class PagedNodeCursor final : public TreeNodeCursor {
+ public:
+  explicit PagedNodeCursor(const PagedMinSigTree* tree) : tree_(tree) {}
+
+  TreeNodeView Node(uint32_t id) override {
+    DT_CHECK(id < tree_->num_nodes_);
+    const uint32_t page = id / static_cast<uint32_t>(kTreeNodesPerPage);
+    const size_t slot = id % kTreeNodesPerPage;
+    const uint8_t* p = PinCharged(page);
+    const TreeNodeRecord rec = LoadTreeNode(p, slot);
+    tree_->store_->Unpin(page);
+    CopyBlob(tree_->child_base_, rec.child_off, rec.child_count, &children_);
+    CopyBlob(tree_->entity_base_, rec.entity_off, rec.entity_count,
+             &entities_);
+    return {static_cast<Level>(rec.level),
+            static_cast<int>(rec.routing),
+            rec.value,
+            {children_.data(), rec.child_count},
+            {entities_.data(), rec.entity_count},
+            /*full_sig=*/{}};
+  }
+
+  std::optional<TreeNodeZone> Zone(uint32_t id) const override {
+    if (tree_->zone_code_.empty()) return std::nullopt;
+    return TreeNodeZone{static_cast<Level>(tree_->zone_node_level_[id]),
+                        static_cast<int>(tree_->zone_routing_[id]),
+                        DecodeZoneValueFloor(tree_->zone_code_[id])};
+  }
+
+  bool has_zone_maps() const override { return !tree_->zone_code_.empty(); }
+
+ private:
+  const uint8_t* PinCharged(uint32_t page) {
+    bool missed = false;
+    const uint8_t* p = tree_->store_->Pin(page, &missed);
+    if (missed) {
+      ++io_.tree_pages_read;
+      io_.modeled_io_seconds += tree_->store_->read_latency_seconds();
+    } else {
+      ++io_.tree_page_hits;
+    }
+    return p;
+  }
+
+  // Copies blob elements [off, off + count) of the region starting at
+  // `base_page` into `out`, one pinned page at a time.
+  void CopyBlob(uint32_t base_page, uint32_t off, uint32_t count,
+                std::vector<uint32_t>* out) {
+    out->resize(count);
+    size_t copied = 0;
+    while (copied < count) {
+      const size_t elem = off + copied;
+      const uint32_t page =
+          base_page + static_cast<uint32_t>(elem / kTreeBlobEntriesPerPage);
+      const size_t in_page = elem % kTreeBlobEntriesPerPage;
+      const size_t take = std::min<size_t>(count - copied,
+                                           kTreeBlobEntriesPerPage - in_page);
+      const uint8_t* p = PinCharged(page);
+      std::memcpy(out->data() + copied, p + sizeof(uint32_t) * in_page,
+                  sizeof(uint32_t) * take);
+      tree_->store_->Unpin(page);
+      copied += take;
+    }
+  }
+
+  const PagedMinSigTree* tree_;
+  std::vector<uint32_t> children_;
+  std::vector<uint32_t> entities_;  // EntityId is uint32_t
+};
+
+std::unique_ptr<TreeNodeCursor> PagedMinSigTree::OpenNodeCursor() const {
+  return std::make_unique<PagedNodeCursor>(this);
+}
+
+PagedMinSigTree PagedMinSigTree::Pack(const MinSigTree& tree,
+                                      std::unique_ptr<TreePageSource> store,
+                                      bool zone_maps) {
+  DT_CHECK(store != nullptr);
+  PagedMinSigTree out;
+  out.m_ = tree.num_levels();
+  out.nh_ = tree.num_functions();
+  out.num_nodes_ = tree.num_nodes();
+  out.num_entities_ = tree.num_entities();
+  DT_CHECK_MSG(out.nh_ <= std::numeric_limits<uint16_t>::max(),
+               "routing index does not fit the packed u16 slot");
+  DT_CHECK_MSG(out.m_ <= std::numeric_limits<uint8_t>::max(),
+               "level does not fit the packed u8 slot");
+
+  // Pass 1: region totals, so every page index is known before any write.
+  uint64_t total_children = 0;
+  uint64_t total_entities = 0;
+  EntityId max_entity = 0;
+  for (size_t i = 0; i < out.num_nodes_; ++i) {
+    const MinSigTree::Node& n = tree.node(static_cast<uint32_t>(i));
+    DT_CHECK_MSG(n.full_sig.empty(),
+                 "paged tree does not support full-signature mode");
+    total_children += n.children.size();
+    total_entities += n.entities.size();
+    for (EntityId e : n.entities) max_entity = std::max(max_entity, e);
+  }
+  DT_CHECK_MSG(total_children <= std::numeric_limits<uint32_t>::max() &&
+                   total_entities <= std::numeric_limits<uint32_t>::max(),
+               "blob offsets do not fit u32");
+  const auto pages_for = [](uint64_t elems, size_t per_page) {
+    return static_cast<uint32_t>((elems + per_page - 1) / per_page);
+  };
+  out.node_pages_ = pages_for(out.num_nodes_, kTreeNodesPerPage);
+  const uint32_t child_pages =
+      pages_for(total_children, kTreeBlobEntriesPerPage);
+  const uint32_t entity_pages =
+      pages_for(total_entities, kTreeBlobEntriesPerPage);
+  out.child_base_ = out.node_pages_;
+  out.entity_base_ = out.node_pages_ + child_pages;
+  store->Allocate(out.node_pages_ + child_pages + entity_pages);
+  if (total_entities > 0) {
+    out.contains_.assign(static_cast<size_t>(max_entity) / 64 + 1, 0);
+  }
+  if (zone_maps) {
+    out.zone_code_.reserve(out.num_nodes_);
+    out.zone_routing_.reserve(out.num_nodes_);
+    out.zone_node_level_.reserve(out.num_nodes_);
+    out.zone_min_.reserve(out.node_pages_);
+    out.zone_level_.reserve(out.node_pages_);
+  }
+
+  // Pass 2: stream the three regions in node order.
+  BlobWriter child_writer(store.get(), out.child_base_);
+  BlobWriter entity_writer(store.get(), out.entity_base_);
+  Page node_page;
+  node_page.data.fill(0);
+  uint32_t node_page_idx = 0;
+  size_t slot = 0;
+  uint64_t zone_min = ~uint64_t{0};
+  Level zone_level = 0;
+  uint32_t child_cursor = 0;
+  uint32_t entity_cursor = 0;
+  const auto flush_node_page = [&] {
+    StoreTreePageHeader(node_page.data.data(),
+                        {static_cast<uint32_t>(slot),
+                         static_cast<uint16_t>(zone_level), zone_min});
+    store->WritePage(node_page_idx, node_page);
+    if (zone_maps) {
+      out.zone_min_.push_back(zone_min);
+      out.zone_level_.push_back(zone_level);
+    }
+    node_page.data.fill(0);
+    ++node_page_idx;
+    slot = 0;
+    zone_min = ~uint64_t{0};
+    zone_level = 0;
+  };
+  for (size_t i = 0; i < out.num_nodes_; ++i) {
+    const MinSigTree::Node& n = tree.node(static_cast<uint32_t>(i));
+    StoreTreeNode(node_page.data.data(), slot,
+                  {n.value, child_cursor,
+                   static_cast<uint32_t>(n.children.size()), entity_cursor,
+                   static_cast<uint32_t>(n.entities.size()),
+                   static_cast<uint16_t>(n.routing),
+                   static_cast<uint8_t>(n.level)});
+    zone_min = std::min(zone_min, n.value);
+    zone_level = std::max(zone_level, n.level);
+    if (zone_maps) {
+      out.zone_code_.push_back(EncodeZoneValue(n.value));
+      out.zone_routing_.push_back(static_cast<uint16_t>(n.routing));
+      out.zone_node_level_.push_back(static_cast<uint8_t>(n.level));
+    }
+    for (uint32_t c : n.children) child_writer.Put(c);
+    child_cursor += static_cast<uint32_t>(n.children.size());
+    for (EntityId e : n.entities) {
+      entity_writer.Put(e);
+      out.contains_[e >> 6] |= uint64_t{1} << (e & 63);
+    }
+    entity_cursor += static_cast<uint32_t>(n.entities.size());
+    if (++slot == kTreeNodesPerPage) flush_node_page();
+  }
+  if (slot > 0) flush_node_page();
+  child_writer.Close();
+  entity_writer.Close();
+  store->Finalize();
+  out.store_ = std::move(store);
+  return out;
+}
+
+PagedMinSigTree PagedMinSigTree::Pack(const MinSigTree& tree,
+                                      const PagedTreeOptions& options) {
+  std::unique_ptr<TreePageSource> store;
+  if (options.shared_disk != nullptr || options.shared_pool != nullptr) {
+    DT_CHECK_MSG(options.shared_disk != nullptr &&
+                     options.shared_pool != nullptr,
+                 "shared-pool packing needs both the disk and the pool");
+    store = std::make_unique<SimDiskTreePageStore>(options.shared_disk,
+                                                   options.shared_pool);
+  } else if (options.backing == PagedTreeOptions::Backing::kSimDisk) {
+    store = std::make_unique<SimDiskTreePageStore>(options.disk);
+  } else {
+    store = std::make_unique<InMemoryTreePageStore>();
+  }
+  return Pack(tree, std::move(store), options.zone_maps);
+}
+
+}  // namespace dtrace

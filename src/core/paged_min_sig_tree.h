@@ -1,0 +1,125 @@
+#ifndef DTRACE_CORE_PAGED_MIN_SIG_TREE_H_
+#define DTRACE_CORE_PAGED_MIN_SIG_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/min_sig_tree.h"
+#include "core/tree_source.h"
+#include "storage/tree_page_source.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// How DigitalTraceIndex::EnablePagedTree builds the paged snapshot.
+struct PagedTreeOptions {
+  enum class Backing {
+    /// Deterministic in-memory page store (the default): the SoA layout
+    /// without the paging. Pins always hit, so queries charge
+    /// tree_page_hits but no tree_pages_read and no modeled latency.
+    kInMemory,
+    /// SimDisk + BufferPool behind the pages (the scaling mode): capping
+    /// `disk.pool_pages` / `disk.pool_fraction` below the packed size makes
+    /// queries fault tree pages in and out.
+    kSimDisk,
+  };
+  Backing backing = Backing::kInMemory;
+  /// Keep resident zone maps — per node slot, its (level, routing) and a
+  /// 1-byte quantized value floor (storage/tree_page.h) — so the search can
+  /// reject a frontier entry from an admissible resident bound without
+  /// faulting its page in. Off only for the ablation the zone-map test
+  /// measures against.
+  bool zone_maps = true;
+  /// Knobs of the private SimDisk/pool (kSimDisk backing only).
+  SimDiskTreePageStore::Options disk;
+  /// When both are set, tree pages are allocated on this existing disk and
+  /// pinned through this existing pool (e.g. a PagedTraceSource's), so
+  /// trace records and tree pages compete for the same frames; overrides
+  /// `backing`/`disk`. Both must outlive the paged tree.
+  SimDisk* shared_disk = nullptr;
+  BufferPool* shared_pool = nullptr;
+};
+
+/// An immutable packed snapshot of a MinSigTree: every node's
+/// (level, routing, value, children, entities) in fixed-size SoA pages
+/// (storage/tree_page.h) behind a TreePageSource, plus resident per-page
+/// zone maps. Node ids equal the source tree's node indices, so a paged
+/// search visits the same ids as the in-memory search — which is what the
+/// differential harness leans on.
+///
+/// The snapshot is read-only by design: maintenance mutates variable-length
+/// node state (child lists grow, leaf lists grow) that fixed pages cannot
+/// absorb in place, so DigitalTraceIndex keeps the in-memory tree
+/// authoritative and repacks the snapshot after maintenance (the
+/// paged-dirty convention in core/index.h). Full-signature trees are
+/// rejected at Pack — the ablation mode stores nh values per node, which
+/// the fixed slot layout deliberately does not carry.
+class PagedMinSigTree final : public TreeSource {
+ public:
+  /// Packs `tree` into `store` (two streaming passes: totals, then pages —
+  /// transient memory is three page buffers regardless of tree size).
+  static PagedMinSigTree Pack(const MinSigTree& tree,
+                              std::unique_ptr<TreePageSource> store,
+                              bool zone_maps = true);
+  /// Convenience: builds the store `options` describes, then packs.
+  static PagedMinSigTree Pack(const MinSigTree& tree,
+                              const PagedTreeOptions& options);
+
+  // TreeSource.
+  uint32_t root() const override { return 0; }
+  int num_levels() const override { return m_; }
+  int num_functions() const override { return nh_; }
+  size_t num_entities() const override { return num_entities_; }
+  bool Contains(EntityId e) const override {
+    return (e >> 6) < contains_.size() &&
+           ((contains_[e >> 6] >> (e & 63)) & 1) != 0;
+  }
+  std::unique_ptr<TreeNodeCursor> OpenNodeCursor() const override;
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_pages() const { return store_->num_pages(); }
+  size_t node_pages() const { return node_pages_; }
+  /// Total packed size — what a buffer pool capacity should be compared
+  /// against to know whether the index fits.
+  uint64_t PackedBytes() const { return num_pages() * kPageSize; }
+  bool zone_maps() const { return !zone_code_.empty(); }
+  /// Resident zone-map footprint (the 4 bytes/slot the search keeps in
+  /// memory to avoid faults; compare against PackedBytes).
+  uint64_t ZoneBytes() const {
+    return zone_code_.size() + zone_routing_.size() * sizeof(uint16_t) +
+           zone_node_level_.size() + zone_min_.size() * sizeof(uint64_t) +
+           zone_level_.size();
+  }
+  const TreePageSource& page_store() const { return *store_; }
+
+ private:
+  friend class PagedNodeCursor;
+  PagedMinSigTree() = default;
+
+  int m_ = 0;
+  int nh_ = 0;
+  size_t num_nodes_ = 0;
+  size_t num_entities_ = 0;
+  uint32_t node_pages_ = 0;
+  uint32_t child_base_ = 0;   // first child-blob page index
+  uint32_t entity_base_ = 0;  // first entity-blob page index
+  // Resident zone maps (empty = disabled). Per node SLOT: the exact level
+  // and routing plus the quantized value floor — the summary Zone() serves
+  // without faulting. Per-page aggregates alone cannot reject anything
+  // (node values are column minima; one weak slot poisons a 151-node
+  // aggregate — see DESIGN-paged-index.md), so the page-level zone_min_ /
+  // zone_level_ mirrors of the page headers are kept only for tooling and
+  // tests.
+  std::vector<uint8_t> zone_code_;      // EncodeZoneValue(node value)
+  std::vector<uint16_t> zone_routing_;  // node routing index
+  std::vector<uint8_t> zone_node_level_;
+  std::vector<uint64_t> zone_min_;  // per node page: min value (header copy)
+  std::vector<Level> zone_level_;   // per node page: max level (header copy)
+  std::vector<uint64_t> contains_;  // bitset over entity ids
+  std::unique_ptr<TreePageSource> store_;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_CORE_PAGED_MIN_SIG_TREE_H_

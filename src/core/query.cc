@@ -342,7 +342,7 @@ double QueryStats::pruning_effectiveness(size_t num_entities, int k) const {
   return std::clamp(extra / static_cast<double>(num_entities), 0.0, 1.0);
 }
 
-TopKQueryProcessor::TopKQueryProcessor(const MinSigTree& tree,
+TopKQueryProcessor::TopKQueryProcessor(const TreeSource& tree,
                                        const TraceSource& source,
                                        const CellHasher& hasher,
                                        const AssociationMeasure& measure)
@@ -366,6 +366,13 @@ TopKResult ForestTopKQuery(std::span<const SearchLane> lanes,
   }
   Timer timer;
   const auto cursor = query_source.OpenCursor();
+  // Per-lane node cursors: every structural read below goes through them,
+  // so the identical search runs over heap nodes (MinSigTree, zero I/O) or
+  // packed pages (PagedMinSigTree, charged to stats.io at the end).
+  std::vector<std::unique_ptr<TreeNodeCursor>> node_cursors(lanes.size());
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    node_cursors[i] = lanes[i].tree->OpenNodeCursor();
+  }
   // Lanes whose source IS the query source share the query cursor (so a
   // 1-lane forest charges exactly the single-tree search's I/O); other
   // lanes open their own cursor lazily on first leaf evaluation.
@@ -530,8 +537,7 @@ TopKResult ForestTopKQuery(std::span<const SearchLane> lanes,
   // (deeper) level down, and the bound uses counts — so that level is
   // counted without a stored mask; in particular leaves (level m) store no
   // masks at all.
-  auto materialize = [&](const MinSigTree::Node& node,
-                         const Remaining& parent) {
+  auto materialize = [&](const TreeNodeView& node, const Remaining& parent) {
     Remaining* own = pool.Acquire();
     own->base = node.level + 1;
     own->refs = 1;
@@ -634,6 +640,54 @@ TopKResult ForestTopKQuery(std::span<const SearchLane> lanes,
     const ScoredEntity& kth = heap.Min();
     if (shared->Offer(kth.score, kth.entity)) ++stats.threshold_updates;
   };
+  // Zone-map bound (paged lanes only): an admissible bound on an
+  // unmaterialized entry computed from resident data alone. The zone gives
+  // the node's exact (level, routing) plus a value FLOOR <= its true
+  // value, so running materialize's filter count-only at the floor keeps a
+  // superset of the cells the node's own filter keeps: every count
+  // dominates the node's true tightened count pointwise (levels below the
+  // node's keep the parent's counts, exactly as materialize does), and
+  // UpperBound is monotone in the counts. An entry rejected because the
+  // certified k-th *strictly* dominates this bound therefore also has its
+  // true tightened bound strictly dominated: in the oracle traversal it
+  // would either strand in the frontier or trigger termination without
+  // ever being visited — either way it contributes no candidate and no
+  // visit, so dropping it leaves the canonical result set, entities
+  // checked, and nodes visited identical; only its page fault (and the
+  // strand's heap re-push) disappear.
+  std::vector<uint32_t> zone_counts(m);
+  const auto zone_bound = [&](const TreeNodeZone& zone,
+                              const Remaining& parent) {
+    const Level first = std::max<Level>(zone.level, 1);
+    for (Level l = 1; l < first; ++l) zone_counts[l - 1] = parent.counts[l - 1];
+    const uint64_t floor = zone.value_floor;
+    for (Level l = first; l <= m; ++l) {
+      const uint64_t* src = parent.words.data() + word_prefix[l - 1] -
+                            word_prefix[parent.base - 1];
+      const size_t n_l = q_sizes[l - 1];
+      const uint64_t* col =
+          hash_table[l - 1].data() + static_cast<size_t>(zone.routing) * n_l;
+      uint32_t count = 0;
+      for (size_t w = 0; w < word_count[l - 1]; ++w) {
+        uint64_t bits = src[w];
+        if (bits == ~uint64_t{0}) {
+          const uint64_t* base = col + w * 64;
+          for (int i = 0; i < 64; ++i) {
+            count += static_cast<uint32_t>(base[i] >= floor);
+          }
+          continue;
+        }
+        while (bits != 0) {
+          const size_t ord =
+              w * 64 + static_cast<size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          count += col[ord] >= floor ? 1 : 0;
+        }
+      }
+      zone_counts[l - 1] = count;
+    }
+    return measure.UpperBound(q_sizes, zone_counts);
+  };
   bool terminated = false;
   while (!terminated && !frontier.empty()) {
     FrontierEntry entry = frontier.top();
@@ -658,8 +712,20 @@ TopKResult ForestTopKQuery(std::span<const SearchLane> lanes,
     // is unchanged, so anything that no longer leads still returns to the
     // frontier.
     while (true) {
-      const MinSigTree::Node& node =
-          lanes[entry.lane].tree->node(entry.node);
+      TreeNodeCursor& tree_cursor = *node_cursors[entry.lane];
+      if (!entry.materialized) {
+        // Zone-map gate: reject from the resident zone bound before
+        // faulting the node in. Only unmaterialized entries are gated — a
+        // materialized entry carries its own tighter bound and has already
+        // paid the fault, so the dominated(entry.ub) checks cover it.
+        if (const auto zone = tree_cursor.Zone(entry.node)) {
+          if (dominated(zone_bound(*zone, *entry.remaining))) {
+            pool.Release(entry.remaining);
+            break;
+          }
+        }
+      }
+      const TreeNodeView node = tree_cursor.Node(entry.node);
       if (!entry.materialized) {
         Remaining* own = materialize(node, *entry.remaining);
         pool.Release(entry.remaining);  // drop the ref on the parent
@@ -731,6 +797,7 @@ TopKResult ForestTopKQuery(std::span<const SearchLane> lanes,
   for (const auto& lc : lane_cursors) {
     if (lc != nullptr) stats.io.Add(lc->io());
   }
+  for (const auto& nc : node_cursors) stats.io.Add(nc->io());
   stats.elapsed_seconds = timer.ElapsedSeconds();
   stats.work_seconds = stats.elapsed_seconds;
   return result;

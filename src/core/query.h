@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "core/association.h"
-#include "core/min_sig_tree.h"
+#include "core/tree_source.h"
 #include "hash/cell_hasher.h"
 #include "trace/trace_source.h"
 #include "trace/types.h"
@@ -188,15 +188,16 @@ struct QueryOptions {
   CrossShardThreshold* shared_threshold = nullptr;
 };
 
-/// One lane of a forest search (the routed ShardedIndex fan-out): a
-/// MinSigTree over a slice of the entity population, the source its
+/// One lane of a forest search (the routed ShardedIndex fan-out): a tree
+/// (an in-memory MinSigTree or its paged snapshot — any TreeSource) over a
+/// slice of the entity population, the source its
 /// candidate traces are read from, and the lane's population-wide coarse
 /// signature (the shared router's level-1 min-signature over every member;
 /// empty = uncapped). The search derives each lane's admissible root bound
 /// from the coarse signature using its own transposed hash table, so the
 /// router costs no extra hashing per query.
 struct SearchLane {
-  const MinSigTree* tree = nullptr;
+  const TreeSource* tree = nullptr;
   const TraceSource* source = nullptr;
   std::span<const uint64_t> coarse_sig = {};
 };
@@ -239,7 +240,7 @@ TopKResult ForestTopKQuery(std::span<const SearchLane> lanes,
 /// runs in-memory or storage-backed (DESIGN-storage.md).
 class TopKQueryProcessor {
  public:
-  TopKQueryProcessor(const MinSigTree& tree, const TraceSource& source,
+  TopKQueryProcessor(const TreeSource& tree, const TraceSource& source,
                      const CellHasher& hasher,
                      const AssociationMeasure& measure);
 
@@ -251,7 +252,7 @@ class TopKQueryProcessor {
                         const QueryOptions& options = {}) const;
 
  private:
-  const MinSigTree* tree_;
+  const TreeSource* tree_;
   const TraceSource* source_;
   const CellHasher* hasher_;
   const AssociationMeasure* measure_;

@@ -174,7 +174,7 @@ TopKResult ShardedIndex::RoutedFanOut(EntityId q, int k,
     // this way.
     std::vector<SearchLane> lanes(num_shards);
     for (size_t s = 0; s < num_shards; ++s) {
-      lanes[s] = {&shards_[s]->tree(),
+      lanes[s] = {&shards_[s]->QueryTree(),
                   shard_sources_[s] != nullptr ? shard_sources_[s]
                                                : default_source,
                   router_.shard_signature(static_cast<int>(s))};
@@ -260,11 +260,22 @@ TopKResult ShardedIndex::RoutedFanOut(EntityId q, int k,
   return merged;
 }
 
+void ShardedIndex::SettlePagedTrees() const {
+  // Repack any maintenance-dirtied paged snapshots *before* workers fan
+  // out: QueryTree()'s repack-on-dirty is single-threaded, and the grid /
+  // routed-batch paths hit the same shard from many workers at once. A
+  // clean snapshot makes the later calls read-only.
+  for (const auto& shard : shards_) {
+    if (shard->paged_tree_enabled()) (void)shard->QueryTree();
+  }
+}
+
 TopKResult ShardedIndex::Query(EntityId q, int k,
                                const AssociationMeasure& measure,
                                const QueryOptions& options,
                                int shard_threads) const {
   Timer timer;
+  SettlePagedTrees();
   TopKResult merged;
   if (options.cross_shard_routing && options.approximation_epsilon == 0.0) {
     merged = RoutedFanOut(q, k, measure, options, shard_threads);
@@ -288,6 +299,7 @@ std::vector<TopKResult> ShardedIndex::QueryMany(
     std::span<const EntityId> queries, int k, const AssociationMeasure& measure,
     const QueryOptions& options, int num_threads) const {
   const size_t num_shards = shards_.size();
+  SettlePagedTrees();
   std::vector<TopKResult> results(queries.size());
   if (options.cross_shard_routing && options.approximation_epsilon == 0.0) {
     // Routed batches parallelize across queries only: each query walks its
@@ -375,6 +387,14 @@ void ShardedIndex::Refresh() {
     shards_[s]->Refresh();
     RefreshRouterShard(static_cast<int>(s));
   }
+}
+
+void ShardedIndex::EnablePagedTrees(const PagedTreeOptions& options) {
+  for (auto& shard : shards_) shard->EnablePagedTree(options);
+}
+
+void ShardedIndex::DisablePagedTrees() {
+  for (auto& shard : shards_) shard->DisablePagedTree();
 }
 
 void ShardedIndex::AttachShardSource(int s, const TraceSource* source) {

@@ -153,6 +153,15 @@ class ShardedIndex {
   /// Restores tight node values in every shard after updates/removals.
   void Refresh();
 
+  /// Switches every shard onto a paged tree snapshot (each shard's
+  /// DigitalTraceIndex::EnablePagedTree with the same options — private
+  /// page store per shard unless `options` names a shared disk/pool).
+  /// Results stay bit-identical for all query paths, routed or not; merged
+  /// QueryStats gain the summed tree-page I/O.
+  void EnablePagedTrees(const PagedTreeOptions& options = {});
+  /// Back to in-memory trees in every shard.
+  void DisablePagedTrees();
+
   /// Evaluate shard `s`'s queries against `source` instead of the store /
   /// QueryOptions::trace_source (null restores the default). The source
   /// must describe the same logical dataset as the store and outlive this
@@ -190,6 +199,8 @@ class ShardedIndex {
   /// Min-merges entity `e`'s level-1 signature into shard `s`'s router
   /// signature (insert/update paths).
   void AbsorbIntoRouter(int s, EntityId e);
+  /// Serially repacks any dirty paged snapshots before a parallel fan-out.
+  void SettlePagedTrees() const;
   /// The routed fan-out behind Query/QueryMany when
   /// options.cross_shard_routing is set: coarse bounds, best-bound-first
   /// visit order, shard skipping, and threshold propagation.

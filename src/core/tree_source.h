@@ -1,0 +1,101 @@
+#ifndef DTRACE_CORE_TREE_SOURCE_H_
+#define DTRACE_CORE_TREE_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "trace/trace_source.h"
+#include "trace/types.h"
+
+namespace dtrace {
+
+/// One MinSigTree node as the search reads it. Spans stay valid until the
+/// next Node() call on the same cursor (a paged cursor reuses its copy-out
+/// buffers) or until the underlying tree is mutated — the search never
+/// holds a view across either.
+struct TreeNodeView {
+  Level level = 0;     ///< 0 = virtual root, else 1..m
+  int routing = 0;     ///< routing index u in [0, nh)
+  uint64_t value = 0;  ///< SIG_N[routing]
+  std::span<const uint32_t> children;
+  std::span<const EntityId> entities;  ///< non-empty only at leaves
+  std::span<const uint64_t> full_sig;  ///< only in full-signature mode
+};
+
+/// Resident zone summary of one packed node: its exact level and routing
+/// index plus a quantized LOWER bound on its value (EncodeZoneValue in
+/// storage/tree_page.h). Filtering the query's remaining cells at
+/// `value_floor <= N.value` keeps a superset of what the node's own filter
+/// keeps, so the resulting counts — and the bound computed from them — are
+/// admissible for the node, and the search can reject a frontier entry
+/// whose page is not resident WITHOUT faulting it in.
+///
+/// Per-slot (not per-page-aggregate) summaries are a measured necessity:
+/// node values are minima over group cells, i.e. they live in the bottom
+/// tail of every hash column, so any aggregate over a page's ~151 nodes is
+/// poisoned by its weakest member — on the synthetic preset even a perfect
+/// per-page bound (max of every member's true tightened bound) rejects
+/// zero pages. See DESIGN-paged-index.md.
+struct TreeNodeZone {
+  Level level;          ///< the node's level (1..m)
+  int routing;          ///< the node's routing index u in [0, nh)
+  uint64_t value_floor;  ///< quantized floor: value_floor <= node value
+};
+
+/// Per-query read handle onto a tree's nodes — the node-side analogue of
+/// TraceCursor. Cursors are cheap to open, are NOT thread-safe (each query
+/// opens its own), and accumulate the tree-page I/O they cause in io()
+/// (tree_pages_read / tree_page_hits / modeled_io_seconds; all other
+/// fields stay zero). The in-memory tree's cursor performs no I/O at all.
+class TreeNodeCursor {
+ public:
+  virtual ~TreeNodeCursor() = default;
+
+  /// Reads node `id`. Invalidates the spans of the previous view.
+  virtual TreeNodeView Node(uint32_t id) = 0;
+
+  /// The resident zone summary of node `id`, or nullopt when the source
+  /// has none (in-memory tree, or zone maps disabled). MUST NOT fault the
+  /// node's page in — rejecting an entry from resident data without
+  /// reading its page is the point of having zone maps.
+  virtual std::optional<TreeNodeZone> Zone(uint32_t id) const {
+    (void)id;
+    return std::nullopt;
+  }
+
+  /// Whether Zone can ever return a value.
+  virtual bool has_zone_maps() const { return false; }
+
+  /// Tree-page I/O accumulated by this cursor since it was opened.
+  const TraceIoStats& io() const { return io_; }
+
+ protected:
+  TraceIoStats io_;
+};
+
+/// What the top-k search needs from a tree: structural reads through a
+/// per-query cursor plus the population facts the processor consults. Both
+/// MinSigTree (heap nodes, zero-I/O cursor) and PagedMinSigTree (SoA pages
+/// through a TreePageSource) implement it, so the same ForestTopKQuery
+/// runs against either — the storage-policy split of the tree, mirroring
+/// TraceSource under the trace side.
+class TreeSource {
+ public:
+  virtual ~TreeSource() = default;
+
+  virtual uint32_t root() const = 0;
+  virtual int num_levels() const = 0;
+  virtual int num_functions() const = 0;
+  virtual size_t num_entities() const = 0;
+  virtual bool Contains(EntityId e) const = 0;
+
+  /// Opens a node cursor. Safe to call concurrently; the returned cursor
+  /// is single-threaded.
+  virtual std::unique_ptr<TreeNodeCursor> OpenNodeCursor() const = 0;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_CORE_TREE_SOURCE_H_

@@ -35,6 +35,8 @@ PeMeasurement AggregatePe(std::span<const TopKResult> results,
     agg.mean_query_seconds += r.stats.elapsed_seconds;
     agg.mean_pages_read += static_cast<double>(r.stats.io.pages_read);
     agg.mean_io_seconds += r.stats.io.modeled_io_seconds;
+    agg.mean_tree_pages_read += static_cast<double>(r.stats.io.tree_pages_read);
+    agg.mean_tree_page_hits += static_cast<double>(r.stats.io.tree_page_hits);
     agg.mean_prefetch_hits += static_cast<double>(r.stats.io.prefetch_hits);
     agg.mean_shards_pruned += static_cast<double>(r.stats.shards_pruned);
     agg.mean_threshold_updates +=
@@ -52,6 +54,8 @@ PeMeasurement AggregatePe(std::span<const TopKResult> results,
     agg.mean_query_seconds /= n;
     agg.mean_pages_read /= n;
     agg.mean_io_seconds /= n;
+    agg.mean_tree_pages_read /= n;
+    agg.mean_tree_page_hits /= n;
     agg.mean_prefetch_hits /= n;
     agg.mean_shards_pruned /= n;
     agg.mean_threshold_updates /= n;

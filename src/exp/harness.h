@@ -21,6 +21,10 @@ struct PeMeasurement {
   /// Storage-path I/O, averaged per query (zero on the in-memory path).
   double mean_pages_read = 0.0;
   double mean_io_seconds = 0.0;
+  /// Tree-page traffic of a paged MinSigTree, averaged per query (zero
+  /// when every lane's tree is in-memory).
+  double mean_tree_pages_read = 0.0;
+  double mean_tree_page_hits = 0.0;
   /// Records served by the leaf-prefetch pipeline, averaged per query
   /// (zero with QueryOptions::prefetch_depth = 0).
   double mean_prefetch_hits = 0.0;

@@ -69,6 +69,15 @@ Dataset MakeDiskResidentDataset(uint32_t num_entities, uint64_t seed) {
   return GenerateSyn(PresetSyn(num_entities, seed));
 }
 
+Dataset MakePagedTreeDataset(uint32_t num_entities, uint64_t seed) {
+  SynConfig config = PresetSyn(num_entities, seed);
+  config.horizon = 240;  // 10 days of hours
+  config.mobility.observe_prob = 0.05;
+  config.pool_observe_prob = 0.05;
+  config.member_observe_prob = 0.01;
+  return GenerateSyn(config);
+}
+
 PagedTraceSource::Options PresetHddSourceOptions(size_t pool_pages) {
   PagedTraceSource::Options options;
   options.pool_pages = pool_pages;

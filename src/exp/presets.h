@@ -45,6 +45,15 @@ Dataset MakeDiskResidentDataset(uint32_t num_entities = 20000,
 /// given.
 PagedTraceSource::Options PresetHddSourceOptions(size_t pool_pages);
 
+/// Paged-MinSigTree stress preset (bench_scalability --paged-tree): the
+/// tree gets one leaf path per entity, so |E| alone sets the packed page
+/// count, while the traces are deliberately thin (short horizon, sparse
+/// observation) — the preset measures TREE paging, and at the 1M-entity
+/// scale the default trace density would dominate generation and scoring
+/// cost without adding tree pages. Structural parameters are PresetSyn's.
+Dataset MakePagedTreeDataset(uint32_t num_entities = 1000000,
+                             uint64_t seed = 11);
+
 }  // namespace dtrace
 
 #endif  // DTRACE_EXP_PRESETS_H_

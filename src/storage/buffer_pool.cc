@@ -64,7 +64,9 @@ std::unique_lock<std::mutex> BufferPool::LockShard(Shard& s) {
   return lock;
 }
 
-BufferPool::Frame* BufferPool::GetFrame(PageId id, bool mutate, bool* missed) {
+BufferPool::Frame* BufferPool::GetFrame(PageId id, bool mutate, bool* missed,
+                                        PoolClient client) {
+  const auto kind = static_cast<size_t>(client);
   Shard& s = ShardOf(id);
   auto lock = LockShard(s);
   for (;;) {
@@ -77,6 +79,7 @@ BufferPool::Frame* BufferPool::GetFrame(PageId id, bool mutate, bool* missed) {
         continue;
       }
       ++s.hits;
+      ++s.client_hits[kind];
       if (missed != nullptr) *missed = false;
       if (f.pins == 0) {
         if (f.in_lru) {
@@ -120,6 +123,7 @@ BufferPool::Frame* BufferPool::GetFrame(PageId id, bool mutate, bool* missed) {
       continue;
     }
     ++s.misses;
+    ++s.client_misses[kind];
     if (missed != nullptr) *missed = true;
     Frame& f = s.frames[frame_idx];
     const PageId old_id = f.id;
@@ -127,8 +131,11 @@ BufferPool::Frame* BufferPool::GetFrame(PageId id, bool mutate, bool* missed) {
     if (evicting) {
       ResidentSlot(s, old_id) = -1;
       if (write_back) s.writing_back.insert(old_id);
+      --s.client_resident[f.client];
     }
     ResidentSlot(s, id) = static_cast<int32_t>(frame_idx);
+    f.client = static_cast<uint8_t>(kind);
+    ++s.client_resident[kind];
     f.id = id;
     f.pins = 1;
     ++s.pinned_frames;
@@ -152,12 +159,13 @@ BufferPool::Frame* BufferPool::GetFrame(PageId id, bool mutate, bool* missed) {
   }
 }
 
-const uint8_t* BufferPool::Pin(PageId id, bool* missed) {
-  return GetFrame(id, /*mutate=*/false, missed)->page.data.data();
+const uint8_t* BufferPool::Pin(PageId id, bool* missed, PoolClient client) {
+  return GetFrame(id, /*mutate=*/false, missed, client)->page.data.data();
 }
 
-uint8_t* BufferPool::PinMutable(PageId id) {
-  return GetFrame(id, /*mutate=*/true, /*missed=*/nullptr)->page.data.data();
+uint8_t* BufferPool::PinMutable(PageId id, PoolClient client) {
+  return GetFrame(id, /*mutate=*/true, /*missed=*/nullptr, client)
+      ->page.data.data();
 }
 
 void BufferPool::Unpin(PageId id) {
@@ -233,6 +241,11 @@ BufferPool::Stats BufferPool::stats() const {
     out.misses += shard->misses;
     out.evictions += shard->evictions;
     out.lock_wait_seconds += shard->lock_wait_seconds;
+    for (size_t c = 0; c < kNumPoolClients; ++c) {
+      out.client_hits[c] += shard->client_hits[c];
+      out.client_misses[c] += shard->client_misses[c];
+      out.client_resident[c] += shard->client_resident[c];
+    }
   }
   return out;
 }
@@ -244,6 +257,12 @@ void BufferPool::ResetStats() {
     shard->misses = 0;
     shard->evictions = 0;
     shard->lock_wait_seconds = 0.0;
+    for (size_t c = 0; c < kNumPoolClients; ++c) {
+      shard->client_hits[c] = 0;
+      shard->client_misses[c] = 0;
+      // client_resident is occupancy state, not a counter: it must keep
+      // matching the frames actually resident, so it survives a reset.
+    }
   }
 }
 

@@ -13,6 +13,13 @@
 
 namespace dtrace {
 
+/// What kind of data a pinner is reading through the pool. Purely an
+/// accounting tag: a shared pool serving both the paged trace records and
+/// the paged MinSigTree reports its hit/miss/occupancy split per kind, so
+/// the two working sets stay separately observable (Stats::client_*).
+enum class PoolClient : uint8_t { kTrace = 0, kTree = 1 };
+inline constexpr size_t kNumPoolClients = 2;
+
 /// Sharded LRU buffer pool over a SimDisk. Frames hold whole pages; pinned
 /// pages are never evicted; dirty pages are written back on eviction or
 /// FlushAll. The memory-size experiment (Sec. 7.6) varies `capacity_pages`
@@ -40,11 +47,14 @@ class BufferPool {
   /// Pins a page for reading; the pointer stays valid until Unpin. When
   /// `missed` is non-null it reports whether this pin caused a disk read —
   /// per-call outcome reporting, so concurrent callers can account their own
-  /// I/O exactly without diffing the shared counters.
-  const uint8_t* Pin(PageId id, bool* missed = nullptr);
+  /// I/O exactly without diffing the shared counters. `client` tags the pin
+  /// for the per-kind Stats split (hits/misses by the pinner's kind; a
+  /// frame's occupancy is attributed to the kind that loaded it).
+  const uint8_t* Pin(PageId id, bool* missed = nullptr,
+                     PoolClient client = PoolClient::kTrace);
 
   /// Pins a page for writing (marks it dirty).
-  uint8_t* PinMutable(PageId id);
+  uint8_t* PinMutable(PageId id, PoolClient client = PoolClient::kTrace);
 
   /// Releases one pin on `id`.
   void Unpin(PageId id);
@@ -65,6 +75,14 @@ class BufferPool {
     /// the bench-facing "lock_wait" signal; ~0 when sharding removes the
     /// single-mutex bottleneck.
     double lock_wait_seconds = 0.0;
+    /// Per-client-kind split (indexed by PoolClient): hits/misses by the
+    /// pinner's declared kind, and current frame occupancy by the kind that
+    /// loaded each resident page — so a pool shared between trace records
+    /// and tree pages shows how the two working sets divide it. Occupancy
+    /// is state, not a counter: ResetStats leaves client_resident alone.
+    uint64_t client_hits[kNumPoolClients] = {0, 0};
+    uint64_t client_misses[kNumPoolClients] = {0, 0};
+    uint64_t client_resident[kNumPoolClients] = {0, 0};
 
     double hit_rate() const {
       const uint64_t total = hits + misses;
@@ -87,6 +105,7 @@ class BufferPool {
     uint32_t pins = 0;
     bool dirty = false;
     bool loading = false;  // disk read in flight; contents not yet valid
+    uint8_t client = 0;    // PoolClient that loaded the page (occupancy tag)
     std::list<size_t>::iterator lru_pos;  // valid iff in_lru
     bool in_lru = false;
   };
@@ -111,6 +130,11 @@ class BufferPool {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     double lock_wait_seconds = 0.0;
+    uint64_t client_hits[kNumPoolClients] = {0, 0};
+    uint64_t client_misses[kNumPoolClients] = {0, 0};
+    // Occupied frames by loading client; updated on load/eviction, so it is
+    // current state (not reset with the counters).
+    uint64_t client_resident[kNumPoolClients] = {0, 0};
   };
 
   Shard& ShardOf(PageId id) { return *shards_[id % shards_.size()]; }
@@ -118,7 +142,7 @@ class BufferPool {
   // Acquires s.mu, charging blocked time to s.lock_wait_seconds.
   static std::unique_lock<std::mutex> LockShard(Shard& s);
   int32_t& ResidentSlot(Shard& s, PageId id) const;
-  Frame* GetFrame(PageId id, bool mutate, bool* missed);
+  Frame* GetFrame(PageId id, bool mutate, bool* missed, PoolClient client);
 
   SimDisk* disk_;
   size_t capacity_;

@@ -78,6 +78,14 @@ class PagedTraceSource final : public TraceSource {
   /// Clears pool and disk counters (resident pages stay warm).
   void ResetStats();
 
+  /// The backing disk and pool, for co-locating OTHER page traffic with the
+  /// trace data (PagedTreeOptions::shared_disk/shared_pool puts a paged
+  /// MinSigTree's node pages on this disk, behind this pool, so tree and
+  /// trace working sets compete for the same frames). Callers must not
+  /// write pages the source allocated.
+  SimDisk* disk() const { return &disk_; }
+  BufferPool* pool() const { return &*pool_; }
+
  private:
   friend class PagedTraceCursor;
 

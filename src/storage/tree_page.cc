@@ -1,0 +1,60 @@
+#include "storage/tree_page.h"
+
+#include <cstring>
+
+namespace dtrace {
+
+namespace {
+
+template <typename T>
+void Store(uint8_t* page, size_t offset, T v) {
+  std::memcpy(page + offset, &v, sizeof(T));
+}
+
+template <typename T>
+T Load(const uint8_t* page, size_t offset) {
+  T v;
+  std::memcpy(&v, page + offset, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+void StoreTreePageHeader(uint8_t* page, const TreePageHeader& header) {
+  Store<uint32_t>(page, 0, header.count);
+  Store<uint16_t>(page, 4, header.filter_level);
+  Store<uint16_t>(page, 6, 0);  // pad
+  Store<uint64_t>(page, 8, header.zone_min);
+}
+
+TreePageHeader LoadTreePageHeader(const uint8_t* page) {
+  TreePageHeader h;
+  h.count = Load<uint32_t>(page, 0);
+  h.filter_level = Load<uint16_t>(page, 4);
+  h.zone_min = Load<uint64_t>(page, 8);
+  return h;
+}
+
+void StoreTreeNode(uint8_t* page, size_t slot, const TreeNodeRecord& rec) {
+  Store<uint64_t>(page, kTreeValueColumn + 8 * slot, rec.value);
+  Store<uint32_t>(page, kTreeChildOffColumn + 4 * slot, rec.child_off);
+  Store<uint32_t>(page, kTreeChildCountColumn + 4 * slot, rec.child_count);
+  Store<uint32_t>(page, kTreeEntityOffColumn + 4 * slot, rec.entity_off);
+  Store<uint32_t>(page, kTreeEntityCountColumn + 4 * slot, rec.entity_count);
+  Store<uint16_t>(page, kTreeRoutingColumn + 2 * slot, rec.routing);
+  Store<uint8_t>(page, kTreeLevelColumn + slot, rec.level);
+}
+
+TreeNodeRecord LoadTreeNode(const uint8_t* page, size_t slot) {
+  TreeNodeRecord rec;
+  rec.value = Load<uint64_t>(page, kTreeValueColumn + 8 * slot);
+  rec.child_off = Load<uint32_t>(page, kTreeChildOffColumn + 4 * slot);
+  rec.child_count = Load<uint32_t>(page, kTreeChildCountColumn + 4 * slot);
+  rec.entity_off = Load<uint32_t>(page, kTreeEntityOffColumn + 4 * slot);
+  rec.entity_count = Load<uint32_t>(page, kTreeEntityCountColumn + 4 * slot);
+  rec.routing = Load<uint16_t>(page, kTreeRoutingColumn + 2 * slot);
+  rec.level = Load<uint8_t>(page, kTreeLevelColumn + slot);
+  return rec;
+}
+
+}  // namespace dtrace

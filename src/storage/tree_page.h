@@ -1,0 +1,103 @@
+#ifndef DTRACE_STORAGE_TREE_PAGE_H_
+#define DTRACE_STORAGE_TREE_PAGE_H_
+
+#include <cstdint>
+
+#include "storage/sim_disk.h"
+
+namespace dtrace {
+
+/// On-page layout of the paged MinSigTree (DESIGN-paged-index.md).
+///
+/// A packed tree is three consecutive page regions on its TreePageSource:
+///
+///   [node pages][child-blob pages][entity-blob pages]
+///
+/// Node pages are SoA: each per-node field lives in its own contiguous
+/// per-page array (value column first — it is what zone maps summarize and
+/// what a hypothetical in-page scan would stream), preceded by a 16-byte
+/// header that doubles as the page's zone map. Node ids are MinSigTree node
+/// indices; node id n lives at slot n % kTreeNodesPerPage of node page
+/// n / kTreeNodesPerPage, so addressing is pure arithmetic and needs no
+/// per-node directory.
+///
+/// Variable-length data (children node-id lists, leaf entity lists) is
+/// packed element-contiguously into the two blob regions; a node record
+/// holds (offset, count) in global blob elements. Blob entries are 4-byte
+/// values and may straddle page boundaries (readers copy page by page).
+///
+/// All multi-byte fields are stored via memcpy in native byte order: pages
+/// live on the SimDisk, which never leaves the process.
+
+/// Node-page header — also the page's zone map.
+struct TreePageHeader {
+  uint32_t count;         ///< occupied slots in this page
+  uint16_t filter_level;  ///< MAX node level in the page (see below)
+  uint64_t zone_min;      ///< MIN node value in the page
+};
+
+/// One node's fixed-size record (the SoA columns of one slot).
+struct TreeNodeRecord {
+  uint64_t value;         ///< SIG_N[routing]
+  uint32_t child_off;     ///< first child, in global child-blob elements
+  uint32_t child_count;
+  uint32_t entity_off;    ///< first entity, in global entity-blob elements
+  uint32_t entity_count;  ///< non-zero only at leaves
+  uint16_t routing;       ///< routing index u (nh <= 2000 << 65536)
+  uint8_t level;          ///< 0 = virtual root, else 1..m (m is tiny)
+};
+
+constexpr size_t kTreePageHeaderBytes = 16;
+/// Bytes of one node across all SoA columns: 8+4+4+4+4+2+1.
+constexpr size_t kTreeNodeSlotBytes = 27;
+constexpr size_t kTreeNodesPerPage =
+    (kPageSize - kTreePageHeaderBytes) / kTreeNodeSlotBytes;  // 151
+/// 4-byte blob entries (child node ids / entity ids) per blob page.
+constexpr size_t kTreeBlobEntriesPerPage = kPageSize / sizeof(uint32_t);
+
+// Column base offsets inside a node page, in decreasing element width so
+// every column is naturally aligned (would matter if readers ever switched
+// from memcpy to direct typed loads).
+constexpr size_t kTreeValueColumn = kTreePageHeaderBytes;
+constexpr size_t kTreeChildOffColumn = kTreeValueColumn + 8 * kTreeNodesPerPage;
+constexpr size_t kTreeChildCountColumn =
+    kTreeChildOffColumn + 4 * kTreeNodesPerPage;
+constexpr size_t kTreeEntityOffColumn =
+    kTreeChildCountColumn + 4 * kTreeNodesPerPage;
+constexpr size_t kTreeEntityCountColumn =
+    kTreeEntityOffColumn + 4 * kTreeNodesPerPage;
+constexpr size_t kTreeRoutingColumn =
+    kTreeEntityCountColumn + 4 * kTreeNodesPerPage;
+constexpr size_t kTreeLevelColumn = kTreeRoutingColumn + 2 * kTreeNodesPerPage;
+static_assert(kTreeLevelColumn + kTreeNodesPerPage <= kPageSize,
+              "node-page columns overflow the page");
+
+void StoreTreePageHeader(uint8_t* page, const TreePageHeader& header);
+TreePageHeader LoadTreePageHeader(const uint8_t* page);
+
+void StoreTreeNode(uint8_t* page, size_t slot, const TreeNodeRecord& rec);
+TreeNodeRecord LoadTreeNode(const uint8_t* page, size_t slot);
+
+/// Zone-value quantization: an 8-bit minifloat (6-bit exponent, 2-bit
+/// mantissa) whose decode is a guaranteed FLOOR of the encoded value —
+/// DecodeZoneValueFloor(EncodeZoneValue(v)) <= v < floor * 5/4 — so a
+/// resident 1-byte code per node slot admissibly stands in for the 8-byte
+/// value column when zone maps bound an unfaulted node. Codes 0..3 encode
+/// those values exactly; otherwise code = (e << 2) | mantissa where e =
+/// floor(log2 v) and the mantissa is the two bits after the leading one.
+/// Both functions are monotone in v.
+constexpr uint8_t EncodeZoneValue(uint64_t v) {
+  if (v <= 3) return static_cast<uint8_t>(v);
+  int e = 63;
+  while ((v >> e) == 0) --e;  // e = floor(log2 v) >= 2
+  return static_cast<uint8_t>((e << 2) | ((v >> (e - 2)) & 3));
+}
+constexpr uint64_t DecodeZoneValueFloor(uint8_t code) {
+  if (code <= 3) return code;
+  const int e = code >> 2;
+  return (uint64_t{4} | (code & 3)) << (e - 2);
+}
+
+}  // namespace dtrace
+
+#endif  // DTRACE_STORAGE_TREE_PAGE_H_

@@ -1,0 +1,80 @@
+#include "storage/tree_page_source.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dtrace {
+
+void InMemoryTreePageStore::Allocate(size_t num_pages) {
+  DT_CHECK_MSG(pages_.empty(), "Allocate called twice");
+  pages_.reserve(num_pages);
+  for (size_t i = 0; i < num_pages; ++i) {
+    pages_.push_back(std::make_unique<Page>());
+    pages_.back()->data.fill(0);
+  }
+}
+
+void InMemoryTreePageStore::WritePage(uint32_t index, const Page& page) {
+  DT_CHECK(index < pages_.size());
+  *pages_[index] = page;
+}
+
+const uint8_t* InMemoryTreePageStore::Pin(uint32_t index, bool* missed) const {
+  DT_CHECK(index < pages_.size());
+  if (missed != nullptr) *missed = false;
+  return pages_[index]->data.data();
+}
+
+SimDiskTreePageStore::SimDiskTreePageStore(Options options)
+    : options_(options),
+      owned_disk_(std::make_unique<SimDisk>(options.read_latency_seconds,
+                                            options.write_latency_seconds)) {
+  disk_ = owned_disk_.get();
+}
+
+SimDiskTreePageStore::SimDiskTreePageStore(SimDisk* disk, BufferPool* pool)
+    : disk_(disk), pool_(pool) {
+  DT_CHECK(disk != nullptr && pool != nullptr);
+}
+
+void SimDiskTreePageStore::Allocate(size_t num_pages) {
+  DT_CHECK_MSG(page_ids_.empty(), "Allocate called twice");
+  page_ids_.reserve(num_pages);
+  // On a shared disk this appends after whatever is already there (the
+  // trace region); Allocate is not thread-safe, and packing runs strictly
+  // before queries, so this matches the SimDisk contract.
+  for (size_t i = 0; i < num_pages; ++i) page_ids_.push_back(disk_->Allocate());
+}
+
+void SimDiskTreePageStore::WritePage(uint32_t index, const Page& page) {
+  DT_CHECK(index < page_ids_.size());
+  // Straight to disk: packing precedes pool construction in private mode,
+  // and in shared mode the pages are not resident yet (fresh allocations).
+  disk_->Write(page_ids_[index], page);
+}
+
+void SimDiskTreePageStore::Finalize() {
+  if (pool_ != nullptr) return;  // shared mode: the pool already exists
+  size_t capacity = options_.pool_pages;
+  if (options_.pool_fraction > 0.0) {
+    capacity = std::max<size_t>(
+        1, static_cast<size_t>(options_.pool_fraction *
+                               static_cast<double>(page_ids_.size())));
+  }
+  if (capacity == 0) capacity = std::max<size_t>(1, page_ids_.size());
+  owned_pool_.emplace(disk_, capacity, options_.pool_shards);
+  pool_ = &*owned_pool_;
+}
+
+const uint8_t* SimDiskTreePageStore::Pin(uint32_t index, bool* missed) const {
+  DT_CHECK(index < page_ids_.size());
+  DT_CHECK_MSG(pool_ != nullptr, "Pin before Finalize");
+  return pool_->Pin(page_ids_[index], missed, PoolClient::kTree);
+}
+
+void SimDiskTreePageStore::Unpin(uint32_t index) const {
+  pool_->Unpin(page_ids_[index]);
+}
+
+}  // namespace dtrace

@@ -1,0 +1,137 @@
+#ifndef DTRACE_STORAGE_TREE_PAGE_SOURCE_H_
+#define DTRACE_STORAGE_TREE_PAGE_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/sim_disk.h"
+
+namespace dtrace {
+
+/// Where a packed MinSigTree's pages live and how queries pin them
+/// (core/paged_min_sig_tree.h owns one). The packer drives the write side
+/// once — Allocate, WritePage in any order, Finalize — and queries then use
+/// only the pin side. Pin/Unpin must be safe to call concurrently (cursors
+/// from different query workers share the store); the write side is
+/// single-threaded and happens strictly before any pin.
+///
+/// Pin discipline (also DESIGN-paged-index.md): a tree cursor holds at most
+/// ONE pin at a time and copies what it needs out of the frame before
+/// pinning the next page. That bounds each cursor's footprint in a shared
+/// pool to a single frame, so a pool also serving trace records can never
+/// be exhausted by tree readers, and no lock order exists between tree and
+/// trace pins (they are never held together by one thread).
+class TreePageSource {
+ public:
+  virtual ~TreePageSource() = default;
+
+  /// Reserves exactly `num_pages` pages, ids [0, num_pages). Called once,
+  /// before any WritePage.
+  virtual void Allocate(size_t num_pages) = 0;
+
+  /// Writes page `index`. Packing emits the three page regions interleaved
+  /// (a node page completes every 151 nodes, a blob page every 1024
+  /// entries), hence writes arrive out of index order.
+  virtual void WritePage(uint32_t index, const Page& page) = 0;
+
+  /// Called once after the last WritePage; a disk-backed store sizes its
+  /// buffer pool here (pool fractions resolve against the final page
+  /// count). No pin may happen before this.
+  virtual void Finalize() = 0;
+
+  virtual size_t num_pages() const = 0;
+
+  /// Pins page `index` for reading; `missed` reports whether this pin cost
+  /// a real page read (per-call outcome, same contract as BufferPool::Pin).
+  /// Balanced by Unpin.
+  virtual const uint8_t* Pin(uint32_t index, bool* missed) const = 0;
+  virtual void Unpin(uint32_t index) const = 0;
+
+  /// Modeled seconds a missed pin costs (0 for in-memory stores).
+  virtual double read_latency_seconds() const = 0;
+
+  /// The backing pool, when there is one (null for in-memory stores).
+  virtual const BufferPool* pool() const { return nullptr; }
+};
+
+/// Deterministic default: pages live in heap memory, every pin hits.
+/// Queries through it charge tree_page_hits but never tree_pages_read —
+/// the paged layout without the paging, the oracle for the disk-backed
+/// configurations.
+class InMemoryTreePageStore final : public TreePageSource {
+ public:
+  void Allocate(size_t num_pages) override;
+  void WritePage(uint32_t index, const Page& page) override;
+  void Finalize() override {}
+  size_t num_pages() const override { return pages_.size(); }
+  const uint8_t* Pin(uint32_t index, bool* missed) const override;
+  void Unpin(uint32_t) const override {}
+  double read_latency_seconds() const override { return 0.0; }
+
+ private:
+  // unique_ptr per page: stable addresses and 16-byte heap alignment.
+  std::vector<std::unique_ptr<Page>> pages_;
+};
+
+/// Scaling mode: pages live on a SimDisk and every pin goes through a
+/// sharded BufferPool, tagged PoolClient::kTree. Two configurations:
+///
+///  - Private (default-constructible Options): the store owns its disk and
+///    pool; Options caps the pool below the packed size to make queries
+///    fault tree pages in and out (the paged-index experiment).
+///  - Shared: constructed over an existing disk + pool (e.g. a
+///    PagedTraceSource's), so trace records and tree pages compete for the
+///    same frames; BufferPool::Stats::client_* shows the split.
+class SimDiskTreePageStore final : public TreePageSource {
+ public:
+  struct Options {
+    /// Pool capacity in pages. 0 = every tree page fits.
+    size_t pool_pages = 0;
+    /// When > 0, overrides pool_pages with max(1, pool_fraction *
+    /// num_pages()) — resolved at Finalize, so callers need not know the
+    /// packed page count up front.
+    double pool_fraction = 0.0;
+    /// Pool shards (0 = auto; see BufferPool).
+    size_t pool_shards = 0;
+    /// Modeled per-page latencies of the private SimDisk.
+    double read_latency_seconds = 100e-6;
+    double write_latency_seconds = 100e-6;
+  };
+
+  explicit SimDiskTreePageStore(Options options);
+  /// Shared mode: allocate on `disk` and pin through `pool`, both owned by
+  /// someone else (and already usable — the trace source has serialized).
+  /// Options' pool knobs are ignored; both pointers must outlive the store.
+  SimDiskTreePageStore(SimDisk* disk, BufferPool* pool);
+
+  void Allocate(size_t num_pages) override;
+  void WritePage(uint32_t index, const Page& page) override;
+  void Finalize() override;
+  size_t num_pages() const override { return page_ids_.size(); }
+  const uint8_t* Pin(uint32_t index, bool* missed) const override;
+  void Unpin(uint32_t index) const override;
+  double read_latency_seconds() const override {
+    return disk_->read_latency_seconds();
+  }
+  const BufferPool* pool() const override { return pool_; }
+
+  const SimDisk& disk() const { return *disk_; }
+  size_t pool_pages() const { return pool_->capacity(); }
+
+ private:
+  Options options_;
+  // Private mode owns these; shared mode leaves them empty and uses the
+  // borrowed pointers below.
+  std::unique_ptr<SimDisk> owned_disk_;
+  mutable std::optional<BufferPool> owned_pool_;
+  SimDisk* disk_ = nullptr;
+  BufferPool* pool_ = nullptr;  // null until Finalize in private mode
+  std::vector<PageId> page_ids_;  // tree page index -> disk page id
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_STORAGE_TREE_PAGE_SOURCE_H_

@@ -21,6 +21,11 @@ struct TraceIoStats {
   uint64_t bytes_read = 0;        ///< serialized bytes materialized
   uint64_t cache_hits = 0;        ///< cursor-cache hits (no pool traffic)
   uint64_t prefetch_hits = 0;     ///< records served by the prefetch pipeline
+  /// Tree-page traffic (paged MinSigTree node/blob pages, charged by the
+  /// tree cursor) — kept separate from the trace-page counters above so the
+  /// two working sets are separately observable in one shared pool.
+  uint64_t tree_pages_read = 0;  ///< tree-page pool misses (disk page reads)
+  uint64_t tree_page_hits = 0;   ///< tree-page pool hits
   double modeled_io_seconds = 0.0;  ///< SimDisk modeled latency charged
 
   void Add(const TraceIoStats& o) {
@@ -30,6 +35,8 @@ struct TraceIoStats {
     bytes_read += o.bytes_read;
     cache_hits += o.cache_hits;
     prefetch_hits += o.prefetch_hits;
+    tree_pages_read += o.tree_pages_read;
+    tree_page_hits += o.tree_page_hits;
     modeled_io_seconds += o.modeled_io_seconds;
   }
 };

@@ -12,6 +12,10 @@
 // Aggregated QueryStats::io must also be consistent: per-query access
 // totals are deterministic across thread counts for a fixed configuration,
 // and the 1-shard sharded instance charges exactly the oracle's I/O.
+// The paged-MinSigTree legs re-run the same grids with every shard's tree
+// served from SoA node pages (in-memory and SimDisk backings), which must
+// change neither answers nor search counters — and whose tree-page I/O
+// totals must themselves be thread-count-deterministic.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -485,6 +489,136 @@ TEST(ShardedDifferentialTest, RoutedPerShardSourcesMatchOracle) {
     }
   }
   for (int s = 0; s < four.num_shards(); ++s) four.AttachShardSource(s, nullptr);
+}
+
+TEST(ShardedDifferentialTest, PagedTreesMatchOracleAcrossConfigurations) {
+  // The paged MinSigTree snapshot (SoA node pages + resident zone maps,
+  // core/paged_min_sig_tree.h) slots in underneath every sharded
+  // configuration: with each shard's tree served from pages, the whole
+  // CheckAgainstOracle grid — shard counts, fan-out thread counts, routing
+  // off and on — must still reproduce the in-memory-tree oracle bit for
+  // bit, including the routed runs' monotone entities_checked. Note that
+  // heap_pushes is deliberately compared nowhere in this file: a zone-map
+  // rejection elides a stranded re-push the in-memory walk performs, so
+  // that counter legitimately differs while results, entities_checked and
+  // nodes_visited stay identical (DESIGN-paged-index.md).
+  World w(500, /*data_seed=*/97, Range(0, 500));
+  for (auto& sharded : w.sharded) sharded->EnablePagedTrees();
+  CheckAgainstOracle(w, MakePlans(w, 8, /*seed=*/301));
+}
+
+TEST(ShardedDifferentialTest, PagedOracleKeepsSearchCountersExact) {
+  // Paging the single-tree oracle itself must be invisible to the search
+  // proper: answers, entities_checked and nodes_visited all match the
+  // in-memory tree exactly, for both page-store backings. (The zone-map
+  // gate only ever rejects entries the in-memory walk would discard from
+  // their true bound at the same pop — the admissibility argument in
+  // DESIGN-paged-index.md — so the visit sequence is unchanged.)
+  World w(500, /*data_seed=*/97, Range(0, 500));
+  PolynomialLevelMeasure measure(w.dataset.hierarchy->num_levels());
+  const auto plans = MakePlans(w, 8, /*seed=*/305);
+  std::vector<TopKResult> expected;
+  for (const auto& plan : plans) {
+    expected.push_back(w.oracle->Query(plan.q, plan.k, measure, plan.options));
+  }
+
+  PagedTreeOptions sim;
+  sim.backing = PagedTreeOptions::Backing::kSimDisk;
+  sim.disk.pool_fraction = 0.25;
+  for (const PagedTreeOptions& popts : {PagedTreeOptions{}, sim}) {
+    w.oracle->EnablePagedTree(popts);
+    for (size_t i = 0; i < plans.size(); ++i) {
+      const TopKResult actual =
+          w.oracle->Query(plans[i].q, plans[i].k, measure, plans[i].options);
+      ExpectIdentical(expected[i], actual, "paged oracle");
+      EXPECT_EQ(expected[i].stats.entities_checked,
+                actual.stats.entities_checked);
+      EXPECT_EQ(expected[i].stats.nodes_visited, actual.stats.nodes_visited);
+      EXPECT_GT(actual.stats.io.tree_pages_read + actual.stats.io.tree_page_hits,
+                0u)
+          << "paged tree charged no pins?";
+    }
+    w.oracle->DisablePagedTree();
+  }
+}
+
+TEST(ShardedDifferentialTest, PagedTreeSimDiskIoDeterministicAcrossThreads) {
+  // SimDisk backing with a partial pool: tree pages genuinely fault in and
+  // out during the batch. The read/hit split may shift with pool state,
+  // but per-query *pin totals* are fixed by the (deterministic) visit
+  // sequence, so they must not depend on the QueryMany thread count —
+  // the same guarantee the trace-side paged backend already gives.
+  World w(500, /*data_seed=*/97, Range(0, 500));
+  PolynomialLevelMeasure measure(w.dataset.hierarchy->num_levels());
+  const auto plans = MakePlans(w, 6, /*seed=*/308);
+  std::vector<EntityId> queries;
+  for (const auto& p : plans) queries.push_back(p.q);
+  const int k = 10;
+  std::vector<TopKResult> expected;
+  for (EntityId q : queries) {
+    expected.push_back(w.oracle->Query(q, k, measure));
+  }
+
+  PagedTreeOptions popts;
+  popts.backing = PagedTreeOptions::Backing::kSimDisk;
+  popts.disk.pool_fraction = 0.25;
+  for (size_t si = 0; si < w.sharded.size(); ++si) {
+    w.sharded[si]->EnablePagedTrees(popts);
+    std::vector<uint64_t> ref_pins;
+    for (int num_threads : {1, 4}) {
+      const auto results =
+          w.sharded[si]->QueryMany(queries, k, measure, {}, num_threads);
+      ASSERT_EQ(results.size(), queries.size());
+      std::vector<uint64_t> pins;
+      for (size_t i = 0; i < results.size(); ++i) {
+        ExpectIdentical(expected[i], results[i], "paged-tree sim-disk");
+        pins.push_back(results[i].stats.io.tree_pages_read +
+                       results[i].stats.io.tree_page_hits);
+        EXPECT_GT(pins.back(), 0u);
+      }
+      if (ref_pins.empty()) {
+        ref_pins = pins;
+        continue;
+      }
+      EXPECT_EQ(ref_pins, pins)
+          << "shards " << kShardCounts[si] << " threads " << num_threads;
+    }
+    w.sharded[si]->DisablePagedTrees();
+  }
+}
+
+TEST(ShardedDifferentialTest, MaintenanceRepacksPagedTreesAndStaysAligned) {
+  // The whole maintenance surface with paged trees enabled on BOTH sides:
+  // replacements, removals and Refresh dirty the snapshots, the next query
+  // (or the pre-fan-out settle) repacks them, and every configuration must
+  // still agree with the (equally paged) oracle across the full grid.
+  World w(400, /*data_seed=*/89, Range(0, 400));
+  w.oracle->EnablePagedTree();
+  for (auto& sharded : w.sharded) sharded->EnablePagedTrees();
+
+  Rng rng(778);
+  const uint32_t base_units = w.dataset.hierarchy->num_base_units();
+  for (int round = 0; round < 5; ++round) {
+    const EntityId e = static_cast<EntityId>(rng.NextBelow(400));
+    std::vector<PresenceRecord> records;
+    const int n = 3 + static_cast<int>(rng.NextBelow(20));
+    for (int i = 0; i < n; ++i) {
+      const auto t =
+          static_cast<TimeStep>(rng.NextBelow(w.dataset.horizon - 1));
+      records.push_back({e, static_cast<UnitId>(rng.NextBelow(base_units)), t,
+                         t + 1});
+    }
+    w.dataset.store->ReplaceEntity(e, records);
+    w.oracle->UpdateEntity(e);
+    for (auto& sharded : w.sharded) sharded->UpdateEntity(e);
+  }
+  const EntityId gone = 99;
+  w.oracle->RemoveEntity(gone);
+  for (auto& sharded : w.sharded) sharded->RemoveEntity(gone);
+  w.oracle->Refresh();
+  for (auto& sharded : w.sharded) sharded->Refresh();
+
+  CheckAgainstOracle(w, MakePlans(w, 6, /*seed=*/309));
 }
 
 TEST(ShardedDifferentialTest, ManyShardsOnTinyPopulations) {

@@ -277,6 +277,58 @@ TEST_F(BufferPoolTest, ShardCrossingPinMutableDuringEvictionPersistsWrites) {
   }
 }
 
+TEST_F(BufferPoolTest, ClientKindSplitsHitsMissesAndOccupancy) {
+  BufferPool pool(&disk_, 4);
+  // Trace client (the default tag) loads pages 0 and 1.
+  pool.Pin(0);
+  pool.Unpin(0);
+  pool.Pin(1, nullptr, PoolClient::kTrace);
+  pool.Unpin(1);
+  // Tree client loads page 2, then re-hits page 0 (loaded by kTrace).
+  pool.Pin(2, nullptr, PoolClient::kTree);
+  pool.Unpin(2);
+  pool.Pin(0, nullptr, PoolClient::kTree);
+  pool.Unpin(0);
+  const auto trace = static_cast<size_t>(PoolClient::kTrace);
+  const auto tree = static_cast<size_t>(PoolClient::kTree);
+  BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.client_misses[trace], 2u);
+  EXPECT_EQ(stats.client_misses[tree], 1u);
+  EXPECT_EQ(stats.client_hits[trace], 0u);
+  EXPECT_EQ(stats.client_hits[tree], 1u);
+  // Per-kind counts sum to the totals.
+  EXPECT_EQ(stats.client_hits[trace] + stats.client_hits[tree], stats.hits);
+  EXPECT_EQ(stats.client_misses[trace] + stats.client_misses[tree],
+            stats.misses);
+  // Occupancy is attributed to the loading kind, not later pinners: page 0
+  // stays a kTrace frame even after the kTree hit.
+  EXPECT_EQ(stats.client_resident[trace], 2u);
+  EXPECT_EQ(stats.client_resident[tree], 1u);
+
+  // ResetStats clears the per-kind counters but NOT occupancy (the frames
+  // are still resident).
+  pool.ResetStats();
+  stats = pool.stats();
+  EXPECT_EQ(stats.client_hits[tree], 0u);
+  EXPECT_EQ(stats.client_misses[trace], 0u);
+  EXPECT_EQ(stats.client_resident[trace], 2u);
+  EXPECT_EQ(stats.client_resident[tree], 1u);
+
+  // Eviction releases the victim's occupancy slot and charges the new
+  // frame to its loader: fill the remaining frame, then overflow with a
+  // tree pin — the LRU victim is page 1 (kTrace).
+  pool.Pin(3, nullptr, PoolClient::kTrace);
+  pool.Unpin(3);
+  pool.Pin(4, nullptr, PoolClient::kTree);
+  pool.Unpin(4);
+  stats = pool.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.client_resident[trace], 2u);  // pages 0 and 3
+  EXPECT_EQ(stats.client_resident[tree], 2u);   // pages 2 and 4
+  EXPECT_EQ(stats.client_resident[trace] + stats.client_resident[tree],
+            pool.capacity());
+}
+
 using BufferPoolDeathTest = BufferPoolTest;
 
 TEST_F(BufferPoolDeathTest, UnpinOfNeverPinnedPageAborts) {
