@@ -1,12 +1,18 @@
 // Microbenchmarks (google-benchmark): index build, signature computation,
-// query latency per k, brute-force comparison, intersection primitive.
+// query latency per k, brute-force comparison, intersection primitives
+// (span-based and packed), and the cold-byte codec (encode/decode/packed
+// galloping vs the decoded baseline).
 #include <benchmark/benchmark.h>
+
+#include <random>
 
 #include "core/index.h"
 #include "core/signature.h"
 #include "exp/harness.h"
 #include "exp/presets.h"
 #include "hash/hierarchical_hasher.h"
+#include "trace/trace_source.h"
+#include "util/codec.h"
 
 namespace dtrace {
 namespace {
@@ -85,6 +91,66 @@ void BM_IntersectionSize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IntersectionSize);
+
+std::vector<uint32_t> BenchIds(size_t n, uint32_t max_gap, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<uint32_t> ids;
+  ids.reserve(n);
+  uint32_t v = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ids.push_back(v);
+    v += 1 + rng() % max_gap;
+  }
+  return ids;
+}
+
+void BM_IdListEncode(benchmark::State& state) {
+  const auto ids = BenchIds(static_cast<size_t>(state.range(0)), 30, 7);
+  std::vector<uint8_t> enc;
+  for (auto _ : state) {
+    enc.clear();
+    benchmark::DoNotOptimize(EncodeIdList(ids, &enc));
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size());
+}
+BENCHMARK(BM_IdListEncode)->Arg(128)->Arg(4096);
+
+void BM_IdListDecode(benchmark::State& state) {
+  const auto ids = BenchIds(static_cast<size_t>(state.range(0)), 30, 7);
+  std::vector<uint8_t> enc;
+  EncodeIdList(ids, &enc);
+  std::vector<uint32_t> dec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeIdList(enc.data(), enc.size(), &dec));
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size());
+}
+BENCHMARK(BM_IdListDecode)->Arg(128)->Arg(4096);
+
+// The packed galloping intersection against its decoded-span baseline: the
+// packed variant must win whenever the probe side is sparse enough that
+// whole blocks are skipped undecoded.
+void BM_IntersectSpans(benchmark::State& state) {
+  const auto a = BenchIds(4096, 30, 7);
+  const auto b = BenchIds(static_cast<size_t>(state.range(0)), 500, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IntersectSortedSize({a.data(), a.size()}, {b.data(), b.size()}));
+  }
+}
+BENCHMARK(BM_IntersectSpans)->Arg(64)->Arg(1024);
+
+void BM_IntersectPackedVsSorted(benchmark::State& state) {
+  const auto a = BenchIds(4096, 30, 7);
+  const auto b = BenchIds(static_cast<size_t>(state.range(0)), 500, 11);
+  std::vector<uint8_t> enc;
+  EncodeIdList(a, &enc);
+  const PackedIdListView view(enc.data(), enc.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectPackedSorted(view, b));
+  }
+}
+BENCHMARK(BM_IntersectPackedVsSorted)->Arg(64)->Arg(1024);
 
 void BM_IncrementalInsert(benchmark::State& state) {
   const auto& d = SharedDataset();

@@ -4,7 +4,7 @@
 // Two modes:
 //   bench_scalability                 — the in-memory |E| sweep (default)
 //   bench_scalability --disk [|E|] [--workers N] [--prefetch D] [--shards S]
-//                     [--route]
+//                     [--route] [--compress]
 //       — the disk-resident preset: traces an order of magnitude past the
 //       laptop presets, served from the paged storage substrate through
 //       PagedTraceSource (sharded buffer pool, 25% of the data in memory),
@@ -17,12 +17,16 @@
 //       cross-shard pruning layer (coarse router + threshold propagation,
 //       DESIGN-sharding.md) — still bit-identical, but late shards stop
 //       re-checking candidates the global k-th score already beats.
+//       --compress stores the trace pages delta-packed (util/codec.h):
+//       fewer pages for the same pool fraction, bit-identical answers,
+//       and compressed_bytes/raw_bytes counters in the JSON emission.
 //       Registered with CTest so the concurrent storage-backed path is
 //       exercised at scale on every run (plus Release-only 100K x 4-shard
 //       and routed 20K presets). Emits a "counters" section
 //       (lock_wait_seconds, prefetch_hits, shards_pruned, ...) alongside
 //       the rows.
 //   bench_scalability --paged-tree [|E|] [--workers N] [--pool-fraction F]
+//                     [--compress]
 //       — the paged-MinSigTree preset: the TREE (not the traces) lives in
 //       SoA node pages behind a SimDisk-backed BufferPool capped at F of
 //       the packed index size, so the search faults node pages while the
@@ -73,7 +77,7 @@ void Run(BenchJson& json) {
 }
 
 void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
-             bool route, BenchJson& json) {
+             bool route, bool compress, BenchJson& json) {
   PrintHeader("Scalability (disk-resident)",
               "storage-backed queries past the laptop presets");
   Dataset d = MakeDiskResidentDataset(entities);
@@ -102,6 +106,7 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
   // Default (SSD-class) latencies; a quarter of the data fits in memory.
   PagedTraceSource::Options opts;
   opts.pool_fraction = 0.25;
+  opts.compress = compress;
   PagedTraceSource src(*d.store, opts);
 
   QueryOptions qopts;
@@ -118,13 +123,17 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
 
   std::printf(
       "|E|=%u pages=%zu pool_fraction=%.2f pool_shards=%zu index_shards=%d "
-      "workers=%d prefetch=%d route=%d index_s=%.2f\n"
+      "workers=%d prefetch=%d route=%d compress=%d (%.0f%% of raw) "
+      "index_s=%.2f\n"
       "queries=%zu PE=%.4f checked/query=%.1f pages/query=%.1f "
       "hit_rate=%.3f lock_wait=%.4fs prefetch_hits/query=%.1f "
       "shards_pruned/query=%.1f threshold_updates/query=%.1f "
       "qps=%.1f (wall, excl. modeled I/O %.2fs/query)\n",
       d.num_entities(), src.num_pages(), opts.pool_fraction,
       src.pool_shards(), shards, workers, prefetch, route ? 1 : 0,
+      compress ? 1 : 0,
+      100.0 * static_cast<double>(src.data_bytes()) /
+          static_cast<double>(src.raw_bytes()),
       index_seconds, queries.size(), pe.mean_pe,
       pe.mean_entities_checked, pe.mean_pages_read, pool.hit_rate(),
       pool.lock_wait_seconds, pe.mean_prefetch_hits, pe.mean_shards_pruned,
@@ -139,6 +148,7 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
       // runs gate directly against the single-shard baseline rows.
       .Int("shards", static_cast<uint64_t>(shards))
       .Int("routing", route ? 1 : 0)
+      .Int("compressed", compress ? 1 : 0)
       .Num("pe", pe.mean_pe)
       .Num("queries_per_sec", queries.size() / wall)
       .Num("mean_entities_checked", pe.mean_entities_checked)
@@ -155,6 +165,14 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
                pe.mean_threshold_updates * queries.size());
   json.Counter("router_bound_evals",
                pe.mean_router_bound_evals * queries.size());
+  // Storage-footprint counters: compressed_bytes is what the pages hold,
+  // raw_bytes what the uncompressed writer would have occupied (equal when
+  // --compress is off). Informational in check_regression.py.
+  json.Counter("compressed_bytes", static_cast<double>(src.data_bytes()));
+  json.Counter("raw_bytes", static_cast<double>(src.raw_bytes()));
+  json.Counter("compression_ratio",
+               static_cast<double>(src.raw_bytes()) /
+                   static_cast<double>(src.data_bytes()));
 }
 
 // The paged-MinSigTree preset (PR 6): the tree itself lives in SoA pages
@@ -166,7 +184,7 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
 // exactly — the bench-side spot check of the differential harness's
 // bit-identity contract.
 void RunPagedTree(uint32_t entities, int workers, double pool_fraction,
-                  BenchJson& json) {
+                  bool compress, BenchJson& json) {
   PrintHeader("Scalability (paged tree)",
               "node pages through the buffer pool, zone-map pruning");
   Dataset d = MakePagedTreeDataset(entities);
@@ -183,6 +201,7 @@ void RunPagedTree(uint32_t entities, int workers, double pool_fraction,
   PagedTreeOptions popts;
   popts.backing = PagedTreeOptions::Backing::kSimDisk;
   popts.disk.pool_fraction = pool_fraction;
+  popts.compress = compress;
   index.EnablePagedTree(popts);
   const PagedMinSigTree& paged = index.paged_tree();
   const BufferPool* pool = paged.page_store().pool();
@@ -223,16 +242,21 @@ void RunPagedTree(uint32_t entities, int workers, double pool_fraction,
       pool != nullptr ? pool->stats() : BufferPool::Stats{};
 
   std::printf(
-      "|E|=%u nodes=%zu packed_pages=%zu (%.1f MB) zone_bytes=%.1f MB "
-      "pool_pages=%zu (%.2fx) workers=%d index_s=%.2f bit_identical=yes\n"
+      "|E|=%u nodes=%zu packed_pages=%zu (%.1f MB, %.0f%% of raw) "
+      "zone_bytes=%.1f MB "
+      "pool_pages=%zu (%.2fx) workers=%d compress=%d index_s=%.2f "
+      "bit_identical=yes\n"
       "queries=%zu PE=%.4f checked/query=%.1f tree_reads/query=%.1f "
       "tree_hits/query=%.1f pool_hit_rate=%.3f qps=%.1f "
       "(wall, excl. modeled I/O %.3fs/query)\n",
       d.num_entities(), paged.num_nodes(), paged.num_pages(),
-      paged.PackedBytes() / 1048576.0, paged.ZoneBytes() / 1048576.0,
-      pool_pages,
+      paged.PackedBytes() / 1048576.0,
+      100.0 * static_cast<double>(paged.PackedBytes()) /
+          static_cast<double>(paged.RawBytes()),
+      paged.ZoneBytes() / 1048576.0, pool_pages,
       static_cast<double>(pool_pages) / static_cast<double>(paged.num_pages()),
-      workers, index.build_seconds(), queries.size(), pe.mean_pe,
+      workers, compress ? 1 : 0, index.build_seconds(), queries.size(),
+      pe.mean_pe,
       pe.mean_entities_checked, pe.mean_tree_pages_read,
       pe.mean_tree_page_hits, pstats.hit_rate(), queries.size() / wall,
       pe.mean_io_seconds);
@@ -242,6 +266,7 @@ void RunPagedTree(uint32_t entities, int workers, double pool_fraction,
       .Int("workers", static_cast<uint64_t>(workers))
       // Informational like "shards"/"routing": not a baseline match key.
       .Int("paged_tree", 1)
+      .Int("compressed", compress ? 1 : 0)
       .Num("pe", pe.mean_pe)
       .Num("queries_per_sec", queries.size() / wall)
       .Num("mean_entities_checked", pe.mean_entities_checked)
@@ -252,6 +277,11 @@ void RunPagedTree(uint32_t entities, int workers, double pool_fraction,
   json.Counter("tree_pages_read", pe.mean_tree_pages_read * queries.size());
   json.Counter("tree_page_hits", pe.mean_tree_page_hits * queries.size());
   json.Counter("pool_evictions", static_cast<double>(pstats.evictions));
+  json.Counter("compressed_bytes", static_cast<double>(paged.PackedBytes()));
+  json.Counter("raw_bytes", static_cast<double>(paged.RawBytes()));
+  json.Counter("compression_ratio",
+               static_cast<double>(paged.RawBytes()) /
+                   static_cast<double>(paged.PackedBytes()));
 }
 
 }  // namespace
@@ -265,6 +295,7 @@ int main(int argc, char** argv) {
     int prefetch = 0;
     int shards = 1;
     bool route = false;
+    bool compress = false;
     int pos = 2;
     if (pos < argc && argv[pos][0] != '-') {
       entities = static_cast<uint32_t>(std::atoi(argv[pos]));
@@ -273,6 +304,8 @@ int main(int argc, char** argv) {
     for (; pos < argc; ++pos) {
       if (std::strcmp(argv[pos], "--route") == 0) {
         route = true;
+      } else if (std::strcmp(argv[pos], "--compress") == 0) {
+        compress = true;
       } else if (pos + 1 >= argc) {
         break;
       } else if (std::strcmp(argv[pos], "--workers") == 0) {
@@ -283,24 +316,31 @@ int main(int argc, char** argv) {
         shards = std::atoi(argv[++pos]);
       }
     }
-    dtrace::bench::RunDisk(entities, workers, prefetch, shards, route, json);
+    dtrace::bench::RunDisk(entities, workers, prefetch, shards, route,
+                           compress, json);
   } else if (argc > 1 && std::strcmp(argv[1], "--paged-tree") == 0) {
     uint32_t entities = 20000;
     int workers = 0;
     double pool_fraction = 0.25;
+    bool compress = false;
     int pos = 2;
     if (pos < argc && argv[pos][0] != '-') {
       entities = static_cast<uint32_t>(std::atoi(argv[pos]));
       ++pos;
     }
-    for (; pos + 1 < argc; ++pos) {
-      if (std::strcmp(argv[pos], "--workers") == 0) {
+    for (; pos < argc; ++pos) {
+      if (std::strcmp(argv[pos], "--compress") == 0) {
+        compress = true;
+      } else if (pos + 1 >= argc) {
+        break;
+      } else if (std::strcmp(argv[pos], "--workers") == 0) {
         workers = std::atoi(argv[++pos]);
       } else if (std::strcmp(argv[pos], "--pool-fraction") == 0) {
         pool_fraction = std::atof(argv[++pos]);
       }
     }
-    dtrace::bench::RunPagedTree(entities, workers, pool_fraction, json);
+    dtrace::bench::RunPagedTree(entities, workers, pool_fraction, compress,
+                                json);
   } else {
     dtrace::bench::Run(json);
   }

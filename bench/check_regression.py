@@ -24,11 +24,11 @@ import json
 import sys
 
 # Fields that carry measurements rather than identity; everything else in a
-# row is treated as a match key. "shards", "routing" and "paged_tree" are
-# informational-only by design: sharded/routed/paged-tree runs must gate
-# directly against the corresponding plain baseline rows (each of those
-# layers is required to be answer-identical, and sharding/routing also at
-# least qps-neutral).
+# row is treated as a match key. "shards", "routing", "paged_tree" and
+# "compressed" are informational-only by design: sharded/routed/paged-tree/
+# compressed runs must gate directly against the corresponding plain
+# baseline rows (each of those layers is required to be answer-identical,
+# and sharding/routing/compression also at least qps-neutral).
 MEASUREMENT_FIELDS = {
     "queries_per_sec",
     "pe",
@@ -40,6 +40,7 @@ MEASUREMENT_FIELDS = {
     "shards",
     "routing",
     "paged_tree",
+    "compressed",
 }
 
 # Counters reported as informational deltas next to the qps gate (never
@@ -55,6 +56,9 @@ INFORMATIONAL_COUNTERS = (
     "shards_pruned",
     "threshold_updates",
     "router_bound_evals",
+    "compressed_bytes",
+    "raw_bytes",
+    "compression_ratio",
 )
 
 
@@ -66,7 +70,37 @@ def row_key(row):
 def load_doc(path):
     with open(path) as f:
         doc = json.load(f)
-    return {row_key(r): r for r in doc.get("rows", [])}, doc.get("counters", {})
+    return doc.get("rows", []), doc.get("counters", {})
+
+
+def find_match(base_row, current_rows):
+    """The current row identifying the same configuration as base_row.
+
+    Exact key match first. When the key sets differ — a newer bench added an
+    identity field the baseline predates (or vice versa) — fall back to
+    matching on the fields both rows share, so checked-in baselines stay
+    usable across emission-schema growth. The fallback must be unique;
+    an ambiguous baseline needs a refresh, so it matches nothing (warned).
+    """
+    base_key = row_key(base_row)
+    exact = [r for r in current_rows if row_key(r) == base_key]
+    if exact:
+        return exact[0]
+    base_fields = dict(base_key)
+
+    def shared_fields_agree(row):
+        cur_fields = dict(row_key(row))
+        shared = set(base_fields) & set(cur_fields)
+        return shared and all(base_fields[k] == cur_fields[k]
+                              for k in shared)
+
+    loose = [r for r in current_rows if shared_fields_agree(r)]
+    if len(loose) == 1:
+        return loose[0]
+    if len(loose) > 1:
+        print(f"WARNING: baseline row matches {len(loose)} current rows "
+              f"on shared fields; skipping: {base_fields}")
+    return None
 
 
 def print_counter_deltas(current, baseline):
@@ -106,11 +140,12 @@ def main():
 
     compared = 0
     regressions = []
-    for key, base_row in baseline.items():
+    for base_row in baseline:
         base_qps = base_row.get("queries_per_sec", 0)
         if not base_qps or base_qps <= 0:
             continue
-        cur_row = current.get(key)
+        key = row_key(base_row)
+        cur_row = find_match(base_row, current)
         if cur_row is None:
             print(f"WARNING: baseline row missing from current run: {key}")
             continue

@@ -7,6 +7,7 @@
 
 #include "storage/tree_page.h"
 #include "util/check.h"
+#include "util/codec.h"
 
 namespace dtrace {
 
@@ -45,6 +46,44 @@ class BlobWriter {
   size_t fill_ = 0;
 };
 
+// The compressed twin of BlobWriter: blob regions hold encoded byte streams
+// (EncodeIdList output back to back), so the writer fills pages with raw
+// bytes instead of 4-byte elements.
+class ByteBlobWriter {
+ public:
+  ByteBlobWriter(TreePageSource* store, uint32_t base_page)
+      : store_(store), next_page_(base_page) {
+    buf_.data.fill(0);
+  }
+
+  void Put(const uint8_t* data, size_t n) {
+    while (n > 0) {
+      const size_t take = std::min(n, kPageSize - fill_);
+      std::memcpy(buf_.data.data() + fill_, data, take);
+      fill_ += take;
+      data += take;
+      n -= take;
+      if (fill_ == kPageSize) Flush();
+    }
+  }
+
+  void Close() {
+    if (fill_ > 0) Flush();
+  }
+
+ private:
+  void Flush() {
+    store_->WritePage(next_page_++, buf_);
+    buf_.data.fill(0);
+    fill_ = 0;
+  }
+
+  TreePageSource* store_;
+  uint32_t next_page_;
+  Page buf_;
+  size_t fill_ = 0;
+};
+
 }  // namespace
 
 // Per-query cursor over the packed pages. Holds at most one pin at a time:
@@ -58,19 +97,39 @@ class PagedNodeCursor final : public TreeNodeCursor {
 
   TreeNodeView Node(uint32_t id) override {
     DT_CHECK(id < tree_->num_nodes_);
-    const uint32_t page = id / static_cast<uint32_t>(kTreeNodesPerPage);
-    const size_t slot = id % kTreeNodesPerPage;
-    const uint8_t* p = PinCharged(page);
-    const TreeNodeRecord rec = LoadTreeNode(p, slot);
-    tree_->store_->Unpin(page);
-    CopyBlob(tree_->child_base_, rec.child_off, rec.child_count, &children_);
-    CopyBlob(tree_->entity_base_, rec.entity_off, rec.entity_count,
-             &entities_);
+    TreeNodeRecord rec;
+    if (tree_->compressed_) {
+      // Variable page capacity: the resident first-node table replaces the
+      // fixed layout's arithmetic addressing.
+      const auto& first = tree_->node_page_first_;
+      const uint32_t page = static_cast<uint32_t>(
+          std::upper_bound(first.begin(), first.end(), id) - first.begin() -
+          1);
+      const uint8_t* p = PinCharged(page);
+      rec = LoadCompressedTreeNode(p, id - first[page]);
+      tree_->store_->Unpin(page);
+      // In compressed records (off, count) are encoded-blob byte spans;
+      // element counts come out of the decode.
+      DecodeBlobList(tree_->child_base_, rec.child_off, rec.child_count,
+                     &children_);
+      DecodeBlobList(tree_->entity_base_, rec.entity_off, rec.entity_count,
+                     &entities_);
+    } else {
+      const uint32_t page = id / static_cast<uint32_t>(kTreeNodesPerPage);
+      const size_t slot = id % kTreeNodesPerPage;
+      const uint8_t* p = PinCharged(page);
+      rec = LoadTreeNode(p, slot);
+      tree_->store_->Unpin(page);
+      CopyBlob(tree_->child_base_, rec.child_off, rec.child_count,
+               &children_);
+      CopyBlob(tree_->entity_base_, rec.entity_off, rec.entity_count,
+               &entities_);
+    }
     return {static_cast<Level>(rec.level),
             static_cast<int>(rec.routing),
             rec.value,
-            {children_.data(), rec.child_count},
-            {entities_.data(), rec.entity_count},
+            {children_.data(), children_.size()},
+            {entities_.data(), entities_.size()},
             /*full_sig=*/{}};
   }
 
@@ -117,9 +176,36 @@ class PagedNodeCursor final : public TreeNodeCursor {
     }
   }
 
+  // Copies the encoded blob at byte span [off, off + len) of the region at
+  // `base_page` into blob_buf_ page by page, then decodes it into `out`.
+  // Compressed blobs may straddle pages, so the bit decoder never runs over
+  // a pinned frame — only over the contiguous copy.
+  void DecodeBlobList(uint32_t base_page, uint32_t off, uint32_t len,
+                      std::vector<uint32_t>* out) {
+    if (len == 0) {
+      out->clear();
+      return;
+    }
+    blob_buf_.resize(len);
+    size_t copied = 0;
+    while (copied < len) {
+      const size_t byte = off + copied;
+      const uint32_t page =
+          base_page + static_cast<uint32_t>(byte / kPageSize);
+      const size_t in_page = byte % kPageSize;
+      const size_t take = std::min<size_t>(len - copied, kPageSize - in_page);
+      const uint8_t* p = PinCharged(page);
+      std::memcpy(blob_buf_.data() + copied, p + in_page, take);
+      tree_->store_->Unpin(page);
+      copied += take;
+    }
+    DecodeIdList(blob_buf_.data(), blob_buf_.size(), out);
+  }
+
   const PagedMinSigTree* tree_;
   std::vector<uint32_t> children_;
   std::vector<uint32_t> entities_;  // EntityId is uint32_t
+  std::vector<uint8_t> blob_buf_;   // compressed mode: encoded-blob scratch
 };
 
 std::unique_ptr<TreeNodeCursor> PagedMinSigTree::OpenNodeCursor() const {
@@ -128,13 +214,14 @@ std::unique_ptr<TreeNodeCursor> PagedMinSigTree::OpenNodeCursor() const {
 
 PagedMinSigTree PagedMinSigTree::Pack(const MinSigTree& tree,
                                       std::unique_ptr<TreePageSource> store,
-                                      bool zone_maps) {
+                                      bool zone_maps, bool compress) {
   DT_CHECK(store != nullptr);
   PagedMinSigTree out;
   out.m_ = tree.num_levels();
   out.nh_ = tree.num_functions();
   out.num_nodes_ = tree.num_nodes();
   out.num_entities_ = tree.num_entities();
+  out.compressed_ = compress;
   DT_CHECK_MSG(out.nh_ <= std::numeric_limits<uint16_t>::max(),
                "routing index does not fit the packed u16 slot");
   DT_CHECK_MSG(out.m_ <= std::numeric_limits<uint8_t>::max(),
@@ -158,6 +245,22 @@ PagedMinSigTree PagedMinSigTree::Pack(const MinSigTree& tree,
   const auto pages_for = [](uint64_t elems, size_t per_page) {
     return static_cast<uint32_t>((elems + per_page - 1) / per_page);
   };
+  // What the fixed layout would occupy — the denominator of the
+  // compressed_bytes/raw_bytes ratio the benches report.
+  out.raw_bytes_ =
+      static_cast<uint64_t>(pages_for(out.num_nodes_, kTreeNodesPerPage) +
+                            pages_for(total_children, kTreeBlobEntriesPerPage) +
+                            pages_for(total_entities, kTreeBlobEntriesPerPage)) *
+      kPageSize;
+  // Pool fractions resolve against the fixed layout's page count either
+  // way, so compressed and uncompressed packs get the same absolute pool
+  // bytes (fixed memory budget; a no-op for uncompressed packs).
+  store->SetPoolSizingPages(out.raw_bytes_ / kPageSize);
+  if (compress) {
+    PackCompressed(tree, store.get(), zone_maps, max_entity, &out);
+    out.store_ = std::move(store);
+    return out;
+  }
   out.node_pages_ = pages_for(out.num_nodes_, kTreeNodesPerPage);
   const uint32_t child_pages =
       pages_for(total_children, kTreeBlobEntriesPerPage);
@@ -235,6 +338,142 @@ PagedMinSigTree PagedMinSigTree::Pack(const MinSigTree& tree,
   return out;
 }
 
+void PagedMinSigTree::PackCompressed(const MinSigTree& tree,
+                                     TreePageSource* store, bool zone_maps,
+                                     EntityId max_entity,
+                                     PagedMinSigTree* outp) {
+  PagedMinSigTree& out = *outp;
+  const auto record_for = [](const MinSigTree::Node& n, uint64_t child_off,
+                             uint32_t child_len, uint64_t entity_off,
+                             uint32_t entity_len) {
+    return TreeNodeRecord{n.value,
+                          static_cast<uint32_t>(child_off),
+                          child_len,
+                          static_cast<uint32_t>(entity_off),
+                          entity_len,
+                          static_cast<uint16_t>(n.routing),
+                          static_cast<uint8_t>(n.level)};
+  };
+
+  // Sizing pass: run the page builder over the exact records the write pass
+  // will emit (same blob byte offsets, same encoded lengths) to learn the
+  // page boundaries — the resident first-node table — and region totals.
+  CompressedTreePageBuilder sizer;
+  Page scratch;
+  uint64_t child_bytes = 0;
+  uint64_t entity_bytes = 0;
+  bool any_entities = false;
+  out.node_page_first_.clear();
+  for (size_t i = 0; i < out.num_nodes_; ++i) {
+    const MinSigTree::Node& n = tree.node(static_cast<uint32_t>(i));
+    const uint32_t child_len =
+        n.children.empty()
+            ? 0
+            : static_cast<uint32_t>(EncodedIdListBytes(n.children));
+    const uint32_t entity_len =
+        n.entities.empty()
+            ? 0
+            : static_cast<uint32_t>(EncodedIdListBytes(n.entities));
+    any_entities |= !n.entities.empty();
+    const TreeNodeRecord rec =
+        record_for(n, child_bytes, child_len, entity_bytes, entity_len);
+    if (!sizer.TryAdd(rec)) {
+      sizer.FlushTo(scratch.data.data());
+      DT_CHECK(sizer.TryAdd(rec));
+    }
+    if (sizer.count() == 1) {
+      out.node_page_first_.push_back(static_cast<uint32_t>(i));
+    }
+    child_bytes += child_len;
+    entity_bytes += entity_len;
+    DT_CHECK_MSG(child_bytes <= std::numeric_limits<uint32_t>::max() &&
+                     entity_bytes <= std::numeric_limits<uint32_t>::max(),
+                 "compressed blob byte offsets do not fit u32");
+  }
+  if (!sizer.empty()) sizer.FlushTo(scratch.data.data());
+  out.node_pages_ = static_cast<uint32_t>(out.node_page_first_.size());
+  out.node_page_first_.push_back(static_cast<uint32_t>(out.num_nodes_));
+  const auto pages_for_bytes = [](uint64_t bytes) {
+    return static_cast<uint32_t>((bytes + kPageSize - 1) / kPageSize);
+  };
+  const uint32_t child_pages = pages_for_bytes(child_bytes);
+  const uint32_t entity_pages = pages_for_bytes(entity_bytes);
+  out.child_base_ = out.node_pages_;
+  out.entity_base_ = out.node_pages_ + child_pages;
+  store->Allocate(out.node_pages_ + child_pages + entity_pages);
+  if (any_entities) {
+    out.contains_.assign(static_cast<size_t>(max_entity) / 64 + 1, 0);
+  }
+  if (zone_maps) {
+    out.zone_code_.reserve(out.num_nodes_);
+    out.zone_routing_.reserve(out.num_nodes_);
+    out.zone_node_level_.reserve(out.num_nodes_);
+    out.zone_min_.reserve(out.node_pages_);
+    out.zone_level_.reserve(out.node_pages_);
+  }
+
+  // Write pass: identical record sequence, now encoding the blobs for real
+  // and emitting every completed page at its known index.
+  ByteBlobWriter child_writer(store, out.child_base_);
+  ByteBlobWriter entity_writer(store, out.entity_base_);
+  CompressedTreePageBuilder builder;
+  Page node_page;
+  uint32_t node_page_idx = 0;
+  uint64_t zone_min = ~uint64_t{0};
+  Level zone_level = 0;
+  child_bytes = 0;
+  entity_bytes = 0;
+  std::vector<uint8_t> enc;
+  const auto flush_node_page = [&] {
+    builder.FlushTo(node_page.data.data());
+    store->WritePage(node_page_idx++, node_page);
+    if (zone_maps) {
+      out.zone_min_.push_back(zone_min);
+      out.zone_level_.push_back(zone_level);
+    }
+    zone_min = ~uint64_t{0};
+    zone_level = 0;
+  };
+  for (size_t i = 0; i < out.num_nodes_; ++i) {
+    const MinSigTree::Node& n = tree.node(static_cast<uint32_t>(i));
+    uint32_t child_len = 0;
+    if (!n.children.empty()) {
+      enc.clear();
+      child_len = static_cast<uint32_t>(EncodeIdList(n.children, &enc));
+      child_writer.Put(enc.data(), enc.size());
+    }
+    uint32_t entity_len = 0;
+    if (!n.entities.empty()) {
+      enc.clear();
+      entity_len = static_cast<uint32_t>(EncodeIdList(n.entities, &enc));
+      entity_writer.Put(enc.data(), enc.size());
+    }
+    const TreeNodeRecord rec =
+        record_for(n, child_bytes, child_len, entity_bytes, entity_len);
+    if (!builder.TryAdd(rec)) {
+      flush_node_page();
+      DT_CHECK(builder.TryAdd(rec));
+    }
+    zone_min = std::min(zone_min, n.value);
+    zone_level = std::max(zone_level, n.level);
+    if (zone_maps) {
+      out.zone_code_.push_back(EncodeZoneValue(n.value));
+      out.zone_routing_.push_back(static_cast<uint16_t>(n.routing));
+      out.zone_node_level_.push_back(static_cast<uint8_t>(n.level));
+    }
+    for (EntityId e : n.entities) {
+      out.contains_[e >> 6] |= uint64_t{1} << (e & 63);
+    }
+    child_bytes += child_len;
+    entity_bytes += entity_len;
+  }
+  if (!builder.empty()) flush_node_page();
+  DT_CHECK(node_page_idx == out.node_pages_);
+  child_writer.Close();
+  entity_writer.Close();
+  store->Finalize();
+}
+
 PagedMinSigTree PagedMinSigTree::Pack(const MinSigTree& tree,
                                       const PagedTreeOptions& options) {
   std::unique_ptr<TreePageSource> store;
@@ -249,7 +488,7 @@ PagedMinSigTree PagedMinSigTree::Pack(const MinSigTree& tree,
   } else {
     store = std::make_unique<InMemoryTreePageStore>();
   }
-  return Pack(tree, std::move(store), options.zone_maps);
+  return Pack(tree, std::move(store), options.zone_maps, options.compress);
 }
 
 }  // namespace dtrace

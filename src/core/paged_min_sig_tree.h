@@ -25,6 +25,13 @@ struct PagedTreeOptions {
     kSimDisk,
   };
   Backing backing = Backing::kInMemory;
+  /// Compress the packed snapshot (util/codec.h): node pages switch to the
+  /// per-column frame-of-reference layout (variable capacity, resident
+  /// first-node table), child/entity blobs to delta-packed id lists
+  /// addressed by byte offset. Queries decode through the cursor's reused
+  /// buffers; results and every search counter stay bit-identical — only
+  /// page counts (hence tree_pages_read) shrink. Default off.
+  bool compress = false;
   /// Keep resident zone maps — per node slot, its (level, routing) and a
   /// 1-byte quantized value floor (storage/tree_page.h) — so the search can
   /// reject a frontier entry from an admissible resident bound without
@@ -58,10 +65,13 @@ struct PagedTreeOptions {
 class PagedMinSigTree final : public TreeSource {
  public:
   /// Packs `tree` into `store` (two streaming passes: totals, then pages —
-  /// transient memory is three page buffers regardless of tree size).
+  /// transient memory is three page buffers regardless of tree size). With
+  /// `compress`, both passes run the compressed layouts instead (the sizing
+  /// pass simulates the page builder so every page index is still known
+  /// before any write).
   static PagedMinSigTree Pack(const MinSigTree& tree,
                               std::unique_ptr<TreePageSource> store,
-                              bool zone_maps = true);
+                              bool zone_maps = true, bool compress = false);
   /// Convenience: builds the store `options` describes, then packs.
   static PagedMinSigTree Pack(const MinSigTree& tree,
                               const PagedTreeOptions& options);
@@ -83,6 +93,11 @@ class PagedMinSigTree final : public TreeSource {
   /// Total packed size — what a buffer pool capacity should be compared
   /// against to know whether the index fits.
   uint64_t PackedBytes() const { return num_pages() * kPageSize; }
+  bool compressed() const { return compressed_; }
+  /// What the UNcompressed layout of the same tree occupies — PackedBytes()
+  /// when compression is off; the compressed_bytes/raw_bytes ratio the
+  /// benches report is PackedBytes()/RawBytes().
+  uint64_t RawBytes() const { return raw_bytes_; }
   bool zone_maps() const { return !zone_code_.empty(); }
   /// Resident zone-map footprint (the 4 bytes/slot the search keeps in
   /// memory to avoid faults; compare against PackedBytes).
@@ -97,6 +112,12 @@ class PagedMinSigTree final : public TreeSource {
   friend class PagedNodeCursor;
   PagedMinSigTree() = default;
 
+  /// The compressed twin of Pack's two passes (sizing simulates the page
+  /// builder so boundaries are known before any write).
+  static void PackCompressed(const MinSigTree& tree, TreePageSource* store,
+                             bool zone_maps, EntityId max_entity,
+                             PagedMinSigTree* out);
+
   int m_ = 0;
   int nh_ = 0;
   size_t num_nodes_ = 0;
@@ -104,6 +125,12 @@ class PagedMinSigTree final : public TreeSource {
   uint32_t node_pages_ = 0;
   uint32_t child_base_ = 0;   // first child-blob page index
   uint32_t entity_base_ = 0;  // first entity-blob page index
+  bool compressed_ = false;
+  uint64_t raw_bytes_ = 0;
+  // Compressed mode only: first node id of each node page (+ a num_nodes_
+  // sentinel) — variable page capacity needs a directory where the fixed
+  // layout uses arithmetic. 4 bytes per ~page of nodes, resident.
+  std::vector<uint32_t> node_page_first_;
   // Resident zone maps (empty = disabled). Per node SLOT: the exact level
   // and routing plus the quantized value floor — the summary Zone() serves
   // without faulting. Per-page aggregates alone cannot reject anything

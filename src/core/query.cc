@@ -234,6 +234,31 @@ class QueryKernel {
     return n;
   }
 
+  // Compressed twin of Intersect: consumes the candidate's encoded id list
+  // without a cursor-side decode. The merge path gallops across undecoded
+  // blocks from their skip entries; the bitmap path expands one block at a
+  // time into a stack buffer and probes bits. Both count exactly the set
+  // Intersect would count over the decoded span, and neither allocates —
+  // safe from eval_threads workers sharing this kernel read-only.
+  uint32_t IntersectPacked(int level0, const PackedIdListView& packed) const {
+    const auto& bits = bits_[level0];
+    if (bits.empty()) {
+      return IntersectPackedSorted(
+          packed, {q_cells_[level0].data(), q_cells_[level0].size()});
+    }
+    uint32_t n = 0;
+    const uint64_t* b = bits.data();
+    uint32_t buf[kIdBlock];
+    const uint32_t blocks = packed.num_blocks();
+    for (uint32_t blk = 0; blk < blocks; ++blk) {
+      const uint32_t count = packed.DecodeBlock(blk, buf);
+      for (uint32_t i = 0; i < count; ++i) {
+        n += static_cast<uint32_t>((b[buf[i] >> 6] >> (buf[i] & 63)) & 1u);
+      }
+    }
+    return n;
+  }
+
  private:
   std::vector<std::vector<CellId>> q_cells_;
   std::vector<std::vector<uint64_t>> bits_;
@@ -285,6 +310,15 @@ void EvalCandidates(const TraceSource& source,
       if (e == q) continue;
       if (options.access_hook) options.access_hook(e);
       for (Level l = 1; l <= m; ++l) {
+        // Compressed-direct first: a valid view intersects straight off the
+        // encoded blocks; otherwise the decoded-span path (the only path
+        // for uncompressed sources and restricted windows).
+        const auto packed = cursor.PackedCellsInWindow(e, l, w0, w1);
+        if (packed.valid()) {
+          scratch.c_sizes[l - 1] = packed.size();
+          scratch.inter[l - 1] = kernel.IntersectPacked(l - 1, packed);
+          continue;
+        }
         const auto span = cursor.CellsInWindow(e, l, w0, w1);
         scratch.c_sizes[l - 1] = static_cast<uint32_t>(span.size());
         scratch.inter[l - 1] = kernel.Intersect(l - 1, span);
@@ -312,6 +346,12 @@ void EvalCandidates(const TraceSource& source,
       const EntityId e = candidates[i];
       if (e == q) continue;
       for (Level l = 1; l <= m; ++l) {
+        const auto packed = local->PackedCellsInWindow(e, l, w0, w1);
+        if (packed.valid()) {
+          c_sizes[l - 1] = packed.size();
+          inter[l - 1] = kernel.IntersectPacked(l - 1, packed);
+          continue;
+        }
         const auto span = local->CellsInWindow(e, l, w0, w1);
         c_sizes[l - 1] = static_cast<uint32_t>(span.size());
         inter[l - 1] = kernel.Intersect(l - 1, span);

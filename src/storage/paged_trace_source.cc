@@ -2,22 +2,32 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/check.h"
+#include "util/codec.h"
 
 namespace dtrace {
 
 namespace {
 
-// One decoded entity record held by a cursor's materialization cache.
+// One entity record held by a cursor's materialization cache. Uncompressed
+// sources materialize `levels` eagerly; compressed sources keep the raw
+// encoded record in `packed` (per-level blob starts in `level_off`) and
+// decode a level into `levels` only the first time a caller needs it as a
+// span — `decoded` tracks which levels are valid. All buffers are reused
+// across the entities cycled through the slot.
 struct CachedEntity {
   EntityId entity = kInvalidEntity;
   uint64_t last_used = 0;
   std::vector<std::vector<CellId>> levels;  // [m], sorted cell ids
+  std::vector<uint8_t> packed;              // compressed record bytes
+  std::vector<uint32_t> level_off;          // [m] blob byte starts in packed
+  uint64_t decoded = 0;                     // bit l-1: levels[l-1] is valid
 };
 
 }  // namespace
@@ -69,9 +79,21 @@ class PagedTraceCursor final : public TraceCursor {
   }
 
   std::span<const CellId> Cells(EntityId e, Level level) override {
-    const auto& levels = Fetch(e);
-    const auto& v = levels[level - 1];
+    const auto& v = DecodedLevel(Fetch(e), level);
     return {v.data(), v.size()};
+  }
+
+  PackedIdListView PackedCellsInWindow(EntityId e, Level level, TimeStep t0,
+                                       TimeStep t1) override {
+    // Only the unwindowed case maps onto whole encoded blobs; a restricted
+    // window needs the decoded span (and the fallback path handles it).
+    if (!src_->paged_->compressed() || t0 != 0 || t1 < src_->horizon()) {
+      return {};
+    }
+    CachedEntity& slot = Fetch(e);
+    const size_t off = slot.level_off[level - 1];
+    return PackedIdListView(slot.packed.data() + off,
+                            slot.packed.size() - off);
   }
 
   std::span<const CellId> CellsInWindow(EntityId e, Level level, TimeStep t0,
@@ -146,21 +168,22 @@ class PagedTraceCursor final : public TraceCursor {
  private:
   struct HandoffSlot {
     std::vector<std::vector<CellId>> levels;
+    std::vector<uint8_t> packed;  // compressed mode: raw record instead
     PagedTraceStore::ReadStats stats;
   };
 
-  const std::vector<std::vector<CellId>>& Fetch(EntityId e) {
+  CachedEntity& Fetch(EntityId e) {
     // MRU shortcut: the scoring loop reads one entity's levels back to back.
     if (mru_ != nullptr && mru_->entity == e) {
       ++io_.cache_hits;
-      return mru_->levels;
+      return *mru_;
     }
     for (auto& slot : slots_) {
       if (slot.entity == e) {
         slot.last_used = ++tick_;
         ++io_.cache_hits;
         mru_ = &slot;
-        return slot.levels;
+        return slot;
       }
     }
     // Miss: reuse the least-recently-used slot's buffers.
@@ -174,7 +197,13 @@ class PagedTraceCursor final : public TraceCursor {
     }
     if (!ConsumeFromStream(e, victim)) {
       PagedTraceStore::ReadStats rs;
-      src_->paged_->ReadEntity(&*src_->pool_, e, &victim->levels, &rs);
+      if (src_->paged_->compressed()) {
+        src_->paged_->ReadEntityPacked(&*src_->pool_, e, &victim->packed,
+                                       &rs);
+        ParseLevelOffsets(victim);
+      } else {
+        src_->paged_->ReadEntity(&*src_->pool_, e, &victim->levels, &rs);
+      }
       ChargePages(rs);
     }
     ++io_.entities_fetched;
@@ -182,7 +211,40 @@ class PagedTraceCursor final : public TraceCursor {
     victim->entity = e;
     victim->last_used = ++tick_;
     mru_ = victim;
-    return victim->levels;
+    return *victim;
+  }
+
+  // Compressed mode: walks the packed record's self-delimiting blobs to
+  // index each level's start, and invalidates the slot's decoded levels.
+  void ParseLevelOffsets(CachedEntity* slot) {
+    const int m = src_->hierarchy().num_levels();
+    DT_CHECK_MSG(m <= 64, "decoded-level bitmask holds at most 64 levels");
+    slot->level_off.resize(m);
+    slot->levels.resize(m);
+    slot->decoded = 0;
+    size_t off = 0;
+    for (int l = 0; l < m; ++l) {
+      slot->level_off[l] = static_cast<uint32_t>(off);
+      // The view knows each layout's blob length (small blobs embed none);
+      // its bounds checks double as the walk's corruption guard.
+      const PackedIdListView view(slot->packed.data() + off,
+                                  slot->packed.size() - off);
+      off += view.total_bytes();
+    }
+    DT_CHECK(off == slot->packed.size());
+  }
+
+  // Returns the decoded cell span of `level`, decoding it out of the packed
+  // record on first touch (compressed mode; a no-op pass-through otherwise).
+  const std::vector<CellId>& DecodedLevel(CachedEntity& slot, Level level) {
+    auto& v = slot.levels[level - 1];
+    if (src_->paged_->compressed() &&
+        (slot.decoded & (uint64_t{1} << (level - 1))) == 0) {
+      const size_t off = slot.level_off[level - 1];
+      DecodeIdList(slot.packed.data() + off, slot.packed.size() - off, &v);
+      slot.decoded |= uint64_t{1} << (level - 1);
+    }
+    return v;
   }
 
   void ChargePages(const PagedTraceStore::ReadStats& rs) {
@@ -207,7 +269,12 @@ class PagedTraceCursor final : public TraceCursor {
     std::unique_lock<std::mutex> lock(pf_mu_);
     pf_cv_.wait(lock, [&] { return ready_count_ > 0; });
     HandoffSlot& slot = ring_[ring_head_];
-    victim->levels.swap(slot.levels);
+    if (src_->paged_->compressed()) {
+      victim->packed.swap(slot.packed);
+      ParseLevelOffsets(victim);
+    } else {
+      victim->levels.swap(slot.levels);
+    }
     ChargePages(slot.stats);
     ++io_.prefetch_hits;
     ring_head_ = (ring_head_ + 1) % ring_.size();
@@ -232,7 +299,12 @@ class PagedTraceCursor final : public TraceCursor {
       // The tail slot is invisible to the consumer until ready_count_ is
       // bumped, so the pool read runs without the handoff lock.
       slot.stats = {};
-      src_->paged_->ReadEntity(&*src_->pool_, e, &slot.levels, &slot.stats);
+      if (src_->paged_->compressed()) {
+        src_->paged_->ReadEntityPacked(&*src_->pool_, e, &slot.packed,
+                                       &slot.stats);
+      } else {
+        src_->paged_->ReadEntity(&*src_->pool_, e, &slot.levels, &slot.stats);
+      }
       lock.lock();
       ring_tail_ = (ring_tail_ + 1) % ring_.size();
       ++ready_count_;
@@ -269,14 +341,20 @@ PagedTraceSource::PagedTraceSource(const TraceStore& store,
       horizon_(store.horizon()),
       cache_entities_(std::max<size_t>(2, options.cursor_cache_entities)),
       disk_(options.read_latency_seconds, options.write_latency_seconds) {
-  paged_ = std::make_unique<PagedTraceStore>(store, &disk_);
+  paged_ = std::make_unique<PagedTraceStore>(store, &disk_, options.compress);
   size_t capacity = options.pool_pages > 0
                         ? options.pool_pages
                         : std::max<size_t>(1, paged_->num_pages());
   if (options.pool_fraction > 0.0) {
+    // Sized off the UNcompressed footprint (raw_bytes == data_bytes when
+    // compress is off), so --compress runs compare at a fixed memory
+    // budget: the same pool bytes now cover a larger share of the data,
+    // which is exactly the win compression is buying.
+    const auto raw_pages =
+        static_cast<size_t>((paged_->raw_bytes() + kPageSize - 1) / kPageSize);
     capacity = std::max<size_t>(
         1, static_cast<size_t>(options.pool_fraction *
-                               static_cast<double>(paged_->num_pages())));
+                               static_cast<double>(raw_pages)));
   }
   pool_.emplace(&disk_, capacity, options.pool_shards);
   // Serialization traffic is construction cost, not query I/O.

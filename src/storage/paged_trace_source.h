@@ -40,13 +40,23 @@ class PagedTraceSource final : public TraceSource {
     /// only).
     size_t pool_pages = 0;
     /// When > 0, overrides pool_pages with max(1, pool_fraction *
-    /// num_pages()) — the "memory size as a fraction of the data" axis of
-    /// Sec. 7.6, resolved after serialization so callers need not know the
-    /// page count up front.
+    /// ceil(raw_bytes() / kPageSize)) — the "memory size as a fraction of
+    /// the data" axis of Sec. 7.6, resolved after serialization so callers
+    /// need not know the page count up front. The basis is the
+    /// UNcompressed footprint (== num_pages() when `compress` is off), so
+    /// compressed runs keep the same absolute pool bytes and compression
+    /// shows up as hit rate rather than as a proportionally smaller pool.
     double pool_fraction = 0.0;
     /// Buffer-pool shards (0 = auto = 16; always capped at
     /// pool capacity / 4 so every shard keeps at least 4 frames).
     size_t pool_shards = 0;
+    /// Serialize compressed (util/codec.h): each level becomes one
+    /// delta-packed id-list blob, and cursors keep the packed record
+    /// resident — decoding levels lazily into reused buffers, or handing
+    /// the encoded blocks straight to the intersection kernel via
+    /// PackedCellsInWindow. Results and every search counter stay
+    /// bit-identical to uncompressed; only page counts shrink. Default off.
+    bool compress = false;
     /// Per-cursor materialization cache capacity in entities. Pairwise
     /// reads (the intersection helpers) need both sides resident at once,
     /// so values below 2 are raised to 2.
@@ -68,6 +78,8 @@ class PagedTraceSource final : public TraceSource {
 
   size_t num_pages() const { return paged_->num_pages(); }
   uint64_t data_bytes() const { return paged_->data_bytes(); }
+  bool compressed() const { return paged_->compressed(); }
+  uint64_t raw_bytes() const { return paged_->raw_bytes(); }
   size_t pool_shards() const { return pool_->num_shards(); }
 
   /// Lifetime pool/disk counters (across every cursor). The pool aggregates

@@ -4,11 +4,13 @@
 #include <cstring>
 
 #include "util/check.h"
+#include "util/codec.h"
 
 namespace dtrace {
 
-PagedTraceStore::PagedTraceStore(const TraceStore& store, SimDisk* disk)
-    : m_(store.hierarchy().num_levels()) {
+PagedTraceStore::PagedTraceStore(const TraceStore& store, SimDisk* disk,
+                                 bool compress)
+    : m_(store.hierarchy().num_levels()), compressed_(compress) {
   DT_CHECK(disk != nullptr);
   dir_.resize(store.num_entities());
 
@@ -32,21 +34,88 @@ PagedTraceStore::PagedTraceStore(const TraceStore& store, SimDisk* disk)
     in_page += sizeof(uint32_t);
     data_bytes_ += sizeof(uint32_t);
   };
+  auto put_bytes = [&](const uint8_t* data, size_t n) {
+    while (n > 0) {
+      const size_t take = std::min(n, kPageSize - in_page);
+      std::memcpy(page.data.data() + in_page, data, take);
+      in_page += take;
+      data += take;
+      n -= take;
+      data_bytes_ += take;
+      if (in_page == kPageSize) flush();
+    }
+  };
 
+  // What the uncompressed writer would have occupied — simulated with its
+  // exact padding rule so the compressed/raw ratio compares like for like.
+  uint64_t raw_in_page = 0;
+  auto raw_u32s = [&](uint64_t n) {
+    while (n > 0) {
+      if (raw_in_page + sizeof(uint32_t) > kPageSize) {
+        raw_bytes_ += kPageSize - raw_in_page;
+        raw_in_page = 0;
+      }
+      const uint64_t fit = (kPageSize - raw_in_page) / sizeof(uint32_t);
+      const uint64_t take = std::min(n, fit);
+      raw_in_page += take * sizeof(uint32_t);
+      raw_bytes_ += take * sizeof(uint32_t);
+      if (raw_in_page == kPageSize) raw_in_page = 0;
+      n -= take;
+    }
+  };
+
+  std::vector<uint8_t> enc;
   for (EntityId e = 0; e < store.num_entities(); ++e) {
     // Align the next entity to a fresh offset; record the directory entry.
     const uint64_t start =
         static_cast<uint64_t>(pages_.size()) * kPageSize + in_page;
     for (Level l = 1; l <= m_; ++l) {
       const auto cells = store.cells(e, l);
-      put_u32(static_cast<uint32_t>(cells.size()));
-      for (CellId c : cells) put_u32(c);
+      raw_u32s(1 + cells.size());
+      if (compress) {
+        enc.clear();
+        EncodeIdList(cells, &enc);
+        put_bytes(enc.data(), enc.size());
+      } else {
+        put_u32(static_cast<uint32_t>(cells.size()));
+        for (CellId c : cells) put_u32(c);
+      }
     }
     const uint64_t end =
         static_cast<uint64_t>(pages_.size()) * kPageSize + in_page;
     dir_[e] = {start, end - start};
   }
   if (in_page > 0) flush();
+  if (!compress) raw_bytes_ = data_bytes_;
+}
+
+void PagedTraceStore::ReadEntityPacked(BufferPool* pool, EntityId e,
+                                       std::vector<uint8_t>* out,
+                                       ReadStats* stats) const {
+  DT_CHECK_MSG(compressed_, "ReadEntityPacked needs a compressed store");
+  DT_CHECK(e < dir_.size());
+  const DirEntry& d = dir_[e];
+  out->resize(d.bytes);
+  uint64_t copied = 0;
+  while (copied < d.bytes) {
+    const uint64_t abs = d.offset + copied;
+    const size_t p = abs / kPageSize;
+    const size_t in_page = abs % kPageSize;
+    const uint64_t take =
+        std::min<uint64_t>(d.bytes - copied, kPageSize - in_page);
+    bool missed = false;
+    const uint8_t* data = pool->Pin(pages_[p], &missed);
+    std::memcpy(out->data() + copied, data + in_page, take);
+    pool->Unpin(pages_[p]);
+    if (stats != nullptr) {
+      if (missed) {
+        ++stats->pages_read;
+      } else {
+        ++stats->pages_hit;
+      }
+    }
+    copied += take;
+  }
 }
 
 void PagedTraceStore::ReadEntity(BufferPool* pool, EntityId e,
@@ -55,6 +124,19 @@ void PagedTraceStore::ReadEntity(BufferPool* pool, EntityId e,
   DT_CHECK(e < dir_.size());
   const DirEntry& d = dir_[e];
   out->resize(m_);
+  if (compressed_) {
+    // Convenience/tooling path (the paged cursor keeps the packed form and
+    // decodes lazily instead): copy the record out, decode level by level.
+    std::vector<uint8_t> packed;
+    ReadEntityPacked(pool, e, &packed, stats);
+    size_t off = 0;
+    for (int l = 0; l < m_; ++l) {
+      off += DecodeIdList(packed.data() + off, packed.size() - off,
+                          &(*out)[l]);
+    }
+    DT_CHECK(off == packed.size());
+    return;
+  }
 
   // Walk the record with a one-page pinned window, decoding values straight
   // out of the frame. Values are 4-byte units written back-to-back from a

@@ -18,7 +18,10 @@ namespace dtrace {
 /// of the data that fits in memory and charge modeled I/O for the rest.
 ///
 /// On-disk entity layout: for each level l in 1..m, a uint32 count followed
-/// by count uint32 cell ids.
+/// by count uint32 cell ids. With `compress`, each level is instead one
+/// delta-packed id-list blob (util/codec.h EncodeIdList, self-delimiting),
+/// blobs back to back with no page-tail padding — encoded bytes may
+/// straddle pages, so readers copy the record out before decoding.
 class PagedTraceStore {
  public:
   /// Pool outcomes of one read, reported per call so concurrent readers can
@@ -29,13 +32,21 @@ class PagedTraceStore {
   };
 
   /// Serializes `store` onto `disk`.
-  PagedTraceStore(const TraceStore& store, SimDisk* disk);
+  PagedTraceStore(const TraceStore& store, SimDisk* disk,
+                  bool compress = false);
 
   /// Number of data pages used.
   size_t num_pages() const { return pages_.size(); }
 
   /// Total serialized bytes.
   uint64_t data_bytes() const { return data_bytes_; }
+
+  bool compressed() const { return compressed_; }
+
+  /// What the UNcompressed serialization of the same store occupies
+  /// (data_bytes() when compression is off) — the denominator of the
+  /// compression ratio the benches report.
+  uint64_t raw_bytes() const { return raw_bytes_; }
 
   /// Serialized bytes of entity `e`'s record.
   uint64_t entity_bytes(EntityId e) const { return dir_[e].bytes; }
@@ -54,6 +65,15 @@ class PagedTraceStore {
   std::vector<std::vector<CellId>> ReadEntity(BufferPool* pool,
                                               EntityId e) const;
 
+  /// Compressed stores only: copies entity `e`'s raw encoded record (m
+  /// concatenated id-list blobs) through `pool` into `out` (resized;
+  /// capacity reused) WITHOUT decoding — the cursor keeps the packed form
+  /// resident and decodes levels lazily, or intersects them block-wise
+  /// without decoding at all.
+  void ReadEntityPacked(BufferPool* pool, EntityId e,
+                        std::vector<uint8_t>* out,
+                        ReadStats* stats = nullptr) const;
+
   /// Touches (pins+unpins) every page of entity `e` without materializing —
   /// a pure pool-warming pass (the prefetch pipeline materializes instead;
   /// this remains for access-hook emulation and tests).
@@ -67,9 +87,11 @@ class PagedTraceStore {
   };
 
   int m_;
+  bool compressed_ = false;
   std::vector<PageId> pages_;
   std::vector<DirEntry> dir_;
   uint64_t data_bytes_ = 0;
+  uint64_t raw_bytes_ = 0;
 };
 
 }  // namespace dtrace

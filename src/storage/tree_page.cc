@@ -1,6 +1,10 @@
 #include "storage/tree_page.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "util/check.h"
+#include "util/codec.h"
 
 namespace dtrace {
 
@@ -54,6 +58,122 @@ TreeNodeRecord LoadTreeNode(const uint8_t* page, size_t slot) {
   rec.entity_count = Load<uint32_t>(page, kTreeEntityCountColumn + 4 * slot);
   rec.routing = Load<uint16_t>(page, kTreeRoutingColumn + 2 * slot);
   rec.level = Load<uint8_t>(page, kTreeLevelColumn + slot);
+  return rec;
+}
+
+namespace {
+
+// Column meta c lives at this header offset: {u64 min, u8 width}.
+constexpr size_t ColumnMetaOffset(size_t c) {
+  return kTreePageHeaderBytes + 9 * c;
+}
+
+}  // namespace
+
+CompressedTreePageBuilder::CompressedTreePageBuilder() {
+  recs_.reserve(kTreeCompressedMaxNodes);
+}
+
+uint64_t CompressedTreePageBuilder::Column(const TreeNodeRecord& rec,
+                                           size_t c) const {
+  switch (c) {
+    case 0: return rec.value;
+    case 1: return rec.child_off;
+    case 2: return rec.child_count;
+    case 3: return rec.entity_off;
+    case 4: return rec.entity_count;
+    case 5: return rec.routing;
+    default: return rec.level;
+  }
+}
+
+size_t CompressedTreePageBuilder::BytesFor(const uint64_t* mins,
+                                           const uint64_t* maxes,
+                                           size_t count) const {
+  size_t bytes = kTreeCompressedHeaderBytes;
+  for (size_t c = 0; c < kTreeCompressedColumns; ++c) {
+    const size_t width = static_cast<size_t>(BitWidth64(maxes[c] - mins[c]));
+    bytes += (count * width + 7) / 8;
+  }
+  return bytes;
+}
+
+bool CompressedTreePageBuilder::TryAdd(const TreeNodeRecord& rec) {
+  uint64_t mins[kTreeCompressedColumns];
+  uint64_t maxes[kTreeCompressedColumns];
+  for (size_t c = 0; c < kTreeCompressedColumns; ++c) {
+    const uint64_t v = Column(rec, c);
+    mins[c] = recs_.empty() ? v : std::min(min_[c], v);
+    maxes[c] = recs_.empty() ? v : std::max(max_[c], v);
+  }
+  if (!recs_.empty()) {
+    if (recs_.size() + 1 > kTreeCompressedMaxNodes) return false;
+    if (BytesFor(mins, maxes, recs_.size() + 1) > kPageSize) return false;
+  } else {
+    DT_CHECK_MSG(BytesFor(mins, maxes, 1) <= kPageSize,
+                 "one node record overflows a compressed page");
+  }
+  std::memcpy(min_, mins, sizeof(mins));
+  std::memcpy(max_, maxes, sizeof(maxes));
+  recs_.push_back(rec);
+  return true;
+}
+
+void CompressedTreePageBuilder::FlushTo(uint8_t* page) {
+  DT_CHECK(!recs_.empty());
+  std::memset(page, 0, kPageSize);
+  uint64_t zone_min = ~uint64_t{0};
+  uint16_t filter_level = 0;
+  for (const TreeNodeRecord& rec : recs_) {
+    zone_min = std::min(zone_min, rec.value);
+    filter_level = std::max<uint16_t>(filter_level, rec.level);
+  }
+  StoreTreePageHeader(page,
+                      {static_cast<uint32_t>(recs_.size()), filter_level,
+                       zone_min});
+  // Column payloads, byte-aligned back to back after the header — the same
+  // running offsets LoadCompressedTreeNode derives from count and widths.
+  std::vector<uint8_t> payload;
+  payload.reserve(kPageSize - kTreeCompressedHeaderBytes);
+  BitWriter writer(&payload);
+  for (size_t c = 0; c < kTreeCompressedColumns; ++c) {
+    const int width = BitWidth64(max_[c] - min_[c]);
+    Store<uint64_t>(page, ColumnMetaOffset(c), min_[c]);
+    Store<uint8_t>(page, ColumnMetaOffset(c) + 8,
+                   static_cast<uint8_t>(width));
+    for (const TreeNodeRecord& rec : recs_) {
+      writer.Put(Column(rec, c) - min_[c], width);
+    }
+    writer.Close();
+  }
+  DT_CHECK(kTreeCompressedHeaderBytes + payload.size() <= kPageSize);
+  std::memcpy(page + kTreeCompressedHeaderBytes, payload.data(),
+              payload.size());
+  recs_.clear();
+}
+
+TreeNodeRecord LoadCompressedTreeNode(const uint8_t* page, size_t slot) {
+  const uint32_t count = Load<uint32_t>(page, 0);
+  DT_DCHECK(slot < count);
+  uint64_t cols[kTreeCompressedColumns];
+  size_t off = kTreeCompressedHeaderBytes;
+  for (size_t c = 0; c < kTreeCompressedColumns; ++c) {
+    const uint64_t mn = Load<uint64_t>(page, ColumnMetaOffset(c));
+    const int width = Load<uint8_t>(page, ColumnMetaOffset(c) + 8);
+    DT_CHECK_MSG(width <= 64, "corrupt compressed node-page width");
+    const size_t col_bytes = (count * static_cast<size_t>(width) + 7) / 8;
+    const BitReader reader(page + off, col_bytes);
+    cols[c] = mn + reader.Read(slot * static_cast<uint64_t>(width), width);
+    off += col_bytes;
+  }
+  TreeNodeRecord rec;
+  rec.value = cols[0];
+  rec.child_off = static_cast<uint32_t>(cols[1]);
+  rec.child_count = static_cast<uint32_t>(cols[2]);
+  rec.entity_off = static_cast<uint32_t>(cols[3]);
+  rec.entity_count = static_cast<uint32_t>(cols[4]);
+  rec.routing = static_cast<uint16_t>(cols[5]);
+  rec.level = static_cast<uint8_t>(cols[6]);
   return rec;
 }
 

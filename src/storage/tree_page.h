@@ -2,6 +2,7 @@
 #define DTRACE_STORAGE_TREE_PAGE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "storage/sim_disk.h"
 
@@ -77,6 +78,61 @@ TreePageHeader LoadTreePageHeader(const uint8_t* page);
 
 void StoreTreeNode(uint8_t* page, size_t slot, const TreeNodeRecord& rec);
 TreeNodeRecord LoadTreeNode(const uint8_t* page, size_t slot);
+
+/// Compressed node-page layout (Options::compress): the same seven SoA
+/// columns, but each column frame-of-reference packed over the whole page —
+/// a per-column {u64 min, u8 width} meta in the header, residuals (v - min)
+/// bit-packed at the column's minimal width in the payload. Page capacity
+/// becomes variable (however many nodes fit 4096 bytes at the running
+/// widths), so id->page addressing needs the packer's resident
+/// first-node-per-page table instead of arithmetic. The first 16 bytes
+/// match TreePageHeader, so header tooling reads both layouts.
+///
+/// In compressed mode a record's child_off/entity_off are BYTE offsets into
+/// the blob regions and child_count/entity_count are encoded byte LENGTHS
+/// (the blobs themselves are EncodeIdList output; element counts come from
+/// decode) — offsets stay u32-sized because blob regions are < 4 GB.
+constexpr size_t kTreeCompressedColumns = 7;
+/// Header: TreePageHeader bytes + 7 column metas of {u64 min, u8 width},
+/// rounded to keep the payload 4-byte aligned.
+constexpr size_t kTreeCompressedHeaderBytes =
+    kTreePageHeaderBytes + kTreeCompressedColumns * 9 + 1;  // 80
+/// Capacity cap: keeps slot loops bounded even when every column packs to
+/// width 0 (the fit check, not this cap, is the binding limit in practice).
+constexpr size_t kTreeCompressedMaxNodes = 1024;
+
+/// Accumulates node records and emits full compressed pages. Deterministic:
+/// page boundaries are a pure function of the record sequence, so the
+/// packer's sizing pass and write pass see identical page breaks.
+class CompressedTreePageBuilder {
+ public:
+  CompressedTreePageBuilder();
+
+  /// Adds `rec` to the open page if it still fits (header + all columns at
+  /// the widths the new record implies <= kPageSize); returns false — and
+  /// leaves the page unchanged — when it does not. A record always fits an
+  /// empty page.
+  bool TryAdd(const TreeNodeRecord& rec);
+
+  size_t count() const { return recs_.size(); }
+  bool empty() const { return recs_.empty(); }
+
+  /// Serializes the open page into `page` (zero-padded) and resets the
+  /// builder for the next page.
+  void FlushTo(uint8_t* page);
+
+ private:
+  uint64_t Column(const TreeNodeRecord& rec, size_t c) const;
+  size_t BytesFor(const uint64_t* mins, const uint64_t* maxes,
+                  size_t count) const;
+
+  std::vector<TreeNodeRecord> recs_;
+  uint64_t min_[kTreeCompressedColumns];
+  uint64_t max_[kTreeCompressedColumns];
+};
+
+/// Reads slot `slot` of a compressed node page.
+TreeNodeRecord LoadCompressedTreeNode(const uint8_t* page, size_t slot);
 
 /// Zone-value quantization: an 8-bit minifloat (6-bit exponent, 2-bit
 /// mantissa) whose decode is a guaranteed FLOOR of the encoded value —

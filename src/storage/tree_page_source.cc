@@ -58,9 +58,11 @@ void SimDiskTreePageStore::Finalize() {
   if (pool_ != nullptr) return;  // shared mode: the pool already exists
   size_t capacity = options_.pool_pages;
   if (options_.pool_fraction > 0.0) {
+    const size_t basis =
+        pool_sizing_pages_ > 0 ? pool_sizing_pages_ : page_ids_.size();
     capacity = std::max<size_t>(
         1, static_cast<size_t>(options_.pool_fraction *
-                               static_cast<double>(page_ids_.size())));
+                               static_cast<double>(basis)));
   }
   if (capacity == 0) capacity = std::max<size_t>(1, page_ids_.size());
   owned_pool_.emplace(disk_, capacity, options_.pool_shards);

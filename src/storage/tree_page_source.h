@@ -42,6 +42,14 @@ class TreePageSource {
   /// count). No pin may happen before this.
   virtual void Finalize() = 0;
 
+  /// Overrides the page count pool_fraction resolves against at Finalize
+  /// (0 = the packed page count). The packer passes the FIXED layout's
+  /// page count, so a compressed pack keeps the same absolute pool bytes
+  /// as the uncompressed one — the fixed-memory-budget comparison where
+  /// compression shows up as hit rate, not as a smaller pool. No-op for
+  /// stores without a pool.
+  virtual void SetPoolSizingPages(size_t) {}
+
   virtual size_t num_pages() const = 0;
 
   /// Pins page `index` for reading; `missed` reports whether this pin cost
@@ -110,6 +118,9 @@ class SimDiskTreePageStore final : public TreePageSource {
   void Allocate(size_t num_pages) override;
   void WritePage(uint32_t index, const Page& page) override;
   void Finalize() override;
+  void SetPoolSizingPages(size_t pages) override {
+    pool_sizing_pages_ = pages;
+  }
   size_t num_pages() const override { return page_ids_.size(); }
   const uint8_t* Pin(uint32_t index, bool* missed) const override;
   void Unpin(uint32_t index) const override;
@@ -129,6 +140,7 @@ class SimDiskTreePageStore final : public TreePageSource {
   mutable std::optional<BufferPool> owned_pool_;
   SimDisk* disk_ = nullptr;
   BufferPool* pool_ = nullptr;  // null until Finalize in private mode
+  size_t pool_sizing_pages_ = 0;  // pool_fraction basis; 0 = packed count
   std::vector<PageId> page_ids_;  // tree page index -> disk page id
 };
 

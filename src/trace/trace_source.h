@@ -8,6 +8,7 @@
 
 #include "trace/spatial_hierarchy.h"
 #include "trace/types.h"
+#include "util/codec.h"
 
 namespace dtrace {
 
@@ -65,6 +66,22 @@ class TraceCursor {
   virtual uint32_t WindowedIntersectionSize(EntityId a, EntityId b,
                                             Level level, TimeStep t0,
                                             TimeStep t1) = 0;
+
+  /// Compressed-direct variant of CellsInWindow: when the cursor holds
+  /// entity `e`'s level-`level` cells as an encoded id list (util/codec.h)
+  /// covering exactly [t0, t1), returns a view over those encoded bytes so
+  /// the caller can intersect block-by-block without a full decode. An
+  /// invalid view means "no packed form for this window" — callers must
+  /// fall back to CellsInWindow; both paths describe the same cell set.
+  /// View lifetime matches CellsInWindow's span lifetime.
+  virtual PackedIdListView PackedCellsInWindow(EntityId e, Level level,
+                                               TimeStep t0, TimeStep t1) {
+    (void)e;
+    (void)level;
+    (void)t0;
+    (void)t1;
+    return {};
+  }
 
   /// Hint: the caller is about to read `entities` in exactly this order,
   /// one batch at a time. A storage-backed cursor may pipeline the batch —

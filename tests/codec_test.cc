@@ -1,0 +1,301 @@
+#include "util/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dtrace {
+namespace {
+
+// Reference intersection count over plain vectors (sets may be non-strictly
+// sorted on the packed side only in FoR-fallback blocks, which
+// IntersectPackedSorted does not accept — both inputs here are sorted
+// unique, matching its contract).
+uint32_t ReferenceIntersect(const std::vector<uint32_t>& a,
+                            const std::vector<uint32_t>& b) {
+  uint32_t n = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+std::vector<uint32_t> SortedUniqueIds(std::mt19937& rng, size_t n,
+                                      uint32_t max_gap) {
+  std::vector<uint32_t> ids;
+  ids.reserve(n);
+  uint32_t v = rng() % 16;
+  for (size_t i = 0; i < n; ++i) {
+    ids.push_back(v);
+    v += 1 + rng() % max_gap;
+  }
+  return ids;
+}
+
+void ExpectRoundTrip(const std::vector<uint32_t>& ids) {
+  std::vector<uint8_t> enc;
+  const size_t predicted = EncodedIdListBytes(ids);
+  const size_t written = EncodeIdList(ids, &enc);
+  EXPECT_EQ(written, predicted);
+  EXPECT_EQ(enc.size(), predicted);
+  std::vector<uint32_t> dec;
+  const size_t consumed = DecodeIdList(enc.data(), enc.size(), &dec);
+  EXPECT_EQ(consumed, enc.size());
+  EXPECT_EQ(dec, ids);
+}
+
+TEST(IdListCodecTest, RoundTripEmpty) { ExpectRoundTrip({}); }
+
+TEST(IdListCodecTest, RoundTripSingleElement) {
+  ExpectRoundTrip({0});
+  ExpectRoundTrip({42});
+  ExpectRoundTrip({0xffffffffu});
+}
+
+TEST(IdListCodecTest, RoundTripBlockBoundarySizes) {
+  std::mt19937 rng(7);
+  for (size_t n : {size_t{127}, size_t{128}, size_t{129}, size_t{255},
+                   size_t{256}, size_t{1000}}) {
+    ExpectRoundTrip(SortedUniqueIds(rng, n, 1000));
+  }
+}
+
+TEST(IdListCodecTest, RoundTripMaxWidthDeltas) {
+  // A 32-bit delta forces the widest legal block; the codec must not
+  // overflow nor reject it.
+  ExpectRoundTrip({0, 0xffffffffu});
+  ExpectRoundTrip({0, 1, 0xfffffffeu, 0xffffffffu});
+}
+
+TEST(IdListCodecTest, RoundTripAllEqualRuns) {
+  // Non-strict monotone input (duplicates) stays in delta mode (width 0
+  // deltas) and round-trips exactly.
+  std::vector<uint32_t> ids(300, 77);
+  ExpectRoundTrip(ids);
+}
+
+TEST(IdListCodecTest, RoundTripNonMonotoneFallback) {
+  // Unsorted blocks (tree entity lists after maintenance) take the
+  // frame-of-reference fallback; order must be preserved exactly.
+  std::mt19937 rng(13);
+  std::vector<uint32_t> ids;
+  for (size_t i = 0; i < 500; ++i) ids.push_back(rng());
+  ExpectRoundTrip(ids);
+}
+
+TEST(IdListCodecTest, SelfDelimitingConcatenation) {
+  std::mt19937 rng(21);
+  const auto a = SortedUniqueIds(rng, 130, 50);
+  const auto b = SortedUniqueIds(rng, 3, 9);
+  std::vector<uint8_t> enc;
+  EncodeIdList(a, &enc);
+  const size_t a_bytes = enc.size();
+  EncodeIdList(b, &enc);
+  // Decoding walks the embedded lengths; `avail` spans both blobs.
+  std::vector<uint32_t> dec;
+  const size_t used_a = DecodeIdList(enc.data(), enc.size(), &dec);
+  EXPECT_EQ(used_a, a_bytes);
+  EXPECT_EQ(dec, a);
+  const size_t used_b =
+      DecodeIdList(enc.data() + used_a, enc.size() - used_a, &dec);
+  EXPECT_EQ(used_a + used_b, enc.size());
+  EXPECT_EQ(dec, b);
+}
+
+TEST(IdListCodecTest, ViewBlockAccessors) {
+  std::mt19937 rng(3);
+  const auto ids = SortedUniqueIds(rng, 321, 77);
+  std::vector<uint8_t> enc;
+  EncodeIdList(ids, &enc);
+  const PackedIdListView view(enc.data(), enc.size());
+  ASSERT_TRUE(view.valid());
+  EXPECT_EQ(view.size(), ids.size());
+  EXPECT_EQ(view.total_bytes(), enc.size());
+  EXPECT_EQ(view.num_blocks(), (ids.size() + kIdBlock - 1) / kIdBlock);
+  uint32_t buf[kIdBlock];
+  size_t at = 0;
+  for (uint32_t b = 0; b < view.num_blocks(); ++b) {
+    EXPECT_TRUE(view.BlockMonotone(b));
+    EXPECT_EQ(view.BlockBase(b), ids[b * kIdBlock]);
+    const uint32_t count = view.DecodeBlock(b, buf);
+    ASSERT_EQ(count, view.BlockCount(b));
+    for (uint32_t i = 0; i < count; ++i) EXPECT_EQ(buf[i], ids[at + i]);
+    at += count;
+  }
+  EXPECT_EQ(at, ids.size());
+}
+
+TEST(IdListCodecTest, PackedIntersectMatchesReference) {
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto packed_ids = SortedUniqueIds(rng, 1 + rng() % 700, 40);
+    // Mix of members and non-members so matches land throughout blocks.
+    std::vector<uint32_t> probe;
+    for (uint32_t v : packed_ids) {
+      if (rng() % 3 == 0) probe.push_back(v);
+    }
+    const auto extra = SortedUniqueIds(rng, 50, 60);
+    probe.insert(probe.end(), extra.begin(), extra.end());
+    std::sort(probe.begin(), probe.end());
+    probe.erase(std::unique(probe.begin(), probe.end()), probe.end());
+
+    std::vector<uint8_t> enc;
+    EncodeIdList(packed_ids, &enc);
+    const PackedIdListView view(enc.data(), enc.size());
+    EXPECT_EQ(IntersectPackedSorted(view, probe),
+              ReferenceIntersect(packed_ids, probe));
+  }
+}
+
+TEST(IdListCodecTest, PackedIntersectSeeksAcrossBlockBoundaries) {
+  // Probes that land exactly on block-first ids exercise the skip logic's
+  // boundary comparisons (a wrong <= would drop matches at block edges).
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < 5 * kIdBlock; ++i) ids.push_back(10 * i);
+  std::vector<uint8_t> enc;
+  EncodeIdList(ids, &enc);
+  const PackedIdListView view(enc.data(), enc.size());
+  for (uint32_t b = 0; b < view.num_blocks(); ++b) {
+    const std::vector<uint32_t> probe = {view.BlockBase(b)};
+    EXPECT_EQ(IntersectPackedSorted(view, probe), 1u) << "block " << b;
+  }
+  // One probe per block boundary at once: every block must be landed in.
+  std::vector<uint32_t> probes;
+  for (uint32_t b = 0; b < view.num_blocks(); ++b) {
+    probes.push_back(view.BlockBase(b));
+  }
+  EXPECT_EQ(IntersectPackedSorted(view, probes), view.num_blocks());
+  // Probes past the end and before the start count nothing.
+  EXPECT_EQ(IntersectPackedSorted(view, std::vector<uint32_t>{ids.back() + 1}),
+            0u);
+  EXPECT_EQ(IntersectPackedSorted(view, std::vector<uint32_t>{5}), 0u);
+}
+
+TEST(IdListCodecDeathTest, CorruptBitWidthAborts) {
+  std::mt19937 rng(5);
+  const auto ids = SortedUniqueIds(rng, 200, 30);  // >= kIdBlock: full layout
+  std::vector<uint8_t> enc;
+  EncodeIdList(ids, &enc);
+  // Skip entry 0 starts after the tag and the 8-byte header; its mode|width
+  // byte is the last of the 9. Widths above 32 are impossible for u32
+  // deltas.
+  enc[1 + kIdHeaderBytes + kIdSkipBytes - 1] = 60;
+  std::vector<uint32_t> dec;
+  EXPECT_DEATH(DecodeIdList(enc.data(), enc.size(), &dec),
+               "corrupt id-list bit width");
+}
+
+TEST(IdListCodecDeathTest, CorruptSmallWidthAborts) {
+  std::mt19937 rng(5);
+  const auto ids = SortedUniqueIds(rng, 50, 30);  // < kIdBlock: small layout
+  std::vector<uint8_t> enc;
+  EncodeIdList(ids, &enc);
+  // The small layout derives its blob length from n and the width byte
+  // (tag, u32 base, then mode|width), so an inflated width walks the
+  // derived length straight past `avail`.
+  enc[1 + 4] = 60;
+  std::vector<uint32_t> dec;
+  EXPECT_DEATH(DecodeIdList(enc.data(), enc.size(), &dec),
+               "id-list length header out of bounds");
+}
+
+TEST(IdListCodecTest, SmallLayoutSizes) {
+  // The point of the small layout: 1 byte for an empty list, 6 + payload
+  // for anything under kIdBlock ids (vs 18 + payload for the full layout).
+  EXPECT_EQ(EncodedIdListBytes({}), 1u);
+  const std::vector<uint32_t> one = {12345};
+  EXPECT_EQ(EncodedIdListBytes(one), 1 + kIdSmallSkipBytes);  // width 0
+  std::vector<uint32_t> run(100);
+  for (size_t i = 0; i < run.size(); ++i) {
+    run[i] = static_cast<uint32_t>(i);  // deltas of 1: width 1, 99 bits
+  }
+  EXPECT_EQ(EncodedIdListBytes(run), 1 + kIdSmallSkipBytes + (99 + 7) / 8);
+  // kIdBlock ids no longer fit the 7-bit tag count: full layout.
+  std::vector<uint32_t> full(kIdBlock);
+  for (size_t i = 0; i < full.size(); ++i) {
+    full[i] = static_cast<uint32_t>(i);
+  }
+  EXPECT_GE(EncodedIdListBytes(full), 1 + kIdHeaderBytes + kIdSkipBytes);
+  ExpectRoundTrip(run);
+  ExpectRoundTrip(full);
+}
+
+void ExpectU64RoundTrip(const std::vector<uint64_t>& values) {
+  std::vector<uint8_t> enc;
+  const size_t predicted = EncodedU64ArrayBytes(values);
+  const size_t written = EncodeU64Array(values, &enc);
+  EXPECT_EQ(written, predicted);
+  std::vector<uint64_t> dec;
+  const size_t consumed = DecodeU64Array(enc.data(), enc.size(), &dec);
+  EXPECT_EQ(consumed, enc.size());
+  EXPECT_EQ(dec, values);
+}
+
+TEST(U64ArrayCodecTest, RoundTripEmpty) { ExpectU64RoundTrip({}); }
+
+TEST(U64ArrayCodecTest, RoundTripAllEqual) {
+  // Width-0 frames: the all-equal signature column case — 9 bytes/frame.
+  std::vector<uint64_t> values(200, 0x123456789abcdefull);
+  ExpectU64RoundTrip(values);
+  std::vector<uint8_t> enc;
+  EncodeU64Array(values, &enc);
+  const size_t frames = (values.size() + kSigFrame - 1) / kSigFrame;
+  EXPECT_EQ(enc.size(), 8 + frames * 9);
+}
+
+TEST(U64ArrayCodecTest, RoundTripExtremes) {
+  ExpectU64RoundTrip({0});
+  ExpectU64RoundTrip({~uint64_t{0}});
+  ExpectU64RoundTrip({0, ~uint64_t{0}});  // full 64-bit residual width
+  std::vector<uint64_t> values;
+  std::mt19937_64 rng(11);
+  for (size_t i = 0; i < 500; ++i) values.push_back(rng());
+  ExpectU64RoundTrip(values);
+}
+
+TEST(U64ArrayCodecTest, FrameBoundarySizes) {
+  std::mt19937_64 rng(17);
+  for (size_t n : {size_t{63}, size_t{64}, size_t{65}, size_t{128},
+                   size_t{129}}) {
+    std::vector<uint64_t> values;
+    for (size_t i = 0; i < n; ++i) values.push_back(rng() % 100000);
+    ExpectU64RoundTrip(values);
+  }
+}
+
+TEST(BitPackingTest, WriterReaderAgreeAtAllWidths) {
+  std::mt19937_64 rng(23);
+  for (int width = 0; width <= 64; ++width) {
+    std::vector<uint8_t> bytes;
+    BitWriter writer(&bytes);
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 67; ++i) {
+      const uint64_t mask =
+          width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+      values.push_back(rng() & mask);
+      writer.Put(values.back(), width);
+    }
+    writer.Close();
+    const BitReader reader(bytes.data(), bytes.size());
+    for (int i = 0; i < 67; ++i) {
+      EXPECT_EQ(reader.Read(static_cast<uint64_t>(i) * width, width),
+                values[static_cast<size_t>(i)])
+          << "width " << width << " index " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtrace

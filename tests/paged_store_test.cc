@@ -7,6 +7,7 @@
 #include "mobility/hierarchy_generator.h"
 #include "storage/buffer_pool.h"
 #include "trace/trace_store.h"
+#include "util/codec.h"
 #include "util/rng.h"
 
 namespace dtrace {
@@ -86,6 +87,59 @@ TEST_F(PagedStoreTest, DataBytesAccountsForCells) {
   EXPECT_GE(paged.data_bytes(), floor_bytes);
   EXPECT_EQ(paged.num_pages(),
             (paged.data_bytes() + kPageSize - 1) / kPageSize);
+}
+
+TEST_F(PagedStoreTest, CompressedRoundTripsEveryEntity) {
+  SimDisk disk;
+  PagedTraceStore paged(*store_, &disk, /*compress=*/true);
+  ASSERT_TRUE(paged.compressed());
+  BufferPool pool(&disk, paged.num_pages() + 1);
+  for (EntityId e = 0; e < 50; ++e) {
+    const auto cells = paged.ReadEntity(&pool, e);
+    ASSERT_EQ(cells.size(), 3u);
+    for (Level l = 1; l <= 3; ++l) {
+      const auto expected = store_->cells(e, l);
+      ASSERT_EQ(cells[l - 1].size(), expected.size())
+          << "entity " << e << " level " << l;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(cells[l - 1][i], expected[i]);
+      }
+    }
+  }
+}
+
+TEST_F(PagedStoreTest, CompressedShrinksPagesAndTracksRawBytes) {
+  SimDisk raw_disk, packed_disk;
+  PagedTraceStore raw(*store_, &raw_disk);
+  PagedTraceStore packed(*store_, &packed_disk, /*compress=*/true);
+  // raw_bytes is defined as "what the uncompressed writer would occupy".
+  EXPECT_FALSE(raw.compressed());
+  EXPECT_EQ(raw.raw_bytes(), raw.data_bytes());
+  EXPECT_EQ(packed.raw_bytes(), raw.data_bytes());
+  EXPECT_LT(packed.data_bytes(), packed.raw_bytes());
+  EXPECT_LE(packed.num_pages(), raw.num_pages());
+}
+
+TEST_F(PagedStoreTest, PackedReadDecodesToTheSameCells) {
+  SimDisk disk;
+  PagedTraceStore paged(*store_, &disk, /*compress=*/true);
+  BufferPool pool(&disk, paged.num_pages() + 1);
+  std::vector<uint8_t> packed;
+  std::vector<CellId> level;
+  for (EntityId e = 0; e < 50; ++e) {
+    paged.ReadEntityPacked(&pool, e, &packed);
+    EXPECT_EQ(packed.size(), paged.entity_bytes(e));
+    size_t off = 0;
+    for (Level l = 1; l <= 3; ++l) {
+      off += DecodeIdList(packed.data() + off, packed.size() - off, &level);
+      const auto expected = store_->cells(e, l);
+      ASSERT_EQ(level.size(), expected.size()) << "entity " << e;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(level[i], expected[i]);
+      }
+    }
+    EXPECT_EQ(off, packed.size());
+  }
 }
 
 TEST_F(PagedStoreTest, TouchVisitsAllEntityPages) {

@@ -133,6 +133,55 @@ TEST(PagedMinSigTreeTest, PackReproducesEveryNode) {
   }
 }
 
+TEST(PagedMinSigTreeTest, CompressedPackReproducesEveryNode) {
+  const Dataset d = MakeSynDataset(600, /*seed=*/41);
+  const auto index = DigitalTraceIndex::Build(
+      d.store, {.num_functions = 96, .seed = 17});
+  const MinSigTree& tree = index.tree();
+  const PagedMinSigTree raw = PagedMinSigTree::Pack(
+      tree, std::make_unique<InMemoryTreePageStore>());
+  const PagedMinSigTree paged = PagedMinSigTree::Pack(
+      tree, std::make_unique<InMemoryTreePageStore>(), /*zone_maps=*/true,
+      /*compress=*/true);
+
+  ASSERT_EQ(paged.num_nodes(), tree.num_nodes());
+  EXPECT_TRUE(paged.compressed());
+  EXPECT_FALSE(raw.compressed());
+  // The compressed snapshot must actually shrink, and raw_bytes must equal
+  // what the fixed layout genuinely occupies.
+  EXPECT_EQ(raw.RawBytes(), raw.PackedBytes());
+  EXPECT_EQ(paged.RawBytes(), raw.PackedBytes());
+  EXPECT_LT(paged.PackedBytes(), paged.RawBytes());
+  EXPECT_LT(paged.node_pages(), raw.node_pages());
+
+  const auto cursor = paged.OpenNodeCursor();
+  for (uint32_t id = 0; id < tree.num_nodes(); ++id) {
+    const MinSigTree::Node& n = tree.node(id);
+    const TreeNodeView v = cursor->Node(id);
+    ASSERT_EQ(v.level, n.level) << "node " << id;
+    ASSERT_EQ(v.routing, n.routing) << "node " << id;
+    ASSERT_EQ(v.value, n.value) << "node " << id;
+    ASSERT_EQ(std::vector<uint32_t>(v.children.begin(), v.children.end()),
+              n.children)
+        << "node " << id;
+    ASSERT_EQ(std::vector<EntityId>(v.entities.begin(), v.entities.end()),
+              n.entities)
+        << "node " << id;
+  }
+  for (EntityId e = 0; e < d.num_entities() + 10; ++e) {
+    EXPECT_EQ(paged.Contains(e), tree.Contains(e)) << "entity " << e;
+  }
+  // Zone maps are layout-independent (resident, per node id).
+  EXPECT_TRUE(paged.zone_maps());
+  for (uint32_t id = 0; id < tree.num_nodes(); ++id) {
+    const auto zone = cursor->Zone(id);
+    ASSERT_TRUE(zone.has_value());
+    EXPECT_EQ(zone->level, tree.node(id).level);
+    EXPECT_EQ(zone->routing, tree.node(id).routing);
+    EXPECT_LE(zone->value_floor, tree.node(id).value);
+  }
+}
+
 TEST(PagedMinSigTreeTest, InMemoryBackingIsBitIdenticalAndChargesOnlyHits) {
   const Dataset d = MakeSynDataset(600, /*seed=*/41);
   const IndexOptions iopts{.num_functions = 96, .seed = 17};

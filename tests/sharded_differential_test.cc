@@ -621,6 +621,154 @@ TEST(ShardedDifferentialTest, MaintenanceRepacksPagedTreesAndStaysAligned) {
   CheckAgainstOracle(w, MakePlans(w, 6, /*seed=*/309));
 }
 
+TEST(ShardedDifferentialTest, CompressedTracePagesMatchOracleAcrossThreadCounts) {
+  // Options::compress on the paged trace source: delta-packed per-level
+  // blobs, lazy cursor-side decode, and the packed-direct intersection path
+  // in EvalCandidates. Everything the uncompressed grid guarantees must
+  // hold unchanged — oracle bit-identity, exact entities_checked /
+  // nodes_visited, per-query I/O totals deterministic across thread counts
+  // — while the compressed source serves the same records from fewer pages.
+  World w(500, /*data_seed=*/97, Range(0, 500));
+  PolynomialLevelMeasure measure(w.dataset.hierarchy->num_levels());
+  const auto plans = MakePlans(w, 6, /*seed=*/311);
+  std::vector<EntityId> queries;
+  for (const auto& p : plans) queries.push_back(p.q);
+  const int k = 10;
+  std::vector<TopKResult> expected;
+  for (EntityId q : queries) {
+    expected.push_back(w.oracle->Query(q, k, measure));
+  }
+
+  PagedTraceSource::Options uopts;
+  uopts.pool_fraction = 0.4;
+  PagedTraceSource::Options copts = uopts;
+  copts.compress = true;
+  const PagedTraceSource uncompressed(*w.dataset.store, uopts);
+  const PagedTraceSource compressed(*w.dataset.store, copts);
+  ASSERT_TRUE(compressed.compressed());
+  EXPECT_LT(compressed.num_pages(), uncompressed.num_pages());
+  EXPECT_EQ(compressed.raw_bytes(), uncompressed.data_bytes());
+
+  QueryOptions uncompressed_opts;
+  uncompressed_opts.trace_source = &uncompressed;
+  QueryOptions compressed_opts;
+  compressed_opts.trace_source = &compressed;
+
+  for (size_t si = 0; si < w.sharded.size(); ++si) {
+    // Uncompressed reference for the page-traffic comparison (thread count
+    // 1; its own grid already proved thread-count determinism).
+    const auto ref =
+        w.sharded[si]->QueryMany(queries, k, measure, uncompressed_opts, 1);
+    std::vector<uint64_t> ref_touched, ref_fetched;
+    for (int num_threads : {1, 4}) {
+      const auto results = w.sharded[si]->QueryMany(queries, k, measure,
+                                                    compressed_opts,
+                                                    num_threads);
+      ASSERT_EQ(results.size(), queries.size());
+      std::vector<uint64_t> touched, fetched;
+      uint64_t total = 0, ref_total = 0;
+      for (size_t i = 0; i < results.size(); ++i) {
+        ExpectIdentical(expected[i], results[i], "compressed paged");
+        // The search proper must not notice the storage format.
+        EXPECT_EQ(results[i].stats.entities_checked,
+                  ref[i].stats.entities_checked);
+        EXPECT_EQ(results[i].stats.nodes_visited, ref[i].stats.nodes_visited);
+        touched.push_back(results[i].stats.io.pages_read +
+                          results[i].stats.io.pages_hit);
+        fetched.push_back(results[i].stats.io.entities_fetched);
+        EXPECT_EQ(fetched.back(), ref[i].stats.io.entities_fetched);
+        // Per query, a compressed record never spans more pages than its
+        // uncompressed serialization.
+        const uint64_t ref_pages =
+            ref[i].stats.io.pages_read + ref[i].stats.io.pages_hit;
+        EXPECT_LE(touched.back(), ref_pages) << "query " << i;
+        total += touched.back();
+        ref_total += ref_pages;
+      }
+      EXPECT_LT(total, ref_total)
+          << "compression must reduce total page traffic";
+      if (ref_touched.empty()) {
+        ref_touched = touched;
+        ref_fetched = fetched;
+        continue;
+      }
+      EXPECT_EQ(ref_touched, touched) << "shards " << kShardCounts[si]
+                                      << " threads " << num_threads;
+      EXPECT_EQ(ref_fetched, fetched);
+    }
+  }
+}
+
+TEST(ShardedDifferentialTest, CompressedPerShardSourcesAndPrefetchCompose) {
+  // Compressed per-shard pools, with the eval_threads × prefetch pipeline
+  // on top: the packed handoff (worker reads raw records, consumer parses
+  // blob offsets) must stay bit-identical to the oracle.
+  World w(400, /*data_seed=*/89, Range(0, 400));
+  PolynomialLevelMeasure measure(w.dataset.hierarchy->num_levels());
+  const auto queries = SampleQueries(*w.dataset.store, 4, 56);
+  ShardedIndex& four = *w.sharded[2];  // 4 shards
+  ASSERT_EQ(four.num_shards(), 4);
+  PagedTraceSource::Options popts;
+  popts.pool_fraction = 0.4;
+  popts.compress = true;
+  std::vector<std::unique_ptr<PagedTraceSource>> sources;
+  for (int s = 0; s < four.num_shards(); ++s) {
+    sources.push_back(
+        std::make_unique<PagedTraceSource>(*w.dataset.store, popts));
+    four.AttachShardSource(s, sources.back().get());
+  }
+  QueryOptions qopts;
+  qopts.eval_threads = 2;
+  qopts.prefetch_depth = 4;
+  for (EntityId q : queries) {
+    const TopKResult expected = w.oracle->Query(q, 10, measure);
+    for (int threads : {1, 4}) {
+      const TopKResult actual = four.Query(q, 10, measure, qopts, threads);
+      ExpectIdentical(expected, actual, "compressed per-shard sources");
+      EXPECT_GT(actual.stats.io.entities_fetched, 0u);
+    }
+  }
+  for (int s = 0; s < four.num_shards(); ++s) four.AttachShardSource(s, nullptr);
+}
+
+TEST(ShardedDifferentialTest, CompressedPagedTreesKeepSearchCountersExact) {
+  // PagedTreeOptions::compress: FoR node pages + delta-packed blobs under
+  // the identical search. Results, entities_checked and nodes_visited must
+  // match the in-memory tree exactly for both page-store backings — the
+  // same contract the uncompressed snapshot holds — and the whole sharded
+  // grid must stay aligned with compressed trees under every shard.
+  World w(500, /*data_seed=*/97, Range(0, 500));
+  PolynomialLevelMeasure measure(w.dataset.hierarchy->num_levels());
+  const auto plans = MakePlans(w, 8, /*seed=*/312);
+  std::vector<TopKResult> expected;
+  for (const auto& plan : plans) {
+    expected.push_back(w.oracle->Query(plan.q, plan.k, measure, plan.options));
+  }
+
+  PagedTreeOptions mem;
+  mem.compress = true;
+  PagedTreeOptions sim = mem;
+  sim.backing = PagedTreeOptions::Backing::kSimDisk;
+  sim.disk.pool_fraction = 0.25;
+  for (const PagedTreeOptions& popts : {mem, sim}) {
+    w.oracle->EnablePagedTree(popts);
+    for (size_t i = 0; i < plans.size(); ++i) {
+      const TopKResult actual =
+          w.oracle->Query(plans[i].q, plans[i].k, measure, plans[i].options);
+      ExpectIdentical(expected[i], actual, "compressed paged tree");
+      EXPECT_EQ(expected[i].stats.entities_checked,
+                actual.stats.entities_checked);
+      EXPECT_EQ(expected[i].stats.nodes_visited, actual.stats.nodes_visited);
+      EXPECT_GT(actual.stats.io.tree_pages_read + actual.stats.io.tree_page_hits,
+                0u);
+    }
+    w.oracle->DisablePagedTree();
+  }
+
+  for (auto& sharded : w.sharded) sharded->EnablePagedTrees(mem);
+  CheckAgainstOracle(w, MakePlans(w, 6, /*seed=*/313));
+}
+
 TEST(ShardedDifferentialTest, ManyShardsOnTinyPopulations) {
   // More shards than "natural" group sizes: some shards end up tiny or
   // empty, k routinely exceeds per-shard candidate counts, and the merge
