@@ -4,7 +4,7 @@
 // Two modes:
 //   bench_scalability                 — the in-memory |E| sweep (default)
 //   bench_scalability --disk [|E|] [--workers N] [--prefetch D] [--shards S]
-//                     [--route] [--compress]
+//                     [--route] [--compress] [--no-checksums] [--queries Q]
 //       — the disk-resident preset: traces an order of magnitude past the
 //       laptop presets, served from the paged storage substrate through
 //       PagedTraceSource (sharded buffer pool, 25% of the data in memory),
@@ -20,6 +20,13 @@
 //       --compress stores the trace pages delta-packed (util/codec.h):
 //       fewer pages for the same pool fraction, bit-identical answers,
 //       and compressed_bytes/raw_bytes counters in the JSON emission.
+//       --no-checksums disables page-checksum verification on frame loads
+//       (DESIGN-storage.md "Fault model and integrity") — the checksums-off
+//       leg of CI's integrity-overhead gate; answers stay identical, the
+//       "checksums" row field records which leg a row is. --queries Q sets
+//       the batch size (default 8) — the tight same-run gates (checksums,
+//       compression) use a larger batch so wall-clock qps is stable enough
+//       for a 5% floor.
 //       Registered with CTest so the concurrent storage-backed path is
 //       exercised at scale on every run (plus Release-only 100K x 4-shard
 //       and routed 20K presets). Emits a "counters" section
@@ -77,14 +84,15 @@ void Run(BenchJson& json) {
 }
 
 void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
-             bool route, bool compress, BenchJson& json) {
+             bool route, bool compress, bool verify_checksums,
+             size_t num_queries, BenchJson& json) {
   PrintHeader("Scalability (disk-resident)",
               "storage-backed queries past the laptop presets");
   Dataset d = MakeDiskResidentDataset(entities);
   const IndexOptions iopts =
       PresetIndexOptions(/*num_functions=*/200, /*num_threads=*/0);
   PolynomialLevelMeasure measure(d.hierarchy->num_levels());
-  const auto queries = SampleQueries(*d.store, 8, 909);
+  const auto queries = SampleQueries(*d.store, num_queries, 909);
 
   // One index or a sharded fleet of them; queries run through the same
   // QueryMany surface either way and answers are bit-identical.
@@ -107,6 +115,7 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
   PagedTraceSource::Options opts;
   opts.pool_fraction = 0.25;
   opts.compress = compress;
+  opts.verify_checksums = verify_checksums;
   PagedTraceSource src(*d.store, opts);
 
   QueryOptions qopts;
@@ -149,6 +158,7 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
       .Int("shards", static_cast<uint64_t>(shards))
       .Int("routing", route ? 1 : 0)
       .Int("compressed", compress ? 1 : 0)
+      .Int("checksums", verify_checksums ? 1 : 0)
       .Num("pe", pe.mean_pe)
       .Num("queries_per_sec", queries.size() / wall)
       .Num("mean_entities_checked", pe.mean_entities_checked)
@@ -173,6 +183,15 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
   json.Counter("compression_ratio",
                static_cast<double>(src.raw_bytes()) /
                    static_cast<double>(src.data_bytes()));
+  // Fault accounting — all zero on this healthy disk; emitted so the
+  // regression checker's informational deltas cover them and a nonzero
+  // value in a supposedly fault-free run is visible.
+  json.Counter("io_retries", pe.mean_io_retries * queries.size());
+  json.Counter("checksum_failures",
+               pe.mean_checksum_failures * queries.size());
+  json.Counter("faults_injected", pe.mean_faults_injected * queries.size());
+  json.Counter("pages_quarantined",
+               pe.mean_pages_quarantined * queries.size());
 }
 
 // The paged-MinSigTree preset (PR 6): the tree itself lives in SoA pages
@@ -296,6 +315,8 @@ int main(int argc, char** argv) {
     int shards = 1;
     bool route = false;
     bool compress = false;
+    bool verify_checksums = true;
+    size_t num_queries = 8;
     int pos = 2;
     if (pos < argc && argv[pos][0] != '-') {
       entities = static_cast<uint32_t>(std::atoi(argv[pos]));
@@ -306,6 +327,8 @@ int main(int argc, char** argv) {
         route = true;
       } else if (std::strcmp(argv[pos], "--compress") == 0) {
         compress = true;
+      } else if (std::strcmp(argv[pos], "--no-checksums") == 0) {
+        verify_checksums = false;
       } else if (pos + 1 >= argc) {
         break;
       } else if (std::strcmp(argv[pos], "--workers") == 0) {
@@ -314,10 +337,12 @@ int main(int argc, char** argv) {
         prefetch = std::atoi(argv[++pos]);
       } else if (std::strcmp(argv[pos], "--shards") == 0) {
         shards = std::atoi(argv[++pos]);
+      } else if (std::strcmp(argv[pos], "--queries") == 0) {
+        num_queries = static_cast<size_t>(std::atoi(argv[++pos]));
       }
     }
     dtrace::bench::RunDisk(entities, workers, prefetch, shards, route,
-                           compress, json);
+                           compress, verify_checksums, num_queries, json);
   } else if (argc > 1 && std::strcmp(argv[1], "--paged-tree") == 0) {
     uint32_t entities = 20000;
     int workers = 0;

@@ -41,6 +41,7 @@ MEASUREMENT_FIELDS = {
     "routing",
     "paged_tree",
     "compressed",
+    "checksums",
 }
 
 # Counters reported as informational deltas next to the qps gate (never
@@ -59,6 +60,13 @@ INFORMATIONAL_COUNTERS = (
     "compressed_bytes",
     "raw_bytes",
     "compression_ratio",
+    # Fault accounting (DESIGN-storage.md "Fault model and integrity"):
+    # always informational, never a gate — fault-injection runs are a
+    # robustness harness, not a perf target.
+    "io_retries",
+    "checksum_failures",
+    "faults_injected",
+    "pages_quarantined",
 )
 
 

@@ -93,6 +93,18 @@ const PagedMinSigTree& DigitalTraceIndex::paged_tree() const {
 const TreeSource& DigitalTraceIndex::QueryTree() const {
   if (paged_ == nullptr) return tree_;
   if (paged_dirty_) {
+    if (paged_options_.shared_disk == nullptr &&
+        paged_options_.disk.faults.has_value()) {
+      // A repack onto a PRIVATE fault disk rebuilds the disk itself, and
+      // page ids restart at zero — with an unchanged seed the schedule
+      // would replay the original damage onto the replacement pages and a
+      // quarantine retry could never succeed. Advancing the seed models
+      // what a repack means physically (fresh sectors on the same faulty
+      // device, like the shared-disk mode's genuinely new page ids) while
+      // keeping every run a pure function of the original seed.
+      paged_options_.disk.faults->seed =
+          paged_options_.disk.faults->seed * 0x9e3779b97f4a7c15ull + 1;
+    }
     *paged_ = PagedMinSigTree::Pack(tree_, paged_options_);
     paged_dirty_ = false;
   }
@@ -102,9 +114,31 @@ const TreeSource& DigitalTraceIndex::QueryTree() const {
 TopKResult DigitalTraceIndex::Query(EntityId q, int k,
                                     const AssociationMeasure& measure,
                                     const QueryOptions& options) const {
+  uint64_t quarantined = 0;
+  {
+    TopKQueryProcessor proc(QueryTree(), PickSource(options, *store_),
+                            *hasher_, measure);
+    TopKResult result = proc.Query(q, k, options);
+    if (result.status.ok() || paged_ == nullptr) return result;
+    // Graceful degradation (DESIGN-storage.md "Fault model and integrity"):
+    // if the failure involved unrecoverable PAGED-TREE pages, the snapshot
+    // itself is damaged — but the in-memory tree is authoritative, so the
+    // damaged pages can be quarantined by repacking the snapshot onto fresh
+    // pages and retrying once. Trace-side errors (nothing observed on the
+    // tree) have no authoritative copy to repair from and return as-is.
+    quarantined = paged_->TakeCorruptObserved();
+    if (quarantined == 0) return result;
+    paged_dirty_ = true;
+  }
+  // QueryTree() repacks the dirtied snapshot before the retry searches it.
+  // The retry is single-shot: if the fault schedule damages the fresh pages
+  // too (e.g. a sticky-read page among the new allocations), the clean
+  // error surfaces to the caller.
   TopKQueryProcessor proc(QueryTree(), PickSource(options, *store_), *hasher_,
                           measure);
-  return proc.Query(q, k, options);
+  TopKResult retry = proc.Query(q, k, options);
+  retry.stats.pages_quarantined += quarantined;
+  return retry;
 }
 
 TopKResult DigitalTraceIndex::BruteForce(EntityId q, int k,

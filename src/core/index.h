@@ -147,7 +147,9 @@ class DigitalTraceIndex {
   // needed around the repack.
   mutable std::unique_ptr<PagedMinSigTree> paged_;
   mutable bool paged_dirty_ = false;
-  PagedTreeOptions paged_options_;
+  // Mutable only for the fault-seed advance a quarantine repack performs
+  // inside the (const) QueryTree() — see the comment there.
+  mutable PagedTreeOptions paged_options_;
   double build_seconds_;
 };
 

@@ -97,6 +97,10 @@ class PagedNodeCursor final : public TreeNodeCursor {
 
   TreeNodeView Node(uint32_t id) override {
     DT_CHECK(id < tree_->num_nodes_);
+    // On any unrecoverable read the cursor latches status_ (inside the
+    // helpers) and returns an EMPTY view — level 0, no children, no
+    // entities — so a caller that misses the status poll expands nothing
+    // rather than scoring garbage.
     TreeNodeRecord rec;
     if (tree_->compressed_) {
       // Variable page capacity: the resident first-node table replaces the
@@ -105,25 +109,31 @@ class PagedNodeCursor final : public TreeNodeCursor {
       const uint32_t page = static_cast<uint32_t>(
           std::upper_bound(first.begin(), first.end(), id) - first.begin() -
           1);
-      const uint8_t* p = PinCharged(page);
+      const uint8_t* p = nullptr;
+      if (!PinCharged(page, &p)) return {};
       rec = LoadCompressedTreeNode(p, id - first[page]);
       tree_->store_->Unpin(page);
       // In compressed records (off, count) are encoded-blob byte spans;
       // element counts come out of the decode.
-      DecodeBlobList(tree_->child_base_, rec.child_off, rec.child_count,
-                     &children_);
-      DecodeBlobList(tree_->entity_base_, rec.entity_off, rec.entity_count,
-                     &entities_);
+      if (!DecodeBlobList(tree_->child_base_, rec.child_off, rec.child_count,
+                          &children_) ||
+          !DecodeBlobList(tree_->entity_base_, rec.entity_off,
+                          rec.entity_count, &entities_)) {
+        return {};
+      }
     } else {
       const uint32_t page = id / static_cast<uint32_t>(kTreeNodesPerPage);
       const size_t slot = id % kTreeNodesPerPage;
-      const uint8_t* p = PinCharged(page);
+      const uint8_t* p = nullptr;
+      if (!PinCharged(page, &p)) return {};
       rec = LoadTreeNode(p, slot);
       tree_->store_->Unpin(page);
-      CopyBlob(tree_->child_base_, rec.child_off, rec.child_count,
-               &children_);
-      CopyBlob(tree_->entity_base_, rec.entity_off, rec.entity_count,
-               &entities_);
+      if (!CopyBlob(tree_->child_base_, rec.child_off, rec.child_count,
+                    &children_) ||
+          !CopyBlob(tree_->entity_base_, rec.entity_off, rec.entity_count,
+                    &entities_)) {
+        return {};
+      }
     }
     return {static_cast<Level>(rec.level),
             static_cast<int>(rec.routing),
@@ -143,21 +153,36 @@ class PagedNodeCursor final : public TreeNodeCursor {
   bool has_zone_maps() const override { return !tree_->zone_code_.empty(); }
 
  private:
-  const uint8_t* PinCharged(uint32_t page) {
-    bool missed = false;
-    const uint8_t* p = tree_->store_->Pin(page, &missed);
-    if (missed) {
+  // Pins `page`, charges its per-call outcome to io_, and sets *out. On an
+  // unrecoverable load: latches status_, bumps the tree's corrupt-observed
+  // counter (the quarantine signal), and returns false with *out untouched.
+  bool PinCharged(uint32_t page, const uint8_t** out) {
+    BufferPool::PinOutcome o;
+    const Status st = tree_->store_->Pin(page, out, &o);
+    if (o.missed) {
       ++io_.tree_pages_read;
       io_.modeled_io_seconds += tree_->store_->read_latency_seconds();
-    } else {
+    } else if (st.ok()) {
       ++io_.tree_page_hits;
     }
-    return p;
+    io_.io_retries += o.io_retries;
+    io_.checksum_failures += o.checksum_failures;
+    io_.faults_injected += o.faults_injected;
+    // Each retry is a real disk read; charge its modeled latency too.
+    io_.modeled_io_seconds +=
+        o.io_retries * tree_->store_->read_latency_seconds();
+    if (!st.ok()) {
+      status_.Update(st);
+      tree_->corrupt_observed_->fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
   }
 
   // Copies blob elements [off, off + count) of the region starting at
-  // `base_page` into `out`, one pinned page at a time.
-  void CopyBlob(uint32_t base_page, uint32_t off, uint32_t count,
+  // `base_page` into `out`, one pinned page at a time. False (with status_
+  // latched) when a page cannot be loaded.
+  bool CopyBlob(uint32_t base_page, uint32_t off, uint32_t count,
                 std::vector<uint32_t>* out) {
     out->resize(count);
     size_t copied = 0;
@@ -168,24 +193,31 @@ class PagedNodeCursor final : public TreeNodeCursor {
       const size_t in_page = elem % kTreeBlobEntriesPerPage;
       const size_t take = std::min<size_t>(count - copied,
                                            kTreeBlobEntriesPerPage - in_page);
-      const uint8_t* p = PinCharged(page);
+      const uint8_t* p = nullptr;
+      if (!PinCharged(page, &p)) {
+        out->clear();
+        return false;
+      }
       std::memcpy(out->data() + copied, p + sizeof(uint32_t) * in_page,
                   sizeof(uint32_t) * take);
       tree_->store_->Unpin(page);
       copied += take;
     }
+    return true;
   }
 
   // Copies the encoded blob at byte span [off, off + len) of the region at
   // `base_page` into blob_buf_ page by page, then decodes it into `out`.
   // Compressed blobs may straddle pages, so the bit decoder never runs over
-  // a pinned frame — only over the contiguous copy.
-  void DecodeBlobList(uint32_t base_page, uint32_t off, uint32_t len,
+  // a pinned frame — only over the contiguous copy. False (with status_
+  // latched) when a page cannot be loaded or the blob fails decode — the
+  // latter counts as a corrupt observation even though every page passed
+  // its checksum, because a malformed blob on a verified page means the
+  // snapshot itself is damaged.
+  bool DecodeBlobList(uint32_t base_page, uint32_t off, uint32_t len,
                       std::vector<uint32_t>* out) {
-    if (len == 0) {
-      out->clear();
-      return;
-    }
+    out->clear();
+    if (len == 0) return true;
     blob_buf_.resize(len);
     size_t copied = 0;
     while (copied < len) {
@@ -194,12 +226,19 @@ class PagedNodeCursor final : public TreeNodeCursor {
           base_page + static_cast<uint32_t>(byte / kPageSize);
       const size_t in_page = byte % kPageSize;
       const size_t take = std::min<size_t>(len - copied, kPageSize - in_page);
-      const uint8_t* p = PinCharged(page);
+      const uint8_t* p = nullptr;
+      if (!PinCharged(page, &p)) return false;
       std::memcpy(blob_buf_.data() + copied, p + in_page, take);
       tree_->store_->Unpin(page);
       copied += take;
     }
-    DecodeIdList(blob_buf_.data(), blob_buf_.size(), out);
+    if (DecodeIdList(blob_buf_.data(), blob_buf_.size(), out) == 0) {
+      status_.Update(
+          Status::Corruption("malformed id-list blob in packed tree node"));
+      tree_->corrupt_observed_->fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
   }
 
   const PagedMinSigTree* tree_;

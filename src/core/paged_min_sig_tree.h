@@ -1,6 +1,7 @@
 #ifndef DTRACE_CORE_PAGED_MIN_SIG_TREE_H_
 #define DTRACE_CORE_PAGED_MIN_SIG_TREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -99,6 +100,16 @@ class PagedMinSigTree final : public TreeSource {
   /// benches report is PackedBytes()/RawBytes().
   uint64_t RawBytes() const { return raw_bytes_; }
   bool zone_maps() const { return !zone_code_.empty(); }
+
+  /// Number of unrecoverable-page observations (pins that exhausted the
+  /// pool's retries, or blobs that failed decode) made by this snapshot's
+  /// cursors, cleared on read. The quarantine path (core/index.cc) consults
+  /// this after a failed query: a nonzero count means the snapshot itself
+  /// is damaged and repacking it from the authoritative in-memory tree —
+  /// onto fresh pages — repairs it. Thread-safe.
+  uint64_t TakeCorruptObserved() const {
+    return corrupt_observed_->exchange(0, std::memory_order_relaxed);
+  }
   /// Resident zone-map footprint (the 4 bytes/slot the search keeps in
   /// memory to avoid faults; compare against PackedBytes).
   uint64_t ZoneBytes() const {
@@ -144,6 +155,10 @@ class PagedMinSigTree final : public TreeSource {
   std::vector<uint64_t> zone_min_;  // per node page: min value (header copy)
   std::vector<Level> zone_level_;   // per node page: max level (header copy)
   std::vector<uint64_t> contains_;  // bitset over entity ids
+  // Heap-held so the snapshot stays movable (Pack returns by value);
+  // incremented by cursors on any unrecoverable page observation.
+  std::unique_ptr<std::atomic<uint64_t>> corrupt_observed_ =
+      std::make_unique<std::atomic<uint64_t>>(0);
   std::unique_ptr<TreePageSource> store_;
 };
 

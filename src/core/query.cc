@@ -289,13 +289,18 @@ void BeginPrefetch(TraceCursor& cursor, std::span<const EntityId> candidates,
 // query), so the inner loop touches the cursor exactly once per
 // (candidate, level): one windowed span read, one kernel pass — no repeated
 // query-record fetches, no per-candidate allocation.
+// `status` latches the FIRST unrecoverable storage error any evaluation
+// cursor hit (the parallel path merges per-worker cursor statuses under the
+// same lock that merges their io); the caller stops scoring and surfaces it
+// through TopKResult::status instead of trusting the scores.
 void EvalCandidates(const TraceSource& source,
                     const AssociationMeasure& measure, EntityId q,
                     std::span<const uint32_t> q_sizes,
                     const QueryKernel& kernel, TimeStep w0, TimeStep w1,
                     std::span<const EntityId> candidates,
                     const QueryOptions& options, TraceCursor& cursor,
-                    TopKHeap& heap, QueryStats& stats, EvalScratch& scratch) {
+                    TopKHeap& heap, QueryStats& stats, EvalScratch& scratch,
+                    Status& status) {
   // Below this, thread spawn/cursor-open overhead dominates the evaluation.
   constexpr size_t kMinParallelEval = 16;
   const int m = static_cast<int>(q_sizes.size());
@@ -326,6 +331,7 @@ void EvalCandidates(const TraceSource& source,
       heap.Offer(e, measure.Score(q_sizes, scratch.c_sizes, scratch.inter));
       ++stats.entities_checked;
     }
+    status.Update(cursor.status());
     return;
   }
   if (options.access_hook) {
@@ -360,6 +366,7 @@ void EvalCandidates(const TraceSource& source,
     }
     const std::lock_guard<std::mutex> lock(io_mu);
     stats.io.Add(local->io());
+    status.Update(local->status());
   });
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (candidates[i] == q) continue;
@@ -728,8 +735,15 @@ TopKResult ForestTopKQuery(std::span<const SearchLane> lanes,
     }
     return measure.UpperBound(q_sizes, zone_counts);
   };
+  // Error policy (DESIGN-storage.md "Fault model and integrity"): the first
+  // unrecoverable storage error any cursor latches stops the search at the
+  // next evaluation boundary, and the result carries the error with EMPTY
+  // items — never a silently partial ranking. The kernel/hash-table build
+  // above read the query's own record, so an error latched there means the
+  // search never starts.
+  Status search_status = cursor->status();
   bool terminated = false;
-  while (!terminated && !frontier.empty()) {
+  while (!terminated && search_status.ok() && !frontier.empty()) {
     FrontierEntry entry = frontier.top();
     frontier.pop();
     // Early termination (Sec. 5.1): the certified k-th score *strictly*
@@ -766,6 +780,12 @@ TopKResult ForestTopKQuery(std::span<const SearchLane> lanes,
         }
       }
       const TreeNodeView node = tree_cursor.Node(entry.node);
+      if (!tree_cursor.status().ok()) {
+        // Unrecoverable node page: the view is empty, nothing to expand.
+        search_status.Update(tree_cursor.status());
+        pool.Release(entry.remaining);
+        break;
+      }
       if (!entry.materialized) {
         Remaining* own = materialize(node, *entry.remaining);
         pool.Release(entry.remaining);  // drop the ref on the parent
@@ -795,7 +815,8 @@ TopKResult ForestTopKQuery(std::span<const SearchLane> lanes,
         // when requested.
         EvalCandidates(*lanes[entry.lane].source, measure, q, q_sizes,
                        kernel, w0, w1, node.entities, options,
-                       lane_cursor(entry.lane), heap, stats, scratch);
+                       lane_cursor(entry.lane), heap, stats, scratch,
+                       search_status);
         publish_kth();
         pool.Release(entry.remaining);
         break;
@@ -834,10 +855,19 @@ TopKResult ForestTopKQuery(std::span<const SearchLane> lanes,
   }
   result.items = std::move(heap).Sorted();
   stats.io.Add(cursor->io());
+  search_status.Update(cursor->status());
   for (const auto& lc : lane_cursors) {
-    if (lc != nullptr) stats.io.Add(lc->io());
+    if (lc != nullptr) {
+      stats.io.Add(lc->io());
+      search_status.Update(lc->status());
+    }
   }
-  for (const auto& nc : node_cursors) stats.io.Add(nc->io());
+  for (const auto& nc : node_cursors) {
+    stats.io.Add(nc->io());
+    search_status.Update(nc->status());
+  }
+  result.status = search_status;
+  if (!result.status.ok()) result.items.clear();
   stats.elapsed_seconds = timer.ElapsedSeconds();
   stats.work_seconds = stats.elapsed_seconds;
   return result;
@@ -877,9 +907,12 @@ TopKResult TopKQueryProcessor::BruteForce(EntityId q, int k,
   TopKHeap heap(k);
   EvalScratch scratch;
   EvalCandidates(*source_, *measure_, q, q_sizes, kernel, w0, w1, candidates,
-                 options, *cursor, heap, result.stats, scratch);
+                 options, *cursor, heap, result.stats, scratch,
+                 result.status);
   result.items = std::move(heap).Sorted();
   result.stats.io.Add(cursor->io());
+  result.status.Update(cursor->status());
+  if (!result.status.ok()) result.items.clear();
   result.stats.elapsed_seconds = timer.ElapsedSeconds();
   result.stats.work_seconds = result.stats.elapsed_seconds;
   return result;

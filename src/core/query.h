@@ -39,6 +39,11 @@ struct QueryStats {
   uint64_t shards_pruned = 0;
   uint64_t router_bound_evals = 0;
   uint64_t threshold_updates = 0;
+  /// Unrecoverable tree pages the index quarantined and repacked away after
+  /// this query hit them (core/index.cc's repair path; DESIGN-storage.md
+  /// "Fault model and integrity"). Zero on a healthy disk; summed across
+  /// shards by MergeShardTopK like the other counters.
+  uint64_t pages_quarantined = 0;
   /// Wall time of the call that produced this result. For a parallel shard
   /// fan-out this is the fan-out wall time, NOT the summed per-shard work —
   /// that lives in `work_seconds`, so aggregating callers no longer
@@ -71,6 +76,12 @@ struct TopKResult {
   /// counts, and shard partitions (core/sharded_index.h relies on this).
   std::vector<ScoredEntity> items;
   QueryStats stats;
+  /// Ok, or the FIRST unrecoverable storage error the search hit (a page
+  /// that exhausted the buffer pool's read retries, or a malformed blob on
+  /// a checksum-clean page). On error `items` is EMPTY — never a silently
+  /// partial ranking — while `stats` still reports the work performed.
+  /// Callers that ignore status see an empty result, not wrong answers.
+  Status status;
 };
 
 /// Restricts a query to presence within [begin, end) time steps — the

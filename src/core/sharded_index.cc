@@ -38,9 +38,18 @@ TopKResult MergeShardTopK(std::span<const TopKResult> shard_results, int k) {
     merged.stats.shards_pruned += r.stats.shards_pruned;
     merged.stats.router_bound_evals += r.stats.router_bound_evals;
     merged.stats.threshold_updates += r.stats.threshold_updates;
+    merged.stats.pages_quarantined += r.stats.pages_quarantined;
     merged.stats.elapsed_seconds += r.stats.elapsed_seconds;
     merged.stats.work_seconds += r.stats.work_seconds;
     merged.stats.io.Add(r.stats.io);
+    // First failing shard wins (shard order is deterministic); a merge over
+    // any failed shard is itself failed — its candidate set is incomplete.
+    merged.status.Update(r.status);
+  }
+  if (!merged.status.ok()) {
+    // Same contract as TopKResult::status: an errored merge carries EMPTY
+    // items, never a ranking missing a shard's candidates.
+    return merged;
   }
   merged.items.reserve(total);
   for (const TopKResult& r : shard_results) {

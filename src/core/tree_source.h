@@ -71,8 +71,17 @@ class TreeNodeCursor {
   /// Tree-page I/O accumulated by this cursor since it was opened.
   const TraceIoStats& io() const { return io_; }
 
+  /// Sticky error latch, same contract as TraceCursor::status(): Node()
+  /// cannot carry a Status, so a paged cursor that cannot load a node page
+  /// (fault schedule exhausted the pool's retries) latches the FIRST error
+  /// here and returns an empty view from then on; the search polls status()
+  /// at its expansion boundaries and stops scoring on error. Always ok for
+  /// the in-memory tree.
+  const Status& status() const { return status_; }
+
  protected:
   TraceIoStats io_;
+  Status status_;
 };
 
 /// What the top-k search needs from a tree: structural reads through a

@@ -44,6 +44,13 @@ PeMeasurement AggregatePe(std::span<const TopKResult> results,
     agg.mean_router_bound_evals +=
         static_cast<double>(r.stats.router_bound_evals);
     agg.mean_work_seconds += r.stats.work_seconds;
+    agg.mean_io_retries += static_cast<double>(r.stats.io.io_retries);
+    agg.mean_checksum_failures +=
+        static_cast<double>(r.stats.io.checksum_failures);
+    agg.mean_faults_injected +=
+        static_cast<double>(r.stats.io.faults_injected);
+    agg.mean_pages_quarantined +=
+        static_cast<double>(r.stats.pages_quarantined);
     ++agg.num_queries;
   }
   if (agg.num_queries > 0) {
@@ -61,6 +68,10 @@ PeMeasurement AggregatePe(std::span<const TopKResult> results,
     agg.mean_threshold_updates /= n;
     agg.mean_router_bound_evals /= n;
     agg.mean_work_seconds /= n;
+    agg.mean_io_retries /= n;
+    agg.mean_checksum_failures /= n;
+    agg.mean_faults_injected /= n;
+    agg.mean_pages_quarantined /= n;
   }
   return agg;
 }

@@ -38,6 +38,14 @@ struct PeMeasurement {
   /// distinct from mean_query_seconds, which reflects elapsed_seconds and
   /// may be fan-out wall time.
   double mean_work_seconds = 0.0;
+  /// Fault accounting, averaged per query (DESIGN-storage.md "Fault model
+  /// and integrity"). All zero on a healthy disk; under an injected fault
+  /// schedule these report the retries/verification failures/faults the
+  /// batch absorbed and the tree pages the quarantine path replaced.
+  double mean_io_retries = 0.0;
+  double mean_checksum_failures = 0.0;
+  double mean_faults_injected = 0.0;
+  double mean_pages_quarantined = 0.0;
   size_t num_queries = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "util/check.h"
 #include "util/timer.h"
@@ -22,8 +23,10 @@ size_t ResolveShardCount(size_t requested, size_t capacity_pages) {
 
 }  // namespace
 
-BufferPool::BufferPool(SimDisk* disk, size_t capacity_pages, size_t num_shards)
-    : disk_(disk), capacity_(capacity_pages) {
+BufferPool::BufferPool(SimDisk* disk, size_t capacity_pages, size_t num_shards,
+                       bool verify_checksums)
+    : disk_(disk), capacity_(capacity_pages),
+      verify_checksums_(verify_checksums) {
   DT_CHECK(disk != nullptr);
   DT_CHECK(capacity_pages >= 1);
   const size_t shards = ResolveShardCount(num_shards, capacity_pages);
@@ -64,9 +67,10 @@ std::unique_lock<std::mutex> BufferPool::LockShard(Shard& s) {
   return lock;
 }
 
-BufferPool::Frame* BufferPool::GetFrame(PageId id, bool mutate, bool* missed,
-                                        PoolClient client) {
+Status BufferPool::GetFrame(PageId id, bool mutate, PinOutcome* outcome,
+                            PoolClient client, Frame** out) {
   const auto kind = static_cast<size_t>(client);
+  *out = nullptr;
   Shard& s = ShardOf(id);
   auto lock = LockShard(s);
   for (;;) {
@@ -75,12 +79,14 @@ BufferPool::Frame* BufferPool::GetFrame(PageId id, bool mutate, bool* missed,
       Frame& f = s.frames[static_cast<size_t>(slot)];
       if (f.loading) {
         // Another pinner is reading this page from disk; share its I/O.
+        // (If that load fails, the loader unwinds the claim and the slot
+        // goes non-resident — this waiter then retries the load itself and
+        // reports its own outcome, so no pinner inherits another's error.)
         s.cv.wait(lock);
         continue;
       }
       ++s.hits;
       ++s.client_hits[kind];
-      if (missed != nullptr) *missed = false;
       if (f.pins == 0) {
         if (f.in_lru) {
           s.lru.erase(f.lru_pos);
@@ -90,7 +96,8 @@ BufferPool::Frame* BufferPool::GetFrame(PageId id, bool mutate, bool* missed,
       }
       ++f.pins;
       f.dirty = f.dirty || mutate;
-      return &f;
+      *out = &f;
+      return Status::Ok();
     }
     // A reload of a page whose dirty frame is still being written back must
     // wait for the write to land, or the read would race it on the disk.
@@ -124,7 +131,7 @@ BufferPool::Frame* BufferPool::GetFrame(PageId id, bool mutate, bool* missed,
     }
     ++s.misses;
     ++s.client_misses[kind];
-    if (missed != nullptr) *missed = true;
+    if (outcome != nullptr) outcome->missed = true;
     Frame& f = s.frames[frame_idx];
     const PageId old_id = f.id;
     const bool write_back = evicting && f.dirty;
@@ -148,24 +155,90 @@ BufferPool::Frame* BufferPool::GetFrame(PageId id, bool mutate, bool* missed,
     // traffic on other shards — proceed concurrently. The frame is
     // exclusively ours (loading=true keeps readers out, it is not in the
     // LRU, and its map entries route waiters to the cv).
-    if (write_back) disk_->Write(old_id, f.page);
-    disk_->Read(id, &f.page);
+    //
+    // Transient faults are retried in place with exponential backoff; a
+    // checksum mismatch counts as a failed attempt (the stored page may be
+    // intact and the damage in flight — a re-read can come back clean).
+    if (write_back) {
+      // Dirty write-back gets the same bounded retry, but failure here is
+      // fatal: the query path holds no dirty pages (mutable pins exist only
+      // during build, against a disarmed disk), so a write that keeps
+      // failing means lost committed data, not a degraded read.
+      Status ws;
+      for (uint32_t attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+        if (attempt > 0) {
+          if (outcome != nullptr) ++outcome->io_retries;
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              kRetryBackoffMicros << (attempt - 1)));
+        }
+        ws = disk_->Write(old_id, f.page);
+        if (ws.ok()) break;
+        if (outcome != nullptr) ++outcome->faults_injected;
+      }
+      DT_CHECK_MSG(ws.ok(), "dirty page write-back failed unrecoverably");
+    }
+    Status load;
+    for (uint32_t attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+      if (attempt > 0) {
+        if (outcome != nullptr) ++outcome->io_retries;
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(kRetryBackoffMicros << (attempt - 1)));
+      }
+      load = disk_->Read(id, &f.page);
+      if (load.ok() && verify_checksums_ && !disk_->VerifyPage(id, f.page)) {
+        if (outcome != nullptr) ++outcome->checksum_failures;
+        load = Status::Corruption("page failed checksum verification");
+      }
+      if (load.ok()) break;
+      if (outcome != nullptr) ++outcome->faults_injected;
+    }
     lock.lock();
     --s.io_in_flight;
     f.loading = false;
     if (write_back) s.writing_back.erase(old_id);
+    if (!load.ok()) {
+      // Unwind the claim completely: the frame never held valid bytes, so
+      // the pool must look exactly as if this Pin never happened (no Unpin
+      // owed, the frame back on the free list, the slot non-resident so a
+      // waiter re-attempts the load itself).
+      ResidentSlot(s, id) = -1;
+      --s.client_resident[kind];
+      f.pins = 0;
+      --s.pinned_frames;
+      f.dirty = false;
+      s.free_frames.push_back(frame_idx);
+      s.cv.notify_all();
+      return load;
+    }
     s.cv.notify_all();
-    return &f;
+    *out = &f;
+    return Status::Ok();
   }
 }
 
+Status BufferPool::Pin(PageId id, const uint8_t** out, PinOutcome* outcome,
+                       PoolClient client) {
+  Frame* f = nullptr;
+  const Status st = GetFrame(id, /*mutate=*/false, outcome, client, &f);
+  *out = st.ok() ? f->page.data.data() : nullptr;
+  return st;
+}
+
 const uint8_t* BufferPool::Pin(PageId id, bool* missed, PoolClient client) {
-  return GetFrame(id, /*mutate=*/false, missed, client)->page.data.data();
+  PinOutcome outcome;
+  const uint8_t* out = nullptr;
+  const Status st = Pin(id, &out, &outcome, client);
+  DT_CHECK_MSG(st.ok(), "unrecoverable page load on infallible Pin");
+  if (missed != nullptr) *missed = outcome.missed;
+  return out;
 }
 
 uint8_t* BufferPool::PinMutable(PageId id, PoolClient client) {
-  return GetFrame(id, /*mutate=*/true, /*missed=*/nullptr, client)
-      ->page.data.data();
+  Frame* f = nullptr;
+  const Status st = GetFrame(id, /*mutate=*/true, /*outcome=*/nullptr, client,
+                             &f);
+  DT_CHECK_MSG(st.ok(), "unrecoverable page load on PinMutable");
+  return f->page.data.data();
 }
 
 void BufferPool::Unpin(PageId id) {
@@ -227,7 +300,16 @@ void BufferPool::FlushAll() {
         copy = f.page;
         f.dirty = false;
       }
-      disk_->Write(pid, copy);
+      Status ws;
+      for (uint32_t attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+        if (attempt > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              kRetryBackoffMicros << (attempt - 1)));
+        }
+        ws = disk_->Write(pid, copy);
+        if (ws.ok()) break;
+      }
+      DT_CHECK_MSG(ws.ok(), "dirty page flush failed unrecoverably");
       Unpin(pid);
     }
   }

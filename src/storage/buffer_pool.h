@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "storage/sim_disk.h"
+#include "util/status.h"
 
 namespace dtrace {
 
@@ -38,18 +39,49 @@ class BufferPool {
   /// `num_shards`: 0 = auto (16 — shards are cheap and over-sharding only
   /// shortens critical sections); always capped at capacity_pages / 4 so
   /// every shard keeps at least 4 frames (and at least one shard exists).
-  BufferPool(SimDisk* disk, size_t capacity_pages, size_t num_shards = 1);
+  /// `verify_checksums` runs SimDisk::VerifyPage on every frame load (the
+  /// integrity gate — see DESIGN-storage.md "Fault model and integrity");
+  /// on by default, and cheap enough that benches gate it at >= 0.95x off.
+  BufferPool(SimDisk* disk, size_t capacity_pages, size_t num_shards = 1,
+             bool verify_checksums = true);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins a page for reading; the pointer stays valid until Unpin. When
-  /// `missed` is non-null it reports whether this pin caused a disk read —
-  /// per-call outcome reporting, so concurrent callers can account their own
-  /// I/O exactly without diffing the shared counters. `client` tags the pin
-  /// for the per-kind Stats split (hits/misses by the pinner's kind; a
-  /// frame's occupancy is attributed to the kind that loaded it).
+  /// Per-call outcome of one Pin: whether it caused a disk read, and the
+  /// fault/retry accounting for that read — per-call reporting, so
+  /// concurrent callers account their own I/O exactly without diffing the
+  /// shared counters.
+  struct PinOutcome {
+    bool missed = false;
+    /// Load/write-back attempts beyond the first (each retry re-reads after
+    /// a transient error or a checksum failure, with exponential backoff).
+    uint32_t io_retries = 0;
+    /// Loads whose bytes failed SimDisk::VerifyPage.
+    uint32_t checksum_failures = 0;
+    /// Faults this pin observed: failed read attempts + checksum failures
+    /// (the pool-side view; latency spikes are charged as modeled time by
+    /// the disk and do not count).
+    uint32_t faults_injected = 0;
+  };
+
+  /// Pins a page for reading; on Ok, `*out` points at the frame bytes and
+  /// stays valid until Unpin. Transient read errors and checksum failures
+  /// are retried up to kMaxIoAttempts with exponential backoff; if the last
+  /// attempt still fails, the claimed frame is unwound (no Unpin owed, the
+  /// pool is exactly as if the Pin never happened) and the error returned —
+  /// IoError for a device that kept failing, Corruption for bytes that kept
+  /// failing verification. `client` tags the pin for the per-kind Stats
+  /// split (hits/misses by the pinner's kind; a frame's occupancy is
+  /// attributed to the kind that loaded it).
+  Status Pin(PageId id, const uint8_t** out, PinOutcome* outcome = nullptr,
+             PoolClient client = PoolClient::kTrace);
+
+  /// Infallible convenience Pin: same as the Status overload but aborts on
+  /// an unrecoverable load — for callers that configured no fault source
+  /// and treat failure as a bug (tests, serialization). `missed` reports
+  /// whether this pin caused a disk read.
   const uint8_t* Pin(PageId id, bool* missed = nullptr,
                      PoolClient client = PoolClient::kTrace);
 
@@ -90,8 +122,16 @@ class BufferPool {
     }
   };
 
+  /// Total attempts per page load (1 + up to kMaxIoAttempts-1 retries) and
+  /// the first backoff step; each retry doubles the sleep. Bounded so an
+  /// unrecoverable page fails a Pin in well under a millisecond instead of
+  /// hanging a query worker.
+  static constexpr uint32_t kMaxIoAttempts = 4;
+  static constexpr uint32_t kRetryBackoffMicros = 10;
+
   size_t capacity() const { return capacity_; }
   size_t num_shards() const { return shards_.size(); }
+  bool verify_checksums() const { return verify_checksums_; }
   uint64_t hits() const { return stats().hits; }
   uint64_t misses() const { return stats().misses; }
   uint64_t evictions() const { return stats().evictions; }
@@ -142,10 +182,12 @@ class BufferPool {
   // Acquires s.mu, charging blocked time to s.lock_wait_seconds.
   static std::unique_lock<std::mutex> LockShard(Shard& s);
   int32_t& ResidentSlot(Shard& s, PageId id) const;
-  Frame* GetFrame(PageId id, bool mutate, bool* missed, PoolClient client);
+  Status GetFrame(PageId id, bool mutate, PinOutcome* outcome,
+                  PoolClient client, Frame** out);
 
   SimDisk* disk_;
   size_t capacity_;
+  bool verify_checksums_;
   // unique_ptr: Shard holds a mutex and is neither movable nor copyable.
   std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -1,0 +1,183 @@
+#include "storage/fault_injection.h"
+
+#include "util/check.h"
+
+namespace dtrace {
+
+namespace {
+
+// splitmix64 finalizer — the repo-wide stateless mixer (ShardOfEntity uses
+// the same construction).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Operation tags feeding the per-decision hash. Each decision for one
+// (op, page, ordinal) gets an independent draw.
+enum : uint64_t {
+  kOpReadError = 1,
+  kOpReadFlip = 2,
+  kOpWriteError = 3,
+  kOpTornWrite = 4,
+  kOpLatency = 5,
+  kOpSticky = 6,
+  kOpScramble = 7,
+};
+
+double ToUnit(uint64_t h) {
+  // Top 53 bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// XOR-scribbles `len` bytes at `off` with a nonzero hash-derived mask.
+// XOR with a nonzero byte always changes the byte, so the damage is
+// guaranteed to be visible to the checksum.
+void Scramble(uint8_t* bytes, size_t off, size_t len, uint64_t h) {
+  for (size_t i = 0; i < len; ++i) {
+    h = Mix(h);
+    bytes[off + i] ^= static_cast<uint8_t>(h | 1);
+  }
+}
+
+}  // namespace
+
+FaultInjectingDisk::FaultInjectingDisk(const FaultInjectionConfig& config,
+                                       double read_latency_seconds,
+                                       double write_latency_seconds)
+    : SimDisk(read_latency_seconds, write_latency_seconds), config_(config) {
+  DT_CHECK(config_.latency_spike_seconds >= 0.0);
+  DT_CHECK(config_.sticky_onset_reads >= 1);
+}
+
+double FaultInjectingDisk::Roll(uint64_t op, PageId id, uint64_t n) const {
+  return ToUnit(Mix(config_.seed ^ Mix(op * 0x100000001b3ull + id) ^
+                    Mix(n * 0xd6e8feb86659fd93ull)));
+}
+
+bool FaultInjectingDisk::PageIsSticky(PageId id) const {
+  std::atomic<uint8_t>& state = sticky_state_[id];
+  uint8_t s = state.load(std::memory_order_relaxed);
+  if (s == 0) {
+    // First read of this page: roll stickiness once. The roll is a pure
+    // function of (seed, page), so concurrent first readers agree and the
+    // CAS race is benign.
+    const uint8_t rolled =
+        Roll(kOpSticky, id, 0) < config_.sticky_page_rate ? 2 : 1;
+    state.compare_exchange_strong(s, rolled, std::memory_order_relaxed);
+    s = state.load(std::memory_order_relaxed);
+  }
+  return s == 2;
+}
+
+PageId FaultInjectingDisk::Allocate() {
+  const PageId id = SimDisk::Allocate();
+  read_ordinals_.emplace_back(0u);
+  write_ordinals_.emplace_back(0u);
+  sticky_state_.emplace_back(uint8_t{0});
+  return id;
+}
+
+Status FaultInjectingDisk::Read(PageId id, Page* out) {
+  DT_CHECK(id < num_pages());
+  // The ordinal advances on every attempt, so a retry re-rolls every
+  // transient decision — that is what makes transient faults transient.
+  const uint64_t n = read_ordinals_[id].fetch_add(1, std::memory_order_relaxed);
+  const Status base = SimDisk::Read(id, out);
+  if (!base.ok()) return base;
+  if (!armed() || !config_.any()) return Status::Ok();
+
+  if (config_.latency_spike_rate > 0 &&
+      Roll(kOpLatency, id, n) < config_.latency_spike_rate) {
+    latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+    extra_modeled_nanos_.fetch_add(
+        static_cast<uint64_t>(config_.latency_spike_seconds * 1e9),
+        std::memory_order_relaxed);
+  }
+  if (config_.read_error_rate > 0 &&
+      Roll(kOpReadError, id, n) < config_.read_error_rate) {
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IoError("injected transient read error");
+  }
+  if (config_.sticky_page_rate > 0 && PageIsSticky(id) &&
+      n + 1 >= config_.sticky_onset_reads) {
+    // Sticky-bad page: every copy read from it comes back damaged until a
+    // Write remaps it. The scramble depends only on (seed, page), not the
+    // ordinal — the damage is stable, like a real bad sector.
+    sticky_reads_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t h = Mix(config_.seed ^ Mix(kOpScramble * 0x10001ull + id));
+    Scramble(out->data.data(), h % (kPageSize - 64), 64, h);
+    return Status::Ok();
+  }
+  if (config_.read_flip_rate > 0 &&
+      Roll(kOpReadFlip, id, n) < config_.read_flip_rate) {
+    // One flipped bit in the returned copy; storage is intact, so a retry
+    // (after the pool's checksum catches this) reads clean bytes.
+    bit_flips_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t h = Mix(config_.seed ^ Mix(kOpReadFlip * 0x77ull + id) ^ n);
+    out->data[h % kPageSize] ^= static_cast<uint8_t>(1u << (h >> 13) % 8);
+    return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectingDisk::Write(PageId id, const Page& page) {
+  DT_CHECK(id < num_pages());
+  const uint64_t n =
+      write_ordinals_[id].fetch_add(1, std::memory_order_relaxed);
+  if (armed() && config_.write_error_rate > 0 &&
+      Roll(kOpWriteError, id, n) < config_.write_error_rate) {
+    // Rejected before touching storage: old bytes and their checksum stay
+    // intact and verifiable.
+    write_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IoError("injected transient write error");
+  }
+  const Status base = SimDisk::Write(id, page);
+  if (!base.ok()) return base;
+  // An acknowledged write lands on fresh media: a sticky-bad page is
+  // considered remapped and stays clean forever after (state 3).
+  if (armed() && config_.sticky_page_rate > 0) {
+    uint8_t expected = 2;
+    sticky_state_[id].compare_exchange_strong(expected, uint8_t{3},
+                                              std::memory_order_relaxed);
+  }
+  if (armed() && config_.torn_write_rate > 0 &&
+      Roll(kOpTornWrite, id, n) < config_.torn_write_rate) {
+    // Torn page: the sidecar checksum (stamped by the base Write from the
+    // intended bytes) is truthful, but only a prefix landed — the stored
+    // tail is scribbled behind the checksum's back, so every later read
+    // fails verification until the page is rewritten.
+    torn_writes_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t h = Mix(config_.seed ^ Mix(kOpTornWrite * 0x3331ull + id) ^
+                           Mix(n));
+    const size_t off = kPageSize / 2 + h % (kPageSize / 2 - 64);
+    Scramble(StoredPage(id)->data.data(), off, 64, h);
+  }
+  return Status::Ok();
+}
+
+FaultStats FaultInjectingDisk::fault_stats() const {
+  FaultStats out;
+  out.read_errors = read_errors_.load(std::memory_order_relaxed);
+  out.bit_flips = bit_flips_.load(std::memory_order_relaxed);
+  out.write_errors = write_errors_.load(std::memory_order_relaxed);
+  out.torn_writes = torn_writes_.load(std::memory_order_relaxed);
+  out.latency_spikes = latency_spikes_.load(std::memory_order_relaxed);
+  out.sticky_reads = sticky_reads_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void FaultInjectingDisk::ResetStats() {
+  SimDisk::ResetStats();
+  read_errors_.store(0, std::memory_order_relaxed);
+  bit_flips_.store(0, std::memory_order_relaxed);
+  write_errors_.store(0, std::memory_order_relaxed);
+  torn_writes_.store(0, std::memory_order_relaxed);
+  latency_spikes_.store(0, std::memory_order_relaxed);
+  sticky_reads_.store(0, std::memory_order_relaxed);
+  extra_modeled_nanos_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dtrace

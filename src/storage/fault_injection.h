@@ -1,0 +1,142 @@
+#ifndef DTRACE_STORAGE_FAULT_INJECTION_H_
+#define DTRACE_STORAGE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+
+#include "storage/sim_disk.h"
+#include "util/status.h"
+
+namespace dtrace {
+
+/// Seed-scheduled fault plan for a FaultInjectingDisk. Every decision is a
+/// pure function of (seed, page id, that page's access ordinal, operation),
+/// so a schedule replays bit-identically across runs, thread interleavings
+/// and machines — faults found in CI reproduce locally from the seed alone.
+/// Rates are per-operation probabilities in [0, 1].
+struct FaultInjectionConfig {
+  uint64_t seed = 0;
+
+  /// Read attempt fails with IoError (transient: the retry re-rolls with the
+  /// next access ordinal, so it can succeed).
+  double read_error_rate = 0.0;
+  /// Read succeeds but one bit of the returned copy is flipped (transient
+  /// in-flight corruption; the stored page is intact, so a retry after the
+  /// checksum catches it can succeed).
+  double read_flip_rate = 0.0;
+  /// Write attempt fails with IoError; the stored page and its checksum are
+  /// left untouched (the old bytes remain intact and verifiable).
+  double write_error_rate = 0.0;
+  /// Write is acknowledged but only a prefix of the page lands: the stored
+  /// tail is scribbled while the sidecar checksum records the intended
+  /// bytes — the canonical torn page, detectable on every later read.
+  double torn_write_rate = 0.0;
+  /// Read charges `latency_spike_seconds` of extra modeled time (slow-disk
+  /// hiccup; no error).
+  double latency_spike_rate = 0.0;
+  double latency_spike_seconds = 2e-3;
+
+  /// Per-page probability (rolled once per page, at its first read) that the
+  /// page is "sticky-bad": from its `sticky_onset_reads`-th read onward,
+  /// every returned copy is corrupted until the page is rewritten (a Write
+  /// models a sector remap and clears the stickiness). With onset 1 the page
+  /// is effectively unreadable-from-birth — the unrecoverable case that
+  /// drives quarantine/repack.
+  double sticky_page_rate = 0.0;
+  uint32_t sticky_onset_reads = 1;
+
+  bool any() const {
+    return read_error_rate > 0 || read_flip_rate > 0 || write_error_rate > 0 ||
+           torn_write_rate > 0 || latency_spike_rate > 0 ||
+           sticky_page_rate > 0;
+  }
+};
+
+/// Injected-fault counters (all relaxed atomics; exact totals once the I/O
+/// that raced them has drained).
+struct FaultStats {
+  uint64_t read_errors = 0;
+  uint64_t bit_flips = 0;
+  uint64_t write_errors = 0;
+  uint64_t torn_writes = 0;
+  uint64_t latency_spikes = 0;
+  uint64_t sticky_reads = 0;
+
+  uint64_t faults_injected() const {
+    // Latency spikes are delays, not faults: the data and status are clean.
+    return read_errors + bit_flips + write_errors + torn_writes + sticky_reads;
+  }
+};
+
+/// A SimDisk that injects deterministic, seed-scheduled faults into its own
+/// I/O. Wraps nothing at runtime — it *is* the disk (subclassing keeps the
+/// storage substrate on one pointer type) — but every fault acts on the base
+/// class's perfect storage, so the intended bytes always exist underneath
+/// and the sidecar checksums stay truthful about writer intent.
+///
+/// The disk starts disarmed: builds and serialization run fault-free, then
+/// the owner calls Arm() before queries. This mirrors the deployment story
+/// (corruption is found at read time, long after a clean write) and keeps
+/// the no-fault oracle and the faulted run byte-identical on disk.
+///
+/// Thread safety: same contract as SimDisk. Per-page read ordinals are
+/// relaxed atomics in a deque (stable addresses; grown only in Allocate,
+/// which is never concurrent with I/O).
+class FaultInjectingDisk final : public SimDisk {
+ public:
+  FaultInjectingDisk(const FaultInjectionConfig& config,
+                     double read_latency_seconds = 100e-6,
+                     double write_latency_seconds = 100e-6);
+
+  PageId Allocate() override;
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, const Page& page) override;
+
+  /// Faults fire only while armed. Builds serialize disarmed, then Arm().
+  void Arm() { armed_.store(true, std::memory_order_relaxed); }
+  void Disarm() { armed_.store(false, std::memory_order_relaxed); }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  const FaultInjectionConfig& config() const { return config_; }
+  FaultStats fault_stats() const;
+
+  void ResetStats() override;
+
+ protected:
+  double extra_modeled_seconds() const override {
+    // Stored as nanoseconds in an integer atomic (doubles cannot be
+    // fetch_add'ed portably pre-C++20-on-all-stdlibs).
+    return static_cast<double>(
+               extra_modeled_nanos_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
+ private:
+  // Uniform [0,1) draw for operation `op` on `id` at access ordinal `n`.
+  double Roll(uint64_t op, PageId id, uint64_t n) const;
+  bool PageIsSticky(PageId id) const;
+
+  FaultInjectionConfig config_;
+  std::atomic<bool> armed_{false};
+  // Per-page read/write ordinals: deque keeps element addresses stable
+  // across Allocate-time growth while reads on other pages are quiescent
+  // (Allocate is never concurrent with I/O — guarded in the base class).
+  std::deque<std::atomic<uint32_t>> read_ordinals_;
+  std::deque<std::atomic<uint32_t>> write_ordinals_;
+  // 0 = not yet rolled, 1 = clean, 2 = sticky-bad, 3 = remapped (sticky
+  // cleared by a Write; stays clean forever after).
+  mutable std::deque<std::atomic<uint8_t>> sticky_state_;
+
+  std::atomic<uint64_t> read_errors_{0};
+  std::atomic<uint64_t> bit_flips_{0};
+  std::atomic<uint64_t> write_errors_{0};
+  std::atomic<uint64_t> torn_writes_{0};
+  std::atomic<uint64_t> latency_spikes_{0};
+  std::atomic<uint64_t> sticky_reads_{0};
+  std::atomic<uint64_t> extra_modeled_nanos_{0};
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_STORAGE_FAULT_INJECTION_H_

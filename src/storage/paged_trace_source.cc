@@ -91,6 +91,10 @@ class PagedTraceCursor final : public TraceCursor {
       return {};
     }
     CachedEntity& slot = Fetch(e);
+    // A failed fetch leaves the slot empty (entity stays invalid); report
+    // "no packed form" so the caller falls through to the decoded path,
+    // which returns empty data under the latched error.
+    if (slot.entity != e) return {};
     const size_t off = slot.level_off[level - 1];
     return PackedIdListView(slot.packed.data() + off,
                             slot.packed.size() - off);
@@ -170,6 +174,7 @@ class PagedTraceCursor final : public TraceCursor {
     std::vector<std::vector<CellId>> levels;
     std::vector<uint8_t> packed;  // compressed mode: raw record instead
     PagedTraceStore::ReadStats stats;
+    Status status;  // the worker's read outcome rides the ring with the data
   };
 
   CachedEntity& Fetch(EntityId e) {
@@ -195,28 +200,58 @@ class PagedTraceCursor final : public TraceCursor {
       }
       if (slot.last_used < victim->last_used) victim = &slot;
     }
-    if (!ConsumeFromStream(e, victim)) {
+    Status st;
+    if (!ConsumeFromStream(e, victim, &st)) {
       PagedTraceStore::ReadStats rs;
       if (src_->paged_->compressed()) {
-        src_->paged_->ReadEntityPacked(&*src_->pool_, e, &victim->packed,
-                                       &rs);
-        ParseLevelOffsets(victim);
+        st = src_->paged_->ReadEntityPacked(&*src_->pool_, e, &victim->packed,
+                                            &rs);
+        if (st.ok() && !ParseLevelOffsets(victim)) {
+          st = Status::Corruption("trace record blobs failed to parse");
+        }
       } else {
-        src_->paged_->ReadEntity(&*src_->pool_, e, &victim->levels, &rs);
+        st = src_->paged_->ReadEntity(&*src_->pool_, e, &victim->levels, &rs);
       }
       ChargePages(rs);
+    }
+    victim->last_used = ++tick_;
+    if (!st.ok()) {
+      // Latch the first error and leave the slot EMPTY under an invalid
+      // entity id: every read of it returns empty data (never stale bytes
+      // from the record that previously occupied the buffers), and the
+      // query loop turns the latch into a clean error at its next status
+      // boundary.
+      status_.Update(st);
+      MarkSlotEmpty(victim);
+      victim->entity = kInvalidEntity;
+      mru_ = nullptr;
+      return *victim;
     }
     ++io_.entities_fetched;
     io_.bytes_read += src_->paged_->entity_bytes(e);
     victim->entity = e;
-    victim->last_used = ++tick_;
     mru_ = victim;
     return *victim;
   }
 
+  // Leaves `slot` holding valid-but-empty data for every level, with no
+  // live references into its (possibly partially overwritten) buffers.
+  void MarkSlotEmpty(CachedEntity* slot) {
+    const size_t m = static_cast<size_t>(src_->hierarchy().num_levels());
+    slot->levels.assign(m, {});
+    slot->packed.clear();
+    slot->level_off.assign(m, 0);
+    // All levels "already decoded" (as empty): DecodedLevel must not walk
+    // the cleared packed buffer.
+    slot->decoded = ~uint64_t{0};
+  }
+
   // Compressed mode: walks the packed record's self-delimiting blobs to
   // index each level's start, and invalidates the slot's decoded levels.
-  void ParseLevelOffsets(CachedEntity* slot) {
+  // Returns false when the record's blobs do not tile its byte length —
+  // corruption that slipped past the page checksums (possible only with
+  // verification off).
+  bool ParseLevelOffsets(CachedEntity* slot) {
     const int m = src_->hierarchy().num_levels();
     DT_CHECK_MSG(m <= 64, "decoded-level bitmask holds at most 64 levels");
     slot->level_off.resize(m);
@@ -229,9 +264,10 @@ class PagedTraceCursor final : public TraceCursor {
       // its bounds checks double as the walk's corruption guard.
       const PackedIdListView view(slot->packed.data() + off,
                                   slot->packed.size() - off);
+      if (!view.valid()) return false;
       off += view.total_bytes();
     }
-    DT_CHECK(off == slot->packed.size());
+    return off == slot->packed.size();
   }
 
   // Returns the decoded cell span of `level`, decoding it out of the packed
@@ -241,7 +277,12 @@ class PagedTraceCursor final : public TraceCursor {
     if (src_->paged_->compressed() &&
         (slot.decoded & (uint64_t{1} << (level - 1))) == 0) {
       const size_t off = slot.level_off[level - 1];
-      DecodeIdList(slot.packed.data() + off, slot.packed.size() - off, &v);
+      if (DecodeIdList(slot.packed.data() + off, slot.packed.size() - off,
+                       &v) == 0) {
+        status_.Update(
+            Status::Corruption("malformed id-list blob in trace record"));
+        v.clear();
+      }
       slot.decoded |= uint64_t{1} << (level - 1);
     }
     return v;
@@ -250,17 +291,23 @@ class PagedTraceCursor final : public TraceCursor {
   void ChargePages(const PagedTraceStore::ReadStats& rs) {
     io_.pages_read += rs.pages_read;
     io_.pages_hit += rs.pages_hit;
+    io_.io_retries += rs.io_retries;
+    io_.checksum_failures += rs.checksum_failures;
+    io_.faults_injected += rs.faults_injected;
     // Queries never dirty pages, so modeled latency is reads only — the
-    // same charge the SimDisk applied, attributed per call.
-    io_.modeled_io_seconds += static_cast<double>(rs.pages_read) *
-                              src_->disk_.read_latency_seconds();
+    // same charge the SimDisk applied, attributed per call. (Retried
+    // attempts charge like first attempts: every attempt spun the disk.)
+    io_.modeled_io_seconds += static_cast<double>(rs.pages_read +
+                                                  rs.io_retries) *
+                              src_->disk_->read_latency_seconds();
   }
 
   // Consumes the next pipelined record if `e` is the head of the prefetch
   // stream (the engine reads candidates in exactly the prefetched order, so
   // this is the only case that occurs in practice; any out-of-order access
   // falls back to a direct pool read and leaves the stream untouched).
-  bool ConsumeFromStream(EntityId e, CachedEntity* victim) {
+  // On true, `*st` carries the worker's read outcome for the record.
+  bool ConsumeFromStream(EntityId e, CachedEntity* victim, Status* st) {
     // stream_pos_/stream_ are only written by this (the consumer) thread
     // while the worker is quiescent, so this pre-check needs no lock.
     if (stream_pos_ >= stream_.size() || stream_[stream_pos_] != e) {
@@ -269,11 +316,16 @@ class PagedTraceCursor final : public TraceCursor {
     std::unique_lock<std::mutex> lock(pf_mu_);
     pf_cv_.wait(lock, [&] { return ready_count_ > 0; });
     HandoffSlot& slot = ring_[ring_head_];
-    if (src_->paged_->compressed()) {
-      victim->packed.swap(slot.packed);
-      ParseLevelOffsets(victim);
-    } else {
-      victim->levels.swap(slot.levels);
+    *st = slot.status;
+    if (st->ok()) {
+      if (src_->paged_->compressed()) {
+        victim->packed.swap(slot.packed);
+        if (!ParseLevelOffsets(victim)) {
+          *st = Status::Corruption("trace record blobs failed to parse");
+        }
+      } else {
+        victim->levels.swap(slot.levels);
+      }
     }
     ChargePages(slot.stats);
     ++io_.prefetch_hits;
@@ -297,13 +349,17 @@ class PagedTraceCursor final : public TraceCursor {
       HandoffSlot& slot = ring_[ring_tail_];
       lock.unlock();
       // The tail slot is invisible to the consumer until ready_count_ is
-      // bumped, so the pool read runs without the handoff lock.
+      // bumped, so the pool read runs without the handoff lock. A failed
+      // read parks its status in the slot and the pipeline keeps going —
+      // the consumer decides what an error means; the worker just reports.
       slot.stats = {};
       if (src_->paged_->compressed()) {
-        src_->paged_->ReadEntityPacked(&*src_->pool_, e, &slot.packed,
-                                       &slot.stats);
+        slot.status = src_->paged_->ReadEntityPacked(&*src_->pool_, e,
+                                                     &slot.packed,
+                                                     &slot.stats);
       } else {
-        src_->paged_->ReadEntity(&*src_->pool_, e, &slot.levels, &slot.stats);
+        slot.status = src_->paged_->ReadEntity(&*src_->pool_, e, &slot.levels,
+                                               &slot.stats);
       }
       lock.lock();
       ring_tail_ = (ring_tail_ + 1) % ring_.size();
@@ -339,9 +395,19 @@ PagedTraceSource::PagedTraceSource(const TraceStore& store,
     : hierarchy_(&store.hierarchy()),
       num_entities_(store.num_entities()),
       horizon_(store.horizon()),
-      cache_entities_(std::max<size_t>(2, options.cursor_cache_entities)),
-      disk_(options.read_latency_seconds, options.write_latency_seconds) {
-  paged_ = std::make_unique<PagedTraceStore>(store, &disk_, options.compress);
+      cache_entities_(std::max<size_t>(2, options.cursor_cache_entities)) {
+  if (options.faults.has_value()) {
+    auto faulty = std::make_unique<FaultInjectingDisk>(
+        *options.faults, options.read_latency_seconds,
+        options.write_latency_seconds);
+    fault_disk_ = faulty.get();
+    disk_ = std::move(faulty);
+  } else {
+    disk_ = std::make_unique<SimDisk>(options.read_latency_seconds,
+                                      options.write_latency_seconds);
+  }
+  paged_ = std::make_unique<PagedTraceStore>(store, disk_.get(),
+                                             options.compress);
   size_t capacity = options.pool_pages > 0
                         ? options.pool_pages
                         : std::max<size_t>(1, paged_->num_pages());
@@ -356,9 +422,12 @@ PagedTraceSource::PagedTraceSource(const TraceStore& store,
         1, static_cast<size_t>(options.pool_fraction *
                                static_cast<double>(raw_pages)));
   }
-  pool_.emplace(&disk_, capacity, options.pool_shards);
+  pool_.emplace(disk_.get(), capacity, options.pool_shards,
+                options.verify_checksums);
   // Serialization traffic is construction cost, not query I/O.
-  disk_.ResetStats();
+  disk_->ResetStats();
+  // Arm last: the serialized snapshot is clean; faults start with queries.
+  if (fault_disk_ != nullptr) fault_disk_->Arm();
 }
 
 std::unique_ptr<TraceCursor> PagedTraceSource::OpenCursor() const {
@@ -367,7 +436,7 @@ std::unique_ptr<TraceCursor> PagedTraceSource::OpenCursor() const {
 
 void PagedTraceSource::ResetStats() {
   pool_->ResetStats();
-  disk_.ResetStats();
+  disk_->ResetStats();
 }
 
 }  // namespace dtrace

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "storage/buffer_pool.h"
+#include "storage/fault_injection.h"
 #include "storage/paged_trace_store.h"
 #include "storage/sim_disk.h"
 #include "trace/trace_source.h"
@@ -65,6 +66,15 @@ class PagedTraceSource final : public TraceSource {
     /// 4K random access; Fig. 7.6 uses 5 ms seek-dominated values).
     double read_latency_seconds = 100e-6;
     double write_latency_seconds = 100e-6;
+    /// When set, the backing disk is a FaultInjectingDisk with this
+    /// seed-scheduled fault plan. Serialization runs disarmed (fault-free);
+    /// the disk is armed as construction finishes, so faults hit only the
+    /// query-time read path. Default: a plain fault-free SimDisk.
+    std::optional<FaultInjectionConfig> faults;
+    /// Verify the per-page checksum on every buffer-pool frame load (the
+    /// integrity gate that turns silent torn/flipped pages into retries or
+    /// clean Corruption errors). On by default.
+    bool verify_checksums = true;
   };
 
   PagedTraceSource(const TraceStore& store, Options options);
@@ -85,7 +95,7 @@ class PagedTraceSource final : public TraceSource {
   /// Lifetime pool/disk counters (across every cursor). The pool aggregates
   /// its shards internally, so safe to call while queries run.
   BufferPool::Stats pool_stats() const { return pool_->stats(); }
-  uint64_t disk_reads() const { return disk_.reads(); }
+  uint64_t disk_reads() const { return disk_->reads(); }
 
   /// Clears pool and disk counters (resident pages stay warm).
   void ResetStats();
@@ -95,8 +105,12 @@ class PagedTraceSource final : public TraceSource {
   /// MinSigTree's node pages on this disk, behind this pool, so tree and
   /// trace working sets compete for the same frames). Callers must not
   /// write pages the source allocated.
-  SimDisk* disk() const { return &disk_; }
+  SimDisk* disk() const { return disk_.get(); }
   BufferPool* pool() const { return &*pool_; }
+
+  /// The backing disk as a fault injector, or nullptr when Options::faults
+  /// was not set (tests arm/disarm and read FaultStats through this).
+  FaultInjectingDisk* fault_disk() const { return fault_disk_; }
 
  private:
   friend class PagedTraceCursor;
@@ -105,7 +119,8 @@ class PagedTraceSource final : public TraceSource {
   uint32_t num_entities_;
   TimeStep horizon_;
   size_t cache_entities_;
-  mutable SimDisk disk_;
+  std::unique_ptr<SimDisk> disk_;
+  FaultInjectingDisk* fault_disk_ = nullptr;  // disk_.get() or nullptr
   std::unique_ptr<PagedTraceStore> paged_;
   mutable std::optional<BufferPool> pool_;
 };

@@ -19,7 +19,9 @@ PagedTraceStore::PagedTraceStore(const TraceStore& store, SimDisk* disk,
   size_t in_page = 0;
   auto flush = [&] {
     const PageId id = disk->Allocate();
-    disk->Write(id, page);
+    // Serialization runs against a fault-free (disarmed) disk; a failure
+    // here is a bug, not an input condition.
+    DT_CHECK(disk->Write(id, page).ok());
     pages_.push_back(id);
     in_page = 0;
   };
@@ -89,9 +91,9 @@ PagedTraceStore::PagedTraceStore(const TraceStore& store, SimDisk* disk,
   if (!compress) raw_bytes_ = data_bytes_;
 }
 
-void PagedTraceStore::ReadEntityPacked(BufferPool* pool, EntityId e,
-                                       std::vector<uint8_t>* out,
-                                       ReadStats* stats) const {
+Status PagedTraceStore::ReadEntityPacked(BufferPool* pool, EntityId e,
+                                         std::vector<uint8_t>* out,
+                                         ReadStats* stats) const {
   DT_CHECK_MSG(compressed_, "ReadEntityPacked needs a compressed store");
   DT_CHECK(e < dir_.size());
   const DirEntry& d = dir_[e];
@@ -103,24 +105,21 @@ void PagedTraceStore::ReadEntityPacked(BufferPool* pool, EntityId e,
     const size_t in_page = abs % kPageSize;
     const uint64_t take =
         std::min<uint64_t>(d.bytes - copied, kPageSize - in_page);
-    bool missed = false;
-    const uint8_t* data = pool->Pin(pages_[p], &missed);
+    BufferPool::PinOutcome outcome;
+    const uint8_t* data = nullptr;
+    const Status st = pool->Pin(pages_[p], &data, &outcome);
+    if (stats != nullptr) stats->Charge(outcome);
+    if (!st.ok()) return st;
     std::memcpy(out->data() + copied, data + in_page, take);
     pool->Unpin(pages_[p]);
-    if (stats != nullptr) {
-      if (missed) {
-        ++stats->pages_read;
-      } else {
-        ++stats->pages_hit;
-      }
-    }
     copied += take;
   }
+  return Status::Ok();
 }
 
-void PagedTraceStore::ReadEntity(BufferPool* pool, EntityId e,
-                                 std::vector<std::vector<CellId>>* out,
-                                 ReadStats* stats) const {
+Status PagedTraceStore::ReadEntity(BufferPool* pool, EntityId e,
+                                   std::vector<std::vector<CellId>>* out,
+                                   ReadStats* stats) const {
   DT_CHECK(e < dir_.size());
   const DirEntry& d = dir_[e];
   out->resize(m_);
@@ -128,14 +127,21 @@ void PagedTraceStore::ReadEntity(BufferPool* pool, EntityId e,
     // Convenience/tooling path (the paged cursor keeps the packed form and
     // decodes lazily instead): copy the record out, decode level by level.
     std::vector<uint8_t> packed;
-    ReadEntityPacked(pool, e, &packed, stats);
+    const Status st = ReadEntityPacked(pool, e, &packed, stats);
+    if (!st.ok()) return st;
     size_t off = 0;
     for (int l = 0; l < m_; ++l) {
-      off += DecodeIdList(packed.data() + off, packed.size() - off,
-                          &(*out)[l]);
+      const size_t used =
+          DecodeIdList(packed.data() + off, packed.size() - off, &(*out)[l]);
+      if (used == 0) {
+        return Status::Corruption("malformed id-list blob in trace record");
+      }
+      off += used;
     }
-    DT_CHECK(off == packed.size());
-    return;
+    if (off != packed.size()) {
+      return Status::Corruption("trace record length disagrees with blobs");
+    }
+    return Status::Ok();
   }
 
   // Walk the record with a one-page pinned window, decoding values straight
@@ -147,18 +153,18 @@ void PagedTraceStore::ReadEntity(BufferPool* pool, EntityId e,
   size_t cur_page = kNoPage;
   const uint8_t* data = nullptr;
   uint64_t off = d.offset;
-  auto pin_page_of = [&](uint64_t abs) {
+  Status walk;  // first pin failure; the lambdas no-op once it is set
+  auto pin_page_of = [&](uint64_t abs) -> size_t {
     const size_t p = abs / kPageSize;
     if (p != cur_page) {
       if (cur_page != kNoPage) pool->Unpin(pages_[cur_page]);
-      bool missed = false;
-      data = pool->Pin(pages_[p], &missed);
-      if (stats != nullptr) {
-        if (missed) {
-          ++stats->pages_read;
-        } else {
-          ++stats->pages_hit;
-        }
+      cur_page = kNoPage;
+      BufferPool::PinOutcome outcome;
+      const Status st = pool->Pin(pages_[p], &data, &outcome);
+      if (stats != nullptr) stats->Charge(outcome);
+      if (!st.ok()) {
+        walk = st;
+        return 0;
       }
       cur_page = p;
     }
@@ -168,17 +174,19 @@ void PagedTraceStore::ReadEntity(BufferPool* pool, EntityId e,
     const size_t in_page = off % kPageSize;
     if (in_page + sizeof(uint32_t) > kPageSize) off += kPageSize - in_page;
   };
-  auto get_u32 = [&] {
+  auto get_u32 = [&]() -> uint32_t {
     skip_padding();
     const size_t in_page = pin_page_of(off);
+    if (!walk.ok()) return 0;
     uint32_t v;
     std::memcpy(&v, data + in_page, sizeof(uint32_t));
     off += sizeof(uint32_t);
     return v;
   };
 
-  for (int l = 0; l < m_; ++l) {
+  for (int l = 0; l < m_ && walk.ok(); ++l) {
     const uint32_t n = get_u32();
+    if (!walk.ok()) break;
     auto& level = (*out)[l];
     level.resize(n);
     uint32_t got = 0;
@@ -186,6 +194,7 @@ void PagedTraceStore::ReadEntity(BufferPool* pool, EntityId e,
       // Bulk-copy the run of values that lives in the current page.
       skip_padding();
       const size_t in_page = pin_page_of(off);
+      if (!walk.ok()) break;
       const uint32_t fit =
           static_cast<uint32_t>((kPageSize - in_page) / sizeof(uint32_t));
       const uint32_t take = std::min(n - got, fit);
@@ -196,34 +205,32 @@ void PagedTraceStore::ReadEntity(BufferPool* pool, EntityId e,
     }
   }
   if (cur_page != kNoPage) pool->Unpin(pages_[cur_page]);
+  return walk;
 }
 
 std::vector<std::vector<CellId>> PagedTraceStore::ReadEntity(
     BufferPool* pool, EntityId e) const {
   std::vector<std::vector<CellId>> out;
-  ReadEntity(pool, e, &out, nullptr);
+  DT_CHECK(ReadEntity(pool, e, &out, nullptr).ok());
   return out;
 }
 
-void PagedTraceStore::TouchEntity(BufferPool* pool, EntityId e,
-                                  ReadStats* stats) const {
+Status PagedTraceStore::TouchEntity(BufferPool* pool, EntityId e,
+                                    ReadStats* stats) const {
   DT_CHECK(e < dir_.size());
   const DirEntry& d = dir_[e];
   const size_t first = d.offset / kPageSize;
   const size_t last =
       d.bytes == 0 ? first : (d.offset + d.bytes - 1) / kPageSize;
   for (size_t p = first; p <= last; ++p) {
-    bool missed = false;
-    pool->Pin(pages_[p], &missed);
+    BufferPool::PinOutcome outcome;
+    const uint8_t* data = nullptr;
+    const Status st = pool->Pin(pages_[p], &data, &outcome);
+    if (stats != nullptr) stats->Charge(outcome);
+    if (!st.ok()) return st;
     pool->Unpin(pages_[p]);
-    if (stats != nullptr) {
-      if (missed) {
-        ++stats->pages_read;
-      } else {
-        ++stats->pages_hit;
-      }
-    }
   }
+  return Status::Ok();
 }
 
 }  // namespace dtrace

@@ -8,6 +8,7 @@
 #include "storage/sim_disk.h"
 #include "trace/trace_store.h"
 #include "trace/types.h"
+#include "util/status.h"
 
 namespace dtrace {
 
@@ -29,6 +30,23 @@ class PagedTraceStore {
   struct ReadStats {
     uint64_t pages_read = 0;  // pool misses (real SimDisk page reads)
     uint64_t pages_hit = 0;   // pool hits
+    // Fault accounting, straight from BufferPool::PinOutcome: load attempts
+    // beyond the first, loads that failed page verification, and total
+    // faults this reader's pins observed.
+    uint64_t io_retries = 0;
+    uint64_t checksum_failures = 0;
+    uint64_t faults_injected = 0;
+
+    void Charge(const BufferPool::PinOutcome& o) {
+      if (o.missed) {
+        ++pages_read;
+      } else {
+        ++pages_hit;
+      }
+      io_retries += o.io_retries;
+      checksum_failures += o.checksum_failures;
+      faults_injected += o.faults_injected;
+    }
   };
 
   /// Serializes `store` onto `disk`.
@@ -57,11 +75,16 @@ class PagedTraceStore {
   /// decoded straight out of the pinned frames — no intermediate byte-stream
   /// copy. Per-page pool outcomes are accumulated into `stats` when given.
   /// Safe to call concurrently (the pool is internally synchronized).
-  void ReadEntity(BufferPool* pool, EntityId e,
-                  std::vector<std::vector<CellId>>* out,
-                  ReadStats* stats = nullptr) const;
+  ///
+  /// On error (`*out` contents unspecified) the page walk stops at the
+  /// failed pin — IoError/Corruption from the pool, or Corruption when a
+  /// compressed record's blobs fail to decode cleanly.
+  Status ReadEntity(BufferPool* pool, EntityId e,
+                    std::vector<std::vector<CellId>>* out,
+                    ReadStats* stats = nullptr) const;
 
-  /// Convenience overload returning fresh vectors (tests, tooling).
+  /// Convenience overload returning fresh vectors; aborts on a read error
+  /// (tests, tooling — no fault source configured).
   std::vector<std::vector<CellId>> ReadEntity(BufferPool* pool,
                                               EntityId e) const;
 
@@ -69,16 +92,17 @@ class PagedTraceStore {
   /// concatenated id-list blobs) through `pool` into `out` (resized;
   /// capacity reused) WITHOUT decoding — the cursor keeps the packed form
   /// resident and decodes levels lazily, or intersects them block-wise
-  /// without decoding at all.
-  void ReadEntityPacked(BufferPool* pool, EntityId e,
-                        std::vector<uint8_t>* out,
-                        ReadStats* stats = nullptr) const;
+  /// without decoding at all. On error, `*out` contents are unspecified.
+  Status ReadEntityPacked(BufferPool* pool, EntityId e,
+                          std::vector<uint8_t>* out,
+                          ReadStats* stats = nullptr) const;
 
   /// Touches (pins+unpins) every page of entity `e` without materializing —
   /// a pure pool-warming pass (the prefetch pipeline materializes instead;
-  /// this remains for access-hook emulation and tests).
-  void TouchEntity(BufferPool* pool, EntityId e,
-                   ReadStats* stats = nullptr) const;
+  /// this remains for access-hook emulation and tests). Stops at the first
+  /// failed pin.
+  Status TouchEntity(BufferPool* pool, EntityId e,
+                     ReadStats* stats = nullptr) const;
 
  private:
   struct DirEntry {

@@ -4,6 +4,21 @@
 
 namespace dtrace {
 
+namespace {
+
+// Checksum of the all-zero page, stamped at Allocate so a page read before
+// its first Write still verifies.
+uint64_t ZeroPageChecksum() {
+  static const uint64_t checksum = [] {
+    Page zero;
+    zero.data.fill(0);
+    return PageChecksum(zero);
+  }();
+  return checksum;
+}
+
+}  // namespace
+
 SimDisk::SimDisk(double read_latency_seconds, double write_latency_seconds)
     : read_latency_(read_latency_seconds),
       write_latency_(write_latency_seconds) {
@@ -11,21 +26,32 @@ SimDisk::SimDisk(double read_latency_seconds, double write_latency_seconds)
 }
 
 PageId SimDisk::Allocate() {
+  // The not-thread-safe contract, guarded: any Read/Write concurrent with
+  // Allocate races the page-table growth below. Debug-only — the counter
+  // upkeep in Read/Write is two relaxed atomics and stays in all builds,
+  // but the assertion itself compiles out under NDEBUG.
+  DT_DCHECK(io_in_flight_.load(std::memory_order_relaxed) == 0);
   pages_.push_back(std::make_unique<Page>());
   pages_.back()->data.fill(0);
+  checksums_.push_back(ZeroPageChecksum());
   return static_cast<PageId>(pages_.size() - 1);
 }
 
-void SimDisk::Read(PageId id, Page* out) {
+Status SimDisk::Read(PageId id, Page* out) {
   DT_CHECK(id < pages_.size());
+  IoInFlight in_flight(this);
   *out = *pages_[id];
   reads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
 }
 
-void SimDisk::Write(PageId id, const Page& page) {
+Status SimDisk::Write(PageId id, const Page& page) {
   DT_CHECK(id < pages_.size());
+  IoInFlight in_flight(this);
   *pages_[id] = page;
+  checksums_[id] = PageChecksum(page);
   writes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
 }
 
 void SimDisk::ResetStats() {

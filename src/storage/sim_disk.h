@@ -4,8 +4,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <vector>
+
+#include "util/status.h"
 
 namespace dtrace {
 
@@ -19,6 +22,24 @@ struct Page {
   std::array<uint8_t, kPageSize> data;
 };
 
+/// Content checksum of a whole page: word-wise xor-multiply-mix over the
+/// 4096 bytes. Not cryptographic — it only needs to catch device-class
+/// damage (torn tails, bit flips), and it must be cheap enough to run on
+/// every buffer-pool frame load (~512 multiplies per 4K page, well under
+/// the memcpy that accompanies it).
+inline uint64_t PageChecksum(const Page& page) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  const uint8_t* p = page.data.data();
+  for (size_t i = 0; i < kPageSize; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, sizeof(w));
+    h ^= w;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
 /// In-memory disk simulator with I/O accounting. Every Read/Write counts one
 /// I/O and charges a configurable modeled latency; the memory-size experiment
 /// (Sec. 7.6) reports modeled time = wall time + modeled I/O time, which
@@ -26,24 +47,48 @@ struct Page {
 /// (DESIGN.md Sec. 3.4). Reads/writes copy whole pages, as a real device
 /// driver would.
 ///
+/// Integrity: the disk keeps a sidecar checksum per page — stamped from the
+/// caller's intended bytes on every Write (and with the zero-page constant at
+/// Allocate) — which `VerifyPage` compares against bytes that came back from
+/// a Read. On this perfect in-memory device the two can never disagree; the
+/// sidecar models the per-page checksum a real backend would co-locate with
+/// the data, and it is what lets `FaultInjectingDisk` produce *detectable*
+/// torn writes and bit flips (fault_injection.h). The buffer pool verifies it
+/// on every frame load.
+///
+/// Fallibility: Read/Write return Status and are virtual so a fault-injecting
+/// subclass can fail or corrupt them; this base class itself never fails
+/// (beyond the DT_CHECK on out-of-range ids, which is a programmer error).
+///
 /// Thread safety: concurrent Read/Write calls are safe as long as no two of
 /// them target the same page with at least one writer — exactly the
 /// exclusivity the sharded BufferPool provides (a page is loaded or written
 /// back by the one thread that owns its frame transition). Allocate mutates
 /// the page table and must not run concurrently with any other call; all
-/// allocation happens during serialization, before queries start.
+/// allocation happens during serialization, before queries start. This
+/// contract is guarded, not just documented: Read/Write maintain an
+/// in-flight count and Allocate debug-asserts it is zero.
 class SimDisk {
  public:
   /// Default latencies are HDD-class per 4K access.
   explicit SimDisk(double read_latency_seconds = 100e-6,
                    double write_latency_seconds = 100e-6);
+  virtual ~SimDisk() = default;
 
   /// Allocates a zeroed page and returns its id. Not thread-safe; see class
   /// comment.
-  PageId Allocate();
+  virtual PageId Allocate();
 
-  void Read(PageId id, Page* out);
-  void Write(PageId id, const Page& page);
+  virtual Status Read(PageId id, Page* out);
+  virtual Status Write(PageId id, const Page& page);
+
+  /// True iff `page` matches the checksum stamped by the last successful
+  /// Write (or Allocate) of `id` — i.e. the bytes a Read returned are the
+  /// bytes the writer intended. Thread-safe under the same exclusivity rule
+  /// as Read/Write.
+  bool VerifyPage(PageId id, const Page& page) const {
+    return PageChecksum(page) == checksums_[id];
+  }
 
   size_t num_pages() const { return pages_.size(); }
   uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
@@ -52,20 +97,62 @@ class SimDisk {
   double write_latency_seconds() const { return write_latency_; }
   /// Accumulated modeled I/O latency in seconds. Derived from the I/O counts
   /// (latencies are fixed per device), so it stays exact under concurrency
-  /// without an atomic-double accumulator.
+  /// without an atomic-double accumulator — plus any extra modeled delay a
+  /// fault-injecting subclass charged (latency spikes).
   double modeled_io_seconds() const {
     return static_cast<double>(reads()) * read_latency_ +
-           static_cast<double>(writes()) * write_latency_;
+           static_cast<double>(writes()) * write_latency_ +
+           extra_modeled_seconds();
   }
 
-  void ResetStats();
+  virtual void ResetStats();
+
+ protected:
+  /// Direct access to the stored bytes of `id`, bypassing Read accounting
+  /// and the checksum stamp — how FaultInjectingDisk tears a committed write
+  /// without touching its sidecar checksum. Same exclusivity rule as Write.
+  Page* StoredPage(PageId id) { return pages_[id].get(); }
+
+  /// Re-stamps the sidecar checksum of `id` from `page` (used by subclasses
+  /// that mutate stored bytes and want the damage to go *undetected* — e.g.
+  /// modeling a stale-but-consistent sector is possible, though the stock
+  /// fault injector never hides damage).
+  void StampChecksum(PageId id, const Page& page) {
+    checksums_[id] = PageChecksum(page);
+  }
+
+  /// Extra modeled seconds charged by subclasses (latency spikes).
+  virtual double extra_modeled_seconds() const { return 0.0; }
+
+  /// RAII in-flight marker for the Allocate guard; subclasses that override
+  /// Read/Write and do not call the base implementation should hold one.
+  class IoInFlight {
+   public:
+    explicit IoInFlight(const SimDisk* disk) : disk_(disk) {
+      disk_->io_in_flight_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~IoInFlight() {
+      disk_->io_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    IoInFlight(const IoInFlight&) = delete;
+    IoInFlight& operator=(const IoInFlight&) = delete;
+
+   private:
+    const SimDisk* disk_;
+  };
 
  private:
   double read_latency_;
   double write_latency_;
   std::vector<std::unique_ptr<Page>> pages_;
+  /// Sidecar per-page checksums (see class comment). Indexed like pages_;
+  /// grown only in Allocate, elements written only under the per-page
+  /// exclusivity rule, so no synchronization beyond the disk's own contract.
+  std::vector<uint64_t> checksums_;
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
+  /// Read/Write calls currently executing — the Allocate guard.
+  mutable std::atomic<int32_t> io_in_flight_{0};
 };
 
 }  // namespace dtrace

@@ -20,26 +20,45 @@ void InMemoryTreePageStore::WritePage(uint32_t index, const Page& page) {
   *pages_[index] = page;
 }
 
-const uint8_t* InMemoryTreePageStore::Pin(uint32_t index, bool* missed) const {
+Status InMemoryTreePageStore::Pin(uint32_t index, const uint8_t** out,
+                                  BufferPool::PinOutcome* outcome) const {
   DT_CHECK(index < pages_.size());
-  if (missed != nullptr) *missed = false;
-  return pages_[index]->data.data();
+  if (outcome != nullptr) *outcome = {};
+  *out = pages_[index]->data.data();
+  return Status::Ok();
 }
 
 SimDiskTreePageStore::SimDiskTreePageStore(Options options)
-    : options_(options),
-      owned_disk_(std::make_unique<SimDisk>(options.read_latency_seconds,
-                                            options.write_latency_seconds)) {
+    : options_(options) {
+  if (options.faults.has_value()) {
+    auto faulty = std::make_unique<FaultInjectingDisk>(
+        *options.faults, options.read_latency_seconds,
+        options.write_latency_seconds);
+    fault_disk_ = faulty.get();
+    owned_disk_ = std::move(faulty);
+  } else {
+    owned_disk_ = std::make_unique<SimDisk>(options.read_latency_seconds,
+                                            options.write_latency_seconds);
+  }
   disk_ = owned_disk_.get();
 }
 
 SimDiskTreePageStore::SimDiskTreePageStore(SimDisk* disk, BufferPool* pool)
     : disk_(disk), pool_(pool) {
   DT_CHECK(disk != nullptr && pool != nullptr);
+  fault_disk_ = dynamic_cast<FaultInjectingDisk*>(disk);
 }
 
 void SimDiskTreePageStore::Allocate(size_t num_pages) {
   DT_CHECK_MSG(page_ids_.empty(), "Allocate called twice");
+  // Packing must land clean pages (it is the recovery source of truth for
+  // quarantined pages), so an armed shared fault disk is stood down for the
+  // write phase and re-armed at Finalize. The private fault disk starts
+  // disarmed and arms at Finalize regardless.
+  if (fault_disk_ != nullptr) {
+    rearm_at_finalize_ = fault_disk_->armed() || owned_disk_ != nullptr;
+    fault_disk_->Disarm();
+  }
   page_ids_.reserve(num_pages);
   // On a shared disk this appends after whatever is already there (the
   // trace region); Allocate is not thread-safe, and packing runs strictly
@@ -51,28 +70,37 @@ void SimDiskTreePageStore::WritePage(uint32_t index, const Page& page) {
   DT_CHECK(index < page_ids_.size());
   // Straight to disk: packing precedes pool construction in private mode,
   // and in shared mode the pages are not resident yet (fresh allocations).
-  disk_->Write(page_ids_[index], page);
+  // The disk is disarmed during packing (see Allocate), so this cannot fail.
+  DT_CHECK_MSG(disk_->Write(page_ids_[index], page).ok(),
+               "tree pack write failed");
 }
 
 void SimDiskTreePageStore::Finalize() {
-  if (pool_ != nullptr) return;  // shared mode: the pool already exists
-  size_t capacity = options_.pool_pages;
-  if (options_.pool_fraction > 0.0) {
-    const size_t basis =
-        pool_sizing_pages_ > 0 ? pool_sizing_pages_ : page_ids_.size();
-    capacity = std::max<size_t>(
-        1, static_cast<size_t>(options_.pool_fraction *
-                               static_cast<double>(basis)));
+  if (pool_ == nullptr) {  // private mode: size and build the pool
+    size_t capacity = options_.pool_pages;
+    if (options_.pool_fraction > 0.0) {
+      const size_t basis =
+          pool_sizing_pages_ > 0 ? pool_sizing_pages_ : page_ids_.size();
+      capacity = std::max<size_t>(
+          1, static_cast<size_t>(options_.pool_fraction *
+                                 static_cast<double>(basis)));
+    }
+    if (capacity == 0) capacity = std::max<size_t>(1, page_ids_.size());
+    owned_pool_.emplace(disk_, capacity, options_.pool_shards,
+                        options_.verify_checksums);
+    pool_ = &*owned_pool_;
   }
-  if (capacity == 0) capacity = std::max<size_t>(1, page_ids_.size());
-  owned_pool_.emplace(disk_, capacity, options_.pool_shards);
-  pool_ = &*owned_pool_;
+  if (rearm_at_finalize_) {
+    fault_disk_->Arm();
+    rearm_at_finalize_ = false;
+  }
 }
 
-const uint8_t* SimDiskTreePageStore::Pin(uint32_t index, bool* missed) const {
+Status SimDiskTreePageStore::Pin(uint32_t index, const uint8_t** out,
+                                 BufferPool::PinOutcome* outcome) const {
   DT_CHECK(index < page_ids_.size());
   DT_CHECK_MSG(pool_ != nullptr, "Pin before Finalize");
-  return pool_->Pin(page_ids_[index], missed, PoolClient::kTree);
+  return pool_->Pin(page_ids_[index], out, outcome, PoolClient::kTree);
 }
 
 void SimDiskTreePageStore::Unpin(uint32_t index) const {

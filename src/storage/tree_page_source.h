@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "storage/buffer_pool.h"
+#include "storage/fault_injection.h"
 #include "storage/sim_disk.h"
+#include "util/status.h"
 
 namespace dtrace {
 
@@ -52,10 +54,14 @@ class TreePageSource {
 
   virtual size_t num_pages() const = 0;
 
-  /// Pins page `index` for reading; `missed` reports whether this pin cost
-  /// a real page read (per-call outcome, same contract as BufferPool::Pin).
-  /// Balanced by Unpin.
-  virtual const uint8_t* Pin(uint32_t index, bool* missed) const = 0;
+  /// Pins page `index` for reading and sets `*out` to the frame bytes;
+  /// `outcome` (optional) reports the per-call page outcome — miss/hit plus
+  /// retry/fault counts — same contract as BufferPool::Pin. On a non-ok
+  /// return the page could not be loaded (fault schedule exhausted the
+  /// pool's retries), nothing is pinned, and `*out` is untouched; callers
+  /// surface the error instead of reading. Balanced by Unpin only on ok.
+  virtual Status Pin(uint32_t index, const uint8_t** out,
+                     BufferPool::PinOutcome* outcome) const = 0;
   virtual void Unpin(uint32_t index) const = 0;
 
   /// Modeled seconds a missed pin costs (0 for in-memory stores).
@@ -75,7 +81,8 @@ class InMemoryTreePageStore final : public TreePageSource {
   void WritePage(uint32_t index, const Page& page) override;
   void Finalize() override {}
   size_t num_pages() const override { return pages_.size(); }
-  const uint8_t* Pin(uint32_t index, bool* missed) const override;
+  Status Pin(uint32_t index, const uint8_t** out,
+             BufferPool::PinOutcome* outcome) const override;
   void Unpin(uint32_t) const override {}
   double read_latency_seconds() const override { return 0.0; }
 
@@ -107,6 +114,14 @@ class SimDiskTreePageStore final : public TreePageSource {
     /// Modeled per-page latencies of the private SimDisk.
     double read_latency_seconds = 100e-6;
     double write_latency_seconds = 100e-6;
+    /// When set, the private disk is a FaultInjectingDisk with this plan.
+    /// Packing runs disarmed (writes are clean); Finalize arms the disk so
+    /// faults hit only the query-time pin path. Ignored in shared mode
+    /// (the shared disk's owner decides).
+    std::optional<FaultInjectionConfig> faults;
+    /// Verify per-page checksums on every private-pool frame load. Ignored
+    /// in shared mode (the shared pool's setting applies).
+    bool verify_checksums = true;
   };
 
   explicit SimDiskTreePageStore(Options options);
@@ -122,7 +137,8 @@ class SimDiskTreePageStore final : public TreePageSource {
     pool_sizing_pages_ = pages;
   }
   size_t num_pages() const override { return page_ids_.size(); }
-  const uint8_t* Pin(uint32_t index, bool* missed) const override;
+  Status Pin(uint32_t index, const uint8_t** out,
+             BufferPool::PinOutcome* outcome) const override;
   void Unpin(uint32_t index) const override;
   double read_latency_seconds() const override {
     return disk_->read_latency_seconds();
@@ -132,6 +148,11 @@ class SimDiskTreePageStore final : public TreePageSource {
   const SimDisk& disk() const { return *disk_; }
   size_t pool_pages() const { return pool_->capacity(); }
 
+  /// The backing disk as a fault injector, or nullptr when it is a plain
+  /// SimDisk (covers both the private Options::faults disk and a shared
+  /// fault-injecting disk borrowed from a PagedTraceSource).
+  FaultInjectingDisk* fault_disk() const { return fault_disk_; }
+
  private:
   Options options_;
   // Private mode owns these; shared mode leaves them empty and uses the
@@ -140,6 +161,8 @@ class SimDiskTreePageStore final : public TreePageSource {
   mutable std::optional<BufferPool> owned_pool_;
   SimDisk* disk_ = nullptr;
   BufferPool* pool_ = nullptr;  // null until Finalize in private mode
+  FaultInjectingDisk* fault_disk_ = nullptr;  // disk_ downcast, or nullptr
+  bool rearm_at_finalize_ = false;  // Allocate disarmed an armed fault disk
   size_t pool_sizing_pages_ = 0;  // pool_fraction basis; 0 = packed count
   std::vector<PageId> page_ids_;  // tree page index -> disk page id
 };

@@ -9,6 +9,7 @@
 #include "trace/spatial_hierarchy.h"
 #include "trace/types.h"
 #include "util/codec.h"
+#include "util/status.h"
 
 namespace dtrace {
 
@@ -27,6 +28,12 @@ struct TraceIoStats {
   /// two working sets are separately observable in one shared pool.
   uint64_t tree_pages_read = 0;  ///< tree-page pool misses (disk page reads)
   uint64_t tree_page_hits = 0;   ///< tree-page pool hits
+  /// Fault accounting (DESIGN-storage.md "Fault model and integrity"):
+  /// page-load attempts beyond the first, loads failing verification, and
+  /// total faults this cursor's reads observed. All zero on a healthy disk.
+  uint64_t io_retries = 0;
+  uint64_t checksum_failures = 0;
+  uint64_t faults_injected = 0;
   double modeled_io_seconds = 0.0;  ///< SimDisk modeled latency charged
 
   void Add(const TraceIoStats& o) {
@@ -38,6 +45,9 @@ struct TraceIoStats {
     prefetch_hits += o.prefetch_hits;
     tree_pages_read += o.tree_pages_read;
     tree_page_hits += o.tree_page_hits;
+    io_retries += o.io_retries;
+    checksum_failures += o.checksum_failures;
+    faults_injected += o.faults_injected;
     modeled_io_seconds += o.modeled_io_seconds;
   }
 };
@@ -98,8 +108,17 @@ class TraceCursor {
   /// I/O accumulated by this cursor since it was opened.
   const TraceIoStats& io() const { return io_; }
 
+  /// Sticky error latch. The span-returning read methods cannot carry a
+  /// Status, so a storage-backed cursor that hits an unrecoverable fault
+  /// latches the FIRST error here and returns empty/zero data from then on;
+  /// the query loop polls status() at its evaluation boundaries and turns a
+  /// latched error into a clean TopKResult::status instead of scoring
+  /// incomplete data. Always ok for the in-memory source.
+  const Status& status() const { return status_; }
+
  protected:
   TraceIoStats io_;
+  Status status_;
 };
 
 /// Where candidate traces are read from during a query. The query processor

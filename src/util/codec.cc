@@ -157,41 +157,63 @@ size_t EncodeIdList(std::span<const uint32_t> ids, std::vector<uint8_t>* out) {
 }
 
 PackedIdListView::PackedIdListView(const uint8_t* data, size_t avail) {
-  DT_CHECK_MSG(avail >= 1, "truncated id-list tag");
+  // Corrupt or truncated input leaves the view invalid (data_ == nullptr,
+  // n_ == 0) instead of aborting: encoded blobs are *data*, and damaged
+  // data is an input condition the caller turns into Status::Corruption.
+  if (avail < 1) return;  // truncated id-list tag
   const uint8_t tag = data[0];
   if ((tag & kIdSmallTag) != 0) {
     small_ = true;
     n_ = tag & 0x7f;
-    data_ = data;
     if (n_ == 0) {
+      data_ = data;
       total_bytes_ = 1;
       payload_ = data + 1;
       payload_avail_ = 0;
       return;
     }
-    DT_CHECK_MSG(avail >= 1 + kIdSmallSkipBytes, "truncated id-list header");
+    if (avail < 1 + kIdSmallSkipBytes) {  // truncated id-list header
+      n_ = 0;
+      return;
+    }
     const uint8_t mode_width = data[1 + 4];
     const int width = mode_width & kIdWidthMask;
+    if (width > 32) {  // corrupt id-list bit width
+      n_ = 0;
+      return;
+    }
     const uint32_t packed =
         (mode_width & kIdModeFoR) != 0 ? n_ : n_ - 1;
     const uint64_t payload_bytes =
         (static_cast<uint64_t>(packed) * width + 7) / 8;
     const uint64_t total = 1 + kIdSmallSkipBytes + payload_bytes;
-    DT_CHECK_MSG(total <= avail, "id-list length header out of bounds");
+    if (total > avail) {  // derived length out of bounds
+      n_ = 0;
+      return;
+    }
+    data_ = data;
     total_bytes_ = static_cast<uint32_t>(total);
     payload_ = data + 1 + kIdSmallSkipBytes;
     payload_avail_ = payload_bytes;
     return;
   }
-  DT_CHECK_MSG(avail >= 1 + kIdHeaderBytes, "truncated id-list header");
+  if (avail < 1 + kIdHeaderBytes) return;  // truncated id-list header
   total_bytes_ = GetU32(data + 1);
   n_ = GetU32(data + 1 + 4);
-  DT_CHECK_MSG(total_bytes_ >= 1 + kIdHeaderBytes && total_bytes_ <= avail,
-               "id-list length header out of bounds");
-  data_ = data;
+  if (total_bytes_ < 1 + kIdHeaderBytes || total_bytes_ > avail) {
+    // length header out of bounds
+    n_ = 0;
+    total_bytes_ = 0;
+    return;
+  }
   const size_t payload_off =
       1 + kIdHeaderBytes + static_cast<size_t>(num_blocks()) * kIdSkipBytes;
-  DT_CHECK_MSG(payload_off <= total_bytes_, "id-list skip table truncated");
+  if (payload_off > total_bytes_) {  // skip table truncated
+    n_ = 0;
+    total_bytes_ = 0;
+    return;
+  }
+  data_ = data;
   payload_ = data + payload_off;
   payload_avail_ = total_bytes_ - payload_off;
 }
@@ -215,7 +237,11 @@ bool PackedIdListView::BlockMonotone(uint32_t b) const {
 uint32_t PackedIdListView::DecodeBlock(uint32_t b, uint32_t* buf) const {
   const Skip skip = LoadSkip(b);
   const int width = skip.mode_width & kIdWidthMask;
-  DT_CHECK_MSG(width <= 32, "corrupt id-list bit width");
+  // A corrupt per-block width is recoverable: 0 is unambiguous failure —
+  // blocks exist only for nonempty lists and always hold >= 1 id. (The
+  // BitReader below is bounds-checked, so even a lying bit offset cannot
+  // read out of the payload.)
+  if (width > 32) return 0;
   const uint32_t count = BlockCount(b);
   const BitReader reader(payload_, payload_avail_);
   uint64_t pos = skip.bit_off;
@@ -239,10 +265,18 @@ uint32_t PackedIdListView::DecodeBlock(uint32_t b, uint32_t* buf) const {
 size_t DecodeIdList(const uint8_t* data, size_t avail,
                     std::vector<uint32_t>* out) {
   const PackedIdListView view(data, avail);
+  if (!view.valid()) {
+    out->clear();
+    return 0;
+  }
   out->resize(view.size());
   const uint32_t blocks = view.num_blocks();
   for (uint32_t b = 0; b < blocks; ++b) {
-    view.DecodeBlock(b, out->data() + static_cast<size_t>(b) * kIdBlock);
+    if (view.DecodeBlock(b, out->data() + static_cast<size_t>(b) * kIdBlock) ==
+        0) {
+      out->clear();
+      return 0;
+    }
   }
   return view.total_bytes();
 }
@@ -333,24 +367,33 @@ size_t EncodeU64Array(std::span<const uint64_t> values,
 
 size_t DecodeU64Array(const uint8_t* data, size_t avail,
                       std::vector<uint64_t>* out) {
-  DT_CHECK_MSG(avail >= kIdHeaderBytes, "truncated u64-array header");
+  // Corrupt or truncated input returns 0 (never a valid consumed length —
+  // every well-formed array spends at least its 8-byte header) with `out`
+  // cleared; the caller maps that to Status::Corruption.
+  const auto corrupt = [out]() -> size_t {
+    out->clear();
+    return 0;
+  };
+  if (avail < kIdHeaderBytes) return corrupt();  // truncated header
   const uint32_t total_bytes = GetU32(data);
   const uint32_t n = GetU32(data + 4);
-  DT_CHECK_MSG(total_bytes >= kIdHeaderBytes && total_bytes <= avail,
-               "u64-array length header out of bounds");
+  if (total_bytes < kIdHeaderBytes || total_bytes > avail) {
+    return corrupt();  // length header out of bounds
+  }
   out->resize(n);
   size_t off = kIdHeaderBytes;
   for (size_t first = 0; first < n; first += kSigFrame) {
     const size_t count = std::min<size_t>(kSigFrame, n - first);
-    DT_CHECK_MSG(off + 9 <= total_bytes, "u64-array frame header truncated");
+    if (off + 9 > total_bytes) return corrupt();  // frame header truncated
     uint64_t mn;
     std::memcpy(&mn, data + off, sizeof(uint64_t));
     const int width = data[off + 8];
-    DT_CHECK_MSG(width <= 64, "corrupt u64-array bit width");
+    if (width > 64) return corrupt();  // corrupt bit width
     off += 9;
     const size_t frame_bytes = (count * static_cast<size_t>(width) + 7) / 8;
-    DT_CHECK_MSG(off + frame_bytes <= total_bytes,
-                 "u64-array frame payload truncated");
+    if (off + frame_bytes > total_bytes) {
+      return corrupt();  // frame payload truncated
+    }
     const BitReader reader(data + off, frame_bytes);
     for (size_t i = 0; i < count; ++i) {
       (*out)[first + i] = mn + reader.Read(i * static_cast<uint64_t>(width),

@@ -71,7 +71,10 @@ size_t EncodeIdList(std::span<const uint32_t> ids, std::vector<uint8_t>* out);
 
 /// Decodes one encoded id list starting at `data` (at most `avail` readable
 /// bytes) into `out` (resized; capacity reused). Returns the encoded bytes
-/// consumed. Aborts (DT_CHECK) on a corrupt header or bit width.
+/// consumed, or 0 — with `out` cleared — on a corrupt or truncated blob
+/// (0 is unambiguous: every well-formed blob consumes at least its tag
+/// byte). Callers map 0 to Status::Corruption; decoding never aborts on
+/// bad *data* (encoder preconditions still DT_CHECK).
 size_t DecodeIdList(const uint8_t* data, size_t avail,
                     std::vector<uint32_t>* out);
 
@@ -81,8 +84,10 @@ size_t DecodeIdList(const uint8_t* data, size_t avail,
 class PackedIdListView {
  public:
   PackedIdListView() = default;
-  /// Parses the tag + header at `data`; aborts if the blob length (embedded
-  /// or derived, by layout) exceeds `avail`.
+  /// Parses the tag + header at `data`. A corrupt or truncated header —
+  /// including a blob length (embedded or derived, by layout) exceeding
+  /// `avail` — yields an INVALID view (valid() == false, size() == 0)
+  /// rather than aborting; callers must check valid() before using it.
   PackedIdListView(const uint8_t* data, size_t avail);
 
   bool valid() const { return data_ != nullptr; }
@@ -101,8 +106,12 @@ class PackedIdListView {
     const uint32_t first = b * kIdBlock;
     return first + kIdBlock <= n_ ? kIdBlock : n_ - first;
   }
-  /// Decodes block `b` into `buf` (capacity >= kIdBlock); returns the count.
-  /// Aborts (DT_CHECK) on a corrupt bit width.
+  /// Decodes block `b` into `buf` (capacity >= kIdBlock); returns the count,
+  /// or 0 on a corrupt per-block bit width (blocks exist only for nonempty
+  /// lists, so a valid decode always returns >= 1). The hot intersection
+  /// kernels skip the check: they only ever see checksum-verified pages, so
+  /// a 0 there silently contributes nothing — DecodeIdList (the
+  /// materializing path) does check and surfaces Corruption.
   uint32_t DecodeBlock(uint32_t b, uint32_t* buf) const;
 
  private:
@@ -142,7 +151,8 @@ size_t EncodeU64Array(std::span<const uint64_t> values,
                       std::vector<uint8_t>* out);
 
 /// Decodes one encoded u64 array at `data` (at most `avail` readable bytes)
-/// into `out`; returns bytes consumed. Aborts on a corrupt width.
+/// into `out`; returns bytes consumed, or 0 — with `out` cleared — on a
+/// corrupt or truncated array (same recoverable contract as DecodeIdList).
 size_t DecodeU64Array(const uint8_t* data, size_t avail,
                       std::vector<uint64_t>* out);
 

@@ -1,0 +1,60 @@
+#ifndef DTRACE_UTIL_STATUS_H_
+#define DTRACE_UTIL_STATUS_H_
+
+#include <cstdint>
+
+namespace dtrace {
+
+// Error propagation for the storage substrate (DESIGN-storage.md, "Fault
+// model and integrity"). The library does not use exceptions, and the hot
+// read paths must not abort on data faults — a disk read error or a corrupt
+// page is an *input* condition, not a programmer error — so fallible
+// operations return a Status and callers either recover (the buffer pool's
+// bounded retry) or surface it (TopKResult::status). Programmer-error
+// preconditions keep DT_CHECK.
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  /// The device failed the operation (transient or permanent I/O error).
+  kIoError = 1,
+  /// The bytes came back but are not what was written (checksum mismatch,
+  /// torn page, malformed encoded blob).
+  kCorruption = 2,
+};
+
+/// Allocation-free status: a code plus a static message. Messages must be
+/// string literals (or otherwise immortal) — Status stores the pointer.
+class Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return {}; }
+  static Status IoError(const char* message) {
+    return Status(StatusCode::kIoError, message);
+  }
+  static Status Corruption(const char* message) {
+    return Status(StatusCode::kCorruption, message);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const char* message() const { return message_; }
+
+  /// Keeps the first error: a no-op unless this is ok and `s` is not. The
+  /// sticky-latch idiom cursors use to carry an error across span-returning
+  /// calls whose signatures cannot.
+  void Update(const Status& s) {
+    if (ok() && !s.ok()) *this = s;
+  }
+
+ private:
+  Status(StatusCode code, const char* message)
+      : code_(code), message_(message) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  const char* message_ = "";
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_UTIL_STATUS_H_

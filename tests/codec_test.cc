@@ -183,32 +183,87 @@ TEST(IdListCodecTest, PackedIntersectSeeksAcrossBlockBoundaries) {
   EXPECT_EQ(IntersectPackedSorted(view, std::vector<uint32_t>{5}), 0u);
 }
 
-TEST(IdListCodecDeathTest, CorruptBitWidthAborts) {
+TEST(IdListCodecRecoverableTest, CorruptBitWidthReturnsZero) {
   std::mt19937 rng(5);
   const auto ids = SortedUniqueIds(rng, 200, 30);  // >= kIdBlock: full layout
   std::vector<uint8_t> enc;
   EncodeIdList(ids, &enc);
   // Skip entry 0 starts after the tag and the 8-byte header; its mode|width
   // byte is the last of the 9. Widths above 32 are impossible for u32
-  // deltas.
+  // deltas — decode must reject the blob without dying (corrupt storage is
+  // an environmental fault, not a programmer error).
   enc[1 + kIdHeaderBytes + kIdSkipBytes - 1] = 60;
   std::vector<uint32_t> dec;
-  EXPECT_DEATH(DecodeIdList(enc.data(), enc.size(), &dec),
-               "corrupt id-list bit width");
+  EXPECT_EQ(DecodeIdList(enc.data(), enc.size(), &dec), 0u);
+  EXPECT_TRUE(dec.empty());
 }
 
-TEST(IdListCodecDeathTest, CorruptSmallWidthAborts) {
+TEST(IdListCodecRecoverableTest, CorruptSmallWidthReturnsZero) {
   std::mt19937 rng(5);
   const auto ids = SortedUniqueIds(rng, 50, 30);  // < kIdBlock: small layout
   std::vector<uint8_t> enc;
   EncodeIdList(ids, &enc);
   // The small layout derives its blob length from n and the width byte
-  // (tag, u32 base, then mode|width), so an inflated width walks the
-  // derived length straight past `avail`.
+  // (tag, u32 base, then mode|width), so an inflated width would walk the
+  // derived length straight past `avail`; decode must refuse cleanly.
   enc[1 + 4] = 60;
   std::vector<uint32_t> dec;
-  EXPECT_DEATH(DecodeIdList(enc.data(), enc.size(), &dec),
-               "id-list length header out of bounds");
+  EXPECT_EQ(DecodeIdList(enc.data(), enc.size(), &dec), 0u);
+  EXPECT_TRUE(dec.empty());
+}
+
+TEST(IdListCodecRecoverableTest, TruncatedFullLayoutReturnsZero) {
+  std::mt19937 rng(7);
+  const auto ids = SortedUniqueIds(rng, 200, 30);
+  std::vector<uint8_t> enc;
+  EncodeIdList(ids, &enc);
+  // Every strict prefix is malformed: either the header is cut short or
+  // the derived payload length runs past the available bytes.
+  for (size_t len : {size_t{0}, size_t{1}, size_t{1 + kIdHeaderBytes},
+                     enc.size() / 2, enc.size() - 1}) {
+    std::vector<uint32_t> dec = {99};
+    EXPECT_EQ(DecodeIdList(enc.data(), len, &dec), 0u) << "len " << len;
+    EXPECT_TRUE(dec.empty()) << "len " << len;
+  }
+}
+
+TEST(IdListCodecRecoverableTest, CorruptViewIsInvalidAndEmpty) {
+  std::mt19937 rng(9);
+  const auto ids = SortedUniqueIds(rng, 200, 30);
+  std::vector<uint8_t> enc;
+  EncodeIdList(ids, &enc);
+  // An over-wide skip entry is caught per block: the view stays valid (the
+  // ctor only validates the header and lengths), DecodeBlock refuses the
+  // damaged block with 0, and intersection sees only the intact blocks —
+  // never a crash or an out-of-bounds read. The slow path (DecodeIdList)
+  // rejects the whole blob.
+  enc[1 + kIdHeaderBytes + kIdSkipBytes - 1] = 60;
+  const PackedIdListView view(enc.data(), enc.size());
+  ASSERT_TRUE(view.valid());
+  std::vector<uint32_t> buf(kIdBlock);
+  EXPECT_EQ(view.DecodeBlock(0, buf.data()), 0u);
+  EXPECT_EQ(IntersectPackedSorted(view, ids),
+            static_cast<uint32_t>(ids.size()) - kIdBlock);
+  std::vector<uint32_t> dec;
+  EXPECT_EQ(DecodeIdList(enc.data(), enc.size(), &dec), 0u);
+  EXPECT_TRUE(dec.empty());
+  // Truncated buffers yield an invalid view up front, not a crash.
+  const PackedIdListView truncated(enc.data(), enc.size() / 2);
+  EXPECT_FALSE(truncated.valid());
+  EXPECT_EQ(truncated.num_blocks(), 0u);
+}
+
+TEST(U64CodecRecoverableTest, CorruptAndTruncatedReturnZero) {
+  std::vector<uint64_t> vals = {3, 17, 900, 1u << 20, uint64_t{1} << 40};
+  std::vector<uint8_t> enc;
+  EncodeU64Array(vals, &enc);
+  std::vector<uint64_t> dec = {42};
+  // Truncations cut the payload (or the count header itself) short.
+  for (size_t len : {size_t{0}, size_t{1}, enc.size() / 2, enc.size() - 1}) {
+    dec.assign(1, 42);
+    EXPECT_EQ(DecodeU64Array(enc.data(), len, &dec), 0u) << "len " << len;
+    EXPECT_TRUE(dec.empty()) << "len " << len;
+  }
 }
 
 TEST(IdListCodecTest, SmallLayoutSizes) {
