@@ -5,6 +5,7 @@
 //   bench_scalability                 — the in-memory |E| sweep (default)
 //   bench_scalability --disk [|E|] [--workers N] [--prefetch D] [--shards S]
 //                     [--route] [--compress] [--no-checksums] [--queries Q]
+//                     [--writer-threads W]
 //       — the disk-resident preset: traces an order of magnitude past the
 //       laptop presets, served from the paged storage substrate through
 //       PagedTraceSource (sharded buffer pool, 25% of the data in memory),
@@ -26,7 +27,13 @@
 //       "checksums" row field records which leg a row is. --queries Q sets
 //       the batch size (default 8) — the tight same-run gates (checksums,
 //       compression) use a larger batch so wall-clock qps is stable enough
-//       for a 5% floor.
+//       for a 5% floor. --writer-threads W > 0 is the MIXED leg: W churn
+//       threads remove/re-insert entities (through the epoch-versioned
+//       commit path, with paged tree snapshots enabled so every commit
+//       really packs and publishes) while the timed QueryMany runs — the
+//       reads-during-writes configuration. Emits snapshot_publishes,
+//       reader_blocked_ns, writer_blocked_ns and writer_ops counters
+//       (informational in check_regression.py).
 //       Registered with CTest so the concurrent storage-backed path is
 //       exercised at scale on every run (plus Release-only 100K x 4-shard
 //       and routed 20K presets). Emits a "counters" section
@@ -41,8 +48,10 @@
 //       bit-identity against the in-memory tree before timing. The small
 //       20K leg runs under CTest; CI's perf-smoke job runs the 1M-entity
 //       preset and gates it against bench/baselines/.
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "core/sharded_index.h"
@@ -85,7 +94,7 @@ void Run(BenchJson& json) {
 
 void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
              bool route, bool compress, bool verify_checksums,
-             size_t num_queries, BenchJson& json) {
+             size_t num_queries, int writer_threads, BenchJson& json) {
   PrintHeader("Scalability (disk-resident)",
               "storage-backed queries past the laptop presets");
   Dataset d = MakeDiskResidentDataset(entities);
@@ -122,17 +131,63 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
   qopts.trace_source = &src;
   qopts.prefetch_depth = prefetch;
   qopts.cross_shard_routing = route;
+
+  // Mixed leg: churn threads remove/re-insert through the epoch-versioned
+  // commit path while the timed batch runs. Paged tree snapshots are
+  // enabled so every commit genuinely packs and publishes (in-memory
+  // backing — the leg measures coordination, not tree-page I/O). Each
+  // churner owns the entity ids congruent to its thread index, so
+  // remove/insert pairs never collide across threads and the final
+  // membership equals the initial one.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> writer_ops{0};
+  std::vector<std::thread> churners;
+  if (writer_threads > 0) {
+    if (shards > 1) {
+      sharded->EnablePagedTrees();
+    } else {
+      index->EnablePagedTree();
+    }
+    churners.reserve(static_cast<size_t>(writer_threads));
+    for (int t = 0; t < writer_threads; ++t) {
+      churners.emplace_back([&, t] {
+        const uint32_t n = entities;
+        uint64_t ops = 0;
+        uint32_t e = static_cast<uint32_t>(t);
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (shards > 1) {
+            sharded->RemoveEntity(e);
+            sharded->InsertEntity(e);
+          } else {
+            index->RemoveEntity(e);
+            index->InsertEntity(e);
+          }
+          ++ops;
+          e += static_cast<uint32_t>(writer_threads);
+          if (e >= n) e = static_cast<uint32_t>(t);
+        }
+        writer_ops.fetch_add(ops, std::memory_order_relaxed);
+      });
+    }
+  }
+
   Timer timer;
   const std::vector<TopKResult> results =
       shards > 1 ? sharded->QueryMany(queries, 10, measure, qopts, workers)
                  : index->QueryMany(queries, 10, measure, qopts, workers);
   const double wall = timer.ElapsedSeconds();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : churners) th.join();
+  const DigitalTraceIndex::ConcurrencyStats cstats =
+      shards > 1 ? sharded->concurrency_stats() : index->concurrency_stats();
   const auto pe = AggregatePe(results, indexed_entities, 10);
   const auto pool = src.pool_stats();
 
   std::printf(
       "|E|=%u pages=%zu pool_fraction=%.2f pool_shards=%zu index_shards=%d "
       "workers=%d prefetch=%d route=%d compress=%d (%.0f%% of raw) "
+      "writer_threads=%d writer_ops=%llu snapshot_publishes=%llu "
+      "reader_blocked_ms=%.2f writer_blocked_ms=%.2f "
       "index_s=%.2f\n"
       "queries=%zu PE=%.4f checked/query=%.1f pages/query=%.1f "
       "hit_rate=%.3f lock_wait=%.4fs prefetch_hits/query=%.1f "
@@ -143,6 +198,10 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
       compress ? 1 : 0,
       100.0 * static_cast<double>(src.data_bytes()) /
           static_cast<double>(src.raw_bytes()),
+      writer_threads,
+      static_cast<unsigned long long>(writer_ops.load()),
+      static_cast<unsigned long long>(cstats.snapshot_publishes),
+      cstats.reader_blocked_ns / 1e6, cstats.writer_blocked_ns / 1e6,
       index_seconds, queries.size(), pe.mean_pe,
       pe.mean_entities_checked, pe.mean_pages_read, pool.hit_rate(),
       pool.lock_wait_seconds, pe.mean_prefetch_hits, pe.mean_shards_pruned,
@@ -159,6 +218,9 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
       .Int("routing", route ? 1 : 0)
       .Int("compressed", compress ? 1 : 0)
       .Int("checksums", verify_checksums ? 1 : 0)
+      // Informational like "shards": mixed-leg rows gate against the same
+      // read-only baselines, with a looser floor in CI.
+      .Int("writer_threads", static_cast<uint64_t>(writer_threads))
       .Num("pe", pe.mean_pe)
       .Num("queries_per_sec", queries.size() / wall)
       .Num("mean_entities_checked", pe.mean_entities_checked)
@@ -192,6 +254,16 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
   json.Counter("faults_injected", pe.mean_faults_injected * queries.size());
   json.Counter("pages_quarantined",
                pe.mean_pages_quarantined * queries.size());
+  // Reader/writer coordination counters (zero in read-only legs):
+  // snapshot_publishes = writer-side repacks that published a fresh paged
+  // snapshot; blocked_ns = wall time spent waiting on a shard latch.
+  json.Counter("writer_ops", static_cast<double>(writer_ops.load()));
+  json.Counter("snapshot_publishes",
+               static_cast<double>(cstats.snapshot_publishes));
+  json.Counter("reader_blocked_ns",
+               static_cast<double>(cstats.reader_blocked_ns));
+  json.Counter("writer_blocked_ns",
+               static_cast<double>(cstats.writer_blocked_ns));
 }
 
 // The paged-MinSigTree preset (PR 6): the tree itself lives in SoA pages
@@ -317,6 +389,7 @@ int main(int argc, char** argv) {
     bool compress = false;
     bool verify_checksums = true;
     size_t num_queries = 8;
+    int writer_threads = 0;
     int pos = 2;
     if (pos < argc && argv[pos][0] != '-') {
       entities = static_cast<uint32_t>(std::atoi(argv[pos]));
@@ -339,10 +412,13 @@ int main(int argc, char** argv) {
         shards = std::atoi(argv[++pos]);
       } else if (std::strcmp(argv[pos], "--queries") == 0) {
         num_queries = static_cast<size_t>(std::atoi(argv[++pos]));
+      } else if (std::strcmp(argv[pos], "--writer-threads") == 0) {
+        writer_threads = std::atoi(argv[++pos]);
       }
     }
     dtrace::bench::RunDisk(entities, workers, prefetch, shards, route,
-                           compress, verify_checksums, num_queries, json);
+                           compress, verify_checksums, num_queries,
+                           writer_threads, json);
   } else if (argc > 1 && std::strcmp(argv[1], "--paged-tree") == 0) {
     uint32_t entities = 20000;
     int workers = 0;

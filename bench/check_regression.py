@@ -24,11 +24,13 @@ import json
 import sys
 
 # Fields that carry measurements rather than identity; everything else in a
-# row is treated as a match key. "shards", "routing", "paged_tree" and
-# "compressed" are informational-only by design: sharded/routed/paged-tree/
-# compressed runs must gate directly against the corresponding plain
-# baseline rows (each of those layers is required to be answer-identical,
-# and sharding/routing/compression also at least qps-neutral).
+# row is treated as a match key. "shards", "routing", "paged_tree",
+# "compressed" and "writer_threads" are informational-only by design:
+# sharded/routed/paged-tree/compressed/mixed runs must gate directly against
+# the corresponding plain baseline rows (each of those layers is required to
+# be answer-identical, and sharding/routing/compression also at least
+# qps-neutral; the mixed reads-during-writes leg gates with a looser floor
+# set in CI).
 MEASUREMENT_FIELDS = {
     "queries_per_sec",
     "pe",
@@ -42,6 +44,7 @@ MEASUREMENT_FIELDS = {
     "paged_tree",
     "compressed",
     "checksums",
+    "writer_threads",
 }
 
 # Counters reported as informational deltas next to the qps gate (never
@@ -67,6 +70,13 @@ INFORMATIONAL_COUNTERS = (
     "checksum_failures",
     "faults_injected",
     "pages_quarantined",
+    # Reader/writer coordination (DESIGN-sharding.md "Concurrency model"):
+    # churn volume and snapshot/latch accounting for the mixed leg. Always
+    # informational — the qps gate is the perf contract; these explain it.
+    "writer_ops",
+    "snapshot_publishes",
+    "reader_blocked_ns",
+    "writer_blocked_ns",
 )
 
 

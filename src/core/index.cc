@@ -1,6 +1,7 @@
 #include "core/index.h"
 
 #include <numeric>
+#include <utility>
 
 #include "hash/exact_hasher.h"
 #include "hash/hierarchical_hasher.h"
@@ -19,6 +20,7 @@ DigitalTraceIndex::DigitalTraceIndex(std::shared_ptr<TraceStore> store,
       hasher_(std::move(hasher)),
       sigs_(*store_, *hasher_),
       tree_(std::move(tree)),
+      cc_(std::make_unique<Coordination>()),
       build_seconds_(build_seconds) {}
 
 DigitalTraceIndex DigitalTraceIndex::Build(
@@ -71,44 +73,159 @@ const TraceSource& PickSource(const QueryOptions& options,
 
 }  // namespace
 
+DigitalTraceIndex::ReadPin DigitalTraceIndex::PinForRead() const {
+  {
+    const std::lock_guard<std::mutex> lock(cc_->head_mu);
+    if (cc_->head != nullptr) {
+      // (head, version) are published together under head_mu, so the pair
+      // read here is consistent: the pin's version IS the snapshot's epoch.
+      return ReadPin(cc_->head,
+                     cc_->version.load(std::memory_order_relaxed));
+    }
+  }
+  cc_->latch.LockRead();
+  // Paged mode may have been enabled between the head check and the latch
+  // acquisition. The in-memory tree is authoritative either way, and the
+  // read latch excludes commits, so searching it here stays correct — the
+  // version read below is stable for the pin's whole lifetime.
+  return ReadPin(&tree_, &cc_->latch,
+                 cc_->version.load(std::memory_order_acquire));
+}
+
+void DigitalTraceIndex::AdvanceQuarantineSeedLocked() const {
+  if (cc_->paged_options.shared_disk == nullptr &&
+      cc_->paged_options.disk.faults.has_value()) {
+    // A repack onto a PRIVATE fault disk rebuilds the disk itself, and page
+    // ids restart at zero — with an unchanged seed the schedule would
+    // replay the original damage onto the replacement pages and a
+    // quarantine retry could never succeed. Advancing the seed models what
+    // a repack means physically (fresh sectors on the same faulty device,
+    // like the shared-disk mode's genuinely new page ids) while keeping
+    // every run a pure function of the original seed.
+    cc_->paged_options.disk.faults->seed =
+        cc_->paged_options.disk.faults->seed * 0x9e3779b97f4a7c15ull + 1;
+  }
+}
+
+void DigitalTraceIndex::PublishFreshSnapshot() const {
+  const std::lock_guard<std::mutex> pack(cc_->pack_mu);
+  if (!cc_->paged_enabled.load(std::memory_order_relaxed)) return;
+  // Freeze the tree (shared — paged-mode readers take no latch, so this
+  // blocks only other commits) and pack the lagging revisions in.
+  RWLatch::ReadGuard tree_guard(cc_->latch);
+  const uint64_t revision = cc_->revision.load(std::memory_order_acquire);
+  if (revision == cc_->packed_revision) return;  // a racing commit packed us
+  AdvanceQuarantineSeedLocked();
+  auto snapshot = std::make_shared<const PagedMinSigTree>(
+      PagedMinSigTree::Pack(tree_, cc_->paged_options));
+  {
+    const std::lock_guard<std::mutex> lock(cc_->head_mu);
+    cc_->head = std::move(snapshot);
+    cc_->version.store(revision, std::memory_order_relaxed);
+  }
+  cc_->packed_revision = revision;
+  cc_->snapshot_publishes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DigitalTraceIndex::RepairSnapshot(const PagedMinSigTree* damaged) const {
+  const std::lock_guard<std::mutex> pack(cc_->pack_mu);
+  if (!cc_->paged_enabled.load(std::memory_order_relaxed)) return;
+  {
+    const std::lock_guard<std::mutex> lock(cc_->head_mu);
+    // A concurrent publish (maintenance commit, or another reader's repair)
+    // already retired the damaged snapshot — its replacement is fresh.
+    if (cc_->head.get() != damaged) return;
+  }
+  RWLatch::ReadGuard tree_guard(cc_->latch);
+  const uint64_t revision = cc_->revision.load(std::memory_order_acquire);
+  AdvanceQuarantineSeedLocked();
+  auto snapshot = std::make_shared<const PagedMinSigTree>(
+      PagedMinSigTree::Pack(tree_, cc_->paged_options));
+  {
+    const std::lock_guard<std::mutex> lock(cc_->head_mu);
+    cc_->head = std::move(snapshot);
+    cc_->version.store(revision, std::memory_order_relaxed);
+  }
+  cc_->packed_revision = revision;
+  cc_->snapshot_publishes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DigitalTraceIndex::CommitMutation(const std::function<void()>& mutate) {
+  {
+    RWLatch::WriteGuard write(cc_->latch);
+    mutate();
+    const uint64_t revision =
+        cc_->revision.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (!cc_->paged_enabled.load(std::memory_order_relaxed)) {
+      // In-memory mode commits at latch release: bump the visible version
+      // while still exclusive, so the first reader in sees it.
+      const std::lock_guard<std::mutex> lock(cc_->head_mu);
+      cc_->version.store(revision, std::memory_order_relaxed);
+    }
+  }
+  // Paged mode commits at publication: readers keep draining on the old
+  // snapshot while this packs, and the head swap is atomic under head_mu.
+  if (cc_->paged_enabled.load(std::memory_order_acquire)) {
+    PublishFreshSnapshot();
+  }
+}
+
 void DigitalTraceIndex::EnablePagedTree(const PagedTreeOptions& options) {
   DT_CHECK_MSG(!options_.store_full_signatures,
                "paged tree does not support full-signature mode");
-  paged_options_ = options;
-  paged_ = std::make_unique<PagedMinSigTree>(
-      PagedMinSigTree::Pack(tree_, paged_options_));
-  paged_dirty_ = false;
+  const std::lock_guard<std::mutex> pack(cc_->pack_mu);
+  RWLatch::ReadGuard tree_guard(cc_->latch);
+  const uint64_t revision = cc_->revision.load(std::memory_order_acquire);
+  cc_->paged_options = options;
+  auto snapshot = std::make_shared<const PagedMinSigTree>(
+      PagedMinSigTree::Pack(tree_, cc_->paged_options));
+  {
+    const std::lock_guard<std::mutex> lock(cc_->head_mu);
+    cc_->head = std::move(snapshot);
+    cc_->version.store(revision, std::memory_order_relaxed);
+  }
+  cc_->packed_revision = revision;
+  cc_->paged_enabled.store(true, std::memory_order_release);
 }
 
 void DigitalTraceIndex::DisablePagedTree() {
-  paged_.reset();
-  paged_dirty_ = false;
+  const std::lock_guard<std::mutex> pack(cc_->pack_mu);
+  cc_->paged_enabled.store(false, std::memory_order_release);
+  const std::lock_guard<std::mutex> lock(cc_->head_mu);
+  // Readers still holding pins keep the snapshot alive until they drain.
+  cc_->head.reset();
+  cc_->version.store(cc_->revision.load(std::memory_order_acquire),
+                     std::memory_order_relaxed);
 }
 
 const PagedMinSigTree& DigitalTraceIndex::paged_tree() const {
-  DT_CHECK(paged_ != nullptr);
-  return static_cast<const PagedMinSigTree&>(QueryTree());
+  const std::lock_guard<std::mutex> lock(cc_->head_mu);
+  DT_CHECK(cc_->head != nullptr);
+  return *cc_->head;
 }
 
 const TreeSource& DigitalTraceIndex::QueryTree() const {
-  if (paged_ == nullptr) return tree_;
-  if (paged_dirty_) {
-    if (paged_options_.shared_disk == nullptr &&
-        paged_options_.disk.faults.has_value()) {
-      // A repack onto a PRIVATE fault disk rebuilds the disk itself, and
-      // page ids restart at zero — with an unchanged seed the schedule
-      // would replay the original damage onto the replacement pages and a
-      // quarantine retry could never succeed. Advancing the seed models
-      // what a repack means physically (fresh sectors on the same faulty
-      // device, like the shared-disk mode's genuinely new page ids) while
-      // keeping every run a pure function of the original seed.
-      paged_options_.disk.faults->seed =
-          paged_options_.disk.faults->seed * 0x9e3779b97f4a7c15ull + 1;
-    }
-    *paged_ = PagedMinSigTree::Pack(tree_, paged_options_);
-    paged_dirty_ = false;
-  }
-  return *paged_;
+  const std::lock_guard<std::mutex> lock(cc_->head_mu);
+  if (cc_->head != nullptr) return *cc_->head;
+  return tree_;
+}
+
+std::vector<uint64_t> DigitalTraceIndex::CoarseSignature(Level level) const {
+  const RWLatch::ReadGuard guard(cc_->latch);
+  std::vector<uint64_t> sig(
+      static_cast<size_t>(hasher_->num_functions()));
+  tree_.CoarseSignature(sigs_, level, sig);
+  return sig;
+}
+
+DigitalTraceIndex::ConcurrencyStats DigitalTraceIndex::concurrency_stats()
+    const {
+  ConcurrencyStats stats;
+  stats.snapshot_publishes =
+      cc_->snapshot_publishes.load(std::memory_order_relaxed);
+  stats.reader_blocked_ns = cc_->latch.reader_blocked_ns();
+  stats.writer_blocked_ns = cc_->latch.writer_blocked_ns();
+  return stats;
 }
 
 TopKResult DigitalTraceIndex::Query(EntityId q, int k,
@@ -116,25 +233,26 @@ TopKResult DigitalTraceIndex::Query(EntityId q, int k,
                                     const QueryOptions& options) const {
   uint64_t quarantined = 0;
   {
-    TopKQueryProcessor proc(QueryTree(), PickSource(options, *store_),
+    const ReadPin pin = PinForRead();
+    TopKQueryProcessor proc(pin.tree(), PickSource(options, *store_),
                             *hasher_, measure);
     TopKResult result = proc.Query(q, k, options);
-    if (result.status.ok() || paged_ == nullptr) return result;
+    if (result.status.ok() || pin.snapshot() == nullptr) return result;
     // Graceful degradation (DESIGN-storage.md "Fault model and integrity"):
     // if the failure involved unrecoverable PAGED-TREE pages, the snapshot
     // itself is damaged — but the in-memory tree is authoritative, so the
     // damaged pages can be quarantined by repacking the snapshot onto fresh
     // pages and retrying once. Trace-side errors (nothing observed on the
     // tree) have no authoritative copy to repair from and return as-is.
-    quarantined = paged_->TakeCorruptObserved();
+    quarantined = pin.snapshot()->TakeCorruptObserved();
     if (quarantined == 0) return result;
-    paged_dirty_ = true;
-  }
-  // QueryTree() repacks the dirtied snapshot before the retry searches it.
+    RepairSnapshot(pin.snapshot());
+  }  // drop the damaged pin so the retry re-pins the repaired snapshot
   // The retry is single-shot: if the fault schedule damages the fresh pages
   // too (e.g. a sticky-read page among the new allocations), the clean
   // error surfaces to the caller.
-  TopKQueryProcessor proc(QueryTree(), PickSource(options, *store_), *hasher_,
+  const ReadPin pin = PinForRead();
+  TopKQueryProcessor proc(pin.tree(), PickSource(options, *store_), *hasher_,
                           measure);
   TopKResult retry = proc.Query(q, k, options);
   retry.stats.pages_quarantined += quarantined;
@@ -144,7 +262,8 @@ TopKResult DigitalTraceIndex::Query(EntityId q, int k,
 TopKResult DigitalTraceIndex::BruteForce(EntityId q, int k,
                                          const AssociationMeasure& measure,
                                          const QueryOptions& options) const {
-  TopKQueryProcessor proc(QueryTree(), PickSource(options, *store_), *hasher_,
+  const ReadPin pin = PinForRead();
+  TopKQueryProcessor proc(pin.tree(), PickSource(options, *store_), *hasher_,
                           measure);
   return proc.BruteForce(q, k, options);
 }
@@ -153,40 +272,40 @@ std::vector<TopKResult> DigitalTraceIndex::QueryMany(
     std::span<const EntityId> queries, int k,
     const AssociationMeasure& measure, const QueryOptions& options,
     int num_threads) const {
-  TopKQueryProcessor proc(QueryTree(), PickSource(options, *store_), *hasher_,
-                          measure);
+  const TraceSource& source = PickSource(options, *store_);
   std::vector<TopKResult> results(queries.size());
   // Queries are independent; each worker fills disjoint position-indexed
   // slots, so the output order (and every result) matches the serial run.
+  // Each query pins its own view: without concurrent writers every pin is
+  // the same state (serial bit-identity holds); with them, commits land
+  // between individual queries, never inside one — and in in-memory mode
+  // per-query pins keep writers from starving behind a long batch.
   ParallelForEach(num_threads, queries.size(), [&](size_t i) {
+    const ReadPin pin = PinForRead();
+    TopKQueryProcessor proc(pin.tree(), source, *hasher_, measure);
     results[i] = proc.Query(queries[i], k, options);
   });
   return results;
 }
 
 void DigitalTraceIndex::InsertEntity(EntityId e) {
-  tree_.Insert(e, sigs_);
-  paged_dirty_ = paged_ != nullptr;
+  CommitMutation([&] { tree_.Insert(e, sigs_); });
 }
 
 void DigitalTraceIndex::InsertEntities(std::span<const EntityId> entities) {
-  tree_.InsertBatch(entities, sigs_);
-  paged_dirty_ = paged_ != nullptr;
+  CommitMutation([&] { tree_.InsertBatch(entities, sigs_); });
 }
 
 void DigitalTraceIndex::UpdateEntity(EntityId e) {
-  tree_.Update(e, sigs_);
-  paged_dirty_ = paged_ != nullptr;
+  CommitMutation([&] { tree_.Update(e, sigs_); });
 }
 
 void DigitalTraceIndex::RemoveEntity(EntityId e) {
-  tree_.Remove(e);
-  paged_dirty_ = paged_ != nullptr;
+  CommitMutation([&] { tree_.Remove(e); });
 }
 
 void DigitalTraceIndex::Refresh() {
-  tree_.RefreshValues(sigs_);
-  paged_dirty_ = paged_ != nullptr;
+  CommitMutation([&] { tree_.RefreshValues(sigs_); });
 }
 
 }  // namespace dtrace

@@ -1,7 +1,11 @@
 #ifndef DTRACE_CORE_INDEX_H_
 #define DTRACE_CORE_INDEX_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -14,6 +18,7 @@
 #include "hash/cell_hasher.h"
 #include "trace/trace_store.h"
 #include "trace/types.h"
+#include "util/rwlatch.h"
 
 namespace dtrace {
 
@@ -47,6 +52,27 @@ struct IndexOptions {
 ///
 /// Queries are exact for any AssociationMeasure satisfying the Sec. 3.2
 /// axioms. Incremental maintenance mirrors Sec. 4.2.3.
+///
+/// Concurrency model (DESIGN-sharding.md "Concurrency model"): queries may
+/// run concurrently with each other AND with maintenance from one writer at
+/// a time. Every read pins an immutable view via PinForRead():
+///
+///  - Paged mode: the pin is a shared_ptr to the published snapshot — no
+///    latch, so readers never block, not even on an in-flight repack. A
+///    maintenance op mutates the in-memory tree under the write latch, then
+///    packs a fresh snapshot and publishes it atomically; the commit point
+///    is publication, and the retiring snapshot is freed when its last
+///    reader drains (shared_ptr refcount).
+///  - In-memory mode: the pin holds the index's read latch for the query's
+///    lifetime; the commit point is the writer's latch release.
+///
+/// Each committed mutation bumps version() by one; a pin carries the
+/// version of the state it observes, so a caller that brackets a query with
+/// version() reads knows exactly which committed prefixes the result may
+/// reflect — the protocol the concurrent differential harness checks.
+/// Multiple concurrent *writers* serialize on the write latch (each op is
+/// atomic), but TraceStore::ReplaceEntity mutates shared trace state with
+/// no snapshotting, so trace replacement still requires quiescing readers.
 class DigitalTraceIndex {
  public:
   /// Builds the index over every entity in the store, or over `entities`
@@ -70,7 +96,9 @@ class DigitalTraceIndex {
   /// bit-identical to the serial Query(queries[i], ...) result for any
   /// thread count; only QueryStats timing/page counters may vary. Workers
   /// share `options` (including any trace_source, whose buffer pool is
-  /// internally synchronized).
+  /// internally synchronized). Each query pins its own read view, so a
+  /// concurrent writer's commits may land between (not inside) the batch's
+  /// individual queries.
   std::vector<TopKResult> QueryMany(std::span<const EntityId> queries, int k,
                                     const AssociationMeasure& measure,
                                     const QueryOptions& options = {},
@@ -82,7 +110,8 @@ class DigitalTraceIndex {
   /// Indexes a batch of entities: per-entity signatures are computed on
   /// `options().num_threads` workers, then applied to the tree in input
   /// order — the resulting tree is identical to sequential InsertEntity
-  /// calls in the same order.
+  /// calls in the same order. The batch is ONE commit: concurrent readers
+  /// see either none of it or all of it.
   void InsertEntities(std::span<const EntityId> entities);
 
   /// Re-indexes an entity after TraceStore::ReplaceEntity changed its trace.
@@ -99,24 +128,122 @@ class DigitalTraceIndex {
 
   /// Switches queries onto a paged snapshot of the tree (SoA node pages
   /// behind a TreePageSource — core/paged_min_sig_tree.h): the snapshot is
-  /// packed immediately and every subsequent Query/BruteForce/QueryMany
-  /// searches it instead of the heap tree. Results are bit-identical; only
-  /// QueryStats gains tree-page I/O (and zone maps may *shrink* traversal
-  /// counters). The in-memory tree stays authoritative: maintenance
-  /// (Insert/Update/Remove/Refresh) mutates it and marks the snapshot
-  /// dirty, and the next query repacks it — so after maintenance the paged
-  /// search again matches the heap search exactly. Not supported in
-  /// store_full_signatures mode (the packed slot layout is routing-only).
+  /// packed and published immediately and every subsequent
+  /// Query/BruteForce/QueryMany pins it instead of latching the heap tree.
+  /// Results are bit-identical; only QueryStats gains tree-page I/O (and
+  /// zone maps may *shrink* traversal counters). The in-memory tree stays
+  /// authoritative: each maintenance commit packs a fresh snapshot from it
+  /// and publishes atomically — readers drain on the old one, never waiting
+  /// on the repack. Not supported in store_full_signatures mode (the packed
+  /// slot layout is routing-only).
   void EnablePagedTree(const PagedTreeOptions& options = {});
-  /// Back to the in-memory tree; drops the snapshot.
+  /// Back to the in-memory tree; drops the published snapshot (readers
+  /// still pinning it keep it alive until they drain).
   void DisablePagedTree();
-  bool paged_tree_enabled() const { return paged_ != nullptr; }
-  /// The current snapshot (repacked first if maintenance dirtied it).
-  /// Requires paged_tree_enabled().
+  bool paged_tree_enabled() const {
+    return cc_->paged_enabled.load(std::memory_order_acquire);
+  }
+  /// The current published snapshot. Requires paged_tree_enabled(). The
+  /// returned reference is valid until the next maintenance commit retires
+  /// it — callers must not hold it across concurrent maintenance (use
+  /// PinForRead() for that).
   const PagedMinSigTree& paged_tree() const;
-  /// The tree queries run against: the paged snapshot when enabled
-  /// (repacked if dirty), else the in-memory tree.
+  /// The tree queries run against right now: the published snapshot when
+  /// paged mode is enabled, else the in-memory tree. Same lifetime caveat
+  /// as paged_tree(); concurrent readers use PinForRead().
   const TreeSource& QueryTree() const;
+
+  /// A pinned, immutable view of the index for one read. In paged mode it
+  /// holds a shared_ptr pin on the published snapshot (no latch — readers
+  /// never block writers or vice versa); in in-memory mode it holds the
+  /// index's read latch for its lifetime. version() is the number of
+  /// commits the pinned state reflects. Movable, not copyable.
+  class ReadPin {
+   public:
+    ReadPin(ReadPin&& other) noexcept
+        : snapshot_(std::move(other.snapshot_)),
+          tree_(other.tree_),
+          latch_(other.latch_),
+          version_(other.version_) {
+      other.latch_ = nullptr;
+      other.tree_ = nullptr;
+    }
+    ReadPin& operator=(ReadPin&& other) noexcept {
+      if (this != &other) {
+        Release();
+        snapshot_ = std::move(other.snapshot_);
+        tree_ = other.tree_;
+        latch_ = other.latch_;
+        version_ = other.version_;
+        other.latch_ = nullptr;
+        other.tree_ = nullptr;
+      }
+      return *this;
+    }
+    ~ReadPin() { Release(); }
+    ReadPin(const ReadPin&) = delete;
+    ReadPin& operator=(const ReadPin&) = delete;
+
+    const TreeSource& tree() const { return *tree_; }
+    /// The pinned paged snapshot, or null when the pin is on the in-memory
+    /// tree (read latch held instead).
+    const PagedMinSigTree* snapshot() const { return snapshot_.get(); }
+    /// Committed mutations reflected by the pinned state.
+    uint64_t version() const { return version_; }
+
+   private:
+    friend class DigitalTraceIndex;
+    ReadPin(std::shared_ptr<const PagedMinSigTree> snapshot, uint64_t version)
+        : snapshot_(std::move(snapshot)),
+          tree_(snapshot_.get()),
+          version_(version) {}
+    ReadPin(const TreeSource* tree, RWLatch* latch, uint64_t version)
+        : tree_(tree), latch_(latch), version_(version) {}
+    void Release() {
+      if (latch_ != nullptr) {
+        latch_->UnlockRead();
+        latch_ = nullptr;
+      }
+      snapshot_.reset();
+    }
+
+    std::shared_ptr<const PagedMinSigTree> snapshot_;
+    const TreeSource* tree_ = nullptr;
+    RWLatch* latch_ = nullptr;  // read-held iff non-null
+    uint64_t version_ = 0;
+  };
+
+  /// Pins the current committed state for reading. Query/BruteForce/
+  /// QueryMany pin internally; ShardedIndex pins explicitly to keep a whole
+  /// forest walk on stable per-shard views.
+  ReadPin PinForRead() const;
+
+  /// Monotone count of committed mutations visible to new pins. Bracketing
+  /// a query with version() reads bounds the commit prefix its pin
+  /// observed: pin.version() lies in [before, after].
+  uint64_t version() const {
+    return cc_->version.load(std::memory_order_acquire);
+  }
+
+  /// Reader/writer coordination counters (see bench_scalability
+  /// --writer-threads).
+  struct ConcurrencyStats {
+    /// Snapshots published by writer-side repacks and quarantine repairs
+    /// (the initial EnablePagedTree pack is not counted).
+    uint64_t snapshot_publishes = 0;
+    /// Wall nanoseconds readers spent blocked on the latch (in-memory mode
+    /// only; paged-mode readers never block).
+    uint64_t reader_blocked_ns = 0;
+    /// Wall nanoseconds writers spent blocked on the latch.
+    uint64_t writer_blocked_ns = 0;
+  };
+  ConcurrencyStats concurrency_stats() const;
+
+  /// The tree's population-wide level-`level` min-signature (nh values),
+  /// read under the read latch — safe against concurrent maintenance,
+  /// unlike calling tree().CoarseSignature() directly. The router's
+  /// Refresh path (ShardedIndex::RefreshRouterShard) goes through this.
+  std::vector<uint64_t> CoarseSignature(Level level) const;
 
   const MinSigTree& tree() const { return tree_; }
   const CellHasher& hasher() const { return *hasher_; }
@@ -136,20 +263,64 @@ class DigitalTraceIndex {
                     std::unique_ptr<CellHasher> hasher, MinSigTree tree,
                     double build_seconds);
 
+  /// All reader/writer coordination state, heap-held so the index itself
+  /// stays movable (Build returns by value). Moving an index with
+  /// operations in flight is undefined, as for any standard container.
+  ///
+  /// Lock order: pack_mu -> latch(read) -> head_mu. Readers take only
+  /// head_mu (paged) or the latch (in-memory); writers take the latch alone
+  /// for the mutation, then pack_mu -> latch(read) -> head_mu to publish.
+  /// No path acquires them in any other order, so the hierarchy is
+  /// deadlock-free; buffer-pool shard mutexes sit strictly below all of
+  /// these (pins happen inside a search, which never takes index locks).
+  struct Coordination {
+    /// Guards the in-memory tree: write-held across every mutation,
+    /// read-held by in-memory-mode pins and by snapshot packers.
+    RWLatch latch;
+    /// Serializes snapshot packers (writer-side repack, quarantine repair,
+    /// Enable/DisablePagedTree) and guards paged_options/packed_revision.
+    std::mutex pack_mu;
+    /// Guards (head, version) as one consistent pair. Critical sections are
+    /// pointer copies only — this is the "atomic publication" the readers
+    /// see; it is never held across a pack.
+    mutable std::mutex head_mu;
+    /// Published paged snapshot; null = in-memory mode. Readers pin by
+    /// copying the shared_ptr; retirement is the refcount draining.
+    std::shared_ptr<const PagedMinSigTree> head;
+    /// Count of committed tree mutations (bumped under the write latch).
+    std::atomic<uint64_t> revision{0};
+    /// Commits visible to new pins: == revision of the published snapshot
+    /// in paged mode, == revision in in-memory mode. Written under head_mu.
+    std::atomic<uint64_t> version{0};
+    /// Revision the current head was packed from (under pack_mu).
+    uint64_t packed_revision = 0;
+    std::atomic<uint64_t> snapshot_publishes{0};
+    std::atomic<bool> paged_enabled{false};
+    /// Pack configuration (under pack_mu: the quarantine-repack fault-seed
+    /// advance mutates it, writer-owned — never from a bare const path).
+    PagedTreeOptions paged_options;
+  };
+
+  /// Runs `mutate` on the tree under the write latch as one commit, then
+  /// (paged mode) packs and publishes a fresh snapshot.
+  void CommitMutation(const std::function<void()>& mutate);
+  /// Packs head from the tree if its revision lags, and publishes. Holds
+  /// pack_mu across the pack — writers serialize here — and the read latch
+  /// while reading the tree; readers keep pinning the old head throughout.
+  void PublishFreshSnapshot() const;
+  /// Quarantine repair: repacks onto fresh pages after `damaged` observed
+  /// unrecoverable page corruption, unless it was already superseded.
+  void RepairSnapshot(const PagedMinSigTree* damaged) const;
+  /// Advances the private fault disk's seed so a repack lands on a fresh
+  /// fault schedule (under pack_mu).
+  void AdvanceQuarantineSeedLocked() const;
+
   std::shared_ptr<TraceStore> store_;
   IndexOptions options_;
   std::unique_ptr<CellHasher> hasher_;
   SignatureComputer sigs_;
   MinSigTree tree_;
-  // Paged query snapshot (null = disabled). `mutable` implements the
-  // repack-on-dirty convention from const query entry points; queries and
-  // maintenance already require external serialization, so no lock is
-  // needed around the repack.
-  mutable std::unique_ptr<PagedMinSigTree> paged_;
-  mutable bool paged_dirty_ = false;
-  // Mutable only for the fault-seed advance a quarantine repack performs
-  // inside the (const) QueryTree() — see the comment there.
-  mutable PagedTreeOptions paged_options_;
+  std::unique_ptr<Coordination> cc_;
   double build_seconds_;
 };
 

@@ -59,10 +59,17 @@ struct PagedTreeOptions {
 /// The snapshot is read-only by design: maintenance mutates variable-length
 /// node state (child lists grow, leaf lists grow) that fixed pages cannot
 /// absorb in place, so DigitalTraceIndex keeps the in-memory tree
-/// authoritative and repacks the snapshot after maintenance (the
-/// paged-dirty convention in core/index.h). Full-signature trees are
-/// rejected at Pack — the ablation mode stores nh values per node, which
-/// the fixed slot layout deliberately does not carry.
+/// authoritative and repacks a FRESH snapshot on the writer side of each
+/// maintenance commit, publishing it atomically as the new head
+/// (DESIGN-sharding.md "Concurrency model"). Immutability is what makes
+/// that cheap: readers pin a snapshot via shared_ptr
+/// (DigitalTraceIndex::PinForRead) and keep walking it after the head
+/// moves on; a retired snapshot is destroyed when its last pin drops.
+/// Its disk pages are not reclaimed at retirement — on a shared disk they
+/// simply go cold and fall out of the pool (reclaim belongs to a later
+/// compaction pass). Full-signature trees are rejected at Pack — the
+/// ablation mode stores nh values per node, which the fixed slot layout
+/// deliberately does not carry.
 class PagedMinSigTree final : public TreeSource {
  public:
   /// Packs `tree` into `store` (two streaming passes: totals, then pages —

@@ -20,15 +20,35 @@ void CoarseShardRouter::SetShardSignature(int s,
                                           std::span<const uint64_t> sig) {
   DT_CHECK(s >= 0 && s < num_shards_);
   DT_CHECK(static_cast<int>(sig.size()) == nh_);
-  std::copy(sig.begin(), sig.end(),
-            sigs_.begin() + static_cast<size_t>(s) * nh_);
+  uint64_t* dst = sigs_.data() + static_cast<size_t>(s) * nh_;
+  for (int u = 0; u < nh_; ++u) {
+    std::atomic_ref<uint64_t>(dst[u]).store(sig[u],
+                                            std::memory_order_relaxed);
+  }
 }
 
 void CoarseShardRouter::Absorb(int s, std::span<const uint64_t> sig) {
   DT_CHECK(s >= 0 && s < num_shards_);
   DT_CHECK(static_cast<int>(sig.size()) == nh_);
   uint64_t* dst = sigs_.data() + static_cast<size_t>(s) * nh_;
-  for (int u = 0; u < nh_; ++u) dst[u] = std::min(dst[u], sig[u]);
+  for (int u = 0; u < nh_; ++u) {
+    // CAS-min: concurrent absorbs compose (min is commutative/idempotent),
+    // and a slot only ever drops outside Refresh's SetShardSignature.
+    std::atomic_ref<uint64_t> slot(dst[u]);
+    uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (sig[u] < cur &&
+           !slot.compare_exchange_weak(cur, sig[u],
+                                       std::memory_order_relaxed)) {
+    }
+  }
+}
+
+std::vector<uint64_t> CoarseShardRouter::SnapshotSignature(int s) const {
+  DT_CHECK(s >= 0 && s < num_shards_);
+  std::vector<uint64_t> out(static_cast<size_t>(nh_));
+  const size_t base = static_cast<size_t>(s) * nh_;
+  for (int u = 0; u < nh_; ++u) out[u] = LoadSlot(base + u);
+  return out;
 }
 
 void CoarseShardRouter::BuildProbe(TraceCursor& cursor, EntityId q,
@@ -51,7 +71,13 @@ void CoarseShardRouter::BuildProbe(TraceCursor& cursor, EntityId q,
 
 double CoarseShardRouter::ShardBound(int s, const QueryProbe& probe,
                                      const AssociationMeasure& measure) const {
-  const std::span<const uint64_t> sig = shard_signature(s);
+  return ShardBound(SnapshotSignature(s), probe, measure);
+}
+
+double CoarseShardRouter::ShardBound(std::span<const uint64_t> sig,
+                                     const QueryProbe& probe,
+                                     const AssociationMeasure& measure) const {
+  DT_CHECK(static_cast<int>(sig.size()) == nh_);
   const int m = static_cast<int>(probe.q_sizes.size());
   // remaining[l-1] = query cells at level l that survive the shard's coarse
   // signature — the per-level cap on any member's intersection with the

@@ -1,6 +1,7 @@
 #ifndef DTRACE_CORE_SHARD_ROUTER_H_
 #define DTRACE_CORE_SHARD_ROUTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -36,18 +37,37 @@ namespace dtrace {
 /// drop — still admissible); removals leave values stale low (loose but
 /// admissible); Refresh recomputes tight signatures via
 /// MinSigTree::CoarseSignature.
+///
+/// Concurrency (DESIGN-sharding.md "Concurrency model"): router updates
+/// publish asynchronously with respect to tree commits — every slot is
+/// accessed through std::atomic_ref, Absorb is a per-slot CAS-min, and
+/// queries read signatures via SnapshotSignature (a per-query copy, so one
+/// bound evaluation never sees a slot change under it). Admissibility under
+/// lag is the stale-LOW rule: a value a reader sees early (Absorb runs
+/// before the tree commit) or late (after a removal) only LOWERS the
+/// signature, which loosens the bound without breaking it. Refresh is the
+/// one raising write, and ShardedIndex orders it strictly after the
+/// refreshed tree publishes.
 class CoarseShardRouter {
  public:
   CoarseShardRouter(int num_shards, int num_functions);
 
-  /// Overwrites shard `s`'s signature (build / Refresh path). `sig` holds
-  /// nh values.
+  /// Overwrites shard `s`'s signature (build / Refresh path — the raising
+  /// write; see the ordering rule in the class comment). `sig` holds nh
+  /// values.
   void SetShardSignature(int s, std::span<const uint64_t> sig);
 
   /// Min-merges an entity's level-1 signature into shard `s` (insert /
-  /// update path).
+  /// update path). CAS-min per slot: concurrent absorbs compose, and values
+  /// only ever drop.
   void Absorb(int s, std::span<const uint64_t> sig);
 
+  /// Stable copy of shard `s`'s signature for one query's lifetime (the
+  /// live slots may be lowered by a concurrent writer mid-query).
+  std::vector<uint64_t> SnapshotSignature(int s) const;
+
+  /// The live signature slots. Only for callers with no concurrent writer
+  /// (tests, serialization); queries use SnapshotSignature.
   std::span<const uint64_t> shard_signature(int s) const {
     return {sigs_.data() + static_cast<size_t>(s) * nh_,
             static_cast<size_t>(nh_)};
@@ -71,11 +91,29 @@ class CoarseShardRouter {
                   QueryProbe* probe) const;
 
   /// Admissible upper bound on the score of every entity in shard `s` for
-  /// the probed query.
+  /// the probed query, evaluated over the live slots (loaded once per
+  /// slot). Callers that must pair the bound with a pinned tree snapshot
+  /// pass an explicit SnapshotSignature copy to the overload below.
   double ShardBound(int s, const QueryProbe& probe,
                     const AssociationMeasure& measure) const;
 
+  /// Same bound over a caller-held signature (an nh-value
+  /// SnapshotSignature copy), so the evaluation and any admissibility
+  /// reasoning see one frozen signature.
+  double ShardBound(std::span<const uint64_t> sig, const QueryProbe& probe,
+                    const AssociationMeasure& measure) const;
+
  private:
+  /// Relaxed atomic view of slot `i` — a plain vector element accessed via
+  /// atomic_ref (8-byte aligned, always lock-free on x86-64/aarch64), so
+  /// the router stays movable while its slots are concurrently writable.
+  /// Plain relaxed is enough: slots are independent admissible bounds, and
+  /// cross-slot ordering is supplied by the tree publication protocol.
+  uint64_t LoadSlot(size_t i) const {
+    return std::atomic_ref<uint64_t>(const_cast<uint64_t&>(sigs_[i]))
+        .load(std::memory_order_relaxed);
+  }
+
   int num_shards_;
   int nh_;
   std::vector<uint64_t> sigs_;  // shard-major, nh values each, all-max init

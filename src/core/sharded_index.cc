@@ -181,12 +181,40 @@ TopKResult ShardedIndex::RoutedFanOut(EntityId q, int k,
     // per shard, and keeps result AND counter/io accounting fully
     // deterministic — which is why the routed QueryMany runs every query
     // this way.
+    //
+    // Each lane is a ReadPin + a SnapshotSignature copy captured with a
+    // version handshake: version -> signature -> pin, accepted only when
+    // the pin still carries the pre-signature version. That pairing is
+    // what keeps the coarse bound admissible for the pinned tree — every
+    // entity the pin contains committed before the signature read (and its
+    // Absorb ran even earlier), and any Refresh raise the signature
+    // reflects refers to a tree state the pin includes. If a writer
+    // commits inside the handshake we retry, and after a few spins fall
+    // back to an all-zero signature (no pruning for that lane — always
+    // admissible) rather than spin against a hot writer.
+    std::vector<DigitalTraceIndex::ReadPin> pins;
+    pins.reserve(num_shards);
+    std::vector<std::vector<uint64_t>> coarse(num_shards);
     std::vector<SearchLane> lanes(num_shards);
     for (size_t s = 0; s < num_shards; ++s) {
-      lanes[s] = {&shards_[s]->QueryTree(),
+      const int sid = static_cast<int>(s);
+      bool stable = false;
+      for (int attempt = 0; attempt < 4 && !stable; ++attempt) {
+        const uint64_t v = shards_[s]->version();
+        coarse[s] = router_.SnapshotSignature(sid);
+        auto pin = shards_[s]->PinForRead();
+        stable = pin.version() == v;
+        if (s < pins.size()) {
+          pins[s] = std::move(pin);
+        } else {
+          pins.push_back(std::move(pin));
+        }
+      }
+      if (!stable) std::fill(coarse[s].begin(), coarse[s].end(), 0);
+      lanes[s] = {&pins[s].tree(),
                   shard_sources_[s] != nullptr ? shard_sources_[s]
                                                : default_source,
-                  router_.shard_signature(static_cast<int>(s))};
+                  coarse[s]};
     }
     return ForestTopKQuery(lanes, *default_source, shards_[0]->hasher(),
                            measure, q, k, options);
@@ -205,9 +233,16 @@ TopKResult ShardedIndex::RoutedFanOut(EntityId q, int k,
   const auto cursor = store_->OpenCursor();
   router_.BuildProbe(*cursor, q, shards_[0]->hasher(),
                      store_->hierarchy().num_levels(), w0, w1, &probe);
+  // Bounds are version-stamped: a shard may only be SKIPPED if its version
+  // still matches the pre-signature read at decision time (below), so a
+  // bound never prunes a tree state it was not computed against. Visiting
+  // a shard is always safe — per-shard search is exact.
   std::vector<double> bounds(num_shards);
+  std::vector<uint64_t> bound_versions(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    bounds[s] = router_.ShardBound(static_cast<int>(s), probe, measure);
+    bound_versions[s] = shards_[s]->version();
+    bounds[s] = router_.ShardBound(router_.SnapshotSignature(static_cast<int>(s)),
+                                   probe, measure);
   }
   std::vector<uint32_t> order(num_shards);
   std::iota(order.begin(), order.end(), 0);
@@ -250,7 +285,11 @@ TopKResult ShardedIndex::RoutedFanOut(EntityId q, int k,
     // Strict: a shard whose bound ties the watermark may hold tying
     // candidates that win on entity id, so it is never skipped. (Routing
     // only runs in exact mode, so no approximation slack applies here.)
-    if (threshold.score() > bounds[s]) {
+    // The version re-check downgrades a stale bound to "visit": if a
+    // writer committed into this shard since the bound's signature read,
+    // the bound may not be admissible for the tree the search would pin.
+    if (threshold.score() > bounds[s] &&
+        shards_[s]->version() == bound_versions[s]) {
       shards_pruned.fetch_add(1, std::memory_order_relaxed);
       return;
     }
@@ -269,22 +308,14 @@ TopKResult ShardedIndex::RoutedFanOut(EntityId q, int k,
   return merged;
 }
 
-void ShardedIndex::SettlePagedTrees() const {
-  // Repack any maintenance-dirtied paged snapshots *before* workers fan
-  // out: QueryTree()'s repack-on-dirty is single-threaded, and the grid /
-  // routed-batch paths hit the same shard from many workers at once. A
-  // clean snapshot makes the later calls read-only.
-  for (const auto& shard : shards_) {
-    if (shard->paged_tree_enabled()) (void)shard->QueryTree();
-  }
-}
-
 TopKResult ShardedIndex::Query(EntityId q, int k,
                                const AssociationMeasure& measure,
                                const QueryOptions& options,
                                int shard_threads) const {
+  // No settle step: paged snapshots are packed and published on the writer
+  // side at commit time (DigitalTraceIndex::CommitMutation), so the query
+  // path is read-only and safe against concurrent maintenance.
   Timer timer;
-  SettlePagedTrees();
   TopKResult merged;
   if (options.cross_shard_routing && options.approximation_epsilon == 0.0) {
     merged = RoutedFanOut(q, k, measure, options, shard_threads);
@@ -308,7 +339,6 @@ std::vector<TopKResult> ShardedIndex::QueryMany(
     std::span<const EntityId> queries, int k, const AssociationMeasure& measure,
     const QueryOptions& options, int num_threads) const {
   const size_t num_shards = shards_.size();
-  SettlePagedTrees();
   std::vector<TopKResult> results(queries.size());
   if (options.cross_shard_routing && options.approximation_epsilon == 0.0) {
     // Routed batches parallelize across queries only: each query walks its
@@ -344,10 +374,10 @@ std::vector<TopKResult> ShardedIndex::QueryMany(
 }
 
 void ShardedIndex::RefreshRouterShard(int s) {
-  const SignatureComputer sigs(*store_, shards_[s]->hasher());
-  std::vector<uint64_t> sig(router_.num_functions());
-  shards_[s]->tree().CoarseSignature(sigs, /*level=*/1, sig);
-  router_.SetShardSignature(s, sig);
+  // Latched read: another writer may be committing into this shard's tree
+  // while we extract the coarse level (concurrent writers serialize on the
+  // shard's write latch, but this READ would otherwise race them).
+  router_.SetShardSignature(s, shards_[s]->CoarseSignature(/*level=*/1));
 }
 
 void ShardedIndex::AbsorbIntoRouter(int s, EntityId e) {
@@ -360,8 +390,11 @@ void ShardedIndex::AbsorbIntoRouter(int s, EntityId e) {
 
 void ShardedIndex::InsertEntity(EntityId e) {
   const int s = ShardOf(e);
-  shards_[s]->InsertEntity(e);
+  // Absorb BEFORE the tree commit: once a concurrent reader can see `e` in
+  // the shard tree, the router slot already covers it. The window where the
+  // slot is low but the entity not yet committed only loosens bounds.
   AbsorbIntoRouter(s, e);
+  shards_[s]->InsertEntity(e);
 }
 
 void ShardedIndex::InsertEntities(std::span<const EntityId> entities) {
@@ -369,19 +402,21 @@ void ShardedIndex::InsertEntities(std::span<const EntityId> entities) {
   for (EntityId e : entities) {
     parts[ShardOf(e)].push_back(e);
   }
+  // Same absorb-before-commit rule as InsertEntity, for the whole batch.
+  for (EntityId e : entities) AbsorbIntoRouter(ShardOf(e), e);
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (!parts[s].empty()) shards_[s]->InsertEntities(parts[s]);
   }
-  for (EntityId e : entities) AbsorbIntoRouter(ShardOf(e), e);
 }
 
 void ShardedIndex::UpdateEntity(EntityId e) {
   const int s = ShardOf(e);
-  shards_[s]->UpdateEntity(e);
-  // Min-merge the new trace's coarse signature in; the old trace's
+  // Min-merge the new trace's coarse signature in BEFORE the tree commit
+  // (absorb-before-commit, as in InsertEntity); the old trace's
   // contribution may linger stale-low until Refresh — loose but admissible,
   // the same convention the shard trees follow.
   AbsorbIntoRouter(s, e);
+  shards_[s]->UpdateEntity(e);
 }
 
 void ShardedIndex::RemoveEntity(EntityId e) {
@@ -393,6 +428,12 @@ void ShardedIndex::RemoveEntity(EntityId e) {
 
 void ShardedIndex::Refresh() {
   for (size_t s = 0; s < shards_.size(); ++s) {
+    // The router raise (SetShardSignature) is the ONE write that tightens
+    // slots, and it must land strictly AFTER the refreshed tree commit:
+    // a reader that observes the raised signature then pins a tree at
+    // least as new as the refresh, so the tighter bound is admissible for
+    // whatever it reads (the version handshake in RoutedFanOut enforces
+    // the pairing).
     shards_[s]->Refresh();
     RefreshRouterShard(static_cast<int>(s));
   }
@@ -413,6 +454,17 @@ void ShardedIndex::AttachShardSource(int s, const TraceSource* source) {
                  "shard source describes a different dataset");
   }
   shard_sources_[s] = source;
+}
+
+DigitalTraceIndex::ConcurrencyStats ShardedIndex::concurrency_stats() const {
+  DigitalTraceIndex::ConcurrencyStats total;
+  for (const auto& shard : shards_) {
+    const auto s = shard->concurrency_stats();
+    total.snapshot_publishes += s.snapshot_publishes;
+    total.reader_blocked_ns += s.reader_blocked_ns;
+    total.writer_blocked_ns += s.writer_blocked_ns;
+  }
+  return total;
 }
 
 size_t ShardedIndex::num_entities() const {

@@ -99,6 +99,22 @@ struct ShardedIndexOptions {
 /// The router is maintained through the same insert/update/remove/Refresh
 /// conventions as the shard trees (min-merge on insert, stale-low after
 /// removal, tight again after Refresh).
+///
+/// Concurrency (DESIGN-sharding.md "Concurrency model"): queries may run
+/// concurrently with maintenance. Each shard carries its own
+/// DigitalTraceIndex reader/writer coordination, so a writer committing
+/// into one shard never stalls the fan-out into the others; every query
+/// path reads through per-shard ReadPins (taken inside the per-shard Query,
+/// or explicitly for the unified forest walk). Router slots publish
+/// asynchronously under the stale-LOW rule: Absorb runs BEFORE the shard
+/// tree commit (a reader that sees the new entity has certainly seen its
+/// signature absorbed), removals leave slots loose, and the one raising
+/// write — Refresh — lands strictly after the refreshed tree publishes.
+/// Routed queries validate that a shard's version did not move between the
+/// bound's signature read and the pin/skip decision, and fall back to
+/// not pruning that shard otherwise — bounds stay admissible for exactly
+/// the tree state the query reads. ReplaceEntity (trace mutation) is NOT
+/// covered: it rewrites shared trace state and requires quiescing readers.
 class ShardedIndex {
  public:
   /// Builds shards over every entity in the store, or over `entities` when
@@ -179,6 +195,10 @@ class ShardedIndex {
   const TraceStore& store() const { return *store_; }
   const ShardedIndexOptions& options() const { return options_; }
 
+  /// Reader/writer coordination counters summed across shards (see
+  /// bench_scalability --writer-threads).
+  DigitalTraceIndex::ConcurrencyStats concurrency_stats() const;
+
   /// Entities indexed across all shards.
   size_t num_entities() const;
   /// Sum of shard tree sizes.
@@ -197,10 +217,10 @@ class ShardedIndex {
   /// per-shard calls may run in parallel).
   void RefreshRouterShard(int s);
   /// Min-merges entity `e`'s level-1 signature into shard `s`'s router
-  /// signature (insert/update paths).
+  /// signature (insert/update paths). Called BEFORE the shard tree commit
+  /// so no reader can see the entity in the tree uncovered by the router
+  /// bound (early absorption only lowers slots — admissible).
   void AbsorbIntoRouter(int s, EntityId e);
-  /// Serially repacks any dirty paged snapshots before a parallel fan-out.
-  void SettlePagedTrees() const;
   /// The routed fan-out behind Query/QueryMany when
   /// options.cross_shard_routing is set: coarse bounds, best-bound-first
   /// visit order, shard skipping, and threshold propagation.

@@ -58,7 +58,7 @@ double FaultInjectingDisk::Roll(uint64_t op, PageId id, uint64_t n) const {
 }
 
 bool FaultInjectingDisk::PageIsSticky(PageId id) const {
-  std::atomic<uint8_t>& state = sticky_state_[id];
+  std::atomic<uint8_t>& state = fault_slots_[id].sticky_state;
   uint8_t s = state.load(std::memory_order_relaxed);
   if (s == 0) {
     // First read of this page: roll stickiness once. The roll is a pure
@@ -72,19 +72,19 @@ bool FaultInjectingDisk::PageIsSticky(PageId id) const {
   return s == 2;
 }
 
-PageId FaultInjectingDisk::Allocate() {
-  const PageId id = SimDisk::Allocate();
-  read_ordinals_.emplace_back(0u);
-  write_ordinals_.emplace_back(0u);
-  sticky_state_.emplace_back(uint8_t{0});
-  return id;
+void FaultInjectingDisk::OnAllocateLocked(PageId id) {
+  // Materialize the page's fault slot under the allocation latch; the base
+  // class's release-store of the page count publishes it (zeroed) together
+  // with the page.
+  fault_slots_.EnsureSlot(id);
 }
 
 Status FaultInjectingDisk::Read(PageId id, Page* out) {
   DT_CHECK(id < num_pages());
   // The ordinal advances on every attempt, so a retry re-rolls every
   // transient decision — that is what makes transient faults transient.
-  const uint64_t n = read_ordinals_[id].fetch_add(1, std::memory_order_relaxed);
+  const uint64_t n =
+      fault_slots_[id].read_ordinal.fetch_add(1, std::memory_order_relaxed);
   const Status base = SimDisk::Read(id, out);
   if (!base.ok()) return base;
   if (!armed() || !config_.any()) return Status::Ok();
@@ -126,7 +126,7 @@ Status FaultInjectingDisk::Read(PageId id, Page* out) {
 Status FaultInjectingDisk::Write(PageId id, const Page& page) {
   DT_CHECK(id < num_pages());
   const uint64_t n =
-      write_ordinals_[id].fetch_add(1, std::memory_order_relaxed);
+      fault_slots_[id].write_ordinal.fetch_add(1, std::memory_order_relaxed);
   if (armed() && config_.write_error_rate > 0 &&
       Roll(kOpWriteError, id, n) < config_.write_error_rate) {
     // Rejected before touching storage: old bytes and their checksum stay
@@ -140,8 +140,8 @@ Status FaultInjectingDisk::Write(PageId id, const Page& page) {
   // considered remapped and stays clean forever after (state 3).
   if (armed() && config_.sticky_page_rate > 0) {
     uint8_t expected = 2;
-    sticky_state_[id].compare_exchange_strong(expected, uint8_t{3},
-                                              std::memory_order_relaxed);
+    fault_slots_[id].sticky_state.compare_exchange_strong(
+        expected, uint8_t{3}, std::memory_order_relaxed);
   }
   if (armed() && config_.torn_write_rate > 0 &&
       Roll(kOpTornWrite, id, n) < config_.torn_write_rate) {

@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 
 #include "storage/sim_disk.h"
 #include "util/status.h"
@@ -80,16 +79,17 @@ struct FaultStats {
 /// (corruption is found at read time, long after a clean write) and keeps
 /// the no-fault oracle and the faulted run byte-identical on disk.
 ///
-/// Thread safety: same contract as SimDisk. Per-page read ordinals are
-/// relaxed atomics in a deque (stable addresses; grown only in Allocate,
-/// which is never concurrent with I/O).
+/// Thread safety: same contract as SimDisk — including latched Allocate
+/// concurrent with I/O on other pages. Per-page fault state (ordinals,
+/// stickiness) lives in the same append-only PageSlotTable structure as the
+/// base class's pages, grown through the OnAllocateLocked hook so new slots
+/// are published together with the page itself.
 class FaultInjectingDisk final : public SimDisk {
  public:
   FaultInjectingDisk(const FaultInjectionConfig& config,
                      double read_latency_seconds = 100e-6,
                      double write_latency_seconds = 100e-6);
 
-  PageId Allocate() override;
   Status Read(PageId id, Page* out) override;
   Status Write(PageId id, const Page& page) override;
 
@@ -104,6 +104,8 @@ class FaultInjectingDisk final : public SimDisk {
   void ResetStats() override;
 
  protected:
+  void OnAllocateLocked(PageId id) override;
+
   double extra_modeled_seconds() const override {
     // Stored as nanoseconds in an integer atomic (doubles cannot be
     // fetch_add'ed portably pre-C++20-on-all-stdlibs).
@@ -113,20 +115,26 @@ class FaultInjectingDisk final : public SimDisk {
   }
 
  private:
+  /// Per-page fault sidecar. All fields are relaxed atomics: ordinals are
+  /// bumped on every access from any thread; sticky_state is 0 = not yet
+  /// rolled, 1 = clean, 2 = sticky-bad, 3 = remapped (sticky cleared by a
+  /// Write; stays clean forever after).
+  struct FaultSlot {
+    std::atomic<uint32_t> read_ordinal{0};
+    std::atomic<uint32_t> write_ordinal{0};
+    std::atomic<uint8_t> sticky_state{0};
+  };
+
   // Uniform [0,1) draw for operation `op` on `id` at access ordinal `n`.
   double Roll(uint64_t op, PageId id, uint64_t n) const;
   bool PageIsSticky(PageId id) const;
 
   FaultInjectionConfig config_;
   std::atomic<bool> armed_{false};
-  // Per-page read/write ordinals: deque keeps element addresses stable
-  // across Allocate-time growth while reads on other pages are quiescent
-  // (Allocate is never concurrent with I/O — guarded in the base class).
-  std::deque<std::atomic<uint32_t>> read_ordinals_;
-  std::deque<std::atomic<uint32_t>> write_ordinals_;
-  // 0 = not yet rolled, 1 = clean, 2 = sticky-bad, 3 = remapped (sticky
-  // cleared by a Write; stays clean forever after).
-  mutable std::deque<std::atomic<uint8_t>> sticky_state_;
+  // Append-only like the base page table: slots materialize under the
+  // allocation latch (OnAllocateLocked) and are published with the page
+  // count, so fault decisions for concurrent I/O never race growth.
+  PageSlotTable<FaultSlot> fault_slots_;
 
   std::atomic<uint64_t> read_errors_{0};
   std::atomic<uint64_t> bit_flips_{0};

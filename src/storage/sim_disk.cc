@@ -26,30 +26,31 @@ SimDisk::SimDisk(double read_latency_seconds, double write_latency_seconds)
 }
 
 PageId SimDisk::Allocate() {
-  // The not-thread-safe contract, guarded: any Read/Write concurrent with
-  // Allocate races the page-table growth below. Debug-only — the counter
-  // upkeep in Read/Write is two relaxed atomics and stays in all builds,
-  // but the assertion itself compiles out under NDEBUG.
-  DT_DCHECK(io_in_flight_.load(std::memory_order_relaxed) == 0);
-  pages_.push_back(std::make_unique<Page>());
-  pages_.back()->data.fill(0);
-  checksums_.push_back(ZeroPageChecksum());
-  return static_cast<PageId>(pages_.size() - 1);
+  const std::lock_guard<std::mutex> lock(alloc_mu_);
+  const size_t id = num_pages_.load(std::memory_order_relaxed);
+  PageSlot& slot = slots_.EnsureSlot(id);
+  slot.page = std::make_unique<Page>();
+  slot.page->data.fill(0);
+  slot.checksum = ZeroPageChecksum();
+  OnAllocateLocked(static_cast<PageId>(id));
+  // Release-publish: a reader that acquires a count covering `id` is
+  // guaranteed to see the slot (and any subclass sidecar) fully built.
+  num_pages_.store(id + 1, std::memory_order_release);
+  return static_cast<PageId>(id);
 }
 
 Status SimDisk::Read(PageId id, Page* out) {
-  DT_CHECK(id < pages_.size());
-  IoInFlight in_flight(this);
-  *out = *pages_[id];
+  DT_CHECK(id < num_pages());
+  *out = *slots_[id].page;
   reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status SimDisk::Write(PageId id, const Page& page) {
-  DT_CHECK(id < pages_.size());
-  IoInFlight in_flight(this);
-  *pages_[id] = page;
-  checksums_[id] = PageChecksum(page);
+  DT_CHECK(id < num_pages());
+  PageSlot& slot = slots_[id];
+  *slot.page = page;
+  slot.checksum = PageChecksum(page);
   writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }

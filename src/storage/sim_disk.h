@@ -6,8 +6,9 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <vector>
+#include <mutex>
 
+#include "util/check.h"
 #include "util/status.h"
 
 namespace dtrace {
@@ -40,6 +41,63 @@ inline uint64_t PageChecksum(const Page& page) {
   return h;
 }
 
+/// Append-only table of per-page state, indexed by PageId, that readers may
+/// traverse lock-free while one (caller-serialized) thread grows it: a fixed
+/// array of atomically published fixed-size chunks, so growth never
+/// relocates existing slots — the property std::vector cannot give once
+/// Allocate runs concurrently with I/O. The owner publishes new slots with a
+/// release store of its page count; readers that acquire-load that count
+/// before indexing are guaranteed to see the chunk pointer and the slot's
+/// initialization.
+template <typename Slot>
+class PageSlotTable {
+ public:
+  static constexpr size_t kChunkBits = 11;  // 2048 slots per chunk
+  static constexpr size_t kChunkSlots = size_t{1} << kChunkBits;
+  static constexpr size_t kMaxChunks = size_t{1} << 12;  // 8M pages = 32 GiB
+
+  PageSlotTable() : chunks_(new std::atomic<Chunk*>[kMaxChunks]) {
+    for (size_t i = 0; i < kMaxChunks; ++i) {
+      chunks_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+  ~PageSlotTable() {
+    for (size_t i = 0; i < kMaxChunks; ++i) {
+      delete chunks_[i].load(std::memory_order_relaxed);
+    }
+  }
+  PageSlotTable(const PageSlotTable&) = delete;
+  PageSlotTable& operator=(const PageSlotTable&) = delete;
+
+  /// Makes slot `id` addressable (allocating its chunk if needed) and
+  /// returns it. Caller-serialized: at most one thread grows the table at a
+  /// time, and the new slot becomes visible to readers only through the
+  /// caller's release-store of its page count.
+  Slot& EnsureSlot(size_t id) {
+    DT_CHECK_MSG(id < kMaxChunks * kChunkSlots, "page table full");
+    std::atomic<Chunk*>& cell = chunks_[id >> kChunkBits];
+    Chunk* chunk = cell.load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Chunk();
+      cell.store(chunk, std::memory_order_release);
+    }
+    return chunk->slots[id & (kChunkSlots - 1)];
+  }
+
+  /// Slot `id`, which the caller must have proven allocated (id below an
+  /// acquire-loaded page count).
+  Slot& operator[](size_t id) const {
+    Chunk* chunk = chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+    return chunk->slots[id & (kChunkSlots - 1)];
+  }
+
+ private:
+  struct Chunk {
+    std::array<Slot, kChunkSlots> slots{};
+  };
+  std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
+};
+
 /// In-memory disk simulator with I/O accounting. Every Read/Write counts one
 /// I/O and charges a configurable modeled latency; the memory-size experiment
 /// (Sec. 7.6) reports modeled time = wall time + modeled I/O time, which
@@ -60,14 +118,16 @@ inline uint64_t PageChecksum(const Page& page) {
 /// subclass can fail or corrupt them; this base class itself never fails
 /// (beyond the DT_CHECK on out-of-range ids, which is a programmer error).
 ///
-/// Thread safety: concurrent Read/Write calls are safe as long as no two of
-/// them target the same page with at least one writer — exactly the
-/// exclusivity the sharded BufferPool provides (a page is loaded or written
-/// back by the one thread that owns its frame transition). Allocate mutates
-/// the page table and must not run concurrently with any other call; all
-/// allocation happens during serialization, before queries start. This
-/// contract is guarded, not just documented: Read/Write maintain an
-/// in-flight count and Allocate debug-asserts it is zero.
+/// Thread safety: Allocate is internally latched and safe to call
+/// concurrently with Reads/Writes of already-allocated pages — the page
+/// table is an append-only PageSlotTable, so growth never relocates slots a
+/// reader may be touching, and the page count is release-published. (This is
+/// what lets writer-side snapshot publication append tree pages to a shared
+/// disk while readers still pin the retiring snapshot's pages.) Concurrent
+/// Read/Write calls remain safe as long as no two of them target the same
+/// page with at least one writer — exactly the exclusivity the sharded
+/// BufferPool provides (a page is loaded or written back by the one thread
+/// that owns its frame transition).
 class SimDisk {
  public:
   /// Default latencies are HDD-class per 4K access.
@@ -75,9 +135,9 @@ class SimDisk {
                    double write_latency_seconds = 100e-6);
   virtual ~SimDisk() = default;
 
-  /// Allocates a zeroed page and returns its id. Not thread-safe; see class
-  /// comment.
-  virtual PageId Allocate();
+  /// Allocates a zeroed page and returns its id. Thread-safe (serialized on
+  /// an internal allocation latch; see class comment).
+  PageId Allocate();
 
   virtual Status Read(PageId id, Page* out);
   virtual Status Write(PageId id, const Page& page);
@@ -87,10 +147,13 @@ class SimDisk {
   /// bytes the writer intended. Thread-safe under the same exclusivity rule
   /// as Read/Write.
   bool VerifyPage(PageId id, const Page& page) const {
-    return PageChecksum(page) == checksums_[id];
+    DT_CHECK(id < num_pages());
+    return PageChecksum(page) == slots_[id].checksum;
   }
 
-  size_t num_pages() const { return pages_.size(); }
+  size_t num_pages() const {
+    return num_pages_.load(std::memory_order_acquire);
+  }
   uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
   uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
   double read_latency_seconds() const { return read_latency_; }
@@ -108,51 +171,47 @@ class SimDisk {
   virtual void ResetStats();
 
  protected:
+  /// Called by Allocate under the allocation latch, after page `id`'s slot
+  /// is initialized but before the new page count is published — a subclass
+  /// hook for growing per-page sidecar state (FaultInjectingDisk's fault
+  /// ordinals) with the same publication ordering as the page itself.
+  virtual void OnAllocateLocked(PageId /*id*/) {}
+
   /// Direct access to the stored bytes of `id`, bypassing Read accounting
   /// and the checksum stamp — how FaultInjectingDisk tears a committed write
   /// without touching its sidecar checksum. Same exclusivity rule as Write.
-  Page* StoredPage(PageId id) { return pages_[id].get(); }
+  Page* StoredPage(PageId id) { return slots_[id].page.get(); }
 
   /// Re-stamps the sidecar checksum of `id` from `page` (used by subclasses
   /// that mutate stored bytes and want the damage to go *undetected* — e.g.
   /// modeling a stale-but-consistent sector is possible, though the stock
   /// fault injector never hides damage).
   void StampChecksum(PageId id, const Page& page) {
-    checksums_[id] = PageChecksum(page);
+    slots_[id].checksum = PageChecksum(page);
   }
 
   /// Extra modeled seconds charged by subclasses (latency spikes).
   virtual double extra_modeled_seconds() const { return 0.0; }
 
-  /// RAII in-flight marker for the Allocate guard; subclasses that override
-  /// Read/Write and do not call the base implementation should hold one.
-  class IoInFlight {
-   public:
-    explicit IoInFlight(const SimDisk* disk) : disk_(disk) {
-      disk_->io_in_flight_.fetch_add(1, std::memory_order_relaxed);
-    }
-    ~IoInFlight() {
-      disk_->io_in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    }
-    IoInFlight(const IoInFlight&) = delete;
-    IoInFlight& operator=(const IoInFlight&) = delete;
-
-   private:
-    const SimDisk* disk_;
+ private:
+  /// Per-page storage + its sidecar checksum. The slot's fields are written
+  /// only under the per-page exclusivity rule (or at Allocate, before
+  /// publication), so they need no synchronization of their own.
+  struct PageSlot {
+    std::unique_ptr<Page> page;
+    uint64_t checksum = 0;
   };
 
- private:
   double read_latency_;
   double write_latency_;
-  std::vector<std::unique_ptr<Page>> pages_;
-  /// Sidecar per-page checksums (see class comment). Indexed like pages_;
-  /// grown only in Allocate, elements written only under the per-page
-  /// exclusivity rule, so no synchronization beyond the disk's own contract.
-  std::vector<uint64_t> checksums_;
+  PageSlotTable<PageSlot> slots_;
+  /// Published page count: release-stored by Allocate after the slot is
+  /// ready, acquire-loaded by everyone indexing the table.
+  std::atomic<size_t> num_pages_{0};
+  /// Serializes Allocate calls (slot init + subclass sidecar growth).
+  std::mutex alloc_mu_;
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
-  /// Read/Write calls currently executing — the Allocate guard.
-  mutable std::atomic<int32_t> io_in_flight_{0};
 };
 
 }  // namespace dtrace

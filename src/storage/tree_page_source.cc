@@ -61,8 +61,12 @@ void SimDiskTreePageStore::Allocate(size_t num_pages) {
   }
   page_ids_.reserve(num_pages);
   // On a shared disk this appends after whatever is already there (the
-  // trace region); Allocate is not thread-safe, and packing runs strictly
-  // before queries, so this matches the SimDisk contract.
+  // trace region, plus any earlier snapshot's tree pages). SimDisk::Allocate
+  // is internally latched and append-only, so a writer-side snapshot repack
+  // may run this while readers still pin the retiring snapshot's (lower)
+  // page ids. Retired snapshots leave their shared-disk pages allocated —
+  // an accepted leak of the simulator (a real backend would free extents);
+  // private mode rebuilds the disk from scratch each pack.
   for (size_t i = 0; i < num_pages; ++i) page_ids_.push_back(disk_->Allocate());
 }
 

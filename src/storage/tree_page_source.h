@@ -18,7 +18,10 @@ namespace dtrace {
 /// once — Allocate, WritePage in any order, Finalize — and queries then use
 /// only the pin side. Pin/Unpin must be safe to call concurrently (cursors
 /// from different query workers share the store); the write side is
-/// single-threaded and happens strictly before any pin.
+/// single-threaded and happens strictly before any pin *on this store*.
+/// (Readers may concurrently pin an older snapshot's store over the same
+/// shared disk/pool while this one packs — SimDisk::Allocate is latched and
+/// append-only, and the pool synchronizes frame ownership.)
 ///
 /// Pin discipline (also DESIGN-paged-index.md): a tree cursor holds at most
 /// ONE pin at a time and copies what it needs out of the frame before

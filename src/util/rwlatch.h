@@ -1,0 +1,163 @@
+#ifndef DTRACE_UTIL_RWLATCH_H_
+#define DTRACE_UTIL_RWLATCH_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace dtrace {
+
+/// Reader/writer latch for the shard-level read-during-write protocol
+/// (core/index.h "Concurrency model"; DESIGN-sharding.md). Differences from
+/// std::shared_mutex that matter here:
+///
+///  - Writer preference: once a writer is waiting, new readers queue behind
+///    it. Query fan-outs are short and frequent; without preference a steady
+///    reader stream can starve maintenance indefinitely.
+///  - Not thread-tied: a ReadPin (core/index.h) may be moved across the
+///    stack and released by whichever frame drops it last, which
+///    std::shared_mutex does not guarantee for unlock-from-another-thread.
+///  - Instrumented: blocked wall time is accumulated per side, so the mixed
+///    read/write bench leg (bench_scalability --writer-threads) can report
+///    reader_blocked_ns — the number the snapshot-pinning design exists to
+///    keep at zero in paged mode.
+///
+/// The clock is consulted only on the slow path (a caller that actually
+/// blocks), so uncontended acquisition stays two mutex ops.
+class RWLatch {
+ public:
+  RWLatch() = default;
+  RWLatch(const RWLatch&) = delete;
+  RWLatch& operator=(const RWLatch&) = delete;
+
+  void LockRead() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (writer_active_ || waiting_writers_ > 0) {
+      const auto t0 = std::chrono::steady_clock::now();
+      readers_cv_.wait(lock,
+                       [&] { return !writer_active_ && waiting_writers_ == 0; });
+      reader_blocked_ns_ += ElapsedNs(t0);
+    }
+    ++active_readers_;
+  }
+
+  void UnlockRead() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--active_readers_ == 0 && waiting_writers_ > 0) {
+      lock.unlock();
+      writers_cv_.notify_one();
+    }
+  }
+
+  void LockWrite() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++waiting_writers_;
+    if (writer_active_ || active_readers_ > 0) {
+      const auto t0 = std::chrono::steady_clock::now();
+      writers_cv_.wait(lock,
+                       [&] { return !writer_active_ && active_readers_ == 0; });
+      writer_blocked_ns_ += ElapsedNs(t0);
+    }
+    --waiting_writers_;
+    writer_active_ = true;
+  }
+
+  void UnlockWrite() {
+    std::unique_lock<std::mutex> lock(mu_);
+    writer_active_ = false;
+    const bool writers_waiting = waiting_writers_ > 0;
+    lock.unlock();
+    // Hand off to the next writer when one queued (the preference rule),
+    // else release the reader herd.
+    if (writers_waiting) {
+      writers_cv_.notify_one();
+    } else {
+      readers_cv_.notify_all();
+    }
+  }
+
+  /// Total wall nanoseconds readers spent blocked in LockRead.
+  uint64_t reader_blocked_ns() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return reader_blocked_ns_;
+  }
+  /// Total wall nanoseconds writers spent blocked in LockWrite.
+  uint64_t writer_blocked_ns() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return writer_blocked_ns_;
+  }
+
+  /// RAII shared hold. Movable (the moved-from guard releases nothing).
+  class ReadGuard {
+   public:
+    explicit ReadGuard(RWLatch& latch) : latch_(&latch) { latch_->LockRead(); }
+    ReadGuard(ReadGuard&& other) noexcept : latch_(other.latch_) {
+      other.latch_ = nullptr;
+    }
+    ReadGuard& operator=(ReadGuard&& other) noexcept {
+      if (this != &other) {
+        if (latch_ != nullptr) latch_->UnlockRead();
+        latch_ = other.latch_;
+        other.latch_ = nullptr;
+      }
+      return *this;
+    }
+    ~ReadGuard() {
+      if (latch_ != nullptr) latch_->UnlockRead();
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    RWLatch* latch_;
+  };
+
+  /// RAII exclusive hold. Movable, same convention as ReadGuard.
+  class WriteGuard {
+   public:
+    explicit WriteGuard(RWLatch& latch) : latch_(&latch) {
+      latch_->LockWrite();
+    }
+    WriteGuard(WriteGuard&& other) noexcept : latch_(other.latch_) {
+      other.latch_ = nullptr;
+    }
+    WriteGuard& operator=(WriteGuard&& other) noexcept {
+      if (this != &other) {
+        if (latch_ != nullptr) latch_->UnlockWrite();
+        latch_ = other.latch_;
+        other.latch_ = nullptr;
+      }
+      return *this;
+    }
+    ~WriteGuard() {
+      if (latch_ != nullptr) latch_->UnlockWrite();
+    }
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+
+   private:
+    RWLatch* latch_;
+  };
+
+ private:
+  static uint64_t ElapsedNs(std::chrono::steady_clock::time_point t0) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable readers_cv_;
+  std::condition_variable writers_cv_;
+  int active_readers_ = 0;
+  int waiting_writers_ = 0;
+  bool writer_active_ = false;
+  uint64_t reader_blocked_ns_ = 0;
+  uint64_t writer_blocked_ns_ = 0;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_UTIL_RWLATCH_H_

@@ -262,7 +262,12 @@ TEST_F(BufferPoolTest, ShardCrossingPinMutableDuringEvictionPersistsWrites) {
       for (int round = 0; round < 100; ++round) {
         const PageId id = static_cast<PageId>((t * 5 + round) % kPages);
         uint8_t* p = pool.PinMutable(id);
-        p[1] = static_cast<uint8_t>(0x40 + id);  // idempotent per page
+        // Idempotent per page, but two threads may hold mutable pins on the
+        // same frame at once (PinMutable does not exclude concurrent
+        // pinners — frame-level coordination is the caller's job), so the
+        // store must be atomic to be a defined program.
+        std::atomic_ref<uint8_t>(p[1]).store(static_cast<uint8_t>(0x40 + id),
+                                             std::memory_order_relaxed);
         pool.Unpin(id);
       }
     });
