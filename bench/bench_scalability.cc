@@ -39,6 +39,19 @@
 //       and routed 20K presets). Emits a "counters" section
 //       (lock_wait_seconds, prefetch_hits, shards_pruned, ...) alongside
 //       the rows.
+//   bench_scalability --snapshot [|E|] [--workers N] [--shards S]
+//                     [--compress]
+//       — the crash-safe persistence preset (DESIGN-storage.md "Snapshot
+//       format and recovery protocol"): builds the index (a ShardedIndex
+//       with --shards S > 1), saves a versioned snapshot, loads it back,
+//       and times a QueryMany batch on the LOADED index. Emits
+//       snapshot_save_seconds / restart_seconds / snapshot_bytes counters
+//       (informational in check_regression.py) next to the post-load
+//       queries_per_sec row that CI's perf-smoke job gates — restart must
+//       stay build-free fast, and a restored index must not query slower
+//       than a freshly built one. Load-vs-fresh bit-identity itself is the
+//       differential harness's job (tests/snapshot_persistence_test.cc);
+//       this preset spot-checks it on the batch before timing.
 //   bench_scalability --paged-tree [|E|] [--workers N] [--pool-fraction F]
 //                     [--compress]
 //       — the paged-MinSigTree preset: the TREE (not the traces) lives in
@@ -56,6 +69,7 @@
 #include "bench/bench_util.h"
 #include "core/sharded_index.h"
 #include "storage/paged_trace_source.h"
+#include "storage/snapshot.h"
 
 namespace dtrace::bench {
 namespace {
@@ -266,6 +280,122 @@ void RunDisk(uint32_t entities, int workers, int prefetch, int shards,
                static_cast<double>(cstats.writer_blocked_ns));
 }
 
+// The snapshot-restart preset (PR 10): save a built index, load it back,
+// and measure what an operator restarting a serving process would feel —
+// snapshot_save_seconds (writer-side cost of a commit), restart_seconds
+// (load + validate, no rebuild), snapshot_bytes (on-disk footprint), and
+// the post-load qps that CI gates against a baseline. The loaded index
+// must answer the batch bit-identically to the builder it was saved from;
+// the preset exits non-zero if it does not.
+void RunSnapshot(uint32_t entities, int workers, int shards, bool compress,
+                 BenchJson& json) {
+  PrintHeader("Scalability (snapshot restart)",
+              "save, load, and serve without rebuilding");
+  Dataset d = MakeDiskResidentDataset(entities);
+  const IndexOptions iopts =
+      PresetIndexOptions(/*num_functions=*/200, /*num_threads=*/0);
+  PolynomialLevelMeasure measure(d.hierarchy->num_levels());
+  const auto queries = SampleQueries(*d.store, 8, 909);
+
+  double index_seconds = 0.0;
+  std::optional<DigitalTraceIndex> index;
+  std::optional<ShardedIndex> sharded;
+  if (shards > 1) {
+    sharded = ShardedIndex::Build(d.store,
+                                  {.num_shards = shards, .index = iopts});
+    index_seconds = sharded->build_seconds();
+  } else {
+    index = DigitalTraceIndex::Build(d.store, iopts);
+    index_seconds = index->build_seconds();
+  }
+  const std::vector<TopKResult> fresh =
+      shards > 1 ? sharded->QueryMany(queries, 10, measure, {}, workers)
+                 : index->QueryMany(queries, 10, measure, {}, workers);
+
+  MemSnapshotEnv env;
+  Timer save_timer;
+  const Status saved = shards > 1 ? sharded->SaveSnapshot(&env, compress)
+                                  : index->SaveSnapshot(&env, compress);
+  const double save_seconds = save_timer.ElapsedSeconds();
+  if (!saved.ok()) {
+    std::fprintf(stderr, "FAIL: SaveSnapshot: %s\n", saved.message());
+    std::exit(1);
+  }
+  uint64_t snapshot_bytes = 0;
+  for (const auto& [name, bytes] : env.files()) snapshot_bytes += bytes.size();
+
+  // Restart: everything the serving process needs, from the snapshot alone.
+  LoadedIndex restored;
+  LoadedShardedIndex restored_sharded;
+  Timer load_timer;
+  const Status loaded =
+      shards > 1 ? ShardedIndex::LoadSnapshot(env, &restored_sharded)
+                 : DigitalTraceIndex::LoadSnapshot(env, &restored);
+  const double restart_seconds = load_timer.ElapsedSeconds();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "FAIL: LoadSnapshot: %s\n", loaded.message());
+    std::exit(1);
+  }
+
+  auto run_loaded = [&] {
+    return shards > 1 ? restored_sharded.index->QueryMany(queries, 10, measure,
+                                                          {}, workers)
+                      : restored.index->QueryMany(queries, 10, measure, {},
+                                                  workers);
+  };
+  // Spot-check the differential harness's bit-identity contract, then time.
+  const std::vector<TopKResult> check = run_loaded();
+  for (size_t i = 0; i < check.size(); ++i) {
+    if (check[i].items.size() != fresh[i].items.size()) {
+      std::fprintf(stderr, "FAIL: loaded top-k differs from builder\n");
+      std::exit(1);
+    }
+    for (size_t r = 0; r < check[i].items.size(); ++r) {
+      if (check[i].items[r].entity != fresh[i].items[r].entity ||
+          check[i].items[r].score != fresh[i].items[r].score) {
+        std::fprintf(stderr,
+                     "FAIL: loaded top-k differs from builder at query %zu "
+                     "rank %zu\n",
+                     i, r);
+        std::exit(1);
+      }
+    }
+  }
+  Timer timer;
+  const std::vector<TopKResult> results = run_loaded();
+  const double wall = timer.ElapsedSeconds();
+  const auto pe = AggregatePe(results, entities, 10);
+
+  std::printf(
+      "|E|=%u shards=%d compress=%d build_s=%.2f save_s=%.4f "
+      "snapshot_mb=%.2f restart_s=%.4f (%.0fx faster than build) "
+      "bit_identical=yes\n"
+      "queries=%zu PE=%.4f checked/query=%.1f qps(post-load)=%.1f\n",
+      entities, shards, compress ? 1 : 0, index_seconds, save_seconds,
+      snapshot_bytes / 1048576.0, restart_seconds,
+      restart_seconds > 0 ? index_seconds / restart_seconds : 0.0,
+      queries.size(), pe.mean_pe, pe.mean_entities_checked,
+      queries.size() / wall);
+  json.AddRow()
+      .Str("mode", "snapshot")
+      .Int("entities", entities)
+      .Int("workers", static_cast<uint64_t>(workers))
+      // Informational like "shards"/"compressed" everywhere else: the
+      // snapshot timing fields are measurements, never match keys, so a
+      // baseline predating a knob change still gates post-load qps.
+      .Int("shards", static_cast<uint64_t>(shards))
+      .Int("compressed", compress ? 1 : 0)
+      .Num("pe", pe.mean_pe)
+      .Num("queries_per_sec", queries.size() / wall)
+      .Num("mean_entities_checked", pe.mean_entities_checked)
+      .Num("index_seconds", index_seconds)
+      .Num("snapshot_save_seconds", save_seconds)
+      .Num("restart_seconds", restart_seconds);
+  json.Counter("snapshot_save_seconds", save_seconds);
+  json.Counter("restart_seconds", restart_seconds);
+  json.Counter("snapshot_bytes", static_cast<double>(snapshot_bytes));
+}
+
 // The paged-MinSigTree preset (PR 6): the tree itself lives in SoA pages
 // behind a SimDisk-backed BufferPool capped below the packed index size,
 // so the search faults node pages in and out while the resident zone maps
@@ -419,6 +549,28 @@ int main(int argc, char** argv) {
     dtrace::bench::RunDisk(entities, workers, prefetch, shards, route,
                            compress, verify_checksums, num_queries,
                            writer_threads, json);
+  } else if (argc > 1 && std::strcmp(argv[1], "--snapshot") == 0) {
+    uint32_t entities = 20000;
+    int workers = 0;
+    int shards = 1;
+    bool compress = false;
+    int pos = 2;
+    if (pos < argc && argv[pos][0] != '-') {
+      entities = static_cast<uint32_t>(std::atoi(argv[pos]));
+      ++pos;
+    }
+    for (; pos < argc; ++pos) {
+      if (std::strcmp(argv[pos], "--compress") == 0) {
+        compress = true;
+      } else if (pos + 1 >= argc) {
+        break;
+      } else if (std::strcmp(argv[pos], "--workers") == 0) {
+        workers = std::atoi(argv[++pos]);
+      } else if (std::strcmp(argv[pos], "--shards") == 0) {
+        shards = std::atoi(argv[++pos]);
+      }
+    }
+    dtrace::bench::RunSnapshot(entities, workers, shards, compress, json);
   } else if (argc > 1 && std::strcmp(argv[1], "--paged-tree") == 0) {
     uint32_t entities = 20000;
     int workers = 0;

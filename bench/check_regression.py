@@ -45,6 +45,11 @@ MEASUREMENT_FIELDS = {
     "compressed",
     "checksums",
     "writer_threads",
+    # Snapshot-restart rows (mode "snapshot"): the persistence timings are
+    # measurements reported next to the gated post-load qps, never match
+    # keys — a baseline cut before a save-path change still gates.
+    "snapshot_save_seconds",
+    "restart_seconds",
 }
 
 # Counters reported as informational deltas next to the qps gate (never
@@ -77,6 +82,13 @@ INFORMATIONAL_COUNTERS = (
     "snapshot_publishes",
     "reader_blocked_ns",
     "writer_blocked_ns",
+    # Crash-safe persistence (DESIGN-storage.md "Snapshot format and
+    # recovery protocol"): save/restart wall times and on-disk footprint of
+    # the snapshot-restart leg. Informational — the gate is the post-load
+    # qps row; these explain a move (e.g. footprint growth slowing load).
+    "snapshot_save_seconds",
+    "restart_seconds",
+    "snapshot_bytes",
 )
 
 

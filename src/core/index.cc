@@ -11,6 +11,12 @@
 
 namespace dtrace {
 
+DigitalTraceIndex::Coordination::~Coordination() {
+  // The final snapshot dies with the index, which may legally outlive the
+  // shared disk/pool it was packed onto — suppress its page reclaim.
+  if (head != nullptr) head->AbandonBacking();
+}
+
 DigitalTraceIndex::DigitalTraceIndex(std::shared_ptr<TraceStore> store,
                                      IndexOptions options,
                                      std::unique_ptr<CellHasher> hasher,
@@ -234,9 +240,13 @@ TopKResult DigitalTraceIndex::Query(EntityId q, int k,
   uint64_t quarantined = 0;
   {
     const ReadPin pin = PinForRead();
+    // Read traces as of the pin: a ReplaceEntity commit landing after the
+    // pin must not leak its new trace into a search walking the old tree.
+    QueryOptions pinned = options;
+    pinned.trace_as_of = pin.version();
     TopKQueryProcessor proc(pin.tree(), PickSource(options, *store_),
                             *hasher_, measure);
-    TopKResult result = proc.Query(q, k, options);
+    TopKResult result = proc.Query(q, k, pinned);
     if (result.status.ok() || pin.snapshot() == nullptr) return result;
     // Graceful degradation (DESIGN-storage.md "Fault model and integrity"):
     // if the failure involved unrecoverable PAGED-TREE pages, the snapshot
@@ -252,9 +262,11 @@ TopKResult DigitalTraceIndex::Query(EntityId q, int k,
   // too (e.g. a sticky-read page among the new allocations), the clean
   // error surfaces to the caller.
   const ReadPin pin = PinForRead();
+  QueryOptions pinned = options;
+  pinned.trace_as_of = pin.version();
   TopKQueryProcessor proc(pin.tree(), PickSource(options, *store_), *hasher_,
                           measure);
-  TopKResult retry = proc.Query(q, k, options);
+  TopKResult retry = proc.Query(q, k, pinned);
   retry.stats.pages_quarantined += quarantined;
   return retry;
 }
@@ -263,9 +275,11 @@ TopKResult DigitalTraceIndex::BruteForce(EntityId q, int k,
                                          const AssociationMeasure& measure,
                                          const QueryOptions& options) const {
   const ReadPin pin = PinForRead();
+  QueryOptions pinned = options;
+  pinned.trace_as_of = pin.version();
   TopKQueryProcessor proc(pin.tree(), PickSource(options, *store_), *hasher_,
                           measure);
-  return proc.BruteForce(q, k, options);
+  return proc.BruteForce(q, k, pinned);
 }
 
 std::vector<TopKResult> DigitalTraceIndex::QueryMany(
@@ -282,8 +296,10 @@ std::vector<TopKResult> DigitalTraceIndex::QueryMany(
   // per-query pins keep writers from starving behind a long batch.
   ParallelForEach(num_threads, queries.size(), [&](size_t i) {
     const ReadPin pin = PinForRead();
+    QueryOptions pinned = options;
+    pinned.trace_as_of = pin.version();
     TopKQueryProcessor proc(pin.tree(), source, *hasher_, measure);
-    results[i] = proc.Query(queries[i], k, options);
+    results[i] = proc.Query(queries[i], k, pinned);
   });
   return results;
 }
@@ -298,6 +314,21 @@ void DigitalTraceIndex::InsertEntities(std::span<const EntityId> entities) {
 
 void DigitalTraceIndex::UpdateEntity(EntityId e) {
   CommitMutation([&] { tree_.Update(e, sigs_); });
+}
+
+void DigitalTraceIndex::ReplaceEntity(
+    EntityId e, const std::vector<PresenceRecord>& records) {
+  CommitMutation([&] {
+    // Stamp the override with the version this commit publishes (revision
+    // has not been bumped yet inside the mutate step — the commit point
+    // publishes revision + 1). Readers pinned at or above it resolve the
+    // new trace; older pins keep the previous one.
+    store_->ReplaceEntityAt(
+        e, records, cc_->revision.load(std::memory_order_relaxed) + 1);
+    // The tree update recomputes e's signatures from the store at latest —
+    // which now includes the override — so tree and trace flip together.
+    if (tree_.Contains(e)) tree_.Update(e, sigs_);
+  });
 }
 
 void DigitalTraceIndex::RemoveEntity(EntityId e) {

@@ -19,8 +19,12 @@
 #include "trace/trace_store.h"
 #include "trace/types.h"
 #include "util/rwlatch.h"
+#include "util/status.h"
 
 namespace dtrace {
+
+class SnapshotEnv;   // storage/snapshot.h
+struct LoadedIndex;  // below
 
 /// Index construction knobs.
 struct IndexOptions {
@@ -71,8 +75,12 @@ struct IndexOptions {
 /// version() reads knows exactly which committed prefixes the result may
 /// reflect — the protocol the concurrent differential harness checks.
 /// Multiple concurrent *writers* serialize on the write latch (each op is
-/// atomic), but TraceStore::ReplaceEntity mutates shared trace state with
-/// no snapshotting, so trace replacement still requires quiescing readers.
+/// atomic). Trace replacement is covered too: ReplaceEntity runs
+/// {TraceStore::ReplaceEntityAt, tree update} as ONE commit, stamping the
+/// store's MVCC override with the version the commit publishes, and every
+/// query reads traces as of its pin's version (QueryOptions::trace_as_of) —
+/// so a reader pinned at v sees the tree AND the traces of v, never a
+/// half-applied replacement.
 class DigitalTraceIndex {
  public:
   /// Builds the index over every entity in the store, or over `entities`
@@ -116,6 +124,14 @@ class DigitalTraceIndex {
 
   /// Re-indexes an entity after TraceStore::ReplaceEntity changed its trace.
   void UpdateEntity(EntityId e);
+
+  /// Replaces entity `e`'s trace with the one `records` induces AND
+  /// re-indexes it, as ONE atomic commit: the store override is stamped
+  /// with the version this commit publishes, so concurrent readers pinned
+  /// below it keep scoring the old trace against the old tree state, and
+  /// readers at or above it see both changes together. Entities not in the
+  /// tree (never indexed, or removed) get the trace swap only.
+  void ReplaceEntity(EntityId e, const std::vector<PresenceRecord>& records);
 
   /// Removes an entity from the index (its trace stays in the store).
   void RemoveEntity(EntityId e);
@@ -251,6 +267,25 @@ class DigitalTraceIndex {
   TraceStore& mutable_store() { return *store_; }
   const IndexOptions& options() const { return options_; }
 
+  /// Serializes the whole index — config, hierarchy, trace CSR state, tree
+  /// nodes — as one crash-atomic snapshot commit (storage/snapshot.h):
+  /// checksummed sections first, manifest last. Runs under the read latch,
+  /// so the captured state is exactly one committed version; concurrent
+  /// queries proceed, writers wait. Traces are captured post-replacement
+  /// (MVCC overrides resolved at the latched commit), so the restored
+  /// store's CSR base IS the replaced state and needs no override chains.
+  /// `compress` routes trace cell lists through the delta/FoR codec
+  /// (util/codec.h). Not supported in store_full_signatures mode.
+  Status SaveSnapshot(SnapshotEnv* env, bool compress = false) const;
+
+  /// Restores the newest fully-valid snapshot in `env` into `out` — bit
+  /// identical to the index that saved it (same tree nodes, same traces,
+  /// same hash family), with fresh concurrency state (version 0). Returns
+  /// kCorruption when no valid snapshot exists ("rebuild required") and a
+  /// kind mismatch / malformed section as kCorruption too; `out` is only
+  /// written on Ok.
+  static Status LoadSnapshot(const SnapshotEnv& env, LoadedIndex* out);
+
   /// Seconds spent in Build (signature computation + tree construction).
   double build_seconds() const { return build_seconds_; }
   /// Index structure size (tree only, as reported in Fig. 7.8(b)).
@@ -259,6 +294,10 @@ class DigitalTraceIndex {
   uint64_t HasherMemoryBytes() const { return hasher_->MemoryBytes(); }
 
  private:
+  // The scale-out layer's snapshot path serializes each shard's tree under
+  // that shard's latch and restores shards through the private constructor.
+  friend class ShardedIndex;
+
   DigitalTraceIndex(std::shared_ptr<TraceStore> store, IndexOptions options,
                     std::unique_ptr<CellHasher> hasher, MinSigTree tree,
                     double build_seconds);
@@ -274,6 +313,12 @@ class DigitalTraceIndex {
   /// deadlock-free; buffer-pool shard mutexes sit strictly below all of
   /// these (pins happen inside a search, which never takes index locks).
   struct Coordination {
+    /// Index teardown runs after any order of sibling destructions, so the
+    /// final head snapshot must not reach into a shared disk/pool that may
+    /// already be gone: abandon its backing instead of reclaiming it. All
+    /// earlier retirements (repack, repair, DisablePagedTree) happen while
+    /// the backing is alive and do reclaim.
+    ~Coordination();
     /// Guards the in-memory tree: write-held across every mutation,
     /// read-held by in-memory-mode pins and by snapshot packers.
     RWLatch latch;
@@ -322,6 +367,15 @@ class DigitalTraceIndex {
   MinSigTree tree_;
   std::unique_ptr<Coordination> cc_;
   double build_seconds_;
+};
+
+/// Everything DigitalTraceIndex::LoadSnapshot restores. The hierarchy is
+/// owned here because the store (and hasher) hold raw pointers into it —
+/// keep the struct alive as long as the index.
+struct LoadedIndex {
+  std::unique_ptr<SpatialHierarchy> hierarchy;
+  std::shared_ptr<TraceStore> store;
+  std::unique_ptr<DigitalTraceIndex> index;
 };
 
 }  // namespace dtrace

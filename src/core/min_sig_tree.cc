@@ -163,6 +163,19 @@ MinSigTree MinSigTree::Build(const SignatureComputer& sigs,
   return tree;
 }
 
+MinSigTree MinSigTree::FromNodes(int m, int nh, Options options,
+                                 std::vector<Node> nodes) {
+  DT_CHECK_MSG(!nodes.empty(), "restored tree has no root");
+  MinSigTree tree(m, nh, options);
+  tree.nodes_ = std::move(nodes);
+  for (uint32_t i = 0; i < tree.nodes_.size(); ++i) {
+    const Node& n = tree.nodes_[i];
+    if (n.level != m) continue;
+    for (EntityId e : n.entities) tree.NoteLeafMembership(e, i);
+  }
+  return tree;
+}
+
 void MinSigTree::Insert(EntityId e, const SignatureComputer& sigs) {
   std::vector<int> routing(m_);
   std::vector<uint64_t> value(m_);

@@ -71,6 +71,15 @@ class MinSigTree : public TreeSource {
     return Build(sigs, entities, Options{});
   }
 
+  /// Restores a tree from serialized nodes (the snapshot load path,
+  /// core/index_snapshot.cc). `nodes[0]` must be the virtual root; leaf
+  /// membership and the entity count are rebuilt from the leaves' entity
+  /// lists. The caller (the snapshot decoder) is responsible for structural
+  /// validation of untrusted bytes — this aborts on duplicate leaf
+  /// membership, the one invariant it re-derives.
+  static MinSigTree FromNodes(int m, int nh, Options options,
+                              std::vector<Node> nodes);
+
   /// Inserts a new entity (whose trace must already be in the store),
   /// extending/lowering the root-to-leaf path (Sec. 4.2.3).
   void Insert(EntityId e, const SignatureComputer& sigs);

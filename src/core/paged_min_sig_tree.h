@@ -64,10 +64,11 @@ struct PagedTreeOptions {
 /// (DESIGN-sharding.md "Concurrency model"). Immutability is what makes
 /// that cheap: readers pin a snapshot via shared_ptr
 /// (DigitalTraceIndex::PinForRead) and keep walking it after the head
-/// moves on; a retired snapshot is destroyed when its last pin drops.
-/// Its disk pages are not reclaimed at retirement — on a shared disk they
-/// simply go cold and fall out of the pool (reclaim belongs to a later
-/// compaction pass). Full-signature trees are rejected at Pack — the
+/// moves on; a retired snapshot is destroyed when its last pin drops, at
+/// which point its shared-disk pages are discarded from the pool and
+/// returned to the disk's free list (~SimDiskTreePageStore), so a churn of
+/// repacks reuses pages instead of growing the disk without bound.
+/// Full-signature trees are rejected at Pack — the
 /// ablation mode stores nh values per node, which the fixed slot layout
 /// deliberately does not carry.
 class PagedMinSigTree final : public TreeSource {
@@ -125,6 +126,11 @@ class PagedMinSigTree final : public TreeSource {
            zone_level_.size();
   }
   const TreePageSource& page_store() const { return *store_; }
+
+  /// Index teardown: the snapshot's shared disk/pool may already be
+  /// destroyed, so tell the page store not to reclaim into them
+  /// (TreePageSource::AbandonBacking).
+  void AbandonBacking() const { store_->AbandonBacking(); }
 
  private:
   friend class PagedNodeCursor;

@@ -293,7 +293,10 @@ void BeginPrefetch(TraceCursor& cursor, std::span<const EntityId> candidates,
 // cursor hit (the parallel path merges per-worker cursor statuses under the
 // same lock that merges their io); the caller stops scoring and surfaces it
 // through TopKResult::status instead of trusting the scores.
-void EvalCandidates(const TraceSource& source,
+// `as_of` is the commit version the parallel path's worker cursors are
+// opened at; it must match the version `cursor` (the serial/shared cursor)
+// was opened at, so both paths read identical candidate traces.
+void EvalCandidates(const TraceSource& source, uint64_t as_of,
                     const AssociationMeasure& measure, EntityId q,
                     std::span<const uint32_t> q_sizes,
                     const QueryKernel& kernel, TimeStep w0, TimeStep w1,
@@ -343,7 +346,7 @@ void EvalCandidates(const TraceSource& source,
   std::vector<double>& scores = scratch.scores;
   std::mutex io_mu;
   ParallelFor(threads, candidates.size(), [&](size_t begin, size_t end) {
-    auto local = source.OpenCursor();
+    auto local = source.OpenCursorAt(as_of);
     std::vector<uint32_t> c_sizes(m), inter(m);
     std::vector<EntityId> batch;
     BeginPrefetch(*local, candidates.subspan(begin, end - begin), q,
@@ -412,7 +415,7 @@ TopKResult ForestTopKQuery(std::span<const SearchLane> lanes,
                  "lane tree depth differs from the query hierarchy");
   }
   Timer timer;
-  const auto cursor = query_source.OpenCursor();
+  const auto cursor = query_source.OpenCursorAt(options.trace_as_of);
   // Per-lane node cursors: every structural read below goes through them,
   // so the identical search runs over heap nodes (MinSigTree, zero I/O) or
   // packed pages (PagedMinSigTree, charged to stats.io at the end).
@@ -420,14 +423,19 @@ TopKResult ForestTopKQuery(std::span<const SearchLane> lanes,
   for (size_t i = 0; i < lanes.size(); ++i) {
     node_cursors[i] = lanes[i].tree->OpenNodeCursor();
   }
-  // Lanes whose source IS the query source share the query cursor (so a
-  // 1-lane forest charges exactly the single-tree search's I/O); other
-  // lanes open their own cursor lazily on first leaf evaluation.
+  // Lanes whose source IS the query source — at the same version, when
+  // versions matter — share the query cursor (so a 1-lane forest charges
+  // exactly the single-tree search's I/O); other lanes open their own
+  // cursor lazily, at the lane's as_of, on first leaf evaluation.
   std::vector<std::unique_ptr<TraceCursor>> lane_cursors(lanes.size());
   const auto lane_cursor = [&](uint32_t lane) -> TraceCursor& {
-    if (lanes[lane].source == &query_source) return *cursor;
+    if (lanes[lane].source == &query_source &&
+        (!query_source.versioned() ||
+         lanes[lane].as_of == options.trace_as_of)) {
+      return *cursor;
+    }
     if (lane_cursors[lane] == nullptr) {
-      lane_cursors[lane] = lanes[lane].source->OpenCursor();
+      lane_cursors[lane] = lanes[lane].source->OpenCursorAt(lanes[lane].as_of);
     }
     return *lane_cursors[lane];
   };
@@ -813,9 +821,9 @@ TopKResult ForestTopKQuery(std::span<const SearchLane> lanes,
         // Leaf: exact evaluation of every member (Lines 10-14), through
         // the owning lane's trace source — in parallel past the frontier
         // when requested.
-        EvalCandidates(*lanes[entry.lane].source, measure, q, q_sizes,
-                       kernel, w0, w1, node.entities, options,
-                       lane_cursor(entry.lane), heap, stats, scratch,
+        EvalCandidates(*lanes[entry.lane].source, lanes[entry.lane].as_of,
+                       measure, q, q_sizes, kernel, w0, w1, node.entities,
+                       options, lane_cursor(entry.lane), heap, stats, scratch,
                        search_status);
         publish_kth();
         pool.Release(entry.remaining);
@@ -875,7 +883,10 @@ TopKResult ForestTopKQuery(std::span<const SearchLane> lanes,
 
 TopKResult TopKQueryProcessor::Query(EntityId q, int k,
                                      const QueryOptions& options) const {
-  const SearchLane lane{tree_, source_, /*coarse_sig=*/{}};
+  // The lane reads candidates at the same version the query side does, so
+  // the one-lane forest shares the query cursor and charges I/O exactly
+  // like the historical single-tree search.
+  const SearchLane lane{tree_, source_, /*coarse_sig=*/{}, options.trace_as_of};
   return ForestTopKQuery({&lane, 1}, *source_, *hasher_, *measure_, q, k,
                          options);
 }
@@ -885,7 +896,7 @@ TopKResult TopKQueryProcessor::BruteForce(EntityId q, int k,
   DT_CHECK(k >= 1);
   Timer timer;
   const int m = source_->hierarchy().num_levels();
-  const auto cursor = source_->OpenCursor();
+  const auto cursor = source_->OpenCursorAt(options.trace_as_of);
   const TimeStep w0 = options.time_window ? options.time_window->begin : 0;
   const TimeStep w1 =
       options.time_window ? options.time_window->end : source_->horizon();
@@ -906,9 +917,9 @@ TopKResult TopKQueryProcessor::BruteForce(EntityId q, int k,
   TopKResult result;
   TopKHeap heap(k);
   EvalScratch scratch;
-  EvalCandidates(*source_, *measure_, q, q_sizes, kernel, w0, w1, candidates,
-                 options, *cursor, heap, result.stats, scratch,
-                 result.status);
+  EvalCandidates(*source_, options.trace_as_of, *measure_, q, q_sizes, kernel,
+                 w0, w1, candidates, options, *cursor, heap, result.stats,
+                 scratch, result.status);
   result.items = std::move(heap).Sorted();
   result.stats.io.Add(cursor->io());
   result.status.Update(cursor->status());

@@ -163,6 +163,13 @@ struct QueryOptions {
   /// dataset). Null = in-memory. Read by DigitalTraceIndex::Query/QueryMany;
   /// a TopKQueryProcessor is already bound to its source.
   const TraceSource* trace_source = nullptr;
+  /// Commit version the QUERY entity's trace (and, for single-lane
+  /// searches, every candidate's) is read as of — the version the caller's
+  /// read pin certifies (TraceSource::OpenCursorAt). DigitalTraceIndex sets
+  /// this to its pin's version so a query races no ReplaceEntity commit:
+  /// the tree it walks and the traces it scores belong to the same epoch.
+  /// Ignored by unversioned sources. Default: latest.
+  uint64_t trace_as_of = kLatestVersion;
   /// Worker threads for exact candidate evaluations past the frontier (leaf
   /// members and the brute-force scan): 1 = serial (default), 0 = auto,
   /// N > 1 = that many workers. Scores are computed in parallel and offered
@@ -211,6 +218,10 @@ struct SearchLane {
   const TreeSource* tree = nullptr;
   const TraceSource* source = nullptr;
   std::span<const uint64_t> coarse_sig = {};
+  /// Commit version this lane's candidate traces are read as of (the
+  /// version of the lane's read pin, matching the pinned tree above).
+  /// Ignored by unversioned sources. Default: latest.
+  uint64_t as_of = kLatestVersion;
 };
 
 /// Exact top-k over a *forest* of MinSigTrees that partition the entity

@@ -211,10 +211,13 @@ TopKResult ShardedIndex::RoutedFanOut(EntityId q, int k,
         }
       }
       if (!stable) std::fill(coarse[s].begin(), coarse[s].end(), 0);
+      // The lane reads candidate traces as of its own pin's version, so a
+      // ReplaceEntity committing into one shard mid-walk cannot leak its
+      // new trace into a lane pinned before it.
       lanes[s] = {&pins[s].tree(),
                   shard_sources_[s] != nullptr ? shard_sources_[s]
                                                : default_source,
-                  coarse[s]};
+                  coarse[s], pins[s].version()};
     }
     return ForestTopKQuery(lanes, *default_source, shards_[0]->hasher(),
                            measure, q, k, options);
@@ -417,6 +420,27 @@ void ShardedIndex::UpdateEntity(EntityId e) {
   // the same convention the shard trees follow.
   AbsorbIntoRouter(s, e);
   shards_[s]->UpdateEntity(e);
+}
+
+void ShardedIndex::ReplaceEntity(EntityId e,
+                                 const std::vector<PresenceRecord>& records) {
+  const int s = ShardOf(e);
+  // Absorb-before-commit, like InsertEntity — but the signature must come
+  // from the NEW trace, which the store does not serve yet (the override
+  // lands inside the shard commit below). Derive the new level-1 cells from
+  // the records directly and min-merge their signature in; the old trace's
+  // contribution lingers stale-low until Refresh, same as UpdateEntity.
+  const auto per_level = store_->CellsForRecords(records);
+  const CellHasher& hasher = shards_[s]->hasher();
+  const auto nh = static_cast<size_t>(router_.num_functions());
+  std::vector<uint64_t> sig(nh, ~uint64_t{0});
+  std::vector<uint64_t> row(nh);
+  for (CellId c : per_level[0]) {
+    hasher.HashAll(/*level=*/1, c, row.data());
+    for (size_t u = 0; u < nh; ++u) sig[u] = std::min(sig[u], row[u]);
+  }
+  router_.Absorb(s, sig);
+  shards_[s]->ReplaceEntity(e, records);
 }
 
 void ShardedIndex::RemoveEntity(EntityId e) {

@@ -12,8 +12,11 @@
 #include "core/shard_router.h"
 #include "trace/trace_store.h"
 #include "trace/types.h"
+#include "util/status.h"
 
 namespace dtrace {
+
+struct LoadedShardedIndex;  // below
 
 /// Stable shard assignment: a splitmix64 finalizer over the 64-bit-widened
 /// entity id, reduced mod `num_shards`. A pure function of (entity id,
@@ -113,8 +116,15 @@ struct ShardedIndexOptions {
 /// Routed queries validate that a shard's version did not move between the
 /// bound's signature read and the pin/skip decision, and fall back to
 /// not pruning that shard otherwise — bounds stay admissible for exactly
-/// the tree state the query reads. ReplaceEntity (trace mutation) is NOT
-/// covered: it rewrites shared trace state and requires quiescing readers.
+/// the tree state the query reads. ReplaceEntity (trace mutation) is
+/// covered by the same protocol: the new trace's coarse signature is
+/// absorbed into the router BEFORE the owning shard's {store override,
+/// tree update} commit, and readers score traces as of their per-shard pin
+/// versions (SearchLane::as_of), so no query ever mixes a shard's old tree
+/// with its new trace or vice versa. (The query entity's own trace is read
+/// at latest — its version stamps are shard-local, and a caller replacing
+/// the very entity it queries concurrently gets one side or the other of
+/// the replacement, both self-consistent.)
 class ShardedIndex {
  public:
   /// Builds shards over every entity in the store, or over `entities` when
@@ -163,6 +173,15 @@ class ShardedIndex {
   /// Re-indexes an entity after TraceStore::ReplaceEntity, in its shard.
   void UpdateEntity(EntityId e);
 
+  /// Replaces entity `e`'s trace AND re-indexes it in its owning shard as
+  /// one atomic per-shard commit (DigitalTraceIndex::ReplaceEntity). The
+  /// new trace's coarse signature is min-merged into the router before the
+  /// commit — computed from `records` directly, since the store still
+  /// serves the old trace at that point — keeping routed bounds admissible
+  /// throughout (absorb-before-commit, as for inserts). Safe to call
+  /// concurrently with queries.
+  void ReplaceEntity(EntityId e, const std::vector<PresenceRecord>& records);
+
   /// Removes an entity from its shard's tree.
   void RemoveEntity(EntityId e);
 
@@ -199,6 +218,21 @@ class ShardedIndex {
   /// bench_scalability --writer-threads).
   DigitalTraceIndex::ConcurrencyStats concurrency_stats() const;
 
+  /// Serializes every shard — shared config/hierarchy/router sections plus
+  /// per-shard trace partitions (by ShardOfEntity) and tree sections — as
+  /// one crash-atomic snapshot commit (storage/snapshot.h). Each shard's
+  /// trace+tree pair is captured under that shard's read latch, so every
+  /// shard section is internally consistent (the same per-shard version
+  /// vector queries already run against); router slots are snapshotted
+  /// per shard and stay admissible under the stale-LOW rule.
+  Status SaveSnapshot(SnapshotEnv* env, bool compress = false) const;
+
+  /// Restores the newest fully-valid sharded snapshot in `env` — bit
+  /// identical shard trees, traces, router state, and hash families, with
+  /// fresh per-shard concurrency state. kCorruption when no valid snapshot
+  /// exists or the newest valid one is a single-index snapshot.
+  static Status LoadSnapshot(const SnapshotEnv& env, LoadedShardedIndex* out);
+
   /// Entities indexed across all shards.
   size_t num_entities() const;
   /// Sum of shard tree sizes.
@@ -233,6 +267,14 @@ class ShardedIndex {
   std::vector<std::unique_ptr<DigitalTraceIndex>> shards_;
   std::vector<const TraceSource*> shard_sources_;  // null = default source
   double build_seconds_ = 0.0;
+};
+
+/// Everything ShardedIndex::LoadSnapshot restores; the hierarchy is owned
+/// here because the store and every shard's hasher point into it.
+struct LoadedShardedIndex {
+  std::unique_ptr<SpatialHierarchy> hierarchy;
+  std::shared_ptr<TraceStore> store;
+  std::unique_ptr<ShardedIndex> index;
 };
 
 }  // namespace dtrace

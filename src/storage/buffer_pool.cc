@@ -315,6 +315,40 @@ void BufferPool::FlushAll() {
   }
 }
 
+void BufferPool::Discard(PageId id) {
+  Shard& s = ShardOf(id);
+  auto lock = LockShard(s);
+  for (;;) {
+    const int32_t slot = ResidentSlot(s, id);
+    if (slot < 0) {
+      // Not resident — but a dirty victim's write-back may still be in
+      // flight; wait it out so the disk-side Free that follows us cannot
+      // race a straggling Write to the page.
+      if (s.writing_back.count(id) != 0) {
+        s.cv.wait(lock);
+        continue;
+      }
+      return;
+    }
+    Frame& f = s.frames[static_cast<size_t>(slot)];
+    if (f.loading) {
+      s.cv.wait(lock);
+      continue;
+    }
+    DT_CHECK_MSG(f.pins == 0, "Discard of a pinned page");
+    DT_CHECK_MSG(!f.dirty, "Discard of a dirty page");
+    ResidentSlot(s, id) = -1;
+    --s.client_resident[f.client];
+    if (f.in_lru) {
+      s.lru.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    s.free_frames.push_back(static_cast<size_t>(slot));
+    s.cv.notify_all();
+    return;
+  }
+}
+
 BufferPool::Stats BufferPool::stats() const {
   Stats out;
   for (const auto& shard : shards_) {

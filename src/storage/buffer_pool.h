@@ -95,6 +95,15 @@ class BufferPool {
   /// shard lock and written outside it (the no-I/O-under-lock rule).
   void FlushAll();
 
+  /// Drops `id`'s frame if resident, so the page can be returned to the
+  /// disk's free list without a stale copy lingering in the pool (call
+  /// Discard BEFORE SimDisk::Free — the order that guarantees a
+  /// reallocation's first Pin reads the fresh bytes). The page must be
+  /// unpinned and clean (the caller owns it exclusively: retired tree
+  /// snapshots are read-only and their pins have drained); an in-flight
+  /// load or write-back of the id is waited out first. No-op if absent.
+  void Discard(PageId id);
+
   /// Counter snapshot in one struct, aggregated across shards in one call,
   /// so callers (benches, sources) read a consistent-enough triple instead
   /// of recomputing deltas accessor by accessor. Under concurrency the

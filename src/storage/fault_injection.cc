@@ -75,8 +75,19 @@ bool FaultInjectingDisk::PageIsSticky(PageId id) const {
 void FaultInjectingDisk::OnAllocateLocked(PageId id) {
   // Materialize the page's fault slot under the allocation latch; the base
   // class's release-store of the page count publishes it (zeroed) together
-  // with the page.
+  // with the page. For a REUSED page (coming off the free list) the slot
+  // already exists and OnFreeLocked has marked it remapped-clean; the
+  // ordinals keep counting, which keeps every schedule a pure function of
+  // (seed, page, ordinal) across the page's tenancies.
   fault_slots_.EnsureSlot(id);
+}
+
+void FaultInjectingDisk::OnFreeLocked(PageId id) {
+  // A freed-then-reused page is fresh media: mark it remapped (state 3, the
+  // same terminal state a remapping Write reaches), so a tenant that
+  // happened to be sticky-bad cannot poison the next one. Deterministic:
+  // free/reuse points are part of the caller's schedule, not a new roll.
+  fault_slots_[id].sticky_state.store(3, std::memory_order_relaxed);
 }
 
 Status FaultInjectingDisk::Read(PageId id, Page* out) {

@@ -105,6 +105,7 @@ class FaultInjectingDisk final : public SimDisk {
 
  protected:
   void OnAllocateLocked(PageId id) override;
+  void OnFreeLocked(PageId id) override;
 
   double extra_modeled_seconds() const override {
     // Stored as nanoseconds in an integer atomic (doubles cannot be

@@ -178,6 +178,21 @@ class PagedTraceCursor final : public TraceCursor {
   };
 
   CachedEntity& Fetch(EntityId e) {
+    // Staleness probe: the serialization is point-in-time, so an entity
+    // replaced on the live store after construction must fail loudly —
+    // serving the pre-replacement bytes would silently desynchronize the
+    // source from the index. Latch the error and serve empty data through
+    // an emptied slot, exactly like an unrecoverable read fault.
+    if (src_->live_store_->EntityReplacedSince(e, src_->snapshot_ordinal_)) {
+      status_.Update(Status::FailedPrecondition(
+          "paged trace snapshot is stale: entity replaced on the live store"));
+      CachedEntity* slot = &slots_[0];
+      MarkSlotEmpty(slot);
+      slot->entity = kInvalidEntity;
+      slot->last_used = ++tick_;
+      mru_ = nullptr;
+      return *slot;
+    }
     // MRU shortcut: the scoring loop reads one entity's levels back to back.
     if (mru_ != nullptr && mru_->entity == e) {
       ++io_.cache_hits;
@@ -393,6 +408,7 @@ class PagedTraceCursor final : public TraceCursor {
 PagedTraceSource::PagedTraceSource(const TraceStore& store,
                                    PagedTraceSource::Options options)
     : hierarchy_(&store.hierarchy()),
+      live_store_(&store),
       num_entities_(store.num_entities()),
       horizon_(store.horizon()),
       cache_entities_(std::max<size_t>(2, options.cursor_cache_entities)) {
@@ -408,6 +424,9 @@ PagedTraceSource::PagedTraceSource(const TraceStore& store,
   }
   paged_ = std::make_unique<PagedTraceStore>(store, disk_.get(),
                                              options.compress);
+  // Captured AFTER serialization: any replacement racing construction is
+  // either fully in the serialized bytes or detected by the probe.
+  snapshot_ordinal_ = store.mutation_ordinal();
   size_t capacity = options.pool_pages > 0
                         ? options.pool_pages
                         : std::max<size_t>(1, paged_->num_pages());

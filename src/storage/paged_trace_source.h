@@ -31,9 +31,13 @@ namespace dtrace {
 /// while the caller scores the current one, with identical results and
 /// identical per-query I/O accounting (see DESIGN-storage.md).
 ///
-/// The hierarchy referenced by `store` must outlive the source; the store
-/// itself is only read during construction. Reads after construction see the
-/// serialized snapshot (ReplaceEntity on the live store is not reflected).
+/// `store` (and its hierarchy) must outlive the source. The serialization is
+/// a point-in-time snapshot: reads serve the traces as of construction. A
+/// ReplaceEntity committed on the live store afterwards is NOT reflected —
+/// and is not silently ignored either: cursors probe the store's mutation
+/// ordinal per fetched entity and latch a kFailedPrecondition ("snapshot is
+/// stale") instead of serving pre-replacement bytes. Rebuild the source to
+/// pick up replacements.
 class PagedTraceSource final : public TraceSource {
  public:
   struct Options {
@@ -116,6 +120,8 @@ class PagedTraceSource final : public TraceSource {
   friend class PagedTraceCursor;
 
   const SpatialHierarchy* hierarchy_;
+  const TraceStore* live_store_;  // staleness probe (see class comment)
+  uint64_t snapshot_ordinal_;     // store mutation ordinal at serialization
   uint32_t num_entities_;
   TimeStep horizon_;
   size_t cache_entities_;

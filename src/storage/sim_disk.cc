@@ -27,6 +27,20 @@ SimDisk::SimDisk(double read_latency_seconds, double write_latency_seconds)
 
 PageId SimDisk::Allocate() {
   const std::lock_guard<std::mutex> lock(alloc_mu_);
+  if (!free_list_.empty()) {
+    // Reuse the most recently freed page: re-zero it so a reader that never
+    // writes sees exactly what a fresh page would give, and re-run the
+    // subclass hook so sidecar state is rebuilt like a fresh allocation.
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    PageSlot& slot = slots_[id];
+    DT_CHECK(slot.free);
+    slot.free = false;
+    slot.page->data.fill(0);
+    slot.checksum = ZeroPageChecksum();
+    OnAllocateLocked(id);
+    return id;
+  }
   const size_t id = num_pages_.load(std::memory_order_relaxed);
   PageSlot& slot = slots_.EnsureSlot(id);
   slot.page = std::make_unique<Page>();
@@ -37,6 +51,16 @@ PageId SimDisk::Allocate() {
   // guaranteed to see the slot (and any subclass sidecar) fully built.
   num_pages_.store(id + 1, std::memory_order_release);
   return static_cast<PageId>(id);
+}
+
+void SimDisk::Free(PageId id) {
+  const std::lock_guard<std::mutex> lock(alloc_mu_);
+  DT_CHECK(id < num_pages_.load(std::memory_order_relaxed));
+  PageSlot& slot = slots_[id];
+  DT_CHECK_MSG(!slot.free, "double free of a disk page");
+  slot.free = true;
+  OnFreeLocked(id);
+  free_list_.push_back(id);
 }
 
 Status SimDisk::Read(PageId id, Page* out) {

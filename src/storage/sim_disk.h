@@ -7,6 +7,7 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "util/check.h"
 #include "util/status.h"
@@ -135,9 +136,27 @@ class SimDisk {
                    double write_latency_seconds = 100e-6);
   virtual ~SimDisk() = default;
 
-  /// Allocates a zeroed page and returns its id. Thread-safe (serialized on
-  /// an internal allocation latch; see class comment).
+  /// Allocates a zeroed page and returns its id. Reuses the most recently
+  /// freed page when the free list is nonempty (LIFO — so a churn loop's
+  /// footprint plateaus instead of growing); otherwise appends a fresh one.
+  /// Thread-safe (serialized on an internal allocation latch; see class
+  /// comment).
   PageId Allocate();
+
+  /// Returns `id` to the free list for reuse by a later Allocate. The caller
+  /// must guarantee no outstanding reference: no concurrent Read/Write, and
+  /// no buffer-pool frame still caching it (BufferPool::Discard first —
+  /// otherwise a reallocation's fresh bytes could be shadowed by a stale
+  /// frame). Freeing a page twice, or an id never allocated, is a programmer
+  /// error. Thread-safe under the same allocation latch as Allocate.
+  void Free(PageId id);
+
+  /// Pages currently on the free list (num_pages() counts them too — the
+  /// table never shrinks; reuse is what bounds growth).
+  size_t free_pages() const {
+    const std::lock_guard<std::mutex> lock(alloc_mu_);
+    return free_list_.size();
+  }
 
   virtual Status Read(PageId id, Page* out);
   virtual Status Write(PageId id, const Page& page);
@@ -177,6 +196,12 @@ class SimDisk {
   /// ordinals) with the same publication ordering as the page itself.
   virtual void OnAllocateLocked(PageId /*id*/) {}
 
+  /// Called by Free under the allocation latch — the subclass hook for
+  /// resetting per-page sidecar state before the page can be reused
+  /// (FaultInjectingDisk marks the slot remapped-clean, so a page that was
+  /// sticky-bad does not poison its next tenant).
+  virtual void OnFreeLocked(PageId /*id*/) {}
+
   /// Direct access to the stored bytes of `id`, bypassing Read accounting
   /// and the checksum stamp — how FaultInjectingDisk tears a committed write
   /// without touching its sidecar checksum. Same exclusivity rule as Write.
@@ -200,6 +225,8 @@ class SimDisk {
   struct PageSlot {
     std::unique_ptr<Page> page;
     uint64_t checksum = 0;
+    /// On the free list (guards double-free; read/written under alloc_mu_).
+    bool free = false;
   };
 
   double read_latency_;
@@ -208,8 +235,10 @@ class SimDisk {
   /// Published page count: release-stored by Allocate after the slot is
   /// ready, acquire-loaded by everyone indexing the table.
   std::atomic<size_t> num_pages_{0};
-  /// Serializes Allocate calls (slot init + subclass sidecar growth).
-  std::mutex alloc_mu_;
+  /// Serializes Allocate/Free calls (slot init + subclass sidecar growth).
+  mutable std::mutex alloc_mu_;
+  /// Freed page ids awaiting reuse (LIFO).
+  std::vector<PageId> free_list_;
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
 };

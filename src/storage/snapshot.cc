@@ -1,0 +1,412 @@
+#include "storage/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace dtrace {
+namespace {
+
+constexpr uint64_t kSectionMagic = 0x64747261636553ull;   // "dtraceS"
+constexpr uint64_t kManifestMagic = 0x64747261636d4dull;  // "dtracmM"
+constexpr uint64_t kManifestVersion = 1;
+constexpr size_t kChunkBytes = kPageSize;
+// Section file header: magic, epoch, payload_bytes.
+constexpr size_t kSectionHeaderBytes = 3 * sizeof(uint64_t);
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string EpochSuffix(uint64_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "-%016llx",
+                static_cast<unsigned long long>(epoch));
+  return std::string(buf);
+}
+
+std::string SectionFileName(std::string_view name, uint64_t epoch) {
+  return std::string(name) + EpochSuffix(epoch);
+}
+
+std::string ManifestFileName(uint64_t epoch) {
+  return std::string("MANIFEST") + EpochSuffix(epoch);
+}
+
+/// Parses the trailing "-<016 hex>" epoch suffix; base gets the file name
+/// without it. False for names that are not snapshot files.
+bool ParseEpochSuffix(std::string_view file, std::string_view* base,
+                      uint64_t* epoch) {
+  constexpr size_t kSuffixLen = 17;  // '-' + 16 hex digits
+  if (file.size() <= kSuffixLen) return false;
+  size_t dash = file.size() - kSuffixLen;
+  if (file[dash] != '-') return false;
+  uint64_t e = 0;
+  for (size_t i = dash + 1; i < file.size(); ++i) {
+    char c = file[i];
+    uint64_t d;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    e = (e << 4) | d;
+  }
+  *base = file.substr(0, dash);
+  *epoch = e;
+  return true;
+}
+
+size_t NumChunks(uint64_t payload_bytes) {
+  return static_cast<size_t>((payload_bytes + kChunkBytes - 1) / kChunkBytes);
+}
+
+/// Whole-section digest: the chunk-sum chain. Hashes (payload_bytes,
+/// chunk checksums) so both truncation and content damage change it.
+uint64_t SectionDigest(uint64_t payload_bytes,
+                       std::span<const uint64_t> chunk_sums) {
+  uint64_t h = Mix64(payload_bytes);
+  for (uint64_t c : chunk_sums) h = Mix64(h ^ c);
+  return h;
+}
+
+void ComputeChunkSums(std::span<const uint8_t> payload,
+                      std::vector<uint64_t>* sums) {
+  sums->clear();
+  size_t chunks = NumChunks(payload.size());
+  sums->reserve(chunks);
+  for (size_t i = 0; i < chunks; ++i) {
+    size_t off = i * kChunkBytes;
+    size_t n = std::min(kChunkBytes, payload.size() - off);
+    sums->push_back(ByteRangeChecksum(payload.data() + off, n));
+  }
+}
+
+/// Validates a section file image against the manifest's record of it.
+/// `payload` (optional) receives a copy of the verified payload bytes.
+Status ValidateSectionBytes(const std::vector<uint8_t>& file, uint64_t epoch,
+                            const SnapshotManifest::Section& expect,
+                            std::vector<uint8_t>* payload) {
+  SnapshotCursor cur(std::span<const uint8_t>(file.data(), file.size()));
+  uint64_t magic = 0, file_epoch = 0, payload_bytes = 0;
+  if (!cur.GetU64(&magic) || !cur.GetU64(&file_epoch) ||
+      !cur.GetU64(&payload_bytes)) {
+    return Status::Corruption("snapshot section: truncated header");
+  }
+  if (magic != kSectionMagic) {
+    return Status::Corruption("snapshot section: bad magic");
+  }
+  if (file_epoch != epoch) {
+    return Status::Corruption("snapshot section: epoch mismatch");
+  }
+  if (payload_bytes != expect.payload_bytes) {
+    return Status::Corruption("snapshot section: size disagrees with manifest");
+  }
+  std::span<const uint8_t> body;
+  if (!cur.GetSpan(payload_bytes, &body)) {
+    return Status::Corruption("snapshot section: truncated payload");
+  }
+  size_t chunks = NumChunks(payload_bytes);
+  std::vector<uint64_t> stored(chunks);
+  if (!cur.GetBytes(stored.data(), chunks * sizeof(uint64_t))) {
+    return Status::Corruption("snapshot section: truncated checksum table");
+  }
+  uint64_t stored_digest = 0;
+  if (!cur.GetU64(&stored_digest) || !cur.AtEnd()) {
+    return Status::Corruption("snapshot section: bad trailer");
+  }
+  std::vector<uint64_t> sums;
+  ComputeChunkSums(body, &sums);
+  for (size_t i = 0; i < chunks; ++i) {
+    if (sums[i] != stored[i]) {
+      return Status::Corruption("snapshot section: chunk checksum mismatch");
+    }
+  }
+  uint64_t digest = SectionDigest(payload_bytes, sums);
+  if (digest != stored_digest || digest != expect.digest) {
+    return Status::Corruption("snapshot section: digest mismatch");
+  }
+  if (payload != nullptr) payload->assign(body.begin(), body.end());
+  return Status::Ok();
+}
+
+/// Parses + checksum-validates a manifest file image.
+Status ValidateManifestBytes(const std::vector<uint8_t>& file,
+                             uint64_t expect_epoch, SnapshotManifest* out) {
+  if (file.size() < sizeof(uint64_t)) {
+    return Status::Corruption("snapshot manifest: truncated");
+  }
+  uint64_t stored_sum;
+  std::memcpy(&stored_sum, file.data() + file.size() - sizeof(uint64_t),
+              sizeof(stored_sum));
+  if (ByteRangeChecksum(file.data(), file.size() - sizeof(uint64_t)) !=
+      stored_sum) {
+    return Status::Corruption("snapshot manifest: checksum mismatch");
+  }
+  SnapshotCursor cur(std::span<const uint8_t>(
+      file.data(), file.size() - sizeof(uint64_t)));
+  uint64_t magic = 0, version = 0, kind = 0, epoch = 0, num_sections = 0;
+  if (!cur.GetU64(&magic) || !cur.GetU64(&version) || !cur.GetU64(&kind) ||
+      !cur.GetU64(&epoch) || !cur.GetU64(&num_sections)) {
+    return Status::Corruption("snapshot manifest: truncated header");
+  }
+  if (magic != kManifestMagic || version != kManifestVersion) {
+    return Status::Corruption("snapshot manifest: bad magic/version");
+  }
+  if (epoch != expect_epoch) {
+    return Status::Corruption("snapshot manifest: epoch mismatch");
+  }
+  SnapshotManifest m;
+  m.epoch = epoch;
+  m.kind = kind;
+  for (uint64_t i = 0; i < num_sections; ++i) {
+    uint32_t name_len = 0;
+    if (!cur.GetU32(&name_len) || name_len == 0 || name_len > 256) {
+      return Status::Corruption("snapshot manifest: bad section name");
+    }
+    SnapshotManifest::Section s;
+    s.name.resize(name_len);
+    if (!cur.GetBytes(s.name.data(), name_len) ||
+        !cur.GetU64(&s.payload_bytes) || !cur.GetU64(&s.digest)) {
+      return Status::Corruption("snapshot manifest: truncated section entry");
+    }
+    m.sections.push_back(std::move(s));
+  }
+  if (!cur.AtEnd()) {
+    return Status::Corruption("snapshot manifest: trailing bytes");
+  }
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+}  // namespace
+
+// --- DirSnapshotEnv -----------------------------------------------------
+
+Status DirSnapshotEnv::WriteFile(std::string_view name,
+                                 std::span<const uint8_t> bytes) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) return Status::IoError("snapshot dir: create_directories failed");
+  fs::path final_path = fs::path(root_) / std::string(name);
+  fs::path tmp_path = final_path;
+  tmp_path += ".tmp";
+  {
+    std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!f) return Status::IoError("snapshot dir: open for write failed");
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!f) return Status::IoError("snapshot dir: write failed");
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) return Status::IoError("snapshot dir: rename failed");
+  return Status::Ok();
+}
+
+Status DirSnapshotEnv::ReadFile(std::string_view name,
+                                std::vector<uint8_t>* out) const {
+  namespace fs = std::filesystem;
+  fs::path path = fs::path(root_) / std::string(name);
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) return Status::IoError("snapshot dir: open for read failed");
+  std::streamsize size = f.tellg();
+  f.seekg(0);
+  out->resize(static_cast<size_t>(size));
+  if (size > 0 &&
+      !f.read(reinterpret_cast<char*>(out->data()), size)) {
+    return Status::IoError("snapshot dir: read failed");
+  }
+  return Status::Ok();
+}
+
+Status DirSnapshotEnv::ListFiles(std::vector<std::string>* names) const {
+  namespace fs = std::filesystem;
+  names->clear();
+  std::error_code ec;
+  if (!fs::exists(root_, ec)) return Status::Ok();
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    // A crash between write and rename can leave a .tmp behind; it was
+    // never published, so it is not a snapshot file.
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      continue;
+    }
+    names->push_back(std::move(name));
+  }
+  if (ec) return Status::IoError("snapshot dir: list failed");
+  return Status::Ok();
+}
+
+Status DirSnapshotEnv::DeleteFile(std::string_view name) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::remove(fs::path(root_) / std::string(name), ec);
+  if (ec) return Status::IoError("snapshot dir: remove failed");
+  return Status::Ok();
+}
+
+// --- CrashSnapshotEnv ---------------------------------------------------
+
+Status CrashSnapshotEnv::WriteFile(std::string_view name,
+                                   std::span<const uint8_t> bytes) {
+  uint64_t start = written_;
+  written_ += bytes.size();
+  if (start >= crash_after_bytes_) return Status::Ok();  // lost entirely
+  if (written_ <= crash_after_bytes_) return base_->WriteFile(name, bytes);
+  // This write straddles the crash point.
+  if (mode_ == Mode::kDropFile) return Status::Ok();
+  size_t keep = static_cast<size_t>(crash_after_bytes_ - start);
+  std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + keep);
+  if (mode_ == Mode::kTornTail && keep > 0) {
+    // Scribble the tail of what did land — the device committed garbage in
+    // its final sector. Damage is seed-pure and guaranteed non-identity.
+    size_t torn = std::min<size_t>(16, keep);
+    for (size_t i = 0; i < torn; ++i) {
+      prefix[keep - 1 - i] ^=
+          static_cast<uint8_t>(Mix64(seed_ + i) | 1);
+    }
+  }
+  return base_->WriteFile(name, prefix);
+}
+
+// --- SnapshotWriter -----------------------------------------------------
+
+SnapshotWriter::SnapshotWriter(SnapshotEnv* env, uint64_t kind) : env_(env) {
+  manifest_.kind = kind;
+  // Epoch: one past the newest epoch any file in the env carries —
+  // manifests AND orphaned sections, so a crashed commit's leftovers can
+  // never collide with (and be mistaken for) a later commit's files.
+  uint64_t max_epoch = 0;
+  std::vector<std::string> files;
+  if (env_->ListFiles(&files).ok()) {
+    for (const auto& f : files) {
+      std::string_view base;
+      uint64_t e;
+      if (ParseEpochSuffix(f, &base, &e)) max_epoch = std::max(max_epoch, e);
+    }
+  }
+  epoch_ = max_epoch + 1;
+  manifest_.epoch = epoch_;
+}
+
+Status SnapshotWriter::AddSection(std::string_view name,
+                                  std::span<const uint8_t> payload) {
+  DT_CHECK_MSG(!committed_, "AddSection after Commit");
+  DT_CHECK_MSG(manifest_.FindSection(name) == nullptr,
+               "duplicate snapshot section name");
+  std::vector<uint64_t> sums;
+  ComputeChunkSums(payload, &sums);
+  uint64_t digest = SectionDigest(payload.size(), sums);
+
+  SnapshotBuffer file;
+  file.PutU64(kSectionMagic);
+  file.PutU64(epoch_);
+  file.PutU64(payload.size());
+  file.PutBytes(payload.data(), payload.size());
+  file.PutBytes(sums.data(), sums.size() * sizeof(uint64_t));
+  file.PutU64(digest);
+
+  Status st = env_->WriteFile(SectionFileName(name, epoch_), file.bytes());
+  if (!st.ok()) return st;
+  manifest_.sections.push_back(
+      {std::string(name), payload.size(), digest});
+  payload_bytes_ += payload.size();
+  return Status::Ok();
+}
+
+Status SnapshotWriter::Commit() {
+  DT_CHECK_MSG(!committed_, "double Commit");
+  committed_ = true;
+  SnapshotBuffer buf;
+  buf.PutU64(kManifestMagic);
+  buf.PutU64(kManifestVersion);
+  buf.PutU64(manifest_.kind);
+  buf.PutU64(epoch_);
+  buf.PutU64(manifest_.sections.size());
+  for (const auto& s : manifest_.sections) {
+    buf.PutU32(static_cast<uint32_t>(s.name.size()));
+    buf.PutBytes(s.name.data(), s.name.size());
+    buf.PutU64(s.payload_bytes);
+    buf.PutU64(s.digest);
+  }
+  buf.PutU64(ByteRangeChecksum(buf.bytes().data(), buf.bytes().size()));
+  return env_->WriteFile(ManifestFileName(epoch_), buf.bytes());
+}
+
+// --- Loader -------------------------------------------------------------
+
+Status LoadNewestManifest(const SnapshotEnv& env, SnapshotManifest* out) {
+  std::vector<std::string> files;
+  Status st = env.ListFiles(&files);
+  if (!st.ok()) return st;
+  std::vector<uint64_t> epochs;
+  for (const auto& f : files) {
+    std::string_view base;
+    uint64_t e;
+    if (ParseEpochSuffix(f, &base, &e) && base == "MANIFEST") {
+      epochs.push_back(e);
+    }
+  }
+  std::sort(epochs.rbegin(), epochs.rend());
+  for (uint64_t epoch : epochs) {
+    std::vector<uint8_t> bytes;
+    if (!env.ReadFile(ManifestFileName(epoch), &bytes).ok()) continue;
+    SnapshotManifest m;
+    if (!ValidateManifestBytes(bytes, epoch, &m).ok()) continue;
+    // Every referenced section must validate before this epoch wins.
+    bool all_ok = true;
+    for (const auto& s : m.sections) {
+      std::vector<uint8_t> section;
+      if (!env.ReadFile(SectionFileName(s.name, epoch), &section).ok() ||
+          !ValidateSectionBytes(section, epoch, s, nullptr).ok()) {
+        all_ok = false;
+        break;
+      }
+    }
+    if (!all_ok) continue;
+    *out = std::move(m);
+    return Status::Ok();
+  }
+  return Status::Corruption("no valid snapshot (rebuild required)");
+}
+
+Status ReadSnapshotSection(const SnapshotEnv& env,
+                           const SnapshotManifest& manifest,
+                           std::string_view name,
+                           std::vector<uint8_t>* payload) {
+  const SnapshotManifest::Section* s = manifest.FindSection(name);
+  if (s == nullptr) {
+    return Status::Corruption("snapshot: missing section");
+  }
+  std::vector<uint8_t> bytes;
+  Status st = env.ReadFile(SectionFileName(name, manifest.epoch), &bytes);
+  if (!st.ok()) return st;
+  return ValidateSectionBytes(bytes, manifest.epoch, *s, payload);
+}
+
+Status PruneSnapshots(SnapshotEnv* env, uint64_t keep_from_epoch) {
+  std::vector<std::string> files;
+  Status st = env->ListFiles(&files);
+  if (!st.ok()) return st;
+  for (const auto& f : files) {
+    std::string_view base;
+    uint64_t e;
+    if (ParseEpochSuffix(f, &base, &e) && e < keep_from_epoch) {
+      Status del = env->DeleteFile(f);
+      if (!del.ok()) return del;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dtrace

@@ -1,0 +1,289 @@
+#ifndef DTRACE_STORAGE_SNAPSHOT_H_
+#define DTRACE_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/sim_disk.h"
+#include "util/status.h"
+
+namespace dtrace {
+
+// Crash-safe snapshot persistence (DESIGN-storage.md, "Snapshot format and
+// recovery protocol"). A snapshot is a set of named SECTION files plus one
+// MANIFEST file, all carrying the same monotonically increasing epoch. The
+// writer publishes the manifest LAST, so a crash at any byte of the commit
+// leaves either (a) the previous epoch's manifest as the newest valid one,
+// or (b) a manifest whose validation fails — never a loadable half-snapshot.
+// The loader scans manifests newest-epoch-first and returns the first one
+// whose own checksum AND every referenced section validate; if none does,
+// it returns Status{kCorruption} ("rebuild required").
+
+/// The PageChecksum scheme (sim_disk.h) applied to an arbitrary byte range:
+/// word-wise xor-multiply-mix, with the tail virtually zero-padded to a
+/// multiple of 8. Snapshot sections checksum each 4K chunk with this and
+/// chain the chunk sums into a whole-section digest.
+inline uint64_t ByteRangeChecksum(const uint8_t* p, size_t n) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, sizeof(w));
+    h ^= w;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 29;
+  }
+  if (i < n) {
+    uint64_t w = 0;
+    std::memcpy(&w, p + i, n - i);
+    h ^= w;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+/// Where snapshot files live. One level of named byte files is all the
+/// subsystem needs; implementations decide what a "file" is (a directory
+/// entry, a map entry, a crash-injected wrapper around either). A WriteFile
+/// replaces any existing file of that name whole — partial visibility is the
+/// crash wrapper's job, not the contract's.
+class SnapshotEnv {
+ public:
+  virtual ~SnapshotEnv() = default;
+  virtual Status WriteFile(std::string_view name,
+                           std::span<const uint8_t> bytes) = 0;
+  virtual Status ReadFile(std::string_view name,
+                          std::vector<uint8_t>* out) const = 0;
+  virtual Status ListFiles(std::vector<std::string>* names) const = 0;
+  virtual Status DeleteFile(std::string_view name) = 0;
+};
+
+/// In-memory env: the test backend. Copyable, so a crash sweep can re-run
+/// the same commit against a pristine copy of the pre-crash state; `files()`
+/// is exposed so corruption tests can scribble on stored bytes directly.
+class MemSnapshotEnv final : public SnapshotEnv {
+ public:
+  Status WriteFile(std::string_view name,
+                   std::span<const uint8_t> bytes) override {
+    files_[std::string(name)].assign(bytes.begin(), bytes.end());
+    return Status::Ok();
+  }
+  Status ReadFile(std::string_view name,
+                  std::vector<uint8_t>* out) const override {
+    auto it = files_.find(std::string(name));
+    if (it == files_.end()) return Status::IoError("snapshot file not found");
+    *out = it->second;
+    return Status::Ok();
+  }
+  Status ListFiles(std::vector<std::string>* names) const override {
+    names->clear();
+    for (const auto& [name, bytes] : files_) names->push_back(name);
+    return Status::Ok();
+  }
+  Status DeleteFile(std::string_view name) override {
+    files_.erase(std::string(name));
+    return Status::Ok();
+  }
+
+  std::map<std::string, std::vector<uint8_t>>& files() { return files_; }
+
+ private:
+  std::map<std::string, std::vector<uint8_t>> files_;
+};
+
+/// Filesystem env rooted at a directory (created on first write). Writes go
+/// through a temp file + rename so a torn process leaves either the old file
+/// or the new one, mirroring the atomicity the in-memory env gets for free.
+/// (No fsync — the SimDisk world models crash schedules explicitly through
+/// CrashSnapshotEnv; this backend exists for the restart bench and real use.)
+class DirSnapshotEnv final : public SnapshotEnv {
+ public:
+  explicit DirSnapshotEnv(std::string root) : root_(std::move(root)) {}
+
+  Status WriteFile(std::string_view name,
+                   std::span<const uint8_t> bytes) override;
+  Status ReadFile(std::string_view name,
+                  std::vector<uint8_t>* out) const override;
+  Status ListFiles(std::vector<std::string>* names) const override;
+  Status DeleteFile(std::string_view name) override;
+
+ private:
+  std::string root_;
+};
+
+/// Crash-injecting wrapper: the snapshot analogue of FaultInjectingDisk.
+/// The schedule is a pure function of (crash_after_bytes, mode, seed):
+/// bytes 0..crash_after_bytes-1 of the concatenated WriteFile stream land;
+/// everything after the crash point is lost. A WriteFile that straddles the
+/// boundary lands as a prefix (kTruncate), as a prefix whose tail 16 bytes
+/// are seed-scrambled (kTornTail — damage the sidecar checksums must catch),
+/// or not at all (kDropFile — the kill-between-sections class). WriteFile
+/// still reports Ok: a killed process never learns its write was lost.
+class CrashSnapshotEnv final : public SnapshotEnv {
+ public:
+  enum class Mode { kTruncate, kTornTail, kDropFile };
+
+  CrashSnapshotEnv(SnapshotEnv* base, uint64_t crash_after_bytes, Mode mode,
+                   uint64_t seed)
+      : base_(base),
+        crash_after_bytes_(crash_after_bytes),
+        mode_(mode),
+        seed_(seed) {}
+
+  Status WriteFile(std::string_view name,
+                   std::span<const uint8_t> bytes) override;
+  Status ReadFile(std::string_view name,
+                  std::vector<uint8_t>* out) const override {
+    return base_->ReadFile(name, out);
+  }
+  Status ListFiles(std::vector<std::string>* names) const override {
+    return base_->ListFiles(names);
+  }
+  Status DeleteFile(std::string_view name) override {
+    // A delete past the crash point is lost like any other mutation.
+    if (written_ >= crash_after_bytes_) return Status::Ok();
+    return base_->DeleteFile(name);
+  }
+
+  bool crashed() const { return written_ >= crash_after_bytes_; }
+
+ private:
+  SnapshotEnv* base_;
+  uint64_t crash_after_bytes_;
+  Mode mode_;
+  uint64_t seed_;
+  uint64_t written_ = 0;
+};
+
+/// A validated manifest: the loader's view of one committed snapshot.
+struct SnapshotManifest {
+  struct Section {
+    std::string name;       // base name; stored as "<name>-<epoch:016x>"
+    uint64_t payload_bytes = 0;
+    uint64_t digest = 0;    // whole-section digest (chunk-sum chain)
+  };
+  uint64_t epoch = 0;
+  uint64_t kind = 0;        // kSnapshotKind* — what the sections encode
+  std::vector<Section> sections;
+
+  const Section* FindSection(std::string_view name) const {
+    for (const auto& s : sections) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+};
+
+inline constexpr uint64_t kSnapshotKindIndex = 1;    // DigitalTraceIndex
+inline constexpr uint64_t kSnapshotKindSharded = 2;  // ShardedIndex
+
+/// Writes one snapshot commit: sections first (each checksummed per 4K chunk
+/// plus a whole-section digest), manifest last. The epoch is one past the
+/// newest epoch already present in the env (valid or not — a torn manifest
+/// still burns its epoch number, which keeps epochs monotone across crashes).
+class SnapshotWriter {
+ public:
+  /// `kind` is recorded in the manifest; loaders reject a kind mismatch.
+  SnapshotWriter(SnapshotEnv* env, uint64_t kind);
+
+  /// Writes section `name` with the given payload. Names must be unique
+  /// within a commit and must not contain '-' followed by hex (the epoch
+  /// suffix is appended internally).
+  Status AddSection(std::string_view name, std::span<const uint8_t> payload);
+
+  /// Publishes the manifest. The snapshot is durable iff this returns Ok.
+  Status Commit();
+
+  uint64_t epoch() const { return epoch_; }
+  /// Total payload bytes written so far (benches report this).
+  uint64_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  SnapshotEnv* env_;
+  SnapshotManifest manifest_;
+  uint64_t epoch_;
+  uint64_t payload_bytes_ = 0;
+  bool committed_ = false;
+};
+
+/// Scans the env and returns the newest fully-valid snapshot's manifest:
+/// manifest checksum, per-section footers, chunk checksums, and digests all
+/// verified. Older epochs are tried in turn when newer ones fail — the
+/// fallback the crash harness exercises. Returns Status{kCorruption} when no
+/// valid snapshot exists ("rebuild required").
+Status LoadNewestManifest(const SnapshotEnv& env, SnapshotManifest* out);
+
+/// Reads section `name` of the given (already validated) manifest and
+/// re-verifies its checksums before returning the payload. kCorruption if
+/// the section changed or validates differently since the manifest scan.
+Status ReadSnapshotSection(const SnapshotEnv& env,
+                           const SnapshotManifest& manifest,
+                           std::string_view name,
+                           std::vector<uint8_t>* payload);
+
+/// Deletes every snapshot file of epochs older than `keep_from_epoch`, plus
+/// orphaned section files with no manifest. Safe to run after a successful
+/// Commit to bound disk usage; never touches `keep_from_epoch` or newer.
+Status PruneSnapshots(SnapshotEnv* env, uint64_t keep_from_epoch);
+
+// --- Encode/decode helpers shared by the section serializers ------------
+
+/// Little-endian byte-stream builder for section payloads.
+class SnapshotBuffer {
+ public:
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutBytes(const void* p, size_t n) { PutRaw(p, n); }
+
+  std::span<const uint8_t> bytes() const { return bytes_; }
+  std::vector<uint8_t>& vec() { return bytes_; }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    if (n == 0) return;  // empty arrays may hand in a null data()
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    bytes_.insert(bytes_.end(), b, b + n);
+  }
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounded reader over a section payload. Every Get returns false once the
+/// payload is exhausted or a read would overrun — decoders surface that as
+/// kCorruption rather than walking off the buffer.
+class SnapshotCursor {
+ public:
+  explicit SnapshotCursor(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  bool GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetBytes(void* p, size_t n) { return GetRaw(p, n); }
+  /// Borrow `n` bytes in place (valid while the payload vector lives).
+  bool GetSpan(size_t n, std::span<const uint8_t>* out) {
+    if (bytes_.size() - pos_ < n) return false;
+    *out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  bool GetRaw(void* p, size_t n) {
+    if (bytes_.size() - pos_ < n) return false;
+    if (n != 0) std::memcpy(p, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dtrace
+
+#endif  // DTRACE_STORAGE_SNAPSHOT_H_

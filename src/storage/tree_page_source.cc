@@ -49,6 +49,20 @@ SimDiskTreePageStore::SimDiskTreePageStore(SimDisk* disk, BufferPool* pool)
   fault_disk_ = dynamic_cast<FaultInjectingDisk*>(disk);
 }
 
+SimDiskTreePageStore::~SimDiskTreePageStore() {
+  // Shared mode: give the pages back. Drop any resident frame BEFORE the
+  // disk-side Free, so a later reallocation's fresh bytes can never be
+  // shadowed by a stale pool frame. Private mode owns disk and pool whole;
+  // their destructors reclaim everything.
+  if (owned_disk_ == nullptr && disk_ != nullptr && pool_ != nullptr &&
+      !abandoned_.load(std::memory_order_acquire)) {
+    for (PageId id : page_ids_) {
+      pool_->Discard(id);
+      disk_->Free(id);
+    }
+  }
+}
+
 void SimDiskTreePageStore::Allocate(size_t num_pages) {
   DT_CHECK_MSG(page_ids_.empty(), "Allocate called twice");
   // Packing must land clean pages (it is the recovery source of truth for
@@ -60,13 +74,16 @@ void SimDiskTreePageStore::Allocate(size_t num_pages) {
     fault_disk_->Disarm();
   }
   page_ids_.reserve(num_pages);
-  // On a shared disk this appends after whatever is already there (the
-  // trace region, plus any earlier snapshot's tree pages). SimDisk::Allocate
-  // is internally latched and append-only, so a writer-side snapshot repack
-  // may run this while readers still pin the retiring snapshot's (lower)
-  // page ids. Retired snapshots leave their shared-disk pages allocated —
-  // an accepted leak of the simulator (a real backend would free extents);
-  // private mode rebuilds the disk from scratch each pack.
+  // On a shared disk this draws from the disk's free list first (pages a
+  // retired snapshot's destructor returned), then appends after whatever is
+  // already there (the trace region, plus any still-live snapshot's tree
+  // pages). SimDisk::Allocate is internally latched, and table growth is
+  // append-only, so a writer-side snapshot repack may run this while
+  // readers still pin the retiring snapshot's page ids — the repack
+  // allocates while the retiring snapshot is still referenced, so its ids
+  // are disjoint from any pinned ones, and the retiring pages are freed
+  // only when the last pin drops (~SimDiskTreePageStore). Private mode
+  // rebuilds the disk from scratch each pack.
   for (size_t i = 0; i < num_pages; ++i) page_ids_.push_back(disk_->Allocate());
 }
 

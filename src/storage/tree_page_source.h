@@ -1,6 +1,7 @@
 #ifndef DTRACE_STORAGE_TREE_PAGE_SOURCE_H_
 #define DTRACE_STORAGE_TREE_PAGE_SOURCE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -72,6 +73,15 @@ class TreePageSource {
 
   /// The backing pool, when there is one (null for in-memory stores).
   virtual const BufferPool* pool() const { return nullptr; }
+
+  /// Tells the store its backing disk/pool may no longer be alive, so its
+  /// destructor must not reach into them (it leaks the pages instead of
+  /// reclaiming). Called on the final published snapshot during index
+  /// teardown, where a shared disk/pool's owner may legally have been
+  /// destroyed first; every OTHER retirement path (repack, repair,
+  /// DisablePagedTree) runs while the backing is alive and reclaims.
+  /// No-op for stores that own their backing.
+  virtual void AbandonBacking() const {}
 };
 
 /// Deterministic default: pages live in heap memory, every pin hits.
@@ -133,6 +143,22 @@ class SimDiskTreePageStore final : public TreePageSource {
   /// Options' pool knobs are ignored; both pointers must outlive the store.
   SimDiskTreePageStore(SimDisk* disk, BufferPool* pool);
 
+  /// Shared mode returns this store's pages to the shared disk's free list
+  /// (discarding any resident pool frames first), so a retired snapshot's
+  /// footprint is reclaimed when its refcount drains and a churn loop's
+  /// disk size plateaus instead of growing per repack. Destruction happens
+  /// strictly after the last pin (PagedMinSigTree is destroyed by the last
+  /// shared_ptr holder), so no frame is pinned and none is dirty (tree
+  /// pages are written pre-Finalize, never through the pool). Skipped
+  /// after AbandonBacking (index teardown: the borrowed disk/pool may
+  /// already be gone). Private mode owns its disk/pool outright and just
+  /// drops them.
+  ~SimDiskTreePageStore() override;
+
+  void AbandonBacking() const override {
+    abandoned_.store(true, std::memory_order_release);
+  }
+
   void Allocate(size_t num_pages) override;
   void WritePage(uint32_t index, const Page& page) override;
   void Finalize() override;
@@ -168,6 +194,9 @@ class SimDiskTreePageStore final : public TreePageSource {
   bool rearm_at_finalize_ = false;  // Allocate disarmed an armed fault disk
   size_t pool_sizing_pages_ = 0;  // pool_fraction basis; 0 = packed count
   std::vector<PageId> page_ids_;  // tree page index -> disk page id
+  // Set by AbandonBacking (possibly via a const snapshot ref) and read by
+  // the destructor: suppresses the shared-mode page reclaim.
+  mutable std::atomic<bool> abandoned_{false};
 };
 
 }  // namespace dtrace

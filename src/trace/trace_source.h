@@ -13,6 +13,10 @@
 
 namespace dtrace {
 
+/// "Read the latest committed trace of every entity" — the as-of value that
+/// makes a versioned cursor behave exactly like an unversioned one.
+inline constexpr uint64_t kLatestVersion = UINT64_MAX;
+
 /// I/O performed on behalf of one cursor (hence, one query). All-zero for
 /// the in-memory source; the paged source charges every candidate
 /// materialization here. Surfaced per query through QueryStats::io.
@@ -140,6 +144,24 @@ class TraceSource {
   virtual TimeStep horizon() const = 0;
 
   virtual std::unique_ptr<TraceCursor> OpenCursor() const = 0;
+
+  /// Opens a cursor that reads entity traces as of commit version `as_of`:
+  /// an entity replaced by a commit stamped v is served its NEW trace iff
+  /// v <= as_of, its pre-replace trace otherwise. This is what lets a query
+  /// pinned at an epoch version keep reading the trace state matching its
+  /// pinned tree while writers commit replacements underneath it
+  /// (DESIGN-sharding.md "Concurrency model"). Only versioned() sources
+  /// distinguish versions; the default forwards to OpenCursor(), which is
+  /// correct for sources that are immutable snapshots (PagedTraceSource).
+  virtual std::unique_ptr<TraceCursor> OpenCursorAt(uint64_t as_of) const {
+    (void)as_of;
+    return OpenCursor();
+  }
+
+  /// True iff OpenCursorAt distinguishes versions — i.e. cursors opened at
+  /// different as_of values may return different data. Callers use this to
+  /// decide whether two cursors over the same source are interchangeable.
+  virtual bool versioned() const { return false; }
 };
 
 /// |a ∩ b| over two sorted, deduplicated cell-id ranges (shared by cursor

@@ -9,36 +9,42 @@ namespace dtrace {
 
 namespace {
 
-// Forwards every read to the store; spans alias the CSR arrays (or the
-// override vectors), so they stay valid for the store's lifetime and io()
-// stays all-zero.
+// Forwards every read to the store at a fixed as-of version; spans alias
+// the CSR arrays (or immutable override nodes), so they stay valid for the
+// store's lifetime and io() stays all-zero.
 class InMemoryTraceCursor final : public TraceCursor {
  public:
-  explicit InMemoryTraceCursor(const TraceStore& store) : store_(&store) {}
+  InMemoryTraceCursor(const TraceStore& store, uint64_t as_of)
+      : store_(&store), as_of_(as_of) {}
 
   std::span<const CellId> Cells(EntityId e, Level level) override {
-    return store_->cells(e, level);
+    return store_->cells(e, level, as_of_);
   }
   std::span<const CellId> CellsInWindow(EntityId e, Level level, TimeStep t0,
                                         TimeStep t1) override {
-    return store_->CellsInWindow(e, level, t0, t1);
+    return store_->CellsInWindow(e, level, t0, t1, as_of_);
   }
   uint32_t IntersectionSize(EntityId a, EntityId b, Level level) override {
-    return store_->IntersectionSize(a, b, level);
+    return store_->IntersectionSize(a, b, level, as_of_);
   }
   uint32_t WindowedIntersectionSize(EntityId a, EntityId b, Level level,
                                     TimeStep t0, TimeStep t1) override {
-    return store_->WindowedIntersectionSize(a, b, level, t0, t1);
+    return store_->WindowedIntersectionSize(a, b, level, t0, t1, as_of_);
   }
 
  private:
   const TraceStore* store_;
+  uint64_t as_of_;
 };
 
 }  // namespace
 
 std::unique_ptr<TraceCursor> TraceStore::OpenCursor() const {
-  return std::make_unique<InMemoryTraceCursor>(*this);
+  return std::make_unique<InMemoryTraceCursor>(*this, kLatestVersion);
+}
+
+std::unique_ptr<TraceCursor> TraceStore::OpenCursorAt(uint64_t as_of) const {
+  return std::make_unique<InMemoryTraceCursor>(*this, as_of);
 }
 
 TraceStore::TraceStore(const SpatialHierarchy& hierarchy,
@@ -61,8 +67,8 @@ TraceStore::TraceStore(const SpatialHierarchy& hierarchy,
 
   offsets_.assign(m, std::vector<uint64_t>(num_entities_ + 1, 0));
   cells_.assign(m, {});
-  overrides_.assign(m, std::vector<std::vector<CellId>>(num_entities_));
-  overridden_.assign(num_entities_, false);
+  override_heads_ =
+      std::vector<std::atomic<const EntityOverride*>>(num_entities_);
 
   std::vector<CellId> upper;
   for (EntityId e = 0; e < num_entities_; ++e) {
@@ -90,11 +96,32 @@ TraceStore::TraceStore(const SpatialHierarchy& hierarchy,
   }
 }
 
-std::span<const CellId> TraceStore::cells(EntityId e, Level level) const {
+TraceStore::TraceStore(const SpatialHierarchy& hierarchy,
+                       uint32_t num_entities, TimeStep horizon,
+                       RestoredCells restored)
+    : hierarchy_(&hierarchy), num_entities_(num_entities), horizon_(horizon) {
+  const int m = hierarchy.num_levels();
+  DT_CHECK_MSG(restored.offsets.size() == static_cast<size_t>(m) &&
+                   restored.cells.size() == static_cast<size_t>(m),
+               "restored trace state: wrong level count");
+  for (int l = 0; l < m; ++l) {
+    DT_CHECK_MSG(restored.offsets[l].size() == num_entities_ + size_t{1},
+                 "restored trace state: wrong offsets size");
+    DT_CHECK_MSG(restored.offsets[l].back() == restored.cells[l].size(),
+                 "restored trace state: offsets/cells disagree");
+  }
+  offsets_ = std::move(restored.offsets);
+  cells_ = std::move(restored.cells);
+  override_heads_ =
+      std::vector<std::atomic<const EntityOverride*>>(num_entities_);
+}
+
+std::span<const CellId> TraceStore::cells(EntityId e, Level level,
+                                          uint64_t as_of) const {
   DT_DCHECK(e < num_entities_);
   DT_DCHECK(level >= 1 && level <= hierarchy_->num_levels());
-  if (overridden_[e]) {
-    const auto& v = overrides_[level - 1][e];
+  if (const EntityOverride* n = OverrideAt(e, as_of)) {
+    const auto& v = n->levels[level - 1];
     return {v.data(), v.size()};
   }
   const auto& off = offsets_[level - 1];
@@ -102,8 +129,9 @@ std::span<const CellId> TraceStore::cells(EntityId e, Level level) const {
   return {cs.data() + off[e], cs.data() + off[e + 1]};
 }
 
-uint32_t TraceStore::cell_count(EntityId e, Level level) const {
-  return static_cast<uint32_t>(cells(e, level).size());
+uint32_t TraceStore::cell_count(EntityId e, Level level,
+                                uint64_t as_of) const {
+  return static_cast<uint32_t>(cells(e, level, as_of).size());
 }
 
 CellId TraceStore::ParentCell(Level child_level, CellId c) const {
@@ -112,16 +140,16 @@ CellId TraceStore::ParentCell(Level child_level, CellId c) const {
   return EncodeCell(child_level - 1, t, hierarchy_->parent(child_level, u));
 }
 
-uint32_t TraceStore::IntersectionSize(EntityId a, EntityId b,
-                                      Level level) const {
-  return IntersectSortedSize(cells(a, level), cells(b, level));
+uint32_t TraceStore::IntersectionSize(EntityId a, EntityId b, Level level,
+                                      uint64_t as_of) const {
+  return IntersectSortedSize(cells(a, level, as_of), cells(b, level, as_of));
 }
 
 std::span<const CellId> TraceStore::CellsInWindow(EntityId e, Level level,
-                                                  TimeStep t0,
-                                                  TimeStep t1) const {
+                                                  TimeStep t0, TimeStep t1,
+                                                  uint64_t as_of) const {
   DT_DCHECK(t0 <= t1);
-  const auto all = cells(e, level);
+  const auto all = cells(e, level, as_of);
   // The unwindowed common case: every cell lies in [0, horizon).
   if (t0 == 0 && t1 >= horizon_) return all;
   const uint32_t units = hierarchy_->units_at(level);
@@ -135,9 +163,10 @@ std::span<const CellId> TraceStore::CellsInWindow(EntityId e, Level level,
 
 uint32_t TraceStore::WindowedIntersectionSize(EntityId a, EntityId b,
                                               Level level, TimeStep t0,
-                                              TimeStep t1) const {
-  return IntersectSortedSize(CellsInWindow(a, level, t0, t1),
-                             CellsInWindow(b, level, t0, t1));
+                                              TimeStep t1,
+                                              uint64_t as_of) const {
+  return IntersectSortedSize(CellsInWindow(a, level, t0, t1, as_of),
+                             CellsInWindow(b, level, t0, t1, as_of));
 }
 
 double TraceStore::mean_base_cells() const {
@@ -183,13 +212,28 @@ std::vector<std::vector<CellId>> TraceStore::CellsForRecords(
 
 void TraceStore::ReplaceEntity(EntityId e,
                                const std::vector<PresenceRecord>& records) {
+  ReplaceEntityAt(e, records, /*version=*/0);
+}
+
+void TraceStore::ReplaceEntityAt(EntityId e,
+                                 const std::vector<PresenceRecord>& records,
+                                 uint64_t version) {
   DT_CHECK(e < num_entities_);
   for (const auto& r : records) DT_CHECK_MSG(r.entity == e, "wrong entity");
-  auto per_level = CellsForRecords(records);
-  for (int l = 0; l < hierarchy_->num_levels(); ++l) {
-    overrides_[l][e] = std::move(per_level[l]);
+  auto node = std::make_unique<EntityOverride>();
+  node->version = version;
+  node->levels = CellsForRecords(records);
+  const EntityOverride* published = node.get();
+  {
+    const std::lock_guard<std::mutex> lock(override_mu_);
+    node->ordinal = mutation_ordinal_.load(std::memory_order_relaxed) + 1;
+    node->prev = override_heads_[e].load(std::memory_order_relaxed);
+    override_nodes_.push_back(std::move(node));
+    // Publish: release so a reader that acquires the head sees the node
+    // (and everything it links to) fully built.
+    override_heads_[e].store(published, std::memory_order_release);
+    mutation_ordinal_.store(published->ordinal, std::memory_order_release);
   }
-  overridden_[e] = true;
 }
 
 }  // namespace dtrace

@@ -20,6 +20,10 @@ enum class StatusCode : uint8_t {
   /// The bytes came back but are not what was written (checksum mismatch,
   /// torn page, malformed encoded blob).
   kCorruption = 2,
+  /// The operation's stated precondition no longer holds (e.g. a paged
+  /// snapshot asked to serve an entity the live store has since replaced).
+  /// Unlike kCorruption, the data is intact — the caller's view is stale.
+  kFailedPrecondition = 3,
 };
 
 /// Allocation-free status: a code plus a static message. Messages must be
@@ -34,6 +38,9 @@ class Status {
   }
   static Status Corruption(const char* message) {
     return Status(StatusCode::kCorruption, message);
+  }
+  static Status FailedPrecondition(const char* message) {
+    return Status(StatusCode::kFailedPrecondition, message);
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

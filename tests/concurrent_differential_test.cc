@@ -16,9 +16,15 @@
 // mappings are implementation-defined), so the oracle replay and the live
 // run apply identical operations: Remove of a present entity, re-Insert
 // of a removed one, Update with the trace unchanged (exercises the commit
-// path deterministically), and Refresh. TraceStore::ReplaceEntity is
-// deliberately absent: trace mutation is outside the concurrent contract
-// (core/index.h class comment).
+// path deterministically), Replace with a freshly generated trace (the
+// MVCC path: ShardedIndex::ReplaceEntity commits the store override and
+// the tree update as one per-shard epoch, and pinned readers resolve
+// overrides by version), and Refresh. Because oracle and live now mutate
+// trace bytes, each replays against its OWN store (two identical builds
+// of the same synthetic dataset). Replaces skip the query entities: a
+// query's trace is read at the pinned version of EVERY shard it fans out
+// to, and override stamps are per-shard counters — cross-shard version
+// comparison is only meaningful for each shard's own members.
 //
 // The grid crosses shard counts {1, 2, 4} with the tree backings — plain
 // in-memory MinSigTree (latched pins), paged SimDisk snapshots, and
@@ -27,6 +33,7 @@
 // its own harness, and a fault-free run must be fault-free concurrently.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -54,37 +61,65 @@ constexpr int kTopK = 5;
 // mid-burst).
 constexpr uint64_t kMaxVersionCombos = 512;
 
-enum class OpKind { kRemove, kReinsert, kUpdate, kRefresh };
+enum class OpKind { kRemove, kReinsert, kUpdate, kReplace, kRefresh };
 struct Op {
   OpKind kind;
   EntityId e = 0;
+  std::vector<PresenceRecord> records;  // kReplace: the new trace
 };
 
 // Pure function of the seed: raw engine values reduced by modulo only.
-std::vector<Op> MakeSchedule(uint64_t seed, uint32_t num_entities) {
+// `queries` are the entities the readers will query; Replace skips them
+// (see the header comment on cross-shard version stamps).
+std::vector<Op> MakeSchedule(uint64_t seed, uint32_t num_entities,
+                             uint32_t num_base_units, TimeStep horizon,
+                             const std::vector<EntityId>& queries) {
   std::mt19937_64 rng(seed);
   std::vector<EntityId> present(num_entities);
   std::iota(present.begin(), present.end(), 0);
   std::vector<EntityId> removed;
   const size_t floor = num_entities / 2;
   std::vector<Op> ops;
+  const auto is_query = [&queries](EntityId e) {
+    return std::find(queries.begin(), queries.end(), e) != queries.end();
+  };
   for (int i = 0; i < kNumOps; ++i) {
     const uint64_t pick = rng() % 100;
-    if (pick < 30 && present.size() > floor) {
+    if (pick < 25 && present.size() > floor) {
       const size_t j = static_cast<size_t>(rng() % present.size());
-      ops.push_back({OpKind::kRemove, present[j]});
+      ops.push_back({OpKind::kRemove, present[j], {}});
       removed.push_back(present[j]);
       present.erase(present.begin() + static_cast<ptrdiff_t>(j));
-    } else if (pick < 55 && !removed.empty()) {
+    } else if (pick < 45 && !removed.empty()) {
       const size_t j = static_cast<size_t>(rng() % removed.size());
-      ops.push_back({OpKind::kReinsert, removed[j]});
+      ops.push_back({OpKind::kReinsert, removed[j], {}});
       present.push_back(removed[j]);
       removed.erase(removed.begin() + static_cast<ptrdiff_t>(j));
-    } else if (pick < 90 && !present.empty()) {
-      ops.push_back(
-          {OpKind::kUpdate, present[static_cast<size_t>(rng() % present.size())]});
+    } else if (pick < 75 && !present.empty()) {
+      ops.push_back({OpKind::kUpdate,
+                     present[static_cast<size_t>(rng() % present.size())],
+                     {}});
+    } else if (pick < 92) {
+      // Replace a present non-query entity's trace with a freshly drawn
+      // one. Draw the records unconditionally so the rng stream does not
+      // depend on whether a candidate exists.
+      const EntityId e = present[static_cast<size_t>(rng() % present.size())];
+      const size_t n = 2 + static_cast<size_t>(rng() % 6);
+      std::vector<PresenceRecord> records;
+      records.reserve(n);
+      for (size_t r = 0; r < n; ++r) {
+        const auto unit = static_cast<UnitId>(rng() % num_base_units);
+        const auto t = static_cast<TimeStep>(
+            rng() % static_cast<uint64_t>(horizon - 1));
+        records.push_back({e, unit, t, t + 1});
+      }
+      if (is_query(e)) {
+        ops.push_back({OpKind::kRefresh, 0, {}});
+      } else {
+        ops.push_back({OpKind::kReplace, e, std::move(records)});
+      }
     } else {
-      ops.push_back({OpKind::kRefresh});
+      ops.push_back({OpKind::kRefresh, 0, {}});
     }
   }
   return ops;
@@ -100,6 +135,9 @@ void ApplyOp(ShardedIndex& index, const Op& op) {
       break;
     case OpKind::kUpdate:
       index.UpdateEntity(op.e);
+      break;
+    case OpKind::kReplace:
+      index.ReplaceEntity(op.e, op.records);
       break;
     case OpKind::kRefresh:
       index.Refresh();
@@ -257,14 +295,20 @@ void RunCell(int num_shards, const std::optional<PagedTreeOptions>& paged,
   const auto queries = SampleQueries(*dataset.store, 5, seed ^ 0xABCDull);
   const ShardedIndexOptions sopts{.num_shards = num_shards, .index = iopts};
 
+  // Replace mutates trace bytes, so oracle and live each get their OWN
+  // store: two builds of the same deterministic dataset are identical, and
+  // each replay applies the same overrides to its own copy.
+  Dataset live_dataset = MakeSynDataset(kEntities, /*data_seed=*/101);
   ShardedIndex oracle = ShardedIndex::Build(dataset.store, sopts);
-  ShardedIndex live = ShardedIndex::Build(dataset.store, sopts);
+  ShardedIndex live = ShardedIndex::Build(live_dataset.store, sopts);
   if (paged.has_value()) {
     oracle.EnablePagedTrees(*paged);
     live.EnablePagedTrees(*paged);
   }
 
-  const auto ops = MakeSchedule(seed, kEntities);
+  const auto ops =
+      MakeSchedule(seed, kEntities, dataset.hierarchy->num_base_units(),
+                   dataset.store->horizon(), queries);
 
   // Single-threaded oracle replay: capture every shard's exact per-shard
   // answers at every version its commit sequence passes through.

@@ -83,7 +83,7 @@ TEST_F(SignatureTest, ComputeLevelMatchesCompute) {
 }
 
 TEST_F(SignatureTest, EmptyTraceYieldsMaxSignature) {
-  TraceStore empty(*hierarchy_, 1, 20, {});
+  TraceStore empty(*hierarchy_, 1, 20, std::vector<PresenceRecord>{});
   SignatureComputer sigs(empty, *hasher_);
   const SignatureList sig = sigs.Compute(0);
   for (Level l = 1; l <= hierarchy_->num_levels(); ++l) {

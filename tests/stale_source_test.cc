@@ -1,0 +1,103 @@
+// Stale-snapshot detection (`ctest -L persistence`): a PagedTraceSource is
+// a point-in-time serialization of its TraceStore. After the live store
+// commits a ReplaceEntity, the source must NOT silently serve the
+// pre-replacement bytes — cursors probe the store's mutation ordinal per
+// fetched entity and latch kFailedPrecondition, which the query loop turns
+// into a clean error result (storage/paged_trace_source.h).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "core/association.h"
+#include "core/index.h"
+#include "exp/harness.h"
+#include "exp/presets.h"
+#include "storage/paged_trace_source.h"
+#include "trace/dataset.h"
+
+namespace dtrace {
+namespace {
+
+std::vector<PresenceRecord> MakeReplacementTrace(EntityId e,
+                                                 uint32_t num_base_units,
+                                                 TimeStep horizon,
+                                                 uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<PresenceRecord> records;
+  for (size_t i = 0; i < 4; ++i) {
+    const auto unit = static_cast<UnitId>(rng() % num_base_units);
+    const auto t =
+        static_cast<TimeStep>(rng() % static_cast<uint64_t>(horizon - 1));
+    records.push_back({e, unit, t, t + 1});
+  }
+  return records;
+}
+
+TEST(StaleSourceTest, ReplacedEntityFailsLoudlyNotStale) {
+  Dataset dataset = MakeSynDataset(150, /*seed=*/319);
+  DigitalTraceIndex index = DigitalTraceIndex::Build(
+      dataset.store, IndexOptions{.num_functions = 32, .seed = 17});
+  PagedTraceSource source(*dataset.store, PagedTraceSource::Options{});
+  PolynomialLevelMeasure measure(dataset.hierarchy->num_levels());
+  const auto queries = SampleQueries(*dataset.store, 2, 0x99);
+  const EntityId victim = queries[0];
+  const EntityId untouched = queries[1];
+
+  // Fresh source: serves bit-identically to the in-memory store.
+  QueryOptions opts;
+  opts.trace_source = &source;
+  const TopKResult before = index.Query(victim, 5, measure, opts);
+  ASSERT_TRUE(before.status.ok()) << before.status.message();
+  const TopKResult mem = index.Query(victim, 5, measure);
+  ASSERT_EQ(before.items.size(), mem.items.size());
+  for (size_t i = 0; i < mem.items.size(); ++i) {
+    EXPECT_EQ(before.items[i].entity, mem.items[i].entity);
+    EXPECT_EQ(before.items[i].score, mem.items[i].score);
+  }
+
+  // Replace the victim's trace on the live store (one atomic index commit).
+  index.ReplaceEntity(
+      victim, MakeReplacementTrace(victim, dataset.hierarchy->num_base_units(),
+                                   dataset.store->horizon(), 0xD1));
+
+  // Cursor-level: fetching the replaced entity latches FailedPrecondition
+  // and returns no data; an untouched entity still reads fine.
+  {
+    auto cursor = source.OpenCursor();
+    const auto cells = cursor->Cells(victim, 1);
+    EXPECT_EQ(cursor->status().code(), StatusCode::kFailedPrecondition)
+        << cursor->status().message();
+    EXPECT_TRUE(cells.empty()) << "stale cursor handed out pre-replace bytes";
+  }
+  {
+    auto cursor = source.OpenCursor();
+    const auto cells = cursor->Cells(untouched, 1);
+    EXPECT_TRUE(cursor->status().ok()) << cursor->status().message();
+    EXPECT_FALSE(cells.empty());
+  }
+
+  // Query-level: the latched error surfaces as a clean TopKResult::status
+  // with EMPTY items — never a ranking scored off stale bytes.
+  const TopKResult after = index.Query(victim, 5, measure, opts);
+  EXPECT_EQ(after.status.code(), StatusCode::kFailedPrecondition)
+      << after.status.message();
+  EXPECT_TRUE(after.items.empty());
+
+  // Rebuilding the source picks up the replacement and matches the
+  // in-memory store again.
+  PagedTraceSource rebuilt(*dataset.store, PagedTraceSource::Options{});
+  opts.trace_source = &rebuilt;
+  const TopKResult fresh = index.Query(victim, 5, measure, opts);
+  ASSERT_TRUE(fresh.status.ok()) << fresh.status.message();
+  const TopKResult mem_after = index.Query(victim, 5, measure);
+  ASSERT_EQ(fresh.items.size(), mem_after.items.size());
+  for (size_t i = 0; i < fresh.items.size(); ++i) {
+    EXPECT_EQ(fresh.items[i].entity, mem_after.items[i].entity);
+    EXPECT_EQ(fresh.items[i].score, mem_after.items[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace dtrace
